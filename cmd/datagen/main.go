@@ -1,0 +1,92 @@
+// Command datagen emits the synthetic datasets used throughout the
+// benchmarks: the 25 Table-5 analogs, the 100-file GitHub-style corpus,
+// or one named dataset.
+//
+// Usage:
+//
+//	datagen -list
+//	datagen -name "web server log" -rows 1000 > web.log
+//	datagen -corpus -dir corpus/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"datamaran/internal/datagen"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list the 25 manual dataset analogs")
+	name := flag.String("name", "", "emit the named manual dataset to stdout")
+	rows := flag.Int("rows", 0, "row count override for -name")
+	seed := flag.Int64("seed", 1, "generator seed")
+	corpus := flag.Bool("corpus", false, "write the 100-file corpus")
+	dir := flag.String("dir", "corpus", "output directory for -corpus")
+	scale := flag.Float64("scale", 1.0, "size scale for -list datasets")
+	flag.Parse()
+
+	switch {
+	case *list:
+		fmt.Printf("%-28s %10s %12s %14s %8s\n", "name", "size (MB)", "# rec types", "max rec span", "label")
+		for _, d := range datagen.ManualDatasets(*scale) {
+			fmt.Printf("%-28s %10.3f %12d %14d %8s\n", d.Name, d.SizeMB(), d.NumRecTypes, d.MaxRecSpan, d.Label)
+		}
+	case *name != "":
+		for _, d := range datagen.ManualDatasets(*scale) {
+			if d.Name != *name {
+				continue
+			}
+			data := d.Data
+			if *rows > 0 {
+				// Regenerate at the requested size by scaling.
+				data = regenerate(*name, *rows, *seed)
+			}
+			if _, err := os.Stdout.Write(data); err != nil {
+				fmt.Fprintf(os.Stderr, "datagen: %v\n", err)
+				os.Exit(1)
+			}
+			return
+		}
+		fmt.Fprintf(os.Stderr, "datagen: unknown dataset %q (try -list)\n", *name)
+		os.Exit(2)
+	case *corpus:
+		if err := os.MkdirAll(*dir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "datagen: %v\n", err)
+			os.Exit(1)
+		}
+		for _, d := range datagen.GitHubCorpus(*seed) {
+			path := filepath.Join(*dir, strings.ReplaceAll(d.Name, "/", "_")+".log")
+			if err := os.WriteFile(path, d.Data, 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "datagen: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		fmt.Fprintf(os.Stderr, "wrote 100 datasets to %s\n", *dir)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+// regenerate rebuilds a manual dataset at a custom row count.
+func regenerate(name string, rows int, seed int64) []byte {
+	gens := map[string]func(int, int64) *datagen.Dataset{
+		"transaction records":    datagen.TransactionRecords,
+		"comma-sep records":      datagen.CommaSepRecords,
+		"web server log":         datagen.WebServerLog,
+		"vcf genetic format":     datagen.VCFGenetic,
+		"fastq genetic format":   datagen.FastqGenetic,
+		"Thailand district info": datagen.ThailandDistricts,
+		"stackexchange xml data": datagen.StackexchangeXML,
+	}
+	if g, ok := gens[name]; ok {
+		return g(rows, seed).Data
+	}
+	fmt.Fprintf(os.Stderr, "datagen: -rows not supported for %q\n", name)
+	os.Exit(2)
+	return nil
+}

@@ -1,0 +1,152 @@
+// Command datamaran extracts structure from a log file with no
+// supervision and writes the discovered templates plus the extracted
+// relational tables.
+//
+// Usage:
+//
+//	datamaran [flags] <logfile>
+//
+// With -o DIR, one CSV file per extracted table is written there;
+// otherwise tables go to stdout.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"datamaran"
+)
+
+func main() {
+	alpha := flag.Float64("alpha", 0.10, "minimum coverage threshold α (fraction)")
+	maxSpan := flag.Int("L", 10, "maximum record span in lines")
+	topM := flag.Int("M", 50, "templates retained after pruning")
+	greedy := flag.Bool("greedy", false, "use greedy charset search instead of exhaustive")
+	maxTypes := flag.Int("types", 8, "maximum number of record types to extract")
+	outDir := flag.String("o", "", "directory for CSV output (default: stdout)")
+	denorm := flag.Bool("denormalized", false, "emit the denormalized single-table form")
+	typed := flag.Bool("typed", false, "emit denormalized tables with semantic type merging (IPs, times, ...)")
+	saveProfile := flag.String("save-profile", "", "write the learned structure profile (JSON) to this file")
+	useProfile := flag.String("profile", "", "skip discovery: apply a previously saved profile")
+	quiet := flag.Bool("q", false, "suppress the structure summary")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: datamaran [flags] <logfile>")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+
+	opts := datamaran.Options{
+		Alpha:          *alpha,
+		MaxSpan:        *maxSpan,
+		TopM:           *topM,
+		MaxRecordTypes: *maxTypes,
+	}
+	if *greedy {
+		opts.Search = datamaran.Greedy
+	}
+
+	t0 := time.Now()
+	var res *datamaran.Result
+	var err error
+	if *useProfile != "" {
+		res, err = extractWithSavedProfile(flag.Arg(0), *useProfile)
+	} else {
+		res, err = datamaran.ExtractFile(flag.Arg(0), opts)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "datamaran: %v\n", err)
+		os.Exit(1)
+	}
+	if *saveProfile != "" {
+		if err := writeProfile(res, *saveProfile); err != nil {
+			fmt.Fprintf(os.Stderr, "datamaran: %v\n", err)
+			os.Exit(1)
+		}
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "profile saved to %s\n", *saveProfile)
+		}
+	}
+
+	if !*quiet {
+		fmt.Fprintf(os.Stderr, "extracted %d record type(s) in %v (%d noise lines)\n",
+			len(res.Structures), time.Since(t0).Round(time.Millisecond), len(res.NoiseLines))
+		for _, s := range res.Structures {
+			kind := "single-line"
+			if s.MultiLine {
+				kind = "multi-line"
+			}
+			fmt.Fprintf(os.Stderr, "  type %d (%s, %d records, %d columns): %s\n",
+				s.Type, kind, s.Records, s.Columns, s.Template)
+		}
+	}
+
+	var tables []*datamaran.Table
+	switch {
+	case *typed:
+		tables = res.TypedTables()
+	case *denorm:
+		tables = res.DenormalizedTables()
+	default:
+		tables = res.Tables()
+	}
+	for _, t := range tables {
+		if *outDir == "" {
+			fmt.Printf("-- table %s --\n", t.Name)
+			if err := t.WriteCSV(os.Stdout); err != nil {
+				fmt.Fprintf(os.Stderr, "datamaran: %v\n", err)
+				os.Exit(1)
+			}
+			continue
+		}
+		path := filepath.Join(*outDir, t.Name+".csv")
+		f, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "datamaran: %v\n", err)
+			os.Exit(1)
+		}
+		if err := t.WriteCSV(f); err != nil {
+			f.Close()
+			fmt.Fprintf(os.Stderr, "datamaran: %v\n", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "datamaran: %v\n", err)
+			os.Exit(1)
+		}
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "  wrote %s (%d rows)\n", path, len(t.Rows))
+		}
+	}
+}
+
+// writeProfile saves the learned structure profile as JSON.
+func writeProfile(res *datamaran.Result, path string) error {
+	raw, err := json.MarshalIndent(res.Profile(), "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, raw, 0o644)
+}
+
+// extractWithSavedProfile applies a saved profile, skipping discovery.
+func extractWithSavedProfile(logPath, profilePath string) (*datamaran.Result, error) {
+	raw, err := os.ReadFile(profilePath)
+	if err != nil {
+		return nil, err
+	}
+	var p datamaran.Profile
+	if err := json.Unmarshal(raw, &p); err != nil {
+		return nil, err
+	}
+	data, err := os.ReadFile(logPath)
+	if err != nil {
+		return nil, err
+	}
+	return datamaran.ExtractWithProfile(data, &p)
+}

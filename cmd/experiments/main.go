@@ -1,0 +1,60 @@
+// Command experiments regenerates the paper's tables and figures on the
+// synthetic substrate. Select an experiment with -exp, or run everything
+// with -exp all. -quick shrinks workloads for a fast smoke run.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"datamaran/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: table1|table3|table5|accuracy25|fig14a|fig14b|fig15|fig16|fig17a|fig17b|userstudy|ablation|all")
+	quick := flag.Bool("quick", false, "shrink workloads for a fast run")
+	flag.Parse()
+
+	w := os.Stdout
+	scale := 0.5
+	sizes := []float64{0.25, 0.5, 1, 2, 4}
+	complexities := []int{1, 2, 3, 4, 5, 6}
+	rowsPerType := 400
+	ms := []int{1, 5, 10, 50, 200, 1000}
+	perLabel := 0
+	if *quick {
+		scale = 0.1
+		sizes = []float64{0.1, 0.25, 0.5}
+		complexities = []int{1, 2, 3}
+		rowsPerType = 150
+		ms = []int{1, 10, 50}
+		perLabel = 3
+	}
+
+	run := func(name string, fn func()) {
+		if *exp == name || *exp == "all" {
+			fn()
+		}
+	}
+	run("table1", func() { experiments.Table1(w) })
+	run("table5", func() { experiments.Table5(scale, w) })
+	run("accuracy25", func() { experiments.Accuracy25(scale, w) })
+	run("table3", func() { experiments.Table3Complexity(w) })
+	run("fig14a", func() { experiments.Fig14aSize(sizes, w) })
+	run("fig14b", func() { experiments.Fig14bComplexity(complexities, rowsPerType, w) })
+	run("fig15", func() { experiments.Fig15Params(w) })
+	run("fig16", func() { experiments.Fig16Sensitivity(scale/2, ms, w) })
+	run("fig17a", func() { experiments.Fig17a(w) })
+	run("fig17b", func() { experiments.Fig17b(perLabel, w) })
+	run("userstudy", func() { experiments.UserStudy(w) })
+	run("ablation", func() { experiments.AblationAssimilation(w) })
+
+	switch *exp {
+	case "table1", "table3", "table5", "accuracy25", "fig14a", "fig14b",
+		"fig15", "fig16", "fig17a", "fig17b", "userstudy", "ablation", "all":
+	default:
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,230 @@
+// Package datamaran is a Go implementation of Datamaran (Gao, Huang,
+// Parameswaran — SIGMOD 2018): fully unsupervised structure extraction
+// from log datasets.
+//
+// Given a semi-structured log file, Datamaran discovers the record
+// structure with no training examples, no record-boundary hints, and no
+// per-dataset tokenizer configuration. It handles records spanning
+// multiple lines, multiple record types interleaved in one file, and
+// noise mixed between records. The result is a set of structure templates
+// (restricted regular expressions over a field placeholder) plus every
+// extracted record and field value, convertible to relational tables.
+//
+// Basic usage:
+//
+//	res, err := datamaran.Extract(data, datamaran.Options{})
+//	if err != nil { ... }
+//	for _, s := range res.Structures {
+//	    fmt.Println(s.Template, s.Records)
+//	}
+//	for _, tbl := range res.Tables() {
+//	    tbl.WriteCSV(os.Stdout)
+//	}
+//
+// The pipeline is the paper's three-step design: a generation step that
+// hashes the minimal structure templates of all candidate record windows
+// to find high-coverage patterns, a pruning step ordering candidates by
+// the assimilation score, and an evaluation step that refines (array
+// unfolding, structure shifting) and scores candidates with a minimum
+// description length regularity measure.
+package datamaran
+
+import (
+	"io"
+	"os"
+	"time"
+
+	"datamaran/internal/core"
+	"datamaran/internal/generation"
+)
+
+// SearchMode selects how the generation step enumerates RT-CharSet values.
+type SearchMode int
+
+const (
+	// Exhaustive enumerates all 2^c charsets (the paper's default;
+	// slower, more accurate).
+	Exhaustive SearchMode = iota
+	// Greedy grows the charset greedily, enumerating O(c²) subsets.
+	Greedy
+)
+
+// Options configures extraction. The zero value selects the paper's
+// defaults: α=10%, L=10, M=50, exhaustive search.
+type Options struct {
+	// Alpha is the minimum coverage threshold α as a fraction of the
+	// dataset a record type must cover (default 0.10).
+	Alpha float64
+	// MaxSpan is L, the maximum number of lines one record may span
+	// (default 10).
+	MaxSpan int
+	// TopM is M, the number of structure templates retained after the
+	// pruning step (default 50; -1 disables pruning).
+	TopM int
+	// Search selects Exhaustive or Greedy charset enumeration.
+	Search SearchMode
+	// MaxRecordTypes bounds how many interleaved record types the
+	// multi-template loop may extract (default 8).
+	MaxRecordTypes int
+	// SampleBudget caps the bytes examined by the generation step;
+	// 0 means 512 KiB, negative disables sampling. Extraction always
+	// processes the full input.
+	SampleBudget int
+	// EvalBudget caps the bytes used for scoring and refinement;
+	// 0 means 128 KiB, negative disables sampling.
+	EvalBudget int
+	// DisableRefinement turns off array unfolding and structure
+	// shifting (exposed for ablation studies).
+	DisableRefinement bool
+}
+
+func (o Options) internal() core.Options {
+	opts := core.Options{
+		Alpha:             o.Alpha,
+		MaxSpan:           o.MaxSpan,
+		TopM:              o.TopM,
+		MaxRecordTypes:    o.MaxRecordTypes,
+		SampleBudget:      o.SampleBudget,
+		EvalBudget:        o.EvalBudget,
+		DisableRefinement: o.DisableRefinement,
+	}
+	if o.Search == Greedy {
+		opts.Search = generation.Greedy
+	}
+	return opts
+}
+
+// Field is one extracted field value.
+type Field struct {
+	// Column is the field's column index in its record type's template.
+	// Fields inside a list share a column across repetitions.
+	Column int
+	// Repetition is the ordinal within a list (0 outside lists).
+	Repetition int
+	// Start and End are byte offsets into the input.
+	Start, End int
+	// Value is the field text.
+	Value string
+}
+
+// Record is one extracted record.
+type Record struct {
+	// Type identifies the record's structure (index into
+	// Result.Structures).
+	Type int
+	// StartLine and EndLine delimit the record's lines [StartLine, EndLine).
+	StartLine, EndLine int
+	// Fields lists the record's field values in template order.
+	Fields []Field
+}
+
+// Structure describes one discovered record type.
+type Structure struct {
+	// Type is the structure's id, in discovery order.
+	Type int
+	// Template is the structure template in the paper's notation
+	// (fields as 'F', lists as "({body}x)*{body}y").
+	Template string
+	// Columns is the number of field columns.
+	Columns int
+	// Records is the number of records extracted.
+	Records int
+	// Coverage is the total byte length of those records.
+	Coverage int
+	// MultiLine reports whether records span more than one line.
+	MultiLine bool
+}
+
+// Timing reports where extraction time went (Table 3 of the paper).
+type Timing struct {
+	Generation time.Duration
+	Pruning    time.Duration
+	Evaluation time.Duration
+	Extraction time.Duration
+}
+
+// Total returns the summed step time.
+func (t Timing) Total() time.Duration {
+	return t.Generation + t.Pruning + t.Evaluation + t.Extraction
+}
+
+// Result holds a completed extraction.
+type Result struct {
+	// Structures lists the discovered record types, best first.
+	Structures []Structure
+	// Records lists every extracted record in input order per type.
+	Records []Record
+	// NoiseLines lists input line indices not covered by any record.
+	NoiseLines []int
+	// Timing breaks down the run time by pipeline step.
+	Timing Timing
+
+	data []byte
+	res  *core.Result
+}
+
+// Extract runs Datamaran on data.
+func Extract(data []byte, opts Options) (*Result, error) {
+	res, err := core.Extract(data, opts.internal())
+	if err != nil {
+		return nil, err
+	}
+	return wrapResult(data, res), nil
+}
+
+// wrapResult converts the internal result into the public form.
+func wrapResult(data []byte, res *core.Result) *Result {
+	out := &Result{data: data, res: res, NoiseLines: res.NoiseLines,
+		Timing: Timing{
+			Generation: res.Timing.Generation,
+			Pruning:    res.Timing.Pruning,
+			Evaluation: res.Timing.Evaluation,
+			Extraction: res.Timing.Extraction,
+		}}
+	for _, s := range res.Structures {
+		multi := false
+		for _, r := range res.Records {
+			if r.TypeID == s.TypeID && r.EndLine-r.StartLine > 1 {
+				multi = true
+				break
+			}
+		}
+		out.Structures = append(out.Structures, Structure{
+			Type:      s.TypeID,
+			Template:  s.Template.String(),
+			Columns:   s.Template.NumFields(),
+			Records:   s.Records,
+			Coverage:  s.Coverage,
+			MultiLine: multi,
+		})
+	}
+	for _, r := range res.Records {
+		rec := Record{Type: r.TypeID, StartLine: r.StartLine, EndLine: r.EndLine}
+		for _, f := range r.Fields {
+			rec.Fields = append(rec.Fields, Field{
+				Column: f.Col, Repetition: f.Rep,
+				Start: f.Start, End: f.End, Value: f.Value,
+			})
+		}
+		out.Records = append(out.Records, rec)
+	}
+	return out
+}
+
+// ExtractReader reads all of r and extracts.
+func ExtractReader(r io.Reader, opts Options) (*Result, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	return Extract(data, opts)
+}
+
+// ExtractFile extracts from the named file.
+func ExtractFile(path string, opts Options) (*Result, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return Extract(data, opts)
+}

@@ -1,0 +1,449 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// This file generates the 100-file corpus standing in for the GitHub
+// crawl of §5.3. The category counts are exactly those recoverable from
+// the paper's percentages and accuracy denominators (Figure 17):
+//
+//	S(NI)=44  S(I)=14  M(NI)=13  M(I)=18  NS=11
+//
+// which reproduce: 31% multi-line, 32% interleaved, 89% satisfying the
+// structural assumptions. The corpus includes the two §9.4 failure causes
+// as deliberate hard cases: records longer than L=10 lines, and
+// interleaved types whose union template can win ("union-trap").
+
+// CorpusCounts is the category mix of the generated corpus.
+var CorpusCounts = map[Label]int{SNI: 44, SI: 14, MNI: 13, MI: 18, NS: 11}
+
+// GitHubCorpus generates the 100-dataset corpus deterministically from
+// seed. Datasets are returned grouped by category in a fixed order.
+func GitHubCorpus(seed int64) []*Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	var out []*Dataset
+	for i := 0; i < CorpusCounts[SNI]; i++ {
+		out = append(out, corpusSNI(i, rng.Int63()))
+	}
+	for i := 0; i < CorpusCounts[SI]; i++ {
+		out = append(out, corpusSI(i, rng.Int63()))
+	}
+	for i := 0; i < CorpusCounts[MNI]; i++ {
+		out = append(out, corpusMNI(i, rng.Int63()))
+	}
+	for i := 0; i < CorpusCounts[MI]; i++ {
+		out = append(out, corpusMI(i, rng.Int63()))
+	}
+	for i := 0; i < CorpusCounts[NS]; i++ {
+		out = append(out, corpusNS(i, rng.Int63()))
+	}
+	return out
+}
+
+// corpusSNI: single-line, one record type. Roughly half the shapes have
+// variable-length free-text tails or noise, which is where fixed-lexer
+// line-by-line systems struggle.
+func corpusSNI(i int, seed int64) *Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	rows := 250 + rng.Intn(250)
+	var d *Dataset
+	switch i % 8 {
+	case 0: // clean CSV
+		d = CommaSepRecords(rows, seed)
+	case 1: // access log
+		d = WebServerLog(rows, seed)
+	case 2: // pipe-separated
+		d = PersonalIncomeRecords(rows, seed)
+	case 3: // bracketed k-v
+		d = MacASLLog(rows, seed)
+	case 4: // syslog with free tail (variable token count)
+		d = MacBootLog(rows, seed)
+	case 5: // k-v with '=' and free tail
+		d = kvFreeTail(rows, seed)
+	case 6: // CSV with noise lines
+		d = noisySingleLine(rows, seed)
+	case 7: // timestamped metric line
+		d = metricLog(rows, seed)
+	}
+	d.Name = fmt.Sprintf("github/S-NI-%02d-%s", i, d.Name)
+	d.Label = SNI
+	return d
+}
+
+// kvFreeTail: "ts=... level=... msg: free text words\n".
+func kvFreeTail(rows int, seed int64) *Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	b := &builder{}
+	for i := 0; i < rows; i++ {
+		r := b.record(0)
+		r.lit("ts=").target(clock(rng))
+		r.lit(" level=" + pick(rng, statuses) + " msg: ")
+		r.lit(freeText(rng, 2+rng.Intn(5)))
+		r.lit("\n")
+		r.end()
+	}
+	return b.dataset("kv free tail", SNI, 1, 1)
+}
+
+// noisySingleLine: CSV with ~8% irregular noise lines.
+func noisySingleLine(rows int, seed int64) *Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	b := &builder{}
+	for i := 0; i < rows; i++ {
+		if rng.Intn(12) == 0 {
+			b.noise(noiseLine(rng))
+		}
+		r := b.record(0)
+		r.target(fmt.Sprintf("%d", rng.Intn(100000)))
+		r.lit("," + pick(rng, hosts) + ",")
+		r.target(fmt.Sprintf("%d", rng.Intn(1000)))
+		r.lit("," + pick(rng, statuses) + "\n")
+		r.end()
+	}
+	return b.dataset("noisy csv", SNI, 1, 1)
+}
+
+// metricLog: "[ts] name.space value unit\n".
+func metricLog(rows int, seed int64) *Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	b := &builder{}
+	for i := 0; i < rows; i++ {
+		r := b.record(0)
+		r.lit("[").target(clock(rng))
+		r.lit("] " + pick(rng, nouns) + "." + pick(rng, verbs) + " ")
+		r.target(fmt.Sprintf("%d.%03d", rng.Intn(1000), rng.Intn(1000)))
+		r.lit(" ms\n")
+		r.end()
+	}
+	return b.dataset("metric log", SNI, 1, 1)
+}
+
+// corpusSI: single-line interleaved types. The last two are union traps
+// (§9.4): both types share one charset and differ only in field count, so
+// the generic array template can merge them.
+func corpusSI(i int, seed int64) *Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	rows := 300 + rng.Intn(200)
+	if i >= 12 {
+		d := unionTrap(rows, seed)
+		d.Name = fmt.Sprintf("github/S-I-%02d-union-trap", i)
+		return d
+	}
+	var d *Dataset
+	switch i % 4 {
+	case 0:
+		d = NetstatOutput(rows, seed)
+	case 1:
+		d = LogFile3(rows, seed)
+	case 2:
+		d = threeTypeLog(rows, seed)
+	case 3:
+		d = requestErrorLog(rows, seed)
+	}
+	d.Name = fmt.Sprintf("github/S-I-%02d-%s", i, d.Name)
+	d.Label = SI
+	return d
+}
+
+// unionTrap: two types over one charset {':',' '} differing only in word
+// count (3-4 vs 6-8 words). The generic template "F: (F )*F\n" merges
+// them — the paper's greedy-interleaved failure cause.
+func unionTrap(rows int, seed int64) *Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	b := &builder{}
+	for i := 0; i < rows; i++ {
+		if rng.Intn(2) == 0 {
+			r := b.record(0)
+			r.lit(pick(rng, nouns) + ": ")
+			r.target(pick(rng, verbs))
+			r.lit(" " + freeText(rng, 1+rng.Intn(2)))
+			r.lit("\n")
+			r.end()
+		} else {
+			r := b.record(1)
+			r.lit(pick(rng, hosts) + ": ")
+			r.target(pick(rng, verbs))
+			r.lit(" " + freeText(rng, 4+rng.Intn(3)))
+			r.lit("\n")
+			r.end()
+		}
+	}
+	d := b.dataset("union trap", SI, 2, 1)
+	d.Hard = "union-trap"
+	return d
+}
+
+// threeTypeLog: three clearly-delimited single-line types.
+func threeTypeLog(rows int, seed int64) *Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	b := &builder{}
+	for i := 0; i < rows; i++ {
+		switch rng.Intn(3) {
+		case 0:
+			r := b.record(0)
+			r.lit("GET /").target(pick(rng, nouns) + "/" + pick(rng, files))
+			r.lit(fmt.Sprintf(" %d\n", []int{200, 404}[rng.Intn(2)]))
+			r.end()
+		case 1:
+			r := b.record(1)
+			r.lit("user=").target(pick(rng, users))
+			r.lit(fmt.Sprintf("; session=%d;\n", rng.Intn(100000)))
+			r.end()
+		case 2:
+			r := b.record(2)
+			r.lit("metric|").target(pick(rng, nouns))
+			r.lit("|").target(fmt.Sprintf("%d.%02d", rng.Intn(100), rng.Intn(100)))
+			r.lit("|\n")
+			r.end()
+		}
+	}
+	return b.dataset("three types", SI, 3, 1)
+}
+
+// requestErrorLog: request lines interleaved with error lines + noise.
+func requestErrorLog(rows int, seed int64) *Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	b := &builder{}
+	for i := 0; i < rows; i++ {
+		if rng.Intn(15) == 0 {
+			b.noise(noiseLine(rng))
+		}
+		if rng.Intn(4) > 0 {
+			r := b.record(0)
+			r.target(ip(rng))
+			r.lit(" -> /" + pick(rng, nouns) + " [")
+			r.target(fmt.Sprintf("%d", rng.Intn(1000)))
+			r.lit("ms]\n")
+			r.end()
+		} else {
+			r := b.record(1)
+			r.lit("E").target(fmt.Sprintf("%04d", rng.Intn(10000)))
+			r.lit(": " + pick(rng, nouns) + "=" + pick(rng, verbs) + "; retry=" +
+				fmt.Sprintf("%d", rng.Intn(5)) + ";\n")
+			r.end()
+		}
+	}
+	return b.dataset("request+error", SI, 2, 1)
+}
+
+// corpusMNI: multi-line, one type. Index 12 is the long-records hard case
+// (records span 12 lines > L=10).
+func corpusMNI(i int, seed int64) *Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	rows := 120 + rng.Intn(120)
+	if i == 12 {
+		d := longRecords(rows, seed, false)
+		d.Name = fmt.Sprintf("github/M-NI-%02d-long-records", i)
+		return d
+	}
+	var d *Dataset
+	switch i % 5 {
+	case 0:
+		d = CrashLog(rows, seed)
+	case 1:
+		d = ThailandDistricts(rows, seed)
+	case 2:
+		d = FastqGenetic(rows, seed)
+	case 3:
+		d = LogFile2(rows, seed)
+	case 4:
+		d = LogFile5(rows, seed)
+	}
+	d.Name = fmt.Sprintf("github/M-NI-%02d-%s", i, d.Name)
+	d.Label = MNI
+	return d
+}
+
+// longRecords: records of 12 structurally distinct lines — beyond the
+// default L=10, the §9.4 "long records" failure cause. If interleaved,
+// a second, regular single-line type is mixed in.
+func longRecords(rows int, seed int64, interleaved bool) *Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	b := &builder{}
+	seps := []byte{':', '=', '|', ';', '+', '.', '!', '?', '<', '>', '&'}
+	for i := 0; i < rows; i++ {
+		if interleaved && rng.Intn(2) == 0 {
+			r := b.record(1)
+			r.lit("tick,").target(fmt.Sprintf("%d", rng.Intn(100000)))
+			r.lit("," + pick(rng, statuses) + "\n")
+			r.end()
+		}
+		r := b.record(0)
+		for j := 0; j < 11; j++ {
+			r.lit(fmt.Sprintf("k%d%c %d\n", j, seps[j], rng.Intn(10000)))
+		}
+		r.lit("#end#\n")
+		r.end()
+	}
+	types := 1
+	lbl := MNI
+	if interleaved {
+		types = 2
+		lbl = MI
+	}
+	d := b.dataset("long records", lbl, types, 12)
+	d.Hard = "long-records"
+	return d
+}
+
+// corpusMI: multi-line interleaved. Index 17 is the interleaved
+// long-records hard case.
+func corpusMI(i int, seed int64) *Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	rows := 100 + rng.Intn(100)
+	if i == 17 {
+		d := longRecords(rows, seed, true)
+		d.Name = fmt.Sprintf("github/M-I-%02d-long-records", i)
+		return d
+	}
+	var d *Dataset
+	switch i % 4 {
+	case 0:
+		d = LogFile1(rows, seed)
+	case 1:
+		d = LogFile4(rows, seed)
+	case 2:
+		d = figure2Log(rows, seed)
+	case 3:
+		d = multiPlusSingle(rows, seed)
+	}
+	d.Name = fmt.Sprintf("github/M-I-%02d-%s", i, d.Name)
+	d.Label = MI
+	return d
+}
+
+// figure2Log: the paper's Figure 2 shape — 7-line and 9-line record types
+// randomly interleaved.
+func figure2Log(rows int, seed int64) *Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	b := &builder{}
+	for i := 0; i < rows; i++ {
+		if rng.Intn(2) == 0 {
+			r := b.record(0)
+			r.lit("REQ {\n")
+			r.lit("  id: ").target(fmt.Sprintf("%d", rng.Intn(1000000))).lit(",\n")
+			r.lit("  src: ").target(ip(rng)).lit(",\n")
+			r.lit("  verb: " + []string{"GET", "PUT", "POST"}[rng.Intn(3)] + ",\n")
+			r.lit(fmt.Sprintf("  code: %d,\n", []int{200, 404, 500}[rng.Intn(3)]))
+			r.lit(fmt.Sprintf("  ms: %d,\n", rng.Intn(4000)))
+			r.lit("}\n")
+			r.end()
+		} else {
+			r := b.record(1)
+			r.lit("JOB [\n")
+			r.lit("  name= ").target(pick(rng, nouns) + "_" + pick(rng, users)).lit(";\n")
+			r.lit("  queue= " + pick(rng, nouns) + ";\n")
+			r.lit(fmt.Sprintf("  prio= %d;\n", rng.Intn(10)))
+			r.lit(fmt.Sprintf("  mem= %d;\n", rng.Intn(64000)))
+			r.lit(fmt.Sprintf("  cpu= %d;\n", rng.Intn(100)))
+			r.lit("  state= " + pick(rng, statuses) + ";\n")
+			r.lit(fmt.Sprintf("  exit= %d;\n", rng.Intn(3)))
+			r.lit("]\n")
+			r.end()
+		}
+	}
+	return b.dataset("figure2", MI, 2, 9)
+}
+
+// multiPlusSingle: a 4-line type interleaved with a single-line type and
+// occasional noise.
+func multiPlusSingle(rows int, seed int64) *Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	b := &builder{}
+	for i := 0; i < rows; i++ {
+		if rng.Intn(10) == 0 {
+			b.noise(noiseLine(rng))
+		}
+		if rng.Intn(3) > 0 {
+			r := b.record(0)
+			r.lit("@task ").target(fmt.Sprintf("%d", rng.Intn(100000)))
+			r.lit("\n  cmd= " + pick(rng, verbs) + "_" + pick(rng, nouns))
+			r.lit("\n  took= ").target(fmt.Sprintf("%d", rng.Intn(9000)))
+			r.lit("ms\n@done\n")
+			r.end()
+		} else {
+			r := b.record(1)
+			r.lit("hb;").target(clock(rng))
+			r.lit(fmt.Sprintf(";%d;\n", rng.Intn(100)))
+			r.end()
+		}
+	}
+	return b.dataset("multi+single", MI, 2, 4)
+}
+
+// corpusNS: datasets with no extractable structure — prose, word salads,
+// and irregular fragments.
+func corpusNS(i int, seed int64) *Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	b := &builder{}
+	n := 200 + rng.Intn(200)
+	switch i % 3 {
+	case 0: // prose paragraphs with varying punctuation
+		for j := 0; j < n; j++ {
+			b.noise(freeText(rng, 3+rng.Intn(12)) + []string{".", "!", "?", "...", ";", ""}[rng.Intn(6)] + "\n")
+		}
+	case 1: // word salad with random punctuation density
+		for j := 0; j < n; j++ {
+			b.noise(noiseLine(rng))
+		}
+	case 2: // irregular indented fragments
+		for j := 0; j < n; j++ {
+			indent := rng.Intn(6)
+			line := ""
+			for k := 0; k < indent; k++ {
+				line += " "
+			}
+			line += freeText(rng, 1+rng.Intn(7))
+			if rng.Intn(3) == 0 {
+				line += []string{" {", " }", " (", " )", ":", " ->"}[rng.Intn(6)]
+			}
+			b.noise(line + "\n")
+		}
+	}
+	d := b.dataset(fmt.Sprintf("github/NS-%02d", i), NS, 0, 0)
+	return d
+}
+
+// InterleavedTypes builds a dataset with k distinct single-line record
+// types aperiodically interleaved — the structural-complexity workload of
+// Figure 14b (k = number of structure templates with ≥10% coverage when
+// rows are balanced, for k ≤ 6).
+func InterleavedTypes(k, rowsPerType int, seed int64) *Dataset {
+	if k < 1 {
+		k = 1
+	}
+	if k > 6 {
+		k = 6
+	}
+	rng := rand.New(rand.NewSource(seed))
+	b := &builder{}
+	total := k * rowsPerType
+	for i := 0; i < total; i++ {
+		typ := rng.Intn(k)
+		r := b.record(typ)
+		switch typ {
+		case 0:
+			r.target(fmt.Sprintf("%d", rng.Intn(100000))).lit("," + pick(rng, statuses) + ",").
+				target(fmt.Sprintf("%d", rng.Intn(1000))).lit("\n")
+		case 1:
+			r.lit("k;").target(pick(rng, users)).lit(fmt.Sprintf(";%d;\n", rng.Intn(5000)))
+		case 2:
+			r.lit("m|").target(pick(rng, nouns)).lit("|").
+				target(fmt.Sprintf("%d.%02d", rng.Intn(100), rng.Intn(100))).lit("|\n")
+		case 3:
+			r.lit("t:").target(clock(rng)).lit(fmt.Sprintf(":%d\n", rng.Intn(100)))
+		case 4:
+			r.lit("e=").target(pick(rng, verbs)).lit(fmt.Sprintf("=%d=\n", rng.Intn(10)))
+		case 5:
+			r.lit("p/").target(pick(rng, files)).lit(fmt.Sprintf("/%d\n", rng.Intn(100000)))
+		}
+		r.end()
+	}
+	lbl := SNI
+	if k > 1 {
+		lbl = SI
+	}
+	return b.dataset(fmt.Sprintf("interleaved-%d", k), lbl, k, 1)
+}

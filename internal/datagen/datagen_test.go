@@ -1,0 +1,231 @@
+package datagen
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func TestBuilderTracksSpans(t *testing.T) {
+	b := &builder{}
+	b.noise("junk\n")
+	r := b.record(0)
+	r.lit("id=").target("123").lit(" done\n")
+	r.end()
+	d := b.dataset("x", SNI, 1, 1)
+	if len(d.Truth) != 1 {
+		t.Fatalf("truth = %d records", len(d.Truth))
+	}
+	tr := d.Truth[0]
+	if tr.StartLine != 1 || tr.EndLine != 2 {
+		t.Fatalf("record lines [%d,%d), want [1,2)", tr.StartLine, tr.EndLine)
+	}
+	if len(tr.Targets) != 1 {
+		t.Fatalf("targets = %d", len(tr.Targets))
+	}
+	got := string(d.Data[tr.Targets[0].Start:tr.Targets[0].End])
+	if got != "123" {
+		t.Fatalf("target span = %q, want 123", got)
+	}
+}
+
+func TestBuilderMultiLineRecord(t *testing.T) {
+	b := &builder{}
+	r := b.record(2)
+	r.lit("a\nb\nc\n")
+	r.end()
+	d := b.dataset("x", MNI, 1, 3)
+	tr := d.Truth[0]
+	if tr.StartLine != 0 || tr.EndLine != 3 || tr.Type != 2 {
+		t.Fatalf("truth = %+v", tr)
+	}
+}
+
+func TestManualDatasetsInventory(t *testing.T) {
+	ds := ManualDatasets(0.25)
+	if len(ds) != 25 {
+		t.Fatalf("datasets = %d, want 25", len(ds))
+	}
+	names := map[string]bool{}
+	for _, d := range ds {
+		if names[d.Name] {
+			t.Errorf("duplicate dataset name %q", d.Name)
+		}
+		names[d.Name] = true
+		if len(d.Data) == 0 {
+			t.Errorf("%s: empty data", d.Name)
+		}
+		if len(d.Truth) == 0 {
+			t.Errorf("%s: no ground truth", d.Name)
+		}
+		if d.MaxRecSpan < 1 {
+			t.Errorf("%s: bad MaxRecSpan %d", d.Name, d.MaxRecSpan)
+		}
+	}
+}
+
+func TestManualDatasetsTable5Characteristics(t *testing.T) {
+	ds := ManualDatasets(0.25)
+	// Spot-check the Table 5 rows we mirror.
+	byName := map[string]*Dataset{}
+	for _, d := range ds {
+		byName[d.Name] = d
+	}
+	checks := []struct {
+		name  string
+		types int
+		span  int
+	}{
+		{"transaction records", 1, 1},
+		{"netstat output", 2, 1},
+		{"Thailand district info", 1, 8},
+		{"fastq genetic format", 1, 4},
+		{"blog xml data", 1, 10},
+		{"log file (1)", 2, 9},
+		{"log file (3)", 2, 1},
+		{"log file (4)", 2, 10},
+	}
+	for _, c := range checks {
+		d := byName[c.name]
+		if d == nil {
+			t.Errorf("missing dataset %q", c.name)
+			continue
+		}
+		if d.NumRecTypes != c.types || d.MaxRecSpan != c.span {
+			t.Errorf("%s: types=%d span=%d, want types=%d span=%d",
+				c.name, d.NumRecTypes, d.MaxRecSpan, c.types, c.span)
+		}
+	}
+}
+
+func TestTruthRecordsConsistent(t *testing.T) {
+	for _, d := range ManualDatasets(0.25) {
+		lines := bytes.Count(d.Data, []byte{'\n'})
+		seen := map[int]bool{}
+		for _, tr := range d.Truth {
+			if tr.StartLine >= tr.EndLine {
+				t.Fatalf("%s: empty record span [%d,%d)", d.Name, tr.StartLine, tr.EndLine)
+			}
+			if tr.EndLine > lines {
+				t.Fatalf("%s: record end %d beyond %d lines", d.Name, tr.EndLine, lines)
+			}
+			for l := tr.StartLine; l < tr.EndLine; l++ {
+				if seen[l] {
+					t.Fatalf("%s: overlapping truth records at line %d", d.Name, l)
+				}
+				seen[l] = true
+			}
+			for _, tg := range tr.Targets {
+				if tg.Start >= tg.End || tg.End > len(d.Data) {
+					t.Fatalf("%s: bad target span %+v", d.Name, tg)
+				}
+				if bytes.IndexByte(d.Data[tg.Start:tg.End], '\n') >= 0 {
+					t.Fatalf("%s: target spans a newline", d.Name)
+				}
+			}
+		}
+	}
+}
+
+func TestTruthTypesMatchNumRecTypes(t *testing.T) {
+	for _, d := range ManualDatasets(0.25) {
+		types := map[int]bool{}
+		for _, tr := range d.Truth {
+			types[tr.Type] = true
+		}
+		if len(types) != d.NumRecTypes {
+			t.Errorf("%s: %d truth types, NumRecTypes=%d", d.Name, len(types), d.NumRecTypes)
+		}
+	}
+}
+
+func TestGitHubCorpusCounts(t *testing.T) {
+	corpus := GitHubCorpus(42)
+	if len(corpus) != 100 {
+		t.Fatalf("corpus = %d datasets, want 100", len(corpus))
+	}
+	counts := map[Label]int{}
+	for _, d := range corpus {
+		counts[d.Label]++
+	}
+	for lbl, want := range CorpusCounts {
+		if counts[lbl] != want {
+			t.Errorf("%s: %d datasets, want %d", lbl, counts[lbl], want)
+		}
+	}
+	// Paper's headline percentages.
+	multi := counts[MNI] + counts[MI]
+	inter := counts[SI] + counts[MI]
+	if multi != 31 {
+		t.Errorf("multi-line = %d%%, want 31%%", multi)
+	}
+	if inter != 32 {
+		t.Errorf("interleaved = %d%%, want 32%%", inter)
+	}
+	if 100-counts[NS] != 89 {
+		t.Errorf("structured = %d%%, want 89%%", 100-counts[NS])
+	}
+}
+
+func TestGitHubCorpusDeterministic(t *testing.T) {
+	a := GitHubCorpus(42)
+	b := GitHubCorpus(42)
+	for i := range a {
+		if !bytes.Equal(a[i].Data, b[i].Data) {
+			t.Fatalf("dataset %d (%s) not deterministic", i, a[i].Name)
+		}
+	}
+}
+
+func TestGitHubCorpusHardCases(t *testing.T) {
+	corpus := GitHubCorpus(42)
+	hard := map[string]int{}
+	for _, d := range corpus {
+		if d.Hard != "" {
+			hard[d.Hard]++
+		}
+	}
+	if hard["union-trap"] != 2 {
+		t.Errorf("union traps = %d, want 2", hard["union-trap"])
+	}
+	if hard["long-records"] != 2 {
+		t.Errorf("long-record datasets = %d, want 2", hard["long-records"])
+	}
+}
+
+func TestGitHubCorpusNSHasNoTruth(t *testing.T) {
+	for _, d := range GitHubCorpus(42) {
+		if d.Label == NS && len(d.Truth) != 0 {
+			t.Fatalf("%s: NS dataset has truth records", d.Name)
+		}
+		if d.Label != NS && len(d.Truth) == 0 {
+			t.Fatalf("%s: structured dataset lacks truth", d.Name)
+		}
+	}
+}
+
+func TestDatasetSizeScaling(t *testing.T) {
+	small := TransactionRecords(100, 1)
+	big := TransactionRecords(1000, 1)
+	if len(big.Data) < 8*len(small.Data) {
+		t.Fatalf("scaling broken: %d vs %d bytes", len(small.Data), len(big.Data))
+	}
+}
+
+func TestSizeMB(t *testing.T) {
+	d := &Dataset{Data: make([]byte, 1<<20)}
+	if d.SizeMB() != 1.0 {
+		t.Fatalf("SizeMB = %v", d.SizeMB())
+	}
+}
+
+func TestNoiseLinesVaryInShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	seen := map[string]bool{}
+	for i := 0; i < 50; i++ {
+		seen[noiseLine(rng)] = true
+	}
+	if len(seen) < 30 {
+		t.Fatalf("noise lines too repetitive: %d distinct of 50", len(seen))
+	}
+}

@@ -1,0 +1,544 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// This file generates analogs of the 25 manually collected datasets of
+// Table 5: the 15 Fisher et al. datasets plus the 10 larger/more complex
+// ones. Each generator reproduces the row of Table 5 it stands in for:
+// the record-template shape, the number of record types, and the maximum
+// record span. Sizes are scaled down by default and grow linearly with
+// the rows parameter.
+
+// TransactionRecords: single-line, space-separated numeric records.
+func TransactionRecords(rows int, seed int64) *Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	b := &builder{}
+	for i := 0; i < rows; i++ {
+		r := b.record(0)
+		r.lit("TXN ").target(fmt.Sprintf("%06d", rng.Intn(1000000)))
+		r.lit(" " + date(rng) + " ")
+		r.target(fmt.Sprintf("%d.%02d", rng.Intn(2000), rng.Intn(100)))
+		r.lit(" " + pick(rng, statuses) + "\n")
+		r.end()
+	}
+	return b.dataset("transaction records", SNI, 1, 1)
+}
+
+// CommaSepRecords: plain CSV.
+func CommaSepRecords(rows int, seed int64) *Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	b := &builder{}
+	for i := 0; i < rows; i++ {
+		r := b.record(0)
+		r.target(fmt.Sprintf("%d", rng.Intn(100000)))
+		r.lit(",").lit(pick(rng, users))
+		r.lit(",").target(fmt.Sprintf("%d.%d", rng.Intn(100), rng.Intn(10)))
+		r.lit("," + pick(rng, statuses) + "\n")
+		r.end()
+	}
+	return b.dataset("comma-sep records", SNI, 1, 1)
+}
+
+// WebServerLog: Apache-combined-style access log.
+func WebServerLog(rows int, seed int64) *Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	b := &builder{}
+	for i := 0; i < rows; i++ {
+		r := b.record(0)
+		r.target(ip(rng))
+		r.lit(" - - [")
+		r.lit(fmt.Sprintf("%02d/%s/2016:", 1+rng.Intn(28), pick(rng, months)))
+		r.target(clock(rng))
+		r.lit("] \"" + []string{"GET", "POST", "PUT"}[rng.Intn(3)] + " /")
+		r.target(pick(rng, nouns) + "/" + pick(rng, files))
+		r.lit(" HTTP/1.0\" ")
+		r.target(fmt.Sprintf("%d", []int{200, 200, 200, 304, 404, 500}[rng.Intn(6)]))
+		r.lit(fmt.Sprintf(" %d\n", rng.Intn(100000)))
+		r.end()
+	}
+	return b.dataset("web server log", SNI, 1, 1)
+}
+
+// MacASLLog: bracketed key-value log lines.
+func MacASLLog(rows int, seed int64) *Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	b := &builder{}
+	for i := 0; i < rows; i++ {
+		r := b.record(0)
+		r.lit("[Time ").target(date(rng) + " " + clock(rng))
+		r.lit("] [Facility auth] [Sender ").target(pick(rng, nouns))
+		r.lit(fmt.Sprintf("] [PID %d] [Level %d] [UID %d] [Message ",
+			rng.Intn(30000), rng.Intn(8), rng.Intn(1000)))
+		r.lit(freeText(rng, 2+rng.Intn(3)))
+		r.lit("]\n")
+		r.end()
+	}
+	return b.dataset("log file of Mac ASL", SNI, 1, 1)
+}
+
+// MacBootLog: syslog-shaped lines with a free-text tail.
+func MacBootLog(rows int, seed int64) *Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	b := &builder{}
+	for i := 0; i < rows; i++ {
+		r := b.record(0)
+		r.lit(pick(rng, months) + fmt.Sprintf(" %2d ", 1+rng.Intn(28)))
+		r.target(clock(rng))
+		r.lit(" " + pick(rng, hosts) + " kernel[0]: ")
+		r.lit(freeText(rng, 3+rng.Intn(4)))
+		r.lit("\n")
+		r.end()
+	}
+	return b.dataset("Mac OS boot log", SNI, 1, 1)
+}
+
+// CrashLog: three-line records (Table 5 footnote: two valid structures
+// with spans 1 and 3; ground truth uses span 3).
+func CrashLog(rows int, seed int64) *Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	b := &builder{}
+	for i := 0; i < rows; i++ {
+		r := b.record(0)
+		r.lit("Process: ").target(pick(rng, nouns))
+		r.lit(fmt.Sprintf(" [%d]\nDate: ", rng.Intn(30000)))
+		r.target(date(rng) + " " + clock(rng))
+		r.lit("\nException: SIG").lit([]string{"SEGV", "ABRT", "BUS", "ILL"}[rng.Intn(4)])
+		r.lit(fmt.Sprintf(" at 0x%08x\n", rng.Uint32()))
+		r.end()
+	}
+	return b.dataset("crash log", MNI, 1, 3)
+}
+
+// CrashLogModified: the Fisher-modified variant with an extra
+// thread-state line.
+func CrashLogModified(rows int, seed int64) *Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	b := &builder{}
+	for i := 0; i < rows; i++ {
+		r := b.record(0)
+		r.lit("Process: ").target(pick(rng, nouns))
+		r.lit(fmt.Sprintf(" [%d]\nDate: ", rng.Intn(30000)))
+		r.target(date(rng) + " " + clock(rng))
+		r.lit(fmt.Sprintf("\nThread: %d; state= %s\n", rng.Intn(64), pick(rng, statuses)))
+		r.end()
+	}
+	return b.dataset("crash log (modified)", MNI, 1, 3)
+}
+
+// LsOutput: ls -l style listing.
+func LsOutput(rows int, seed int64) *Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	b := &builder{}
+	for i := 0; i < rows; i++ {
+		r := b.record(0)
+		perms := []string{"-rw-r--r--", "-rwxr-xr-x", "drwxr-xr-x", "-rw-------"}[rng.Intn(4)]
+		r.lit(perms + fmt.Sprintf(" %d ", 1+rng.Intn(8)))
+		r.lit(pick(rng, users) + " " + pick(rng, users) + " ")
+		r.target(fmt.Sprintf("%d", rng.Intn(10000000)))
+		r.lit(" " + pick(rng, months) + fmt.Sprintf(" %2d %s ", 1+rng.Intn(28), clock(rng)[:5]))
+		r.target(pick(rng, files))
+		r.lit("\n")
+		r.end()
+	}
+	return b.dataset("ls -l output", SNI, 1, 1)
+}
+
+// NetstatOutput: two single-line record types (connections and interface
+// counters) plus a couple of header noise lines.
+func NetstatOutput(rows int, seed int64) *Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	b := &builder{}
+	b.noise("Active Internet connections\n")
+	b.noise("Proto RecvQ SendQ Local Foreign State\n")
+	for i := 0; i < rows; i++ {
+		if rng.Intn(3) > 0 {
+			r := b.record(0)
+			r.lit("tcp4 ").lit(fmt.Sprintf("%d %d ", rng.Intn(100), rng.Intn(100)))
+			r.target(ip(rng))
+			r.lit(fmt.Sprintf(":%d ", rng.Intn(65536)))
+			r.target(ip(rng))
+			r.lit(fmt.Sprintf(":%d ", rng.Intn(65536)))
+			r.lit([]string{"ESTABLISHED", "TIMEWAIT", "LISTEN", "CLOSED"}[rng.Intn(4)] + "\n")
+			r.end()
+		} else {
+			r := b.record(1)
+			r.lit("if=").target(pick(rng, hosts))
+			r.lit(fmt.Sprintf(": packets=%d; errors=%d; drops=%d\n",
+				rng.Intn(1000000), rng.Intn(100), rng.Intn(100)))
+			r.end()
+		}
+	}
+	return b.dataset("netstat output", SI, 2, 1)
+}
+
+// PrinterLogs: queue events.
+func PrinterLogs(rows int, seed int64) *Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	b := &builder{}
+	for i := 0; i < rows; i++ {
+		r := b.record(0)
+		r.lit("lp0-").target(fmt.Sprintf("%d", rng.Intn(100000)))
+		r.lit(" " + pick(rng, users) + " ")
+		r.target(fmt.Sprintf("%d", rng.Intn(5000)))
+		r.lit(" bytes [" + pick(rng, statuses) + "]\n")
+		r.end()
+	}
+	return b.dataset("printer logs", SNI, 1, 1)
+}
+
+// PersonalIncomeRecords: fixed-width-ish numeric rows.
+func PersonalIncomeRecords(rows int, seed int64) *Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	b := &builder{}
+	for i := 0; i < rows; i++ {
+		r := b.record(0)
+		r.target(pick(rng, users))
+		r.lit("|" + fmt.Sprintf("%d|", 18+rng.Intn(60)))
+		r.target(fmt.Sprintf("%d.%02d", rng.Intn(200000), rng.Intn(100)))
+		r.lit(fmt.Sprintf("|%d\n", rng.Intn(100)))
+		r.end()
+	}
+	return b.dataset("personal income records", SNI, 1, 1)
+}
+
+// USRailroadInfo: station listing.
+func USRailroadInfo(rows int, seed int64) *Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	b := &builder{}
+	for i := 0; i < rows; i++ {
+		r := b.record(0)
+		r.lit("station;").target(pick(rng, nouns) + "_" + pick(rng, hosts))
+		r.lit(";").target(fmt.Sprintf("%d.%04d", 25+rng.Intn(24), rng.Intn(10000)))
+		r.lit(";").target(fmt.Sprintf("-%d.%04d", 70+rng.Intn(50), rng.Intn(10000)))
+		r.lit(fmt.Sprintf(";%d\n", rng.Intn(10)))
+		r.end()
+	}
+	return b.dataset("US railroad info", SNI, 1, 1)
+}
+
+// ApplicationLog: level-tagged app log.
+func ApplicationLog(rows int, seed int64) *Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	b := &builder{}
+	for i := 0; i < rows; i++ {
+		r := b.record(0)
+		r.lit(fmt.Sprintf("%s [", pick(rng, statuses)))
+		r.target(date(rng) + " " + clock(rng))
+		r.lit("] " + pick(rng, nouns) + "." + pick(rng, verbs) + ": ")
+		r.target(fmt.Sprintf("%d", rng.Intn(1000)))
+		r.lit(" ms\n")
+		r.end()
+	}
+	return b.dataset("application log", SNI, 1, 1)
+}
+
+// LoginWindowLog: timestamped session messages.
+func LoginWindowLog(rows int, seed int64) *Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	b := &builder{}
+	for i := 0; i < rows; i++ {
+		r := b.record(0)
+		r.lit(pick(rng, months) + fmt.Sprintf(" %2d ", 1+rng.Intn(28)))
+		r.target(clock(rng))
+		r.lit(" loginwindow[")
+		r.target(fmt.Sprintf("%d", rng.Intn(30000)))
+		r.lit("]: user=" + pick(rng, users) + " action=" + pick(rng, verbs) + "\n")
+		r.end()
+	}
+	return b.dataset("LoginWindow server log", SNI, 1, 1)
+}
+
+// PkgInstallLog: package install events.
+func PkgInstallLog(rows int, seed int64) *Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	b := &builder{}
+	for i := 0; i < rows; i++ {
+		r := b.record(0)
+		r.lit("installed: ").target(pick(rng, nouns) + "-" + fmt.Sprintf("%d.%d.%d", rng.Intn(10), rng.Intn(20), rng.Intn(20)))
+		r.lit(" (" + pick(rng, statuses) + ")\n")
+		r.end()
+	}
+	return b.dataset("pkg install log", SNI, 1, 1)
+}
+
+// ThailandDistricts: 8-line JSON-ish records (the Figure 1 dataset).
+func ThailandDistricts(rows int, seed int64) *Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	b := &builder{}
+	for i := 0; i < rows; i++ {
+		r := b.record(0)
+		r.lit("{\n")
+		r.lit("  \"id\": ").target(fmt.Sprintf("%d", 100000+rng.Intn(900000)))
+		r.lit(",\n  \"zip\": ").target(fmt.Sprintf("%d", 10000+rng.Intn(90000)))
+		r.lit(",\n  \"district\": " + pick(rng, nouns) + pick(rng, hosts))
+		r.lit(fmt.Sprintf(",\n  \"amphoe\": %d", rng.Intn(100)))
+		r.lit(fmt.Sprintf(",\n  \"province\": %d", rng.Intn(77)))
+		r.lit(fmt.Sprintf(",\n  \"lat\": %d.%04d,\n", 5+rng.Intn(15), rng.Intn(10000)))
+		r.lit("}\n")
+		r.end()
+	}
+	return b.dataset("Thailand district info", MNI, 1, 8)
+}
+
+// StackexchangeXML: single-line XML rows (the large single-line dataset).
+func StackexchangeXML(rows int, seed int64) *Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	b := &builder{}
+	for i := 0; i < rows; i++ {
+		r := b.record(0)
+		r.lit("  <row Id=\"").target(fmt.Sprintf("%d", i+1))
+		r.lit("\" PostTypeId=\"" + fmt.Sprintf("%d", 1+rng.Intn(2)))
+		r.lit("\" Score=\"").target(fmt.Sprintf("%d", rng.Intn(500)))
+		r.lit("\" ViewCount=\"" + fmt.Sprintf("%d", rng.Intn(100000)))
+		r.lit("\" OwnerUserId=\"" + fmt.Sprintf("%d", rng.Intn(100000)))
+		r.lit("\" />\n")
+		r.end()
+	}
+	return b.dataset("stackexchange xml data", SNI, 1, 1)
+}
+
+// VCFGenetic: VCF-style variant rows with '##' header noise (the largest
+// dataset of Table 5; size scales with rows).
+func VCFGenetic(rows int, seed int64) *Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	b := &builder{}
+	b.noise("##fileformat=VCFv4\n")
+	b.noise("##source=datamaran synthetic\n")
+	bases := []string{"A", "C", "G", "T"}
+	for i := 0; i < rows; i++ {
+		r := b.record(0)
+		r.lit(fmt.Sprintf("chr%d;", 1+rng.Intn(22)))
+		r.target(fmt.Sprintf("%d", rng.Intn(250000000)))
+		r.lit(";rs" + fmt.Sprintf("%d;", rng.Intn(10000000)))
+		r.target(pick(rng, bases))
+		r.lit(";").target(pick(rng, bases))
+		r.lit(fmt.Sprintf(";%d.%d;PASS;AF=0.%02d;DP=%d\n", rng.Intn(100), rng.Intn(10), rng.Intn(100), rng.Intn(200)))
+		r.end()
+	}
+	return b.dataset("vcf genetic format", SNI, 1, 1)
+}
+
+// FastqGenetic: 4-line fastq records.
+func FastqGenetic(rows int, seed int64) *Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	b := &builder{}
+	letters := "ACGT"
+	qual := "ABCDEFGHIJ"
+	for i := 0; i < rows; i++ {
+		n := 20 + rng.Intn(20)
+		seqb := make([]byte, n)
+		qb := make([]byte, n)
+		for j := range seqb {
+			seqb[j] = letters[rng.Intn(4)]
+			qb[j] = qual[rng.Intn(10)]
+		}
+		r := b.record(0)
+		r.lit("@SEQ.").target(fmt.Sprintf("%d", i+1))
+		r.lit(fmt.Sprintf(" len=%d\n", n))
+		r.target(string(seqb))
+		r.lit("\n+\n")
+		r.lit(string(qb))
+		r.lit("\n")
+		r.end()
+	}
+	return b.dataset("fastq genetic format", MNI, 1, 4)
+}
+
+// BlogXML: 10-line XML records.
+func BlogXML(rows int, seed int64) *Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	b := &builder{}
+	for i := 0; i < rows; i++ {
+		r := b.record(0)
+		r.lit("<post>\n")
+		r.lit("  <id>").target(fmt.Sprintf("%d", i+1)).lit("</id>\n")
+		r.lit("  <author>").target(pick(rng, users)).lit("</author>\n")
+		r.lit("  <date>" + date(rng) + "</date>\n")
+		r.lit("  <title>" + freeText(rng, 2+rng.Intn(3)) + "</title>\n")
+		r.lit(fmt.Sprintf("  <score>%d</score>\n", rng.Intn(100)))
+		r.lit(fmt.Sprintf("  <views>%d</views>\n", rng.Intn(10000)))
+		r.lit("  <tag>" + pick(rng, nouns) + "</tag>\n")
+		r.lit("  <status>" + pick(rng, statuses) + "</status>\n")
+		r.lit("</post>\n")
+		r.end()
+	}
+	return b.dataset("blog xml data", MNI, 1, 10)
+}
+
+// LogFile1: two record types, max span 9, with noise (GitHub-style).
+func LogFile1(rows int, seed int64) *Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	b := &builder{}
+	for i := 0; i < rows; i++ {
+		if rng.Intn(10) == 0 {
+			b.noise(noiseLine(rng))
+		}
+		if rng.Intn(2) == 0 {
+			r := b.record(0)
+			r.lit("== request ==\nid: ").target(fmt.Sprintf("%d", rng.Intn(1000000)))
+			r.lit("\nsrc: ").target(ip(rng))
+			r.lit("\npath: /" + pick(rng, nouns) + "/" + pick(rng, files))
+			r.lit(fmt.Sprintf("\ncode: %d", []int{200, 404, 500}[rng.Intn(3)]))
+			r.lit(fmt.Sprintf("\nms: %d", rng.Intn(5000)))
+			r.lit("\nagent: " + pick(rng, nouns) + "-" + pick(rng, hosts))
+			r.lit(fmt.Sprintf("\nbytes: %d", rng.Intn(100000)))
+			r.lit("\n== done ==\n")
+			r.end()
+		} else {
+			r := b.record(1)
+			r.lit("* event ").target(pick(rng, verbs))
+			r.lit(" at ").target(clock(rng))
+			r.lit(";\n")
+			r.end()
+		}
+	}
+	return b.dataset("log file (1)", MI, 2, 9)
+}
+
+// LogFile2: one 3-line record type plus noise.
+func LogFile2(rows int, seed int64) *Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	b := &builder{}
+	for i := 0; i < rows; i++ {
+		if rng.Intn(8) == 0 {
+			b.noise(noiseLine(rng))
+		}
+		r := b.record(0)
+		r.lit("BEGIN ").target(fmt.Sprintf("%d", rng.Intn(100000)))
+		r.lit("\n  result= " + pick(rng, statuses) + "; t= ")
+		r.target(fmt.Sprintf("%d", rng.Intn(10000)))
+		r.lit("\nEND;\n")
+		r.end()
+	}
+	return b.dataset("log file (2)", MNI, 1, 3)
+}
+
+// LogFile3: two single-line record types.
+func LogFile3(rows int, seed int64) *Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	b := &builder{}
+	for i := 0; i < rows; i++ {
+		if rng.Intn(5) < 3 {
+			r := b.record(0)
+			r.lit("Q|").target(fmt.Sprintf("%d", rng.Intn(100000)))
+			r.lit("|" + pick(rng, users) + "|")
+			r.target(fmt.Sprintf("%dms", rng.Intn(2000)))
+			r.lit("\n")
+			r.end()
+		} else {
+			r := b.record(1)
+			r.lit("TX:").target(fmt.Sprintf("%d", rng.Intn(100000)))
+			r.lit(":" + pick(rng, statuses) + ":")
+			r.target(fmt.Sprintf("%d.%02d", rng.Intn(100), rng.Intn(100)))
+			r.lit("\n")
+			r.end()
+		}
+	}
+	return b.dataset("log file (3)", SI, 2, 1)
+}
+
+// LogFile4: two multi-line record types (spans 10 and 3) with noise.
+func LogFile4(rows int, seed int64) *Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	b := &builder{}
+	for i := 0; i < rows; i++ {
+		if rng.Intn(12) == 0 {
+			b.noise(noiseLine(rng))
+		}
+		if rng.Intn(2) == 0 {
+			r := b.record(0)
+			r.lit("<<job>>\n")
+			r.lit("name: ").target(pick(rng, nouns) + "_" + pick(rng, hosts)).lit("\n")
+			r.lit("queue: " + pick(rng, nouns) + "\n")
+			r.lit("user: ").target(pick(rng, users)).lit("\n")
+			r.lit(fmt.Sprintf("prio: %d\n", rng.Intn(10)))
+			r.lit(fmt.Sprintf("mem: %dmb\n", rng.Intn(64000)))
+			r.lit(fmt.Sprintf("cpu: %d.%02d\n", rng.Intn(100), rng.Intn(100)))
+			r.lit("state: " + pick(rng, statuses) + "\n")
+			r.lit(fmt.Sprintf("exit: %d\n", rng.Intn(3)))
+			r.lit("<<end>>\n")
+			r.end()
+		} else {
+			r := b.record(1)
+			r.lit("signal {\n  kind= ").target(pick(rng, verbs))
+			r.lit(fmt.Sprintf("; level= %d\n}\n", rng.Intn(8)))
+			r.end()
+		}
+	}
+	return b.dataset("log file (4)", MI, 2, 10)
+}
+
+// LogFile5: 4-line records with noise and incomplete records (the user
+// study's noisy multi-line dataset).
+func LogFile5(rows int, seed int64) *Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	b := &builder{}
+	for i := 0; i < rows; i++ {
+		if rng.Intn(6) == 0 {
+			b.noise(noiseLine(rng))
+		}
+		if rng.Intn(10) == 0 {
+			// Incomplete record: first line only — noise per truth.
+			b.noise(fmt.Sprintf("-- report %d --\n", rng.Intn(100000)))
+			continue
+		}
+		r := b.record(0)
+		r.lit("-- report ").target(fmt.Sprintf("%d", rng.Intn(100000)))
+		r.lit(" --\nhost= ").target(pick(rng, hosts))
+		r.lit("\nload= ").target(fmt.Sprintf("%d.%02d", rng.Intn(16), rng.Intn(100)))
+		r.lit(fmt.Sprintf("\nuptime= %d;\n", rng.Intn(10000000)))
+		r.end()
+	}
+	return b.dataset("log file (5)", MNI, 1, 4)
+}
+
+// manualEntry describes one Table 5 analog for the collection builder.
+type manualEntry struct {
+	gen      func(rows int, seed int64) *Dataset
+	baseRows int
+}
+
+var manualEntries = []manualEntry{
+	{TransactionRecords, 300},
+	{CommaSepRecords, 300},
+	{WebServerLog, 400},
+	{MacASLLog, 300},
+	{MacBootLog, 300},
+	{CrashLog, 150},
+	{CrashLogModified, 150},
+	{LsOutput, 250},
+	{NetstatOutput, 300},
+	{PrinterLogs, 250},
+	{PersonalIncomeRecords, 250},
+	{USRailroadInfo, 250},
+	{ApplicationLog, 300},
+	{LoginWindowLog, 300},
+	{PkgInstallLog, 250},
+	{ThailandDistricts, 120},
+	{StackexchangeXML, 500},
+	{VCFGenetic, 600},
+	{FastqGenetic, 200},
+	{BlogXML, 100},
+	{LogFile1, 120},
+	{LogFile2, 200},
+	{LogFile3, 300},
+	{LogFile4, 100},
+	{LogFile5, 150},
+}
+
+// ManualDatasets generates all 25 Table-5 analogs at the given scale
+// (scale 1.0 ≈ a few tens of KB each; larger scales grow linearly).
+func ManualDatasets(scale float64) []*Dataset {
+	out := make([]*Dataset, 0, len(manualEntries))
+	for i, e := range manualEntries {
+		rows := int(float64(e.baseRows) * scale)
+		if rows < 20 {
+			rows = 20
+		}
+		out = append(out, e.gen(rows, int64(1000+i)))
+	}
+	return out
+}

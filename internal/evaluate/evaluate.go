@@ -1,0 +1,171 @@
+// Package evaluate implements the paper's extraction-success criteria
+// (§5.1, formalized in §9.3): an extraction is successful iff
+//
+//	(a) all record boundaries and record types are correctly identified,
+//	and
+//	(b) every intended extraction target can be reconstructed by
+//	    concatenating complete extracted field values (plus constant
+//	    strings — the Append/Trim/Concat vocabulary of §9.3).
+//
+// Criterion (b) reduces to an alignment test: every extracted field that
+// overlaps a target span must lie entirely within it, and at least one
+// field must overlap (otherwise the varying target sits inside constant
+// formatting and cannot be rebuilt). Targets "extracted together" with
+// surrounding varying content fail, exactly as in Figure 13's
+// unsuccessful example.
+package evaluate
+
+import (
+	"fmt"
+
+	"datamaran/internal/core"
+)
+
+// Span is a byte range [Start, End) in the original dataset.
+type Span struct {
+	Start, End int
+}
+
+// TruthRecord is one ground-truth record.
+type TruthRecord struct {
+	// Type is the ground-truth record type id.
+	Type int
+	// StartLine and EndLine delimit the record's lines [StartLine, EndLine).
+	StartLine, EndLine int
+	// Targets are the intended extraction targets (§5.1), as byte spans.
+	Targets []Span
+}
+
+// ExtractedRecord is the neutral form of one extracted record, adaptable
+// from Datamaran or any baseline.
+type ExtractedRecord struct {
+	Type               int
+	StartLine, EndLine int
+	// Fields are the byte spans of the extracted field values, in
+	// record order.
+	Fields []Span
+}
+
+// Extraction is a neutral extraction result.
+type Extraction struct {
+	Records []ExtractedRecord
+}
+
+// FromCore adapts a core.Result.
+func FromCore(res *core.Result) Extraction {
+	var ex Extraction
+	for _, r := range res.Records {
+		er := ExtractedRecord{Type: r.TypeID, StartLine: r.StartLine, EndLine: r.EndLine}
+		for _, f := range r.Fields {
+			er.Fields = append(er.Fields, Span{Start: f.Start, End: f.End})
+		}
+		ex.Records = append(ex.Records, er)
+	}
+	return ex
+}
+
+// Report is the outcome of evaluating one extraction.
+type Report struct {
+	// Success is the overall §5.1 verdict.
+	Success bool
+	// BoundariesOK: every truth record is matched by exactly one
+	// extracted record with identical line span.
+	BoundariesOK bool
+	// TypesOK: the truth-type → extracted-type mapping is consistent
+	// and injective.
+	TypesOK bool
+	// TargetsOK: every intended target passes the alignment test.
+	TargetsOK bool
+	// MatchedRecords counts truth records with correct boundaries.
+	MatchedRecords int
+	// TotalRecords counts truth records.
+	TotalRecords int
+	// FailedTargets counts targets failing the alignment test.
+	FailedTargets int
+	// Detail holds the first failure explanation, for diagnostics.
+	Detail string
+}
+
+// Evaluate checks an extraction against ground truth.
+func Evaluate(truth []TruthRecord, ex Extraction) Report {
+	rep := Report{TotalRecords: len(truth), BoundariesOK: true, TypesOK: true, TargetsOK: true}
+	// Index extracted records by start line.
+	byStart := make(map[int]*ExtractedRecord, len(ex.Records))
+	for i := range ex.Records {
+		byStart[ex.Records[i].StartLine] = &ex.Records[i]
+	}
+	typeMap := map[int]int{}    // truth type -> extracted type
+	typeMapRev := map[int]int{} // extracted type -> truth type
+
+	for _, tr := range truth {
+		er, ok := byStart[tr.StartLine]
+		if !ok || er.EndLine != tr.EndLine {
+			rep.BoundariesOK = false
+			if rep.Detail == "" {
+				rep.Detail = fmt.Sprintf("record at line %d: boundary not identified", tr.StartLine)
+			}
+			continue
+		}
+		rep.MatchedRecords++
+		if mapped, seen := typeMap[tr.Type]; seen && mapped != er.Type {
+			rep.TypesOK = false
+			if rep.Detail == "" {
+				rep.Detail = fmt.Sprintf("truth type %d split across extracted types %d and %d", tr.Type, mapped, er.Type)
+			}
+		} else if !seen {
+			if rev, dup := typeMapRev[er.Type]; dup && rev != tr.Type {
+				rep.TypesOK = false
+				if rep.Detail == "" {
+					rep.Detail = fmt.Sprintf("extracted type %d merges truth types %d and %d", er.Type, rev, tr.Type)
+				}
+			}
+			typeMap[tr.Type] = er.Type
+			typeMapRev[er.Type] = tr.Type
+		}
+		for _, tgt := range tr.Targets {
+			if !targetAligned(tgt, er.Fields) {
+				rep.TargetsOK = false
+				rep.FailedTargets++
+				if rep.Detail == "" {
+					rep.Detail = fmt.Sprintf("target [%d,%d) not reconstructible", tgt.Start, tgt.End)
+				}
+			}
+		}
+	}
+	if rep.MatchedRecords < rep.TotalRecords {
+		rep.BoundariesOK = false
+	}
+	rep.Success = rep.BoundariesOK && rep.TypesOK && rep.TargetsOK && rep.TotalRecords > 0
+	return rep
+}
+
+// targetAligned implements the §9.3 reconstruction test for one target:
+// every overlapping field is contained in the target, and at least one
+// field overlaps.
+func targetAligned(tgt Span, fields []Span) bool {
+	overlaps := 0
+	for _, f := range fields {
+		if f.End <= tgt.Start || f.Start >= tgt.End {
+			continue // disjoint
+		}
+		if f.Start < tgt.Start || f.End > tgt.End {
+			return false // field straddles the target boundary
+		}
+		overlaps++
+	}
+	return overlaps > 0
+}
+
+// Accuracy summarizes many dataset evaluations as the fraction successful.
+func Accuracy(reports []Report) float64 {
+	if len(reports) == 0 {
+		return 0
+	}
+	ok := 0
+	for _, r := range reports {
+		if r.Success {
+			ok++
+		}
+	}
+	return float64(ok) / float64(len(reports))
+}

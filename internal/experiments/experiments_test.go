@@ -1,0 +1,170 @@
+package experiments
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+
+	"datamaran/internal/datagen"
+)
+
+func TestTable1Output(t *testing.T) {
+	var buf bytes.Buffer
+	Table1(&buf)
+	for _, want := range []string{"Coverage Threshold", "Boundary", "Tokenization", "Datamaran"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("Table1 output missing %q", want)
+		}
+	}
+}
+
+func TestTable5Output(t *testing.T) {
+	var buf bytes.Buffer
+	Table5(0.1, &buf)
+	out := buf.String()
+	if !strings.Contains(out, "Thailand district info") || !strings.Contains(out, "fastq genetic format") {
+		t.Error("Table5 output missing dataset rows")
+	}
+	if strings.Count(out, "\n") < 26 {
+		t.Errorf("Table5 should list 25 datasets, got:\n%s", out)
+	}
+}
+
+func TestAccuracy25Small(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full pipeline over 25 datasets")
+	}
+	var buf bytes.Buffer
+	outcomes := Accuracy25(0.1, &buf)
+	if len(outcomes) != 25 {
+		t.Fatalf("outcomes = %d", len(outcomes))
+	}
+	ok := 0
+	for _, o := range outcomes {
+		if o.Success {
+			ok++
+		}
+	}
+	// At the tiny test scale some datasets are harder (fewer records to
+	// amortize template costs); require a strong majority rather than
+	// the full-scale 25/25.
+	if ok < 20 {
+		t.Fatalf("only %d/25 successful at scale 0.1:\n%s", ok, buf.String())
+	}
+}
+
+func TestFig17aCounts(t *testing.T) {
+	var buf bytes.Buffer
+	counts := Fig17a(&buf)
+	if counts[datagen.SNI] != 44 || counts[datagen.NS] != 11 {
+		t.Fatalf("counts = %v", counts)
+	}
+	if !strings.Contains(buf.String(), "multi-line: 31%") {
+		t.Errorf("Fig17a output missing headline percentages:\n%s", buf.String())
+	}
+}
+
+func TestFig17bQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs full extraction over corpus samples")
+	}
+	var buf bytes.Buffer
+	res := Fig17b(2, &buf) // 2 datasets per category
+	// Shape checks that must hold at any sample size:
+	// RecordBreaker can never handle multi-line categories.
+	if res.RecordBreaker[datagen.MNI].OK != 0 || res.RecordBreaker[datagen.MI].OK != 0 {
+		t.Errorf("RecordBreaker succeeded on multi-line data: %+v", res.RecordBreaker)
+	}
+	// Datamaran must beat RecordBreaker overall.
+	if Overall(res.Exhaustive) <= Overall(res.RecordBreaker) {
+		t.Errorf("Datamaran %.2f <= RecordBreaker %.2f", Overall(res.Exhaustive), Overall(res.RecordBreaker))
+	}
+}
+
+func TestFig14aSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing experiment")
+	}
+	points := Fig14aSize([]float64{0.05, 0.1}, io.Discard)
+	if len(points) != 2 {
+		t.Fatalf("points = %d", len(points))
+	}
+	for _, p := range points {
+		if p.Exhaustive <= 0 || p.Greedy <= 0 {
+			t.Fatalf("missing timings: %+v", p)
+		}
+	}
+}
+
+func TestFig14bSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing experiment")
+	}
+	points := Fig14bComplexity([]int{1, 2}, 80, io.Discard)
+	if len(points) != 2 {
+		t.Fatalf("points = %d", len(points))
+	}
+}
+
+func TestFig16Small(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sensitivity sweep")
+	}
+	points := Fig16Sensitivity(0.05, []int{1, 50}, io.Discard)
+	if len(points) != 2 {
+		t.Fatalf("points = %d", len(points))
+	}
+	// Larger M can only help (the M=50 run includes the M=1 winner).
+	if points[1].FoundOptimal < points[0].FoundOptimal {
+		t.Errorf("M=50 found fewer optima (%d) than M=1 (%d)",
+			points[1].FoundOptimal, points[0].FoundOptimal)
+	}
+	if points[1].FoundOptimal < points[1].Total/2 {
+		t.Errorf("M=50 finds optimal on only %d/%d", points[1].FoundOptimal, points[1].Total)
+	}
+}
+
+func TestUserStudyShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full pipeline over study datasets")
+	}
+	var buf bytes.Buffer
+	rows := UserStudy(&buf)
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.A.Failed {
+			t.Errorf("%s: A failed", r.Dataset)
+		}
+	}
+	// Noisy multi-line datasets (4 and 5) must fail from B and R.
+	for _, i := range []int{3, 4} {
+		if !rows[i].B.Failed || !rows[i].R.Failed {
+			t.Errorf("%s: expected B and R failures", rows[i].Dataset)
+		}
+	}
+}
+
+func TestInterleavedKGenerator(t *testing.T) {
+	d := datagen.InterleavedTypes(4, 50, 9)
+	types := map[int]bool{}
+	for _, tr := range d.Truth {
+		types[tr.Type] = true
+	}
+	if len(types) != 4 {
+		t.Fatalf("types = %d, want 4", len(types))
+	}
+}
+
+func TestOverall(t *testing.T) {
+	m := map[datagen.Label]CategoryStats{
+		datagen.SNI: {OK: 3, Total: 4},
+		datagen.MI:  {OK: 1, Total: 2},
+		datagen.NS:  {OK: 0, Total: 5}, // excluded
+	}
+	if got := Overall(m); got != 4.0/6.0 {
+		t.Fatalf("Overall = %v", got)
+	}
+}

@@ -1,0 +1,431 @@
+// Package generation implements the generation and pruning steps of
+// Datamaran (§4.1, §4.2, Algorithm 1).
+//
+// The generation step finds structure-template candidates with at least α%
+// coverage without knowing record boundaries: it enumerates RT-CharSet
+// values (exhaustively, 2^c subsets, or greedily, O(c²) subsets), treats
+// every pair of line boundaries at most L lines apart as a potential
+// record, extracts and reduces each potential record to its minimal
+// structure template, and accumulates per-template coverage in a hash
+// table.
+//
+// The pruning step orders the surviving candidates by the assimilation
+// score G(T,S) = Cov × NonFieldCov and keeps the top M.
+package generation
+
+import (
+	"sort"
+	"strings"
+
+	"datamaran/internal/chars"
+	"datamaran/internal/score"
+	"datamaran/internal/template"
+	"datamaran/internal/textio"
+)
+
+// SearchMode selects how RT-CharSet values are enumerated (§9.1).
+type SearchMode int
+
+const (
+	// Exhaustive enumerates all 2^c subsets of the present special
+	// characters.
+	Exhaustive SearchMode = iota
+	// Greedy grows the charset one character at a time, keeping the
+	// character whose charset produced the highest assimilation score
+	// (O(c²) subsets).
+	Greedy
+)
+
+func (m SearchMode) String() string {
+	if m == Greedy {
+		return "greedy"
+	}
+	return "exhaustive"
+}
+
+// Config holds the generation-step parameters (Table 2).
+type Config struct {
+	// Alpha is the minimum coverage threshold as a fraction of the
+	// dataset bytes (the paper's α%, default 0.10).
+	Alpha float64
+	// MaxSpan is L, the maximum number of lines a record may span
+	// (default 10).
+	MaxSpan int
+	// Search selects exhaustive or greedy charset enumeration.
+	Search SearchMode
+	// Candidates is RT-CharSet-Candidate. Zero value means
+	// chars.DefaultCandidates().
+	Candidates chars.Set
+	// MaxExhaustive caps the number of distinct present special
+	// characters enumerated exhaustively; beyond it, the most frequent
+	// MaxExhaustive characters are used. Default 10.
+	MaxExhaustive int
+	// MaxCandidates caps the number of candidates returned (K).
+	// Default 4096.
+	MaxCandidates int
+	// MaxRecordBytes skips potential records longer than this many
+	// bytes (guards pathological spans). Default 1 << 14.
+	MaxRecordBytes int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Alpha == 0 {
+		c.Alpha = 0.10
+	}
+	if c.MaxSpan == 0 {
+		c.MaxSpan = 10
+	}
+	if c.Candidates.Empty() {
+		c.Candidates = chars.DefaultCandidates()
+	}
+	if c.MaxExhaustive == 0 {
+		c.MaxExhaustive = 10
+	}
+	if c.MaxCandidates == 0 {
+		c.MaxCandidates = 4096
+	}
+	if c.MaxRecordBytes == 0 {
+		c.MaxRecordBytes = 1 << 14
+	}
+	return c
+}
+
+// Candidate is a structure template surviving the coverage threshold, with
+// the coverage statistics estimated during generation.
+type Candidate struct {
+	Template *template.Node
+	// CharSet is the RT-CharSet under which the template was generated.
+	CharSet chars.Set
+	// Coverage is the total byte length of potential records reducing
+	// to this template (an overlap-inflated estimate; exact coverage is
+	// recomputed in the evaluation step).
+	Coverage int
+	// FieldBytes is the byte total of field values in those records.
+	FieldBytes int
+}
+
+// Assimilation returns G(T,S) for the candidate from the generation-step
+// estimates.
+func (c Candidate) Assimilation() float64 {
+	return score.Assimilation(c.Coverage, c.FieldBytes)
+}
+
+// Generate runs the generation step over lines and returns all candidates
+// with at least α% coverage, ordered by assimilation score (best first)
+// and capped at MaxCandidates.
+func Generate(lines *textio.Lines, cfg Config) []Candidate {
+	cfg = cfg.withDefaults()
+	present := chars.Present(cfg.Candidates, lines.Data())
+	g := &generator{lines: lines, cfg: cfg, bins: map[string]*Candidate{}}
+	switch cfg.Search {
+	case Greedy:
+		g.greedySearch(present)
+	default:
+		g.exhaustiveSearch(present)
+	}
+	return g.results()
+}
+
+// Prune is the pruning step: it keeps the topM candidates by assimilation
+// score (§4.2). cands must already be sorted by Generate; Prune re-sorts
+// defensively so it can be used on merged candidate lists.
+func Prune(cands []Candidate, topM int) []Candidate {
+	sortCandidates(cands)
+	if topM > 0 && len(cands) > topM {
+		cands = cands[:topM]
+	}
+	return cands
+}
+
+type generator struct {
+	lines *textio.Lines
+	cfg   Config
+	bins  map[string]*Candidate
+	// charsetsTried counts GenST invocations (for complexity tests).
+	charsetsTried int
+}
+
+// exhaustiveSearch enumerates all subsets of the present candidates
+// (restricted to the MaxExhaustive most frequent characters when there are
+// too many).
+func (g *generator) exhaustiveSearch(present chars.Set) {
+	present = g.capCharset(present)
+	chars.Subsets(present, func(s chars.Set) bool {
+		g.genST(s)
+		return true
+	})
+}
+
+// greedySearch implements Algorithm 1's GreedySearch: starting from the
+// empty charset, repeatedly add the character whose charset yields the
+// best assimilation score, until a round produces no template with α%
+// coverage.
+func (g *generator) greedySearch(present chars.Set) {
+	var cur chars.Set
+	g.genST(cur) // the empty charset still yields line templates F\n etc.
+	remaining := present.Bytes()
+	for len(remaining) > 0 {
+		bestScore := -1.0
+		bestIdx := -1
+		for i, c := range remaining {
+			trial := cur
+			trial.Add(c)
+			found := g.genST(trial)
+			for _, cand := range found {
+				if a := cand.Assimilation(); a > bestScore {
+					bestScore = a
+					bestIdx = i
+				}
+			}
+		}
+		if bestIdx < 0 {
+			break // no charset this round produced an α%-coverage template
+		}
+		cur.Add(remaining[bestIdx])
+		remaining = append(remaining[:bestIdx], remaining[bestIdx+1:]...)
+	}
+}
+
+// capCharset restricts an oversized charset to the most frequent
+// MaxExhaustive characters in the data.
+func (g *generator) capCharset(present chars.Set) chars.Set {
+	if present.Len() <= g.cfg.MaxExhaustive {
+		return present
+	}
+	var freq [256]int
+	for _, b := range g.lines.Data() {
+		if present.Contains(b) {
+			freq[b]++
+		}
+	}
+	members := present.Bytes()
+	sort.Slice(members, func(i, j int) bool { return freq[members[i]] > freq[members[j]] })
+	var capped chars.Set
+	for _, b := range members[:g.cfg.MaxExhaustive] {
+		capped.Add(b)
+	}
+	return capped
+}
+
+// genST is Algorithm 1's GenST: for one RT-CharSet value, enumerate all
+// potential records (line-boundary pairs at most L apart), reduce each to
+// its minimal structure template, and accumulate coverage in the shared
+// hash table. It returns the candidates from this charset that meet the
+// coverage threshold.
+func (g *generator) genST(rtset chars.Set) []Candidate {
+	g.charsetsTried++
+	lines := g.lines
+	n := lines.N()
+	data := lines.Data()
+	total := len(data)
+	if total == 0 {
+		return nil
+	}
+	threshold := int(g.cfg.Alpha * float64(total))
+
+	// Tokenize each line once under this charset, interning line shapes
+	// to small integers. Expensive work (building raw keys, reducing to
+	// minimal templates) happens once per DISTINCT shape; the 10·n
+	// window loop below touches only integer-keyed maps.
+	lineToks := make([][]*template.Node, n)
+	lineFB := make([]int, n)
+	lineShape := make([]int32, n)
+	shapeIDs := map[string]int32{}
+	for i := 0; i < n; i++ {
+		toks, fb := template.ExtractRecordTemplate(lines.Line(i), rtset)
+		lineToks[i] = toks
+		lineFB[i] = fb
+		raw := rawKey(toks)
+		id, ok := shapeIDs[raw]
+		if !ok {
+			id = int32(len(shapeIDs))
+			shapeIDs[raw] = id
+		}
+		lineShape[i] = id
+	}
+
+	// Window identities are interned incrementally: the window of lines
+	// [i, i+s) extends the window [i, i+s-1) by one line shape.
+	type winExt struct {
+		prev  int32 // window id of the s-1 prefix (-1 for s=1)
+		shape int32 // shape of the added line
+	}
+	winIDs := map[winExt]int32{}
+	// winBin[w] is the bin index for window id w (-1 = invalid window).
+	var winBin []int32
+
+	// binAcc accumulates one hash bin. Coverage counts greedily
+	// non-overlapping windows only (windows arrive in ascending start
+	// order), approximating Assumption 1's definition — the total
+	// length of instantiated records — rather than the overlap-inflated
+	// sum, which would let stacked multi-line repetitions of a one-line
+	// template dominate every true multi-line template.
+	type binAcc struct {
+		cand    Candidate
+		lastEnd int
+	}
+	var binList []*binAcc
+	binIdx := map[string]int32{}
+
+	resolveWindow := func(i, j int) int32 {
+		// Build the window's template and map it to a bin, once per
+		// distinct window identity.
+		tokCount := 0
+		for k := i; k < j; k++ {
+			tokCount += len(lineToks[k])
+		}
+		toks := make([]*template.Node, 0, tokCount)
+		for k := i; k < j; k++ {
+			toks = append(toks, lineToks[k]...)
+		}
+		tpl := template.Reduce(toks)
+		if tpl.NumFields() == 0 || !endsWithNewline(tpl) {
+			return -1
+		}
+		key := tpl.Key()
+		bi, ok := binIdx[key]
+		if !ok {
+			bi = int32(len(binList))
+			binIdx[key] = bi
+			binList = append(binList, &binAcc{cand: Candidate{Template: tpl, CharSet: rtset}})
+		}
+		return bi
+	}
+
+	for i := 0; i < n; i++ {
+		prev := int32(-1)
+		fb := 0
+		for s := 1; s <= g.cfg.MaxSpan && i+s <= n; s++ {
+			j := i + s
+			fb += lineFB[j-1]
+			blockLen := lines.Start(j) - lines.Start(i)
+			if blockLen > g.cfg.MaxRecordBytes {
+				break
+			}
+			ext := winExt{prev: prev, shape: lineShape[j-1]}
+			wid, ok := winIDs[ext]
+			if !ok {
+				wid = int32(len(winBin))
+				winIDs[ext] = wid
+				if data[lines.Start(j)-1] != '\n' {
+					winBin = append(winBin, -1)
+				} else {
+					winBin = append(winBin, resolveWindow(i, j))
+				}
+			}
+			prev = wid
+			bi := winBin[wid]
+			if bi < 0 {
+				continue
+			}
+			b := binList[bi]
+			if i >= b.lastEnd {
+				b.cand.Coverage += blockLen
+				b.cand.FieldBytes += fb
+				b.lastEnd = j
+			}
+		}
+	}
+	local := map[string]*binAcc{}
+	for key, bi := range binIdx {
+		local[key] = binList[bi]
+	}
+
+	// Keep templates meeting the coverage threshold; merge into the
+	// global bins (same template from different charsets keeps the
+	// higher-coverage estimate).
+	var kept []Candidate
+	for key, b := range local {
+		if b.cand.Coverage < threshold {
+			continue
+		}
+		kept = append(kept, b.cand)
+		if prev, ok := g.bins[key]; !ok || b.cand.Coverage > prev.Coverage {
+			cc := b.cand
+			g.bins[key] = &cc
+		}
+	}
+	return kept
+}
+
+func (g *generator) results() []Candidate {
+	out := make([]Candidate, 0, len(g.bins))
+	for _, c := range g.bins {
+		if template.IsPeriodicStack(c.Template) {
+			// A k-fold stack of a shorter template (its 1-period
+			// form is a separate bin with at least the same
+			// coverage). Stacks flood the top-M pool with
+			// near-duplicates of every popular one-record shape.
+			continue
+		}
+		out = append(out, *c)
+	}
+	sortCandidates(out)
+	if len(out) > g.cfg.MaxCandidates {
+		out = out[:g.cfg.MaxCandidates]
+	}
+	return out
+}
+
+func sortCandidates(cands []Candidate) {
+	sort.Slice(cands, func(i, j int) bool {
+		ai, aj := cands[i].Assimilation(), cands[j].Assimilation()
+		if ai != aj {
+			return ai > aj
+		}
+		// Deterministic tie-break: the shorter template wins (a
+		// k-fold stack of a true multi-line template ties its
+		// coverage but is k times longer), then key order.
+		li, lj := cands[i].Template.Len(), cands[j].Template.Len()
+		if li != lj {
+			return li < lj
+		}
+		return cands[i].Template.Key() < cands[j].Template.Key()
+	})
+}
+
+// rawKey builds a cheap pre-reduction key for a token run: 'F' for fields,
+// the character for literals.
+func rawKey(toks []*template.Node) string {
+	var b strings.Builder
+	b.Grow(len(toks))
+	for _, t := range toks {
+		if t.Kind == template.KField {
+			b.WriteByte(0x01)
+		} else {
+			b.WriteString(t.Lit)
+		}
+	}
+	return b.String()
+}
+
+func endsWithNewline(st *template.Node) bool {
+	switch st.Kind {
+	case template.KLiteral:
+		return len(st.Lit) > 0 && st.Lit[len(st.Lit)-1] == '\n'
+	case template.KArray:
+		return st.Term == '\n'
+	case template.KStruct:
+		if len(st.Children) == 0 {
+			return false
+		}
+		return endsWithNewline(st.Children[len(st.Children)-1])
+	}
+	return false
+}
+
+// CharsetsTried is exposed for the step-complexity experiment (Table 3):
+// it runs a generation and reports how many RT-CharSet values were
+// enumerated.
+func CharsetsTried(lines *textio.Lines, cfg Config) int {
+	cfg = cfg.withDefaults()
+	present := chars.Present(cfg.Candidates, lines.Data())
+	g := &generator{lines: lines, cfg: cfg, bins: map[string]*Candidate{}}
+	switch cfg.Search {
+	case Greedy:
+		g.greedySearch(present)
+	default:
+		g.exhaustiveSearch(present)
+	}
+	return g.charsetsTried
+}

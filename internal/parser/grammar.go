@@ -1,0 +1,72 @@
+package parser
+
+import (
+	"fmt"
+	"strings"
+
+	"datamaran/internal/template"
+)
+
+// Grammar renders the LL(1) grammar equivalent to a structure template
+// (the Remark of §3.3: the restricted regular-expression form rewrites to
+// an LL(1) grammar, which is why extraction is a linear-time parse).
+//
+// Productions use S as the start symbol, Ai for array nonterminals and
+// Ti for their tails; FIELD denotes a maximal run of non-RT-CharSet
+// bytes, and quoted strings are literal terminals. The array
+// ({body}x)*{body}y becomes
+//
+//	Ai → body Ti
+//	Ti → "x" body Ti | "y"
+//
+// whose FIRST sets {x} and {y} are disjoint (the structural-form
+// assumption requires x ≠ y), making the grammar LL(1).
+func Grammar(st *template.Node) string {
+	g := &grammarBuilder{}
+	start := g.emit(st)
+	var b strings.Builder
+	fmt.Fprintf(&b, "S → %s\n", start)
+	for _, p := range g.productions {
+		b.WriteString(p)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+type grammarBuilder struct {
+	productions []string
+	arrays      int
+}
+
+// emit returns the right-hand-side fragment for a node, appending helper
+// productions for arrays.
+func (g *grammarBuilder) emit(n *template.Node) string {
+	switch n.Kind {
+	case template.KField:
+		return "FIELD"
+	case template.KLiteral:
+		return quoteLit(n.Lit)
+	case template.KStruct:
+		parts := make([]string, 0, len(n.Children))
+		for _, c := range n.Children {
+			parts = append(parts, g.emit(c))
+		}
+		return strings.Join(parts, " ")
+	case template.KArray:
+		g.arrays++
+		id := g.arrays
+		body := g.emit(&template.Node{Kind: template.KStruct, Children: n.Children})
+		a := fmt.Sprintf("A%d", id)
+		t := fmt.Sprintf("T%d", id)
+		g.productions = append(g.productions,
+			fmt.Sprintf("%s → %s %s", a, body, t),
+			fmt.Sprintf("%s → %s %s %s | %s", t, quoteLit(string(n.Sep)), body, t, quoteLit(string(n.Term))),
+		)
+		return a
+	}
+	return ""
+}
+
+func quoteLit(s string) string {
+	return fmt.Sprintf("%q", s) // %q renders newline as \n inside quotes
+}

@@ -1,0 +1,53 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+
+	"datamaran/internal/template"
+)
+
+func TestGrammarFlatTemplate(t *testing.T) {
+	tm := st(fld(), lit(","), fld(), lit("\n"))
+	g := Grammar(tm)
+	if !strings.Contains(g, `S → FIELD "," FIELD "\n"`) {
+		t.Fatalf("grammar = %s", g)
+	}
+	if strings.Contains(g, "A1") {
+		t.Fatalf("flat template should have no array nonterminals:\n%s", g)
+	}
+}
+
+func TestGrammarArray(t *testing.T) {
+	tm := template.Array([]*template.Node{fld()}, ',', '\n')
+	g := Grammar(tm)
+	for _, want := range []string{
+		"S → A1",
+		"A1 → FIELD T1",
+		`T1 → "," FIELD T1 | "\n"`,
+	} {
+		if !strings.Contains(g, want) {
+			t.Fatalf("grammar missing %q:\n%s", want, g)
+		}
+	}
+}
+
+func TestGrammarNestedArrays(t *testing.T) {
+	inner := template.Array([]*template.Node{fld()}, ',', '"')
+	tm := st(fld(), lit(`,"`), inner, lit("\n"))
+	g := Grammar(tm)
+	if !strings.Contains(g, "A1") || strings.Count(g, "→") < 3 {
+		t.Fatalf("nested grammar malformed:\n%s", g)
+	}
+}
+
+func TestGrammarLL1Property(t *testing.T) {
+	// The array tail's two alternatives start with sep and term, which
+	// the structural-form assumption keeps distinct: verify the emitted
+	// production quotes two different terminals.
+	tm := template.Array([]*template.Node{fld()}, ';', ']')
+	g := Grammar(tm)
+	if !strings.Contains(g, `";"`) || !strings.Contains(g, `"]"`) {
+		t.Fatalf("tail production missing distinct terminals:\n%s", g)
+	}
+}

@@ -1,0 +1,95 @@
+package parser
+
+import (
+	"runtime"
+	"sync"
+
+	"datamaran/internal/textio"
+)
+
+// ScanParallel computes the same partition as Scan using worker
+// goroutines. The paper notes the extraction pass "is eminently
+// parallelizable" (§1, §5.2.2) — this is that pass.
+//
+// Matching at a line is context-free (it depends only on the template and
+// the bytes), so workers independently compute, for every line of their
+// chunk, whether a record match starts there; a trivial greedy walk over
+// the per-line results then reproduces the sequential Scan exactly —
+// including on pathological inputs where record phases are ambiguous.
+// workers <= 1 falls back to the sequential Scan.
+func (m *Matcher) ScanParallel(lines *textio.Lines, maxSpan, workers int) *ScanResult {
+	n := lines.N()
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers <= 1 || n < workers*4 {
+		return m.Scan(lines)
+	}
+	if maxSpan < 1 {
+		maxSpan = 1
+	}
+
+	data := lines.Data()
+	lineOf := make(map[int]int, n+1)
+	for i := 0; i <= n; i++ {
+		lineOf[lines.Start(i)] = i
+	}
+
+	// Phase 1 (parallel): per-line match results.
+	type cand struct {
+		endLine int
+		end     int
+		value   *Value
+	}
+	cands := make([]cand, n)
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		start := w * chunk
+		if start >= n {
+			break
+		}
+		end := start + chunk
+		if end > n {
+			end = n
+		}
+		wg.Add(1)
+		go func(start, end int) {
+			defer wg.Done()
+			for i := start; i < end; i++ {
+				pos := lines.Start(i)
+				v, matchEnd, ok := m.Match(data, pos)
+				if !ok {
+					continue
+				}
+				if endLine, aligned := lineOf[matchEnd]; aligned && endLine > i {
+					cands[i] = cand{endLine: endLine, end: matchEnd, value: v}
+				}
+			}
+		}(start, end)
+	}
+	wg.Wait()
+
+	// Phase 2 (sequential, cheap): the greedy walk of Scan.
+	res := &ScanResult{}
+	i := 0
+	for i < n {
+		c := cands[i]
+		if c.value == nil {
+			res.NoiseLines = append(res.NoiseLines, i)
+			i++
+			continue
+		}
+		rec := Record{
+			StartLine: i, EndLine: c.endLine,
+			Start: lines.Start(i), End: c.end, Value: c.value,
+		}
+		res.Records = append(res.Records, rec)
+		res.Coverage += rec.End - rec.Start
+		for _, f := range m.Flatten(c.value) {
+			res.FieldBytes += f.End - f.Start
+		}
+		i = c.endLine
+	}
+	return res
+}

@@ -1,0 +1,111 @@
+package parser
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"datamaran/internal/template"
+	"datamaran/internal/textio"
+)
+
+// scanEqual compares two scan results field by field.
+func scanEqual(t *testing.T, a, b *ScanResult) {
+	t.Helper()
+	if len(a.Records) != len(b.Records) {
+		t.Fatalf("records: %d vs %d", len(a.Records), len(b.Records))
+	}
+	for i := range a.Records {
+		ra, rb := a.Records[i], b.Records[i]
+		if ra.StartLine != rb.StartLine || ra.EndLine != rb.EndLine || ra.Start != rb.Start || ra.End != rb.End {
+			t.Fatalf("record %d differs: %+v vs %+v", i, ra, rb)
+		}
+	}
+	if a.Coverage != b.Coverage || a.FieldBytes != b.FieldBytes {
+		t.Fatalf("coverage %d/%d vs %d/%d", a.Coverage, a.FieldBytes, b.Coverage, b.FieldBytes)
+	}
+	if len(a.NoiseLines) != len(b.NoiseLines) {
+		t.Fatalf("noise: %d vs %d", len(a.NoiseLines), len(b.NoiseLines))
+	}
+	for i := range a.NoiseLines {
+		if a.NoiseLines[i] != b.NoiseLines[i] {
+			t.Fatalf("noise %d differs", i)
+		}
+	}
+}
+
+func TestScanParallelMatchesSequentialSingleLine(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var b strings.Builder
+	for i := 0; i < 500; i++ {
+		if rng.Intn(10) == 0 {
+			b.WriteString("~~noise~~\n")
+		}
+		fmt.Fprintf(&b, "%d,%d\n", rng.Intn(1000), rng.Intn(1000))
+	}
+	lines := textio.NewLines([]byte(b.String()))
+	tm := template.Struct(template.Field(), template.Lit(","), template.Field(), template.Lit("\n")).Normalize()
+	m := NewMatcher(tm)
+	seq := m.Scan(lines)
+	for _, workers := range []int{2, 3, 7} {
+		par := m.ScanParallel(lines, 10, workers)
+		scanEqual(t, seq, par)
+	}
+}
+
+func TestScanParallelMatchesSequentialMultiLine(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	var b strings.Builder
+	for i := 0; i < 300; i++ {
+		if rng.Intn(8) == 0 {
+			b.WriteString("## interruption ##\n")
+		}
+		fmt.Fprintf(&b, "BEGIN %d\nv= %d\nEND;\n", rng.Intn(10000), rng.Intn(100))
+	}
+	lines := textio.NewLines([]byte(b.String()))
+	tm := template.Struct(
+		template.Lit("BEGIN "), template.Field(), template.Lit("\nv= "),
+		template.Field(), template.Lit("\nEND;\n"),
+	).Normalize()
+	m := NewMatcher(tm)
+	seq := m.Scan(lines)
+	for _, workers := range []int{2, 5} {
+		par := m.ScanParallel(lines, 10, workers)
+		scanEqual(t, seq, par)
+	}
+}
+
+func TestScanParallelFallbackSmallInput(t *testing.T) {
+	lines := textio.NewLines([]byte("a,b\nc,d\n"))
+	tm := template.Struct(template.Field(), template.Lit(","), template.Field(), template.Lit("\n")).Normalize()
+	m := NewMatcher(tm)
+	par := m.ScanParallel(lines, 10, 8)
+	if len(par.Records) != 2 {
+		t.Fatalf("records = %d", len(par.Records))
+	}
+}
+
+func TestScanParallelBoundaryStraddle(t *testing.T) {
+	// Records of 3 lines with chunk boundaries guaranteed to cut
+	// through records for small worker counts.
+	var b strings.Builder
+	for i := 0; i < 99; i++ {
+		fmt.Fprintf(&b, "A%d:\nB%d:\nC%d:\n", i, i, i)
+	}
+	lines := textio.NewLines([]byte(b.String()))
+	tm := template.Struct(
+		template.Field(), template.Lit(":\n"),
+		template.Field(), template.Lit(":\n"),
+		template.Field(), template.Lit(":\n"),
+	).Normalize()
+	m := NewMatcher(tm)
+	seq := m.Scan(lines)
+	if len(seq.Records) != 99 {
+		t.Fatalf("sequential records = %d", len(seq.Records))
+	}
+	for _, workers := range []int{2, 4, 9} {
+		par := m.ScanParallel(lines, 10, workers)
+		scanEqual(t, seq, par)
+	}
+}

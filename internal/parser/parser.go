@@ -1,0 +1,251 @@
+// Package parser implements LL(1) matching of structure templates against
+// log text (§3.3 Remark of the paper): given a structure template, it
+// partitions a dataset into instantiated records and noise blocks, and
+// extracts every field value.
+//
+// Matching relies on the non-overlapping assumption (Assumption 2): the
+// template's RT-CharSet is disjoint from field-value characters, so a
+// field value is the maximal run of bytes outside the RT-CharSet and the
+// grammar is LL(1) — at an array boundary the next byte is either the
+// separator or the (distinct) terminator.
+package parser
+
+import (
+	"datamaran/internal/chars"
+	"datamaran/internal/template"
+	"datamaran/internal/textio"
+)
+
+// Value is the parse tree of one instantiated record against a template.
+type Value struct {
+	// Node is the template node this value instantiates.
+	Node *template.Node
+	// Start and End delimit the matched bytes (for all kinds).
+	Start, End int
+	// Children: for KStruct, one per template child; for KArray, one
+	// group per repetition, each group being a KStruct-shaped Value
+	// over the array body.
+	Children []*Value
+}
+
+// Matcher matches one structure template. It precomputes the RT-CharSet.
+type Matcher struct {
+	st    *template.Node
+	rtset chars.Set
+	cols  int
+}
+
+// NewMatcher builds a matcher for st.
+func NewMatcher(st *template.Node) *Matcher {
+	return &Matcher{st: st, rtset: st.RTCharSet(), cols: st.NumFields()}
+}
+
+// Template returns the matcher's structure template.
+func (m *Matcher) Template() *template.Node { return m.st }
+
+// Columns returns the number of field columns of the template (fields
+// inside an array body count once).
+func (m *Matcher) Columns() int { return m.cols }
+
+// Match attempts to match the template starting at data[pos]. On success
+// it returns the parse tree and the end offset (exclusive).
+func (m *Matcher) Match(data []byte, pos int) (*Value, int, bool) {
+	v, end, ok := m.match(m.st, data, pos)
+	if !ok {
+		return nil, 0, false
+	}
+	return v, end, true
+}
+
+func (m *Matcher) match(n *template.Node, data []byte, pos int) (*Value, int, bool) {
+	switch n.Kind {
+	case template.KField:
+		end := pos
+		for end < len(data) && data[end] != '\n' && !m.rtset.Contains(data[end]) {
+			end++
+		}
+		return &Value{Node: n, Start: pos, End: end}, end, true
+
+	case template.KLiteral:
+		lit := n.Lit
+		if pos+len(lit) > len(data) {
+			return nil, 0, false
+		}
+		for i := 0; i < len(lit); i++ {
+			if data[pos+i] != lit[i] {
+				return nil, 0, false
+			}
+		}
+		return &Value{Node: n, Start: pos, End: pos + len(lit)}, pos + len(lit), true
+
+	case template.KStruct:
+		v := &Value{Node: n, Start: pos, Children: make([]*Value, 0, len(n.Children))}
+		cur := pos
+		for _, c := range n.Children {
+			cv, end, ok := m.match(c, data, cur)
+			if !ok {
+				return nil, 0, false
+			}
+			v.Children = append(v.Children, cv)
+			cur = end
+		}
+		v.End = cur
+		return v, cur, true
+
+	case template.KArray:
+		v := &Value{Node: n, Start: pos}
+		cur := pos
+		body := &template.Node{Kind: template.KStruct, Children: n.Children}
+		for {
+			gv, end, ok := m.match(body, data, cur)
+			if !ok {
+				return nil, 0, false
+			}
+			v.Children = append(v.Children, gv)
+			cur = end
+			if cur >= len(data) {
+				return nil, 0, false
+			}
+			switch data[cur] {
+			case n.Sep:
+				cur++
+			case n.Term:
+				cur++
+				v.End = cur
+				return v, cur, true
+			default:
+				return nil, 0, false
+			}
+		}
+	}
+	return nil, 0, false
+}
+
+// FieldOcc is one field-value occurrence in a parsed record.
+type FieldOcc struct {
+	// Col is the column index of the field in the template (DFS order;
+	// fields inside an array body share the column across repetitions).
+	Col int
+	// Rep is the repetition ordinal for fields inside arrays (0 for
+	// fields outside any array; for nested arrays, the innermost
+	// repetition index).
+	Rep int
+	// Start and End delimit the value bytes in the data.
+	Start, End int
+}
+
+// Flatten lists every field occurrence of a parsed record in left-to-right
+// order, with template column indices.
+func (m *Matcher) Flatten(v *Value) []FieldOcc {
+	var out []FieldOcc
+	var walk func(n *template.Node, v *Value, col int, rep int) int
+	walk = func(n *template.Node, v *Value, col int, rep int) int {
+		switch n.Kind {
+		case template.KField:
+			out = append(out, FieldOcc{Col: col, Rep: rep, Start: v.Start, End: v.End})
+			return col + 1
+		case template.KLiteral:
+			return col
+		case template.KStruct:
+			c := col
+			for i, ch := range n.Children {
+				c = walk(ch, v.Children[i], c, rep)
+			}
+			return c
+		case template.KArray:
+			end := col
+			for r, group := range v.Children {
+				c := col
+				for i, ch := range n.Children {
+					c = walk(ch, group.Children[i], c, r)
+				}
+				end = c
+			}
+			if len(v.Children) == 0 {
+				// No repetitions: still advance the column
+				// counter past the body's fields.
+				end = col + (&template.Node{Kind: template.KStruct, Children: n.Children}).NumFields()
+			}
+			return end
+		}
+		return col
+	}
+	walk(m.st, v, 0, 0)
+	return out
+}
+
+// Record is a matched record within a dataset.
+type Record struct {
+	// StartLine and EndLine delimit the record's lines [StartLine, EndLine).
+	StartLine, EndLine int
+	// Start and End delimit the record's bytes.
+	Start, End int
+	// Value is the parse tree.
+	Value *Value
+}
+
+// ScanResult is the partition of a dataset into records and noise for one
+// template.
+type ScanResult struct {
+	Records []Record
+	// NoiseLines lists the indices of lines not covered by any record.
+	NoiseLines []int
+	// Coverage is the total byte length of all matched records — the
+	// Cov(T,S) quantity of §4.2.
+	Coverage int
+	// FieldBytes is the total byte length of all field values, so
+	// Coverage − FieldBytes is the non-field coverage of §4.2.
+	FieldBytes int
+}
+
+// Scan greedily partitions the dataset into records and noise: at each
+// line, the template is tried; on a match ending at a line boundary the
+// covered lines become a record, otherwise the line is noise. This is the
+// linear-time extraction pass of §4.4.1 (the O(Tdata) row of Table 3).
+func (m *Matcher) Scan(lines *textio.Lines) *ScanResult {
+	res := &ScanResult{}
+	data := lines.Data()
+	n := lines.N()
+	lineOf := make(map[int]int, n) // byte offset -> line index
+	for i := 0; i <= n; i++ {
+		lineOf[lines.Start(i)] = i
+	}
+	i := 0
+	for i < n {
+		pos := lines.Start(i)
+		v, end, ok := m.Match(data, pos)
+		if ok {
+			if endLine, aligned := lineOf[end]; aligned && endLine > i {
+				rec := Record{StartLine: i, EndLine: endLine, Start: pos, End: end, Value: v}
+				res.Records = append(res.Records, rec)
+				res.Coverage += end - pos
+				for _, f := range m.Flatten(v) {
+					res.FieldBytes += f.End - f.Start
+				}
+				i = endLine
+				continue
+			}
+		}
+		res.NoiseLines = append(res.NoiseLines, i)
+		i++
+	}
+	return res
+}
+
+// EndsWithNewline reports whether every complete match of the template
+// necessarily ends with '\n' — required for a template to describe
+// newline-delimited blocks (Definition 2.4).
+func EndsWithNewline(st *template.Node) bool {
+	switch st.Kind {
+	case template.KLiteral:
+		return len(st.Lit) > 0 && st.Lit[len(st.Lit)-1] == '\n'
+	case template.KArray:
+		return st.Term == '\n'
+	case template.KStruct:
+		if len(st.Children) == 0 {
+			return false
+		}
+		return EndsWithNewline(st.Children[len(st.Children)-1])
+	}
+	return false
+}

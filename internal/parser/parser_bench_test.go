@@ -1,0 +1,56 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+
+	"datamaran/internal/template"
+	"datamaran/internal/textio"
+)
+
+func benchLines(rows int) *textio.Lines {
+	var b strings.Builder
+	for i := 0; i < rows; i++ {
+		b.WriteString("12,alpha,3.5,OK\n")
+	}
+	return textio.NewLines([]byte(b.String()))
+}
+
+func benchTemplate() *template.Node {
+	return template.Struct(
+		template.Field(), template.Lit(","), template.Field(), template.Lit(","),
+		template.Field(), template.Lit("."), template.Field(), template.Lit(","),
+		template.Field(), template.Lit("\n"),
+	).Normalize()
+}
+
+func BenchmarkScanSequential(b *testing.B) {
+	lines := benchLines(5000)
+	m := NewMatcher(benchTemplate())
+	b.SetBytes(int64(len(lines.Data())))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Scan(lines)
+	}
+}
+
+func BenchmarkScanParallel4(b *testing.B) {
+	lines := benchLines(5000)
+	m := NewMatcher(benchTemplate())
+	b.SetBytes(int64(len(lines.Data())))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.ScanParallel(lines, 10, 4)
+	}
+}
+
+func BenchmarkMatchSingleRecord(b *testing.B) {
+	data := []byte("12,alpha,3.5,OK\n")
+	m := NewMatcher(benchTemplate())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, ok := m.Match(data, 0); !ok {
+			b.Fatal("no match")
+		}
+	}
+}

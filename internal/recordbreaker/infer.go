@@ -1,0 +1,348 @@
+package recordbreaker
+
+import (
+	"fmt"
+	"sort"
+
+	"datamaran/internal/evaluate"
+	"datamaran/internal/textio"
+)
+
+// Config holds RecordBreaker's two tuning parameters (§5.3.2 names them
+// MaxMass and MinCoverage and notes that no setting works for all
+// datasets).
+type Config struct {
+	// MaxMass is the fraction of chunks that must agree on a token
+	// count for a struct split (default 0.9).
+	MaxMass float64
+	// MinCoverage is the minimum fraction of chunks containing a token
+	// class for it to drive a split (default 0.1).
+	MinCoverage float64
+	// MaxUnionBranches caps leaf-level branching before falling back to
+	// a single blob field (default 4).
+	MaxUnionBranches int
+	// MaxDepth bounds the recursion (default 12).
+	MaxDepth int
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxMass == 0 {
+		c.MaxMass = 0.9
+	}
+	if c.MinCoverage == 0 {
+		c.MinCoverage = 0.1
+	}
+	if c.MaxUnionBranches == 0 {
+		c.MaxUnionBranches = 4
+	}
+	if c.MaxDepth == 0 {
+		c.MaxDepth = 12
+	}
+	return c
+}
+
+// chunk is a token segment belonging to one line.
+type chunk struct {
+	line int
+	toks []Token
+}
+
+// inferrer carries the per-line accumulation state.
+type inferrer struct {
+	cfg Config
+	// fields[line] collects extracted field spans.
+	fields [][]evaluate.Span
+	// branch[line] accumulates the union-branch path defining the
+	// line's record type.
+	branch []string
+}
+
+// Extract runs RecordBreaker over a dataset: every line is a record; the
+// histogram-based struct/array/union inference assigns each line a type
+// (its union-branch path) and extracts its field values.
+func Extract(data []byte, cfg Config) evaluate.Extraction {
+	cfg = cfg.withDefaults()
+	lines := textio.NewLines(data)
+	n := lines.N()
+	inf := &inferrer{
+		cfg:    cfg,
+		fields: make([][]evaluate.Span, n),
+		branch: make([]string, n),
+	}
+	chunks := make([]chunk, 0, n)
+	for i := 0; i < n; i++ {
+		start := lines.Start(i)
+		end := start + len(lines.Line(i))
+		if end > start && data[end-1] == '\n' {
+			end--
+		}
+		chunks = append(chunks, chunk{line: i, toks: Lex(data, start, end)})
+	}
+	inf.infer(chunks, 0)
+
+	ex := evaluate.Extraction{}
+	typeIDs := map[string]int{}
+	for i := 0; i < n; i++ {
+		tid, ok := typeIDs[inf.branch[i]]
+		if !ok {
+			tid = len(typeIDs)
+			typeIDs[inf.branch[i]] = tid
+		}
+		ex.Records = append(ex.Records, evaluate.ExtractedRecord{
+			Type:      tid,
+			StartLine: i,
+			EndLine:   i + 1,
+			Fields:    inf.fields[i],
+		})
+	}
+	return ex
+}
+
+// infer recursively splits a set of chunks following the LearnPADS
+// histogram discipline: a token class whose per-chunk count is constant
+// across at least MaxMass of the chunks drives a struct split; a class
+// present in MaxMass of chunks with varying counts drives an array split;
+// otherwise the chunks are partitioned into union branches by signature,
+// falling back to one blob field when branching explodes.
+func (inf *inferrer) infer(chunks []chunk, depth int) {
+	if len(chunks) == 0 {
+		return
+	}
+	if depth >= inf.cfg.MaxDepth {
+		inf.leafBlob(chunks)
+		return
+	}
+
+	if key, count, ok := inf.structCandidate(chunks); ok {
+		inf.structSplit(chunks, key, count, depth)
+		return
+	}
+	if key, ok := inf.arrayCandidate(chunks); ok {
+		inf.arraySplit(chunks, key, depth)
+		return
+	}
+	inf.unionSplit(chunks, depth)
+}
+
+// histogram computes, per token-class key, the map count→#chunks and the
+// number of chunks containing the class at all.
+func histogram(chunks []chunk) map[int]map[int]int {
+	hist := map[int]map[int]int{}
+	for _, c := range chunks {
+		counts := map[int]int{}
+		for _, t := range c.toks {
+			counts[t.classKey()]++
+		}
+		for key, cnt := range counts {
+			m := hist[key]
+			if m == nil {
+				m = map[int]int{}
+				hist[key] = m
+			}
+			m[cnt]++
+		}
+	}
+	return hist
+}
+
+// structCandidate finds the best (key, count) where count occurrences per
+// chunk hold for ≥ MaxMass of the chunks. Whitespace is never a struct
+// driver on its own (matching RecordBreaker's lexer discipline where
+// whitespace separates tokens but rarely forms the record skeleton).
+func (inf *inferrer) structCandidate(chunks []chunk) (key, count int, ok bool) {
+	total := float64(len(chunks))
+	bestFrac := 0.0
+	hist := histogram(chunks)
+	keys := make([]int, 0, len(hist))
+	for k := range hist {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys) // deterministic iteration
+	for _, k := range keys {
+		if k == int(CWS) {
+			continue
+		}
+		for cnt, n := range hist[k] {
+			frac := float64(n) / total
+			if frac >= inf.cfg.MaxMass && float64(n)/total >= inf.cfg.MinCoverage {
+				if frac > bestFrac || (frac == bestFrac && k > key) {
+					bestFrac, key, count = frac, k, cnt
+					ok = true
+				}
+			}
+		}
+	}
+	return key, count, ok
+}
+
+// arrayCandidate finds a class present in ≥ MaxMass of chunks with varying
+// counts.
+func (inf *inferrer) arrayCandidate(chunks []chunk) (key int, ok bool) {
+	total := float64(len(chunks))
+	hist := histogram(chunks)
+	keys := make([]int, 0, len(hist))
+	for k := range hist {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	bestPresent := 0.0
+	for _, k := range keys {
+		if k == int(CWS) {
+			continue
+		}
+		present := 0
+		for _, n := range hist[k] {
+			present += n
+		}
+		frac := float64(present) / total
+		if frac >= inf.cfg.MaxMass && len(hist[k]) > 1 && frac > bestPresent {
+			bestPresent, key, ok = frac, k, true
+		}
+	}
+	return key, ok
+}
+
+// structSplit partitions each conforming chunk at the count occurrences of
+// key and recurses on each column; non-conforming chunks go to a union
+// branch.
+func (inf *inferrer) structSplit(chunks []chunk, key, count, depth int) {
+	cols := make([][]chunk, count+1)
+	var others []chunk
+	for _, c := range chunks {
+		segs, delims := splitAt(c, key)
+		if len(segs) != count+1 {
+			others = append(others, c)
+			continue
+		}
+		// A value-class driver (e.g. a DATE appearing exactly once
+		// per line) is itself a field, not formatting.
+		inf.emitValueDelims(c.line, delims)
+		for j, s := range segs {
+			cols[j] = append(cols[j], s)
+		}
+	}
+	for _, col := range cols {
+		inf.infer(col, depth+1)
+	}
+	if len(others) > 0 {
+		for _, c := range others {
+			inf.branch[c.line] += fmt.Sprintf("|u%d@%d", key, depth)
+		}
+		inf.infer(others, depth+1)
+	}
+}
+
+// arraySplit splits every chunk at all occurrences of key and pools the
+// segments; chunks lacking the class go to a union branch.
+func (inf *inferrer) arraySplit(chunks []chunk, key, depth int) {
+	var pool []chunk
+	var others []chunk
+	for _, c := range chunks {
+		segs, delims := splitAt(c, key)
+		if len(segs) == 1 {
+			others = append(others, c)
+			continue
+		}
+		inf.emitValueDelims(c.line, delims)
+		pool = append(pool, segs...)
+	}
+	inf.infer(pool, depth+1)
+	if len(others) > 0 {
+		for _, c := range others {
+			inf.branch[c.line] += fmt.Sprintf("|a%d@%d", key, depth)
+		}
+		inf.infer(others, depth+1)
+	}
+}
+
+// unionSplit partitions chunks by their token-class signature. Within the
+// branch cap each signature becomes a union branch (a distinct record
+// type); beyond it the chunks collapse to a blob field — RecordBreaker's
+// fixed-configuration failure mode on irregular data.
+func (inf *inferrer) unionSplit(chunks []chunk, depth int) {
+	groups := map[string][]chunk{}
+	var order []string
+	for _, c := range chunks {
+		sig := signature(c.toks)
+		if _, ok := groups[sig]; !ok {
+			order = append(order, sig)
+		}
+		groups[sig] = append(groups[sig], c)
+	}
+	if len(groups) == 1 {
+		// Uniform: emit value tokens as fields.
+		for _, c := range chunks {
+			for _, t := range c.toks {
+				if t.IsValue() {
+					inf.fields[c.line] = append(inf.fields[c.line], evaluate.Span{Start: t.Start, End: t.End})
+				}
+			}
+		}
+		return
+	}
+	if len(groups) > inf.cfg.MaxUnionBranches {
+		inf.leafBlob(chunks)
+		return
+	}
+	sort.Strings(order)
+	for bi, sig := range order {
+		for _, c := range groups[sig] {
+			inf.branch[c.line] += fmt.Sprintf("|b%d@%d", bi, depth)
+		}
+		inf.infer(groups[sig], depth+1)
+	}
+}
+
+// leafBlob emits each chunk's whole extent as a single string field.
+func (inf *inferrer) leafBlob(chunks []chunk) {
+	for _, c := range chunks {
+		if len(c.toks) == 0 {
+			continue
+		}
+		inf.fields[c.line] = append(inf.fields[c.line], evaluate.Span{
+			Start: c.toks[0].Start,
+			End:   c.toks[len(c.toks)-1].End,
+		})
+	}
+}
+
+// splitAt cuts a chunk at every occurrence of the class key, returning the
+// segments and the delimiter tokens.
+func splitAt(c chunk, key int) ([]chunk, []Token) {
+	var out []chunk
+	var delims []Token
+	cur := chunk{line: c.line}
+	for _, t := range c.toks {
+		if t.classKey() == key {
+			out = append(out, cur)
+			cur = chunk{line: c.line}
+			delims = append(delims, t)
+			continue
+		}
+		cur.toks = append(cur.toks, t)
+	}
+	out = append(out, cur)
+	return out, delims
+}
+
+// emitValueDelims records value-class split drivers as fields.
+func (inf *inferrer) emitValueDelims(line int, delims []Token) {
+	for _, t := range delims {
+		if t.IsValue() {
+			inf.fields[line] = append(inf.fields[line], evaluate.Span{Start: t.Start, End: t.End})
+		}
+	}
+}
+
+// signature renders a chunk's token-class sequence (whitespace collapsed).
+func signature(toks []Token) string {
+	out := make([]byte, 0, len(toks))
+	for _, t := range toks {
+		if t.Class == CPunct {
+			out = append(out, t.Punct)
+		} else {
+			out = append(out, byte('A'+t.Class))
+		}
+	}
+	return string(out)
+}

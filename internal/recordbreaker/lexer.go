@@ -1,0 +1,176 @@
+// Package recordbreaker reimplements the RecordBreaker baseline (§1, §3.4,
+// §5.3.2 of the Datamaran paper): a line-by-line unsupervised adaptation
+// of Fisher et al.'s LearnPADS. It assumes every record occupies exactly
+// one line (Assumption 4, "Boundary") and tokenizes each line with a
+// fixed, dataset-independent lexer (Assumption 5, "Tokenization") — the
+// two assumptions Datamaran drops.
+//
+// The paper reimplemented RecordBreaker in C++ over Flex; here the Flex
+// role is played by a hand-written maximal-munch lexer with the usual
+// default token classes (timestamp, date, IP, float, int, word,
+// whitespace, punctuation). As in the original, there is no per-dataset
+// configuration — which is precisely the weakness the paper documents.
+package recordbreaker
+
+// Class is a lexer token class.
+type Class uint8
+
+const (
+	// CWS is a whitespace run.
+	CWS Class = iota
+	// CInt is a decimal integer.
+	CInt
+	// CFloat is a decimal number with a fractional part.
+	CFloat
+	// CTime is hh:mm or hh:mm:ss.
+	CTime
+	// CDate is yyyy-mm-dd.
+	CDate
+	// CIP is a dotted quad.
+	CIP
+	// CWord is an identifier-like run.
+	CWord
+	// CPunct is a single punctuation byte; the byte value distinguishes
+	// punctuation tokens from each other.
+	CPunct
+)
+
+func (c Class) String() string {
+	switch c {
+	case CWS:
+		return "WS"
+	case CInt:
+		return "INT"
+	case CFloat:
+		return "FLOAT"
+	case CTime:
+		return "TIME"
+	case CDate:
+		return "DATE"
+	case CIP:
+		return "IP"
+	case CWord:
+		return "WORD"
+	case CPunct:
+		return "PUNCT"
+	}
+	return "?"
+}
+
+// Token is one lexed token. Start/End are offsets into the line's
+// underlying buffer (global offsets when lexing a whole dataset).
+type Token struct {
+	Class Class
+	// Punct holds the byte of a CPunct token.
+	Punct      byte
+	Start, End int
+}
+
+// IsValue reports whether the token carries field content (as opposed to
+// formatting).
+func (t Token) IsValue() bool {
+	return t.Class != CWS && t.Class != CPunct
+}
+
+// classKey returns a small integer identifying the token's class for
+// histogramming; punctuation bytes get distinct keys.
+func (t Token) classKey() int {
+	if t.Class == CPunct {
+		return 256 + int(t.Punct)
+	}
+	return int(t.Class)
+}
+
+func isDigit(b byte) bool  { return b >= '0' && b <= '9' }
+func isLetter(b byte) bool { return b >= 'a' && b <= 'z' || b >= 'A' && b <= 'Z' || b == '_' }
+
+// Lex tokenizes data[start:end] (one line, excluding the newline) with the
+// fixed default configuration, maximal-munch with class priority:
+// IP > date > time > float > int > word > whitespace > punct.
+func Lex(data []byte, start, end int) []Token {
+	var out []Token
+	i := start
+	for i < end {
+		b := data[i]
+		switch {
+		case b == ' ' || b == '\t':
+			j := i
+			for j < end && (data[j] == ' ' || data[j] == '\t') {
+				j++
+			}
+			out = append(out, Token{Class: CWS, Start: i, End: j})
+			i = j
+		case isDigit(b):
+			tok := lexNumeric(data, i, end)
+			out = append(out, tok)
+			i = tok.End
+		case isLetter(b):
+			j := i
+			for j < end && (isLetter(data[j]) || isDigit(data[j])) {
+				j++
+			}
+			out = append(out, Token{Class: CWord, Start: i, End: j})
+			i = j
+		default:
+			out = append(out, Token{Class: CPunct, Punct: b, Start: i, End: i + 1})
+			i++
+		}
+	}
+	return out
+}
+
+// lexNumeric greedily recognizes IP, date, time, float or int starting at
+// a digit.
+func lexNumeric(data []byte, i, end int) Token {
+	run := func(j int) int {
+		for j < end && isDigit(data[j]) {
+			j++
+		}
+		return j
+	}
+	d1 := run(i)
+	// IP: d.d.d.d
+	if j := d1; j < end && data[j] == '.' {
+		d2 := run(j + 1)
+		if d2 > j+1 && d2 < end && data[d2] == '.' {
+			d3 := run(d2 + 1)
+			if d3 > d2+1 && d3 < end && data[d3] == '.' {
+				d4 := run(d3 + 1)
+				if d4 > d3+1 {
+					return Token{Class: CIP, Start: i, End: d4}
+				}
+			}
+		}
+	}
+	// Date: dddd-dd-dd
+	if d1-i == 4 && d1 < end && data[d1] == '-' {
+		d2 := run(d1 + 1)
+		if d2 == d1+3 && d2 < end && data[d2] == '-' {
+			d3 := run(d2 + 1)
+			if d3 == d2+3 {
+				return Token{Class: CDate, Start: i, End: d3}
+			}
+		}
+	}
+	// Time: dd:dd or dd:dd:dd
+	if d1-i <= 2 && d1 < end && data[d1] == ':' {
+		d2 := run(d1 + 1)
+		if d2 == d1+3 {
+			if d2 < end && data[d2] == ':' {
+				d3 := run(d2 + 1)
+				if d3 == d2+3 {
+					return Token{Class: CTime, Start: i, End: d3}
+				}
+			}
+			return Token{Class: CTime, Start: i, End: d2}
+		}
+	}
+	// Float: d.d
+	if d1 < end && data[d1] == '.' {
+		d2 := run(d1 + 1)
+		if d2 > d1+1 {
+			return Token{Class: CFloat, Start: i, End: d2}
+		}
+	}
+	return Token{Class: CInt, Start: i, End: d1}
+}

@@ -1,0 +1,112 @@
+package relational
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// The operations below are the vocabulary of the formal evaluation
+// standard (§9.3): an extraction is successful iff the target relation can
+// be reconstructed from the extracted relation using only these.
+
+// Concat creates a new column named newCol in t whose value is the
+// concatenation of columns c1 and c2 for each row.
+func Concat(t *Table, c1, c2, newCol string) error {
+	i1, i2 := t.Col(c1), t.Col(c2)
+	if i1 < 0 || i2 < 0 {
+		return fmt.Errorf("relational: Concat: no column %q or %q in %s", c1, c2, t.Name)
+	}
+	t.Columns = append(t.Columns, newCol)
+	for r, row := range t.Rows {
+		t.Rows[r] = append(row, row[i1]+row[i2])
+	}
+	return nil
+}
+
+// GroupConcat creates a new column in parent: for each parent row, the
+// concatenation of column c of the child rows whose foreign-key column fk
+// references it (in child row order).
+func GroupConcat(parent, child *Table, fk, c, newCol string) error {
+	fkIdx, cIdx := child.Col(fk), child.Col(c)
+	idIdx := parent.Col("id")
+	if fkIdx < 0 || cIdx < 0 {
+		return fmt.Errorf("relational: GroupConcat: missing column %q or %q in %s", fk, c, child.Name)
+	}
+	if idIdx < 0 {
+		return errors.New("relational: GroupConcat: parent has no id column")
+	}
+	groups := map[string]*strings.Builder{}
+	for _, row := range child.Rows {
+		b, ok := groups[row[fkIdx]]
+		if !ok {
+			b = &strings.Builder{}
+			groups[row[fkIdx]] = b
+		}
+		b.WriteString(row[cIdx])
+	}
+	parent.Columns = append(parent.Columns, newCol)
+	for r, row := range parent.Rows {
+		val := ""
+		if b, ok := groups[row[idIdx]]; ok {
+			val = b.String()
+		}
+		parent.Rows[r] = append(row, val)
+	}
+	return nil
+}
+
+// Trim removes the first pre and last suf characters of every value in
+// column c (values shorter than pre+suf become empty).
+func Trim(t *Table, c string, pre, suf int) error {
+	i := t.Col(c)
+	if i < 0 {
+		return fmt.Errorf("relational: Trim: no column %q in %s", c, t.Name)
+	}
+	for _, row := range t.Rows {
+		v := row[i]
+		if len(v) <= pre+suf {
+			row[i] = ""
+			continue
+		}
+		row[i] = v[pre : len(v)-suf]
+	}
+	return nil
+}
+
+// Append adds constant prefix and suffix strings to every value of column
+// c.
+func Append(t *Table, c, prefix, suffix string) error {
+	i := t.Col(c)
+	if i < 0 {
+		return fmt.Errorf("relational: Append: no column %q in %s", c, t.Name)
+	}
+	for _, row := range t.Rows {
+		row[i] = prefix + row[i] + suffix
+	}
+	return nil
+}
+
+// DeleteCol removes column c from t.
+func DeleteCol(t *Table, c string) error {
+	i := t.Col(c)
+	if i < 0 {
+		return fmt.Errorf("relational: DeleteCol: no column %q in %s", c, t.Name)
+	}
+	t.Columns = append(t.Columns[:i], t.Columns[i+1:]...)
+	for r, row := range t.Rows {
+		t.Rows[r] = append(row[:i], row[i+1:]...)
+	}
+	return nil
+}
+
+// DeleteTable removes the named table from d.
+func DeleteTable(d *Database, name string) error {
+	for i, t := range d.Tables {
+		if t.Name == name {
+			d.Tables = append(d.Tables[:i], d.Tables[i+1:]...)
+			return nil
+		}
+	}
+	return fmt.Errorf("relational: DeleteTable: no table %q", name)
+}

@@ -1,0 +1,256 @@
+// Package relational converts parsed records into relational datasets
+// (§3.3, Figure 7 of the paper). Two representations are produced:
+//
+//   - a normalized form: one root table plus one child table per
+//     array-type node, linked by foreign-key references, and
+//   - a denormalized form: a single table where array repetitions are
+//     folded into one cell per column.
+//
+// It also implements the relational operations of the formal evaluation
+// standard (§9.3): Concat, GroupConcat, Trim, Append, DeleteCol and
+// DeleteTable, used to decide whether a target dataset is reconstructible
+// from an extraction result.
+package relational
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"datamaran/internal/parser"
+	"datamaran/internal/template"
+)
+
+// Table is a named relation with string-valued cells.
+type Table struct {
+	Name    string
+	Columns []string
+	Rows    [][]string
+	// Parent names the table this one references via its parent_id
+	// column ("" for the root).
+	Parent string
+}
+
+// NumRows returns the number of rows.
+func (t *Table) NumRows() int { return len(t.Rows) }
+
+// Col returns the index of the named column, or -1.
+func (t *Table) Col(name string) int {
+	for i, c := range t.Columns {
+		if c == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// WriteCSV writes the table in a minimal CSV form (quoting cells that
+// contain commas, quotes or newlines).
+func (t *Table) WriteCSV(w io.Writer) error {
+	writeRow := func(cells []string) error {
+		for i, c := range cells {
+			if i > 0 {
+				if _, err := io.WriteString(w, ","); err != nil {
+					return err
+				}
+			}
+			if strings.ContainsAny(c, ",\"\n") {
+				c = `"` + strings.ReplaceAll(c, `"`, `""`) + `"`
+			}
+			if _, err := io.WriteString(w, c); err != nil {
+				return err
+			}
+		}
+		_, err := io.WriteString(w, "\n")
+		return err
+	}
+	if err := writeRow(t.Columns); err != nil {
+		return err
+	}
+	for _, r := range t.Rows {
+		if err := writeRow(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Database is a set of tables; Tables[0] is the root.
+type Database struct {
+	Tables []*Table
+}
+
+// Table returns the named table, or nil.
+func (d *Database) Table(name string) *Table {
+	for _, t := range d.Tables {
+		if t.Name == name {
+			return t
+		}
+	}
+	return nil
+}
+
+// schema maps template nodes to table/column slots.
+type schema struct {
+	// tableOf[arrayNode] is the table index for the array's rows; the
+	// root scope is table 0.
+	tableOf map[*template.Node]int
+	// fieldSlot[fieldNode] is the (table, column) of a field.
+	fieldSlot map[*template.Node][2]int
+	tables    []*Table
+}
+
+// buildSchema assigns every field of st a column in the root table or in a
+// per-array child table (Figure 7's normalized representation).
+func buildSchema(st *template.Node, rootName string) *schema {
+	s := &schema{
+		tableOf:   map[*template.Node]int{},
+		fieldSlot: map[*template.Node][2]int{},
+	}
+	root := &Table{Name: rootName, Columns: []string{"id"}}
+	s.tables = []*Table{root}
+	var walk func(n *template.Node, tableIdx int)
+	walk = func(n *template.Node, tableIdx int) {
+		switch n.Kind {
+		case template.KField:
+			t := s.tables[tableIdx]
+			col := len(t.Columns)
+			t.Columns = append(t.Columns, fmt.Sprintf("f%d", col-s.metaCols(tableIdx)))
+			s.fieldSlot[n] = [2]int{tableIdx, col}
+		case template.KStruct:
+			for _, c := range n.Children {
+				walk(c, tableIdx)
+			}
+		case template.KArray:
+			childIdx := len(s.tables)
+			child := &Table{
+				Name:    fmt.Sprintf("%s_list%d", rootName, childIdx),
+				Columns: []string{"id", "parent_id"},
+				Parent:  s.tables[tableIdx].Name,
+			}
+			s.tables = append(s.tables, child)
+			s.tableOf[n] = childIdx
+			for _, c := range n.Children {
+				walk(c, childIdx)
+			}
+		}
+	}
+	walk(st, 0)
+	return s
+}
+
+// metaCols returns the number of leading bookkeeping columns of a table.
+func (s *schema) metaCols(tableIdx int) int {
+	if tableIdx == 0 {
+		return 1 // id
+	}
+	return 2 // id, parent_id
+}
+
+// Build converts a scan result into the normalized relational form: each
+// field placeholder becomes a column, each array a child table whose rows
+// reference their parent record (Figure 7 left).
+func Build(m *parser.Matcher, data []byte, scan *parser.ScanResult, rootName string) *Database {
+	if rootName == "" {
+		rootName = "records"
+	}
+	s := buildSchema(m.Template(), rootName)
+	for _, rec := range scan.Records {
+		s.addRecord(m.Template(), rec.Value, data)
+	}
+	return &Database{Tables: s.tables}
+}
+
+// addRecord appends one parsed record to the schema's tables.
+func (s *schema) addRecord(st *template.Node, v *parser.Value, data []byte) {
+	rowOf := make([]int, len(s.tables)) // current row index per table, -1 below
+	for i := range rowOf {
+		rowOf[i] = -1
+	}
+	newRow := func(tableIdx, parentRow int) int {
+		t := s.tables[tableIdx]
+		row := make([]string, len(t.Columns))
+		row[0] = fmt.Sprintf("%d", len(t.Rows)+1)
+		if tableIdx != 0 {
+			row[1] = fmt.Sprintf("%d", parentRow+1)
+		}
+		t.Rows = append(t.Rows, row)
+		return len(t.Rows) - 1
+	}
+	rowOf[0] = newRow(0, -1)
+	var walk func(n *template.Node, v *parser.Value, tableIdx int)
+	walk = func(n *template.Node, v *parser.Value, tableIdx int) {
+		switch n.Kind {
+		case template.KField:
+			slot := s.fieldSlot[n]
+			s.tables[slot[0]].Rows[rowOf[slot[0]]][slot[1]] = string(data[v.Start:v.End])
+		case template.KStruct:
+			for i, c := range n.Children {
+				walk(c, v.Children[i], tableIdx)
+			}
+		case template.KArray:
+			childIdx := s.tableOf[n]
+			for _, group := range v.Children {
+				rowOf[childIdx] = newRow(childIdx, rowOf[tableIdx])
+				for i, c := range n.Children {
+					walk(c, group.Children[i], childIdx)
+				}
+			}
+		}
+	}
+	walk(st, v, 0)
+}
+
+// BuildDenormalized converts a scan result into the single-table form
+// (Figure 7 right): one row per record, one column per field column of the
+// template; array repetitions are joined with the array's separator
+// character.
+func BuildDenormalized(m *parser.Matcher, data []byte, scan *parser.ScanResult, name string) *Table {
+	if name == "" {
+		name = "records"
+	}
+	cols := m.Columns()
+	t := &Table{Name: name}
+	for i := 0; i < cols; i++ {
+		t.Columns = append(t.Columns, fmt.Sprintf("f%d", i))
+	}
+	for _, rec := range scan.Records {
+		row := make([]string, cols)
+		joined := make([]bool, cols)
+		sep := arraySepByCol(m.Template())
+		for _, f := range m.Flatten(rec.Value) {
+			val := string(data[f.Start:f.End])
+			if row[f.Col] == "" && !joined[f.Col] {
+				row[f.Col] = val
+				joined[f.Col] = true
+			} else {
+				row[f.Col] += string(sep[f.Col]) + val
+			}
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}
+
+// arraySepByCol maps each field column to the separator of its enclosing
+// array (or ';' outside arrays, unused since such columns never join).
+func arraySepByCol(st *template.Node) []byte {
+	seps := make([]byte, 0, st.NumFields())
+	var walk func(n *template.Node, sep byte)
+	walk = func(n *template.Node, sep byte) {
+		switch n.Kind {
+		case template.KField:
+			seps = append(seps, sep)
+		case template.KStruct:
+			for _, c := range n.Children {
+				walk(c, sep)
+			}
+		case template.KArray:
+			for _, c := range n.Children {
+				walk(c, n.Sep)
+			}
+		}
+	}
+	walk(st, ';')
+	return seps
+}

@@ -1,0 +1,319 @@
+package relational
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"datamaran/internal/parser"
+	"datamaran/internal/template"
+	"datamaran/internal/textio"
+)
+
+func fld() *template.Node         { return template.Field() }
+func lit(s string) *template.Node { return template.Lit(s) }
+func stc(c ...*template.Node) *template.Node {
+	return template.Struct(c...).Normalize()
+}
+
+func scanOf(tm *template.Node, data string) (*parser.Matcher, []byte, *parser.ScanResult) {
+	m := parser.NewMatcher(tm)
+	b := []byte(data)
+	return m, b, m.Scan(textio.NewLines(b))
+}
+
+func TestBuildFlatTemplate(t *testing.T) {
+	tm := stc(fld(), lit(","), fld(), lit("\n"))
+	m, data, scan := scanOf(tm, "a,b\nc,d\n")
+	db := Build(m, data, scan, "recs")
+	if len(db.Tables) != 1 {
+		t.Fatalf("tables = %d, want 1", len(db.Tables))
+	}
+	root := db.Tables[0]
+	if root.Name != "recs" {
+		t.Fatalf("root name = %q", root.Name)
+	}
+	wantCols := []string{"id", "f0", "f1"}
+	if strings.Join(root.Columns, "|") != strings.Join(wantCols, "|") {
+		t.Fatalf("columns = %v, want %v", root.Columns, wantCols)
+	}
+	if root.NumRows() != 2 {
+		t.Fatalf("rows = %d, want 2", root.NumRows())
+	}
+	if root.Rows[0][1] != "a" || root.Rows[1][2] != "d" {
+		t.Fatalf("cell values wrong: %v", root.Rows)
+	}
+}
+
+func TestBuildNormalizedArrayChildTable(t *testing.T) {
+	// Figure 7: F,F,"(F,)*F",F\n → root + one child list table with FK.
+	inner := template.Array([]*template.Node{fld()}, ',', '"')
+	tm := stc(fld(), lit(","), fld(), lit(`,"`), inner, lit(","), fld(), lit("\n"))
+	m, data, scan := scanOf(tm, "a,b,\"1,2,3\",z\nc,d,\"4\",w\n")
+	db := Build(m, data, scan, "recs")
+	if len(db.Tables) != 2 {
+		t.Fatalf("tables = %d, want 2", len(db.Tables))
+	}
+	root, child := db.Tables[0], db.Tables[1]
+	if root.NumRows() != 2 {
+		t.Fatalf("root rows = %d, want 2", root.NumRows())
+	}
+	if child.NumRows() != 4 {
+		t.Fatalf("child rows = %d, want 4 (3 + 1)", child.NumRows())
+	}
+	if child.Parent != "recs" {
+		t.Fatalf("child parent = %q", child.Parent)
+	}
+	// First three child rows reference record 1, last references 2.
+	for i := 0; i < 3; i++ {
+		if child.Rows[i][1] != "1" {
+			t.Errorf("child row %d parent_id = %q, want 1", i, child.Rows[i][1])
+		}
+	}
+	if child.Rows[3][1] != "2" {
+		t.Errorf("child row 3 parent_id = %q, want 2", child.Rows[3][1])
+	}
+	if child.Rows[0][2] != "1" || child.Rows[2][2] != "3" || child.Rows[3][2] != "4" {
+		t.Fatalf("child values wrong: %v", child.Rows)
+	}
+}
+
+func TestBuildNestedArrays(t *testing.T) {
+	// (F,F|)*F,F;\n over groups: outer array → child table of pairs.
+	outer := template.Array([]*template.Node{fld(), lit(","), fld()}, '|', ';')
+	tm := stc(outer, lit("\n"))
+	m, data, scan := scanOf(tm, "1,2|3,4;\n5,6;\n")
+	db := Build(m, data, scan, "recs")
+	if len(db.Tables) != 2 {
+		t.Fatalf("tables = %d, want 2", len(db.Tables))
+	}
+	child := db.Tables[1]
+	if child.NumRows() != 3 {
+		t.Fatalf("child rows = %d, want 3", child.NumRows())
+	}
+	if child.Rows[0][2] != "1" || child.Rows[0][3] != "2" || child.Rows[2][2] != "5" {
+		t.Fatalf("child cells wrong: %v", child.Rows)
+	}
+}
+
+func TestBuildDenormalized(t *testing.T) {
+	inner := template.Array([]*template.Node{fld()}, ',', '"')
+	tm := stc(fld(), lit(`,"`), inner, lit("\n"))
+	m, data, scan := scanOf(tm, "a,\"1,2,3\"\nb,\"4,5\"\n")
+	tab := BuildDenormalized(m, data, scan, "recs")
+	if tab.NumRows() != 2 {
+		t.Fatalf("rows = %d, want 2", tab.NumRows())
+	}
+	if tab.Rows[0][0] != "a" || tab.Rows[0][1] != "1,2,3" {
+		t.Fatalf("row 0 = %v", tab.Rows[0])
+	}
+	if tab.Rows[1][1] != "4,5" {
+		t.Fatalf("row 1 = %v", tab.Rows[1])
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	tab := &Table{
+		Name:    "t",
+		Columns: []string{"a", "b"},
+		Rows:    [][]string{{"x", "y,z"}, {"q\"r", "s"}},
+	}
+	var buf bytes.Buffer
+	if err := tab.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := "a,b\nx,\"y,z\"\n\"q\"\"r\",s\n"
+	if buf.String() != want {
+		t.Fatalf("CSV = %q, want %q", buf.String(), want)
+	}
+}
+
+func TestDatabaseTableLookup(t *testing.T) {
+	db := &Database{Tables: []*Table{{Name: "x"}, {Name: "y"}}}
+	if db.Table("y") == nil || db.Table("z") != nil {
+		t.Fatal("Table lookup broken")
+	}
+}
+
+func TestConcat(t *testing.T) {
+	tab := &Table{Columns: []string{"a", "b"}, Rows: [][]string{{"1", "2"}, {"x", "y"}}}
+	if err := Concat(tab, "a", "b", "ab"); err != nil {
+		t.Fatal(err)
+	}
+	if tab.Rows[0][2] != "12" || tab.Rows[1][2] != "xy" {
+		t.Fatalf("Concat rows = %v", tab.Rows)
+	}
+	if err := Concat(tab, "a", "nope", "x"); err == nil {
+		t.Fatal("expected error for missing column")
+	}
+}
+
+func TestGroupConcat(t *testing.T) {
+	parent := &Table{Columns: []string{"id"}, Rows: [][]string{{"1"}, {"2"}}}
+	child := &Table{
+		Columns: []string{"id", "parent_id", "v"},
+		Rows: [][]string{
+			{"1", "1", "a"}, {"2", "1", "b"}, {"3", "2", "c"},
+		},
+	}
+	if err := GroupConcat(parent, child, "parent_id", "v", "vs"); err != nil {
+		t.Fatal(err)
+	}
+	if parent.Rows[0][1] != "ab" || parent.Rows[1][1] != "c" {
+		t.Fatalf("GroupConcat rows = %v", parent.Rows)
+	}
+}
+
+func TestGroupConcatEmptyGroup(t *testing.T) {
+	parent := &Table{Columns: []string{"id"}, Rows: [][]string{{"1"}}}
+	child := &Table{Columns: []string{"id", "parent_id", "v"}}
+	if err := GroupConcat(parent, child, "parent_id", "v", "vs"); err != nil {
+		t.Fatal(err)
+	}
+	if parent.Rows[0][1] != "" {
+		t.Fatalf("empty group should give empty string, got %q", parent.Rows[0][1])
+	}
+}
+
+func TestTrim(t *testing.T) {
+	tab := &Table{Columns: []string{"a"}, Rows: [][]string{{"[abc]"}, {"[]"}, {"x"}}}
+	if err := Trim(tab, "a", 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if tab.Rows[0][0] != "abc" || tab.Rows[1][0] != "" || tab.Rows[2][0] != "" {
+		t.Fatalf("Trim rows = %v", tab.Rows)
+	}
+}
+
+func TestAppendOp(t *testing.T) {
+	tab := &Table{Columns: []string{"a"}, Rows: [][]string{{"x"}}}
+	if err := Append(tab, "a", "<", ">"); err != nil {
+		t.Fatal(err)
+	}
+	if tab.Rows[0][0] != "<x>" {
+		t.Fatalf("Append row = %v", tab.Rows[0])
+	}
+}
+
+func TestDeleteCol(t *testing.T) {
+	tab := &Table{Columns: []string{"a", "b", "c"}, Rows: [][]string{{"1", "2", "3"}}}
+	if err := DeleteCol(tab, "b"); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Join(tab.Columns, "") != "ac" || strings.Join(tab.Rows[0], "") != "13" {
+		t.Fatalf("DeleteCol = %v %v", tab.Columns, tab.Rows)
+	}
+}
+
+func TestDeleteTable(t *testing.T) {
+	db := &Database{Tables: []*Table{{Name: "a"}, {Name: "b"}}}
+	if err := DeleteTable(db, "a"); err != nil {
+		t.Fatal(err)
+	}
+	if len(db.Tables) != 1 || db.Tables[0].Name != "b" {
+		t.Fatalf("DeleteTable left %v", db.Tables)
+	}
+	if err := DeleteTable(db, "zzz"); err == nil {
+		t.Fatal("expected error for unknown table")
+	}
+}
+
+func TestReconstructTargetViaOps(t *testing.T) {
+	// End-to-end §9.3 scenario: extract [F:F:F] F\n, then rebuild the
+	// time target "01:05:02" via Append + Concat.
+	tm := stc(lit("["), fld(), lit(":"), fld(), lit(":"), fld(), lit("] "), fld(), lit("\n"))
+	m, data, scan := scanOf(tm, "[01:05:02] 1.2.3.4\n[23:59:59] 5.6.7.8\n")
+	db := Build(m, data, scan, "recs")
+	root := db.Tables[0]
+	if err := Append(root, "f0", "", ":"); err != nil {
+		t.Fatal(err)
+	}
+	if err := Append(root, "f1", "", ":"); err != nil {
+		t.Fatal(err)
+	}
+	if err := Concat(root, "f0", "f1", "t1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := Concat(root, "t1", "f2", "time"); err != nil {
+		t.Fatal(err)
+	}
+	i := root.Col("time")
+	if root.Rows[0][i] != "01:05:02" || root.Rows[1][i] != "23:59:59" {
+		t.Fatalf("reconstructed times = %q, %q", root.Rows[0][i], root.Rows[1][i])
+	}
+}
+
+// Property: the normalized and denormalized forms contain the same field
+// values for flat templates.
+func TestQuickFormsAgreeOnFlatTemplates(t *testing.T) {
+	tm := stc(fld(), lit("|"), fld(), lit("\n"))
+	data := "a|b\nc|d\ne|f\n"
+	m, bts, scan := scanOf(tm, data)
+	db := Build(m, bts, scan, "r")
+	den := BuildDenormalized(m, bts, scan, "r")
+	root := db.Tables[0]
+	if root.NumRows() != den.NumRows() {
+		t.Fatalf("row counts differ: %d vs %d", root.NumRows(), den.NumRows())
+	}
+	for r := range den.Rows {
+		for c := range den.Rows[r] {
+			if den.Rows[r][c] != root.Rows[r][c+1] { // +1 skips id
+				t.Fatalf("cell (%d,%d) differs: %q vs %q", r, c, den.Rows[r][c], root.Rows[r][c+1])
+			}
+		}
+	}
+}
+
+// Property: every child row's parent_id references an existing parent id.
+func TestChildForeignKeysValid(t *testing.T) {
+	inner := template.Array([]*template.Node{fld()}, ';', '"')
+	tm := stc(fld(), lit(` "`), inner, lit("\n"))
+	m, bts, scan := scanOf(tm, "a \"1;2\"\nb \"3\"\nc \"4;5;6\"\n")
+	db := Build(m, bts, scan, "r")
+	parents := map[string]bool{}
+	for _, row := range db.Tables[0].Rows {
+		parents[row[0]] = true
+	}
+	for _, row := range db.Tables[1].Rows {
+		if !parents[row[1]] {
+			t.Fatalf("dangling parent_id %q", row[1])
+		}
+	}
+}
+
+func TestGroupConcatAfterBuildReconstructsList(t *testing.T) {
+	// §9.3's GroupConcat over a built child table restores the list.
+	inner := template.Array([]*template.Node{fld()}, ',', ';')
+	tm := stc(lit("x "), inner, lit("\n"))
+	m, bts, scan := scanOf(tm, "x 1,2,3;\nx 9;\n")
+	db := Build(m, bts, scan, "r")
+	root, child := db.Tables[0], db.Tables[1]
+	if err := GroupConcat(root, child, "parent_id", "f0", "joined"); err != nil {
+		t.Fatal(err)
+	}
+	i := root.Col("joined")
+	if root.Rows[0][i] != "123" || root.Rows[1][i] != "9" {
+		t.Fatalf("joined = %q, %q", root.Rows[0][i], root.Rows[1][i])
+	}
+}
+
+func TestBuildEmptyScan(t *testing.T) {
+	tm := stc(fld(), lit("\n"))
+	m := parser.NewMatcher(tm)
+	db := Build(m, nil, &parser.ScanResult{}, "empty")
+	if len(db.Tables) != 1 || db.Tables[0].NumRows() != 0 {
+		t.Fatalf("empty build = %+v", db.Tables)
+	}
+}
+
+func TestDenormalizedEmptyFieldCells(t *testing.T) {
+	tm := stc(fld(), lit(","), fld(), lit("\n"))
+	m, bts, scan := scanOf(tm, ",x\ny,\n")
+	den := BuildDenormalized(m, bts, scan, "r")
+	if den.Rows[0][0] != "" || den.Rows[0][1] != "x" {
+		t.Fatalf("row 0 = %v", den.Rows[0])
+	}
+	if den.Rows[1][0] != "y" || den.Rows[1][1] != "" {
+		t.Fatalf("row 1 = %v", den.Rows[1])
+	}
+}

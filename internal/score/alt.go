@@ -1,0 +1,38 @@
+package score
+
+import (
+	"datamaran/internal/parser"
+	"datamaran/internal/textio"
+)
+
+// CoverageScorer is an alternative regularity score demonstrating the
+// pluggable-scorer design (§4: "we can plug in any reasonable scoring
+// function into Datamaran"). It ignores description length entirely and
+// scores a template by how much of the dataset it fails to explain plus a
+// small per-column complexity charge. Lower is better, like MDL.
+//
+// It is deliberately cruder than MDL: it cannot distinguish array from
+// struct forms of equal coverage, so refinement decisions degrade — the
+// ablation experiments use it to show why the MDL design matters.
+type CoverageScorer struct {
+	// ColumnPenalty is the per-column charge in noise-byte equivalents
+	// (default 16 when zero).
+	ColumnPenalty float64
+}
+
+// Score implements Scorer.
+func (c CoverageScorer) Score(m *parser.Matcher, lines *textio.Lines) Result {
+	penalty := c.ColumnPenalty
+	if penalty == 0 {
+		penalty = 16
+	}
+	scan := m.Scan(lines)
+	uncovered := len(lines.Data()) - scan.Coverage
+	bits := float64(uncovered)*8 + penalty*8*float64(m.Columns()) + float64(m.Template().Len())*8
+	return Result{
+		Bits:       bits,
+		Records:    len(scan.Records),
+		Coverage:   scan.Coverage,
+		NoiseLines: len(scan.NoiseLines),
+	}
+}

@@ -1,0 +1,346 @@
+// Package score implements Datamaran's two scoring functions:
+//
+//   - the assimilation score G(T,S) = Cov(T,S) × Non_Field_Cov(T,S) used
+//     by the pruning step (§4.2), and
+//   - the default regularity score F(T,S): a minimum-description-length
+//     measure of the dataset under a structure template (§9.2, Alg 2),
+//     where a lower bit count means a more plausible structure.
+//
+// The regularity score is pluggable by design (the paper stresses that
+// Datamaran works with any reasonable scoring modality); the pipeline
+// accepts any Scorer.
+package score
+
+import (
+	"math"
+
+	"datamaran/internal/parser"
+	"datamaran/internal/template"
+	"datamaran/internal/textio"
+)
+
+// Assimilation computes G(T,S) from a template's byte coverage and the
+// byte total of its field values. It distinguishes both redundancy
+// sources of Figure 11: sub-templates of multi-line templates lose
+// coverage, and templates that demote formatting characters to field
+// values lose non-field coverage.
+func Assimilation(coverage, fieldBytes int) float64 {
+	nonField := coverage - fieldBytes
+	if nonField < 0 {
+		nonField = 0
+	}
+	return float64(coverage) * float64(nonField)
+}
+
+// FieldType is the value type assigned to a field column when computing
+// the description length (§9.2).
+type FieldType uint8
+
+const (
+	// TInt is an integer column: values cost ⌈log2(max−min+1)⌉ bits.
+	TInt FieldType = iota
+	// TReal is a fixed-point real column: values cost
+	// ⌈log2((max−min)·10^exp+1)⌉ bits.
+	TReal
+	// TEnum is an enumerated column: values cost ⌈log2 n_distinct⌉ bits.
+	TEnum
+	// TString is a free string column: values cost (len+1)·8 bits.
+	TString
+)
+
+func (t FieldType) String() string {
+	switch t {
+	case TInt:
+		return "int"
+	case TReal:
+		return "real"
+	case TEnum:
+		return "enum"
+	case TString:
+		return "string"
+	}
+	return "?"
+}
+
+// enumMaxDistinct caps the number of distinct values a column may have and
+// still be typed as enumerated.
+const enumMaxDistinct = 64
+
+// colStats accumulates per-column statistics during the scan pass.
+type colStats struct {
+	count      int
+	totalBytes int
+	allInt     bool
+	allReal    bool
+	minI, maxI int64
+	minR, maxR float64
+	maxExp     int
+	distinct   map[string]struct{}
+	overflow   bool // too many distinct values to be an enum
+}
+
+func newColStats() *colStats {
+	return &colStats{allInt: true, allReal: true, distinct: make(map[string]struct{})}
+}
+
+func (c *colStats) add(val []byte) {
+	c.count++
+	c.totalBytes += len(val)
+	if !c.overflow {
+		c.distinct[string(val)] = struct{}{}
+		if len(c.distinct) > enumMaxDistinct {
+			c.overflow = true
+			c.distinct = nil
+		}
+	}
+	if c.allInt {
+		if v, ok := parseInt(val); ok {
+			if c.count == 1 || v < c.minI {
+				c.minI = v
+			}
+			if c.count == 1 || v > c.maxI {
+				c.maxI = v
+			}
+		} else {
+			c.allInt = false
+		}
+	}
+	if c.allReal {
+		if v, exp, ok := parseReal(val); ok {
+			if c.count == 1 || v < c.minR {
+				c.minR = v
+			}
+			if c.count == 1 || v > c.maxR {
+				c.maxR = v
+			}
+			if exp > c.maxExp {
+				c.maxExp = exp
+			}
+		} else {
+			c.allReal = false
+		}
+	}
+}
+
+// resolve picks the column type by analyzing the accumulated values:
+// integer if every value is an integer, else real if every value is a
+// fixed-point number, else enumerated if the distinct-value count is
+// small, else string.
+func (c *colStats) resolve() FieldType {
+	switch {
+	case c.count == 0:
+		return TString
+	case c.allInt:
+		return TInt
+	case c.allReal:
+		return TReal
+	case !c.overflow && len(c.distinct) <= enumMaxDistinct:
+		return TEnum
+	default:
+		return TString
+	}
+}
+
+// bitsPerValue returns the per-value description cost for resolved type t,
+// plus a one-time model cost (the enum dictionary).
+func (c *colStats) bits(t FieldType) (perValue float64, model float64) {
+	switch t {
+	case TInt:
+		return ceilLog2(float64(c.maxI-c.minI) + 1), 0
+	case TReal:
+		span := (c.maxR - c.minR) * math.Pow(10, float64(c.maxExp))
+		return ceilLog2(span + 1), 0
+	case TEnum:
+		n := len(c.distinct)
+		var dict float64
+		for v := range c.distinct {
+			dict += float64(len(v)+1) * 8
+		}
+		return ceilLog2(float64(n)), dict
+	default: // TString: cost depends on each value's length.
+		return 0, 0
+	}
+}
+
+func ceilLog2(x float64) float64 {
+	if x <= 1 {
+		return 0
+	}
+	return math.Ceil(math.Log2(x))
+}
+
+func parseInt(b []byte) (int64, bool) {
+	if len(b) == 0 || len(b) > 18 {
+		return 0, false
+	}
+	i := 0
+	neg := false
+	if b[0] == '-' || b[0] == '+' {
+		neg = b[0] == '-'
+		i++
+		if i == len(b) {
+			return 0, false
+		}
+	}
+	var v int64
+	for ; i < len(b); i++ {
+		if b[i] < '0' || b[i] > '9' {
+			return 0, false
+		}
+		v = v*10 + int64(b[i]-'0')
+	}
+	if neg {
+		v = -v
+	}
+	return v, true
+}
+
+// parseReal accepts optional sign, digits, optional '.digits'. It returns
+// the value and the number of digits after the decimal point.
+func parseReal(b []byte) (float64, int, bool) {
+	if len(b) == 0 || len(b) > 24 {
+		return 0, 0, false
+	}
+	i := 0
+	neg := false
+	if b[0] == '-' || b[0] == '+' {
+		neg = b[0] == '-'
+		i++
+	}
+	digits := 0
+	var v float64
+	for ; i < len(b); i++ {
+		if b[i] < '0' || b[i] > '9' {
+			break
+		}
+		v = v*10 + float64(b[i]-'0')
+		digits++
+	}
+	exp := 0
+	if i < len(b) && b[i] == '.' {
+		i++
+		for ; i < len(b); i++ {
+			if b[i] < '0' || b[i] > '9' {
+				return 0, 0, false
+			}
+			exp++
+			v += float64(b[i]-'0') * math.Pow(10, -float64(exp))
+			digits++
+		}
+	}
+	if i != len(b) || digits == 0 {
+		return 0, 0, false
+	}
+	if neg {
+		v = -v
+	}
+	return v, exp, true
+}
+
+// Result holds the outcome of scoring one template against a dataset.
+type Result struct {
+	// Bits is the total description length F(T,S); lower is better.
+	Bits float64
+	// Records is the number of matched records.
+	Records int
+	// Coverage is the total byte length of matched records.
+	Coverage int
+	// NoiseLines is the number of uncovered lines.
+	NoiseLines int
+	// ColumnTypes lists the resolved type of each field column.
+	ColumnTypes []FieldType
+}
+
+// Scorer evaluates the regularity of a template over a dataset. Datamaran
+// treats this as a black box (§4, "The Regularity Scoring Function").
+type Scorer interface {
+	Score(m *parser.Matcher, lines *textio.Lines) Result
+}
+
+// MDL is the default minimum-description-length Scorer (§9.2).
+type MDL struct{}
+
+// Score parses the dataset with the template and computes the total
+// description length:
+//
+//	len(ST)·8 + 32 + m  (structure template, block count, record/noise flags)
+//	+ Σ_noise len·8
+//	+ Σ_records D(RT|ST) + D(record|RT)
+//
+// where D(RT|ST) describes array repetition counts and D(record|RT)
+// describes field values under per-column types.
+func (MDL) Score(m *parser.Matcher, lines *textio.Lines) Result {
+	scan := m.Scan(lines)
+	data := lines.Data()
+	st := m.Template()
+
+	// Pass 1: per-column stats and per-array repetition stats.
+	cols := make([]*colStats, m.Columns())
+	for i := range cols {
+		cols[i] = newColStats()
+	}
+	arrayMax := map[*template.Node]int{}
+	var arrayInstances []arrayInst
+	for _, rec := range scan.Records {
+		for _, f := range m.Flatten(rec.Value) {
+			cols[f.Col].add(data[f.Start:f.End])
+		}
+		collectArrays(rec.Value, arrayMax, &arrayInstances)
+	}
+	types := make([]FieldType, len(cols))
+	perVal := make([]float64, len(cols))
+	var modelBits float64
+	for i, c := range cols {
+		types[i] = c.resolve()
+		pv, mb := c.bits(types[i])
+		perVal[i] = pv
+		modelBits += mb
+	}
+
+	// Pass 2: total description length.
+	blocks := len(scan.Records) + len(scan.NoiseLines)
+	bits := float64(st.Len())*8 + 32 + float64(blocks) + modelBits
+	for _, li := range scan.NoiseLines {
+		bits += float64(len(lines.Line(li))) * 8
+	}
+	// D(RT|ST): repetition counts per array instance.
+	for _, inst := range arrayInstances {
+		bits += ceilLog2(float64(arrayMax[inst.node]) + 1)
+	}
+	// D(record|RT): field values.
+	for _, rec := range scan.Records {
+		for _, f := range m.Flatten(rec.Value) {
+			switch types[f.Col] {
+			case TString:
+				bits += float64(f.End-f.Start+1) * 8
+			default:
+				bits += perVal[f.Col]
+			}
+		}
+	}
+	return Result{
+		Bits:        bits,
+		Records:     len(scan.Records),
+		Coverage:    scan.Coverage,
+		NoiseLines:  len(scan.NoiseLines),
+		ColumnTypes: types,
+	}
+}
+
+type arrayInst struct {
+	node *template.Node
+	reps int
+}
+
+func collectArrays(v *parser.Value, maxReps map[*template.Node]int, out *[]arrayInst) {
+	if v.Node.Kind == template.KArray {
+		reps := len(v.Children)
+		if reps > maxReps[v.Node] {
+			maxReps[v.Node] = reps
+		}
+		*out = append(*out, arrayInst{node: v.Node, reps: reps})
+	}
+	for _, c := range v.Children {
+		collectArrays(c, maxReps, out)
+	}
+}

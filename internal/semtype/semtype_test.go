@@ -1,0 +1,221 @@
+package semtype
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestValidIP(t *testing.T) {
+	good := []string{"0.0.0.0", "192.168.0.1", "255.255.255.255"}
+	bad := []string{"256.1.1.1", "1.2.3", "1.2.3.4.5", "a.b.c.d", "1..2.3", ""}
+	for _, s := range good {
+		if !validIP(s) {
+			t.Errorf("validIP(%q) = false", s)
+		}
+	}
+	for _, s := range bad {
+		if validIP(s) {
+			t.Errorf("validIP(%q) = true", s)
+		}
+	}
+}
+
+func TestValidTime(t *testing.T) {
+	good := []string{"00:00", "23:59", "10:11:12", "9:05"}
+	bad := []string{"24:00", "10:60", "10:1", "10", "aa:bb", "10:11:12:13"}
+	for _, s := range good {
+		if !validTime(s) {
+			t.Errorf("validTime(%q) = false", s)
+		}
+	}
+	for _, s := range bad {
+		if validTime(s) {
+			t.Errorf("validTime(%q) = true", s)
+		}
+	}
+}
+
+func TestValidDate(t *testing.T) {
+	if !validDateDash("2016-03-05") || validDateDash("2016-13-05") || validDateDash("16-03-05") {
+		t.Error("dash date validation wrong")
+	}
+	if !validDateSlash("05/03/2016") || !validDateSlash("2016/03/05") || validDateSlash("2016/33/05") {
+		t.Error("slash date validation wrong")
+	}
+}
+
+func TestValidVersionEmailUUIDPath(t *testing.T) {
+	if !validVersion("1.2.3") || !validVersion("10.4") || validVersion("1") || validVersion("a.b") {
+		t.Error("version validation wrong")
+	}
+	if !validEmail("a@b.com") || validEmail("@b.com") || validEmail("a@") || validEmail("a b@c.d") {
+		t.Error("email validation wrong")
+	}
+	if !validUUID("12345678-1234-1234-1234-123456789abc") || validUUID("xyz") {
+		t.Error("uuid validation wrong")
+	}
+	if !validURLPath("/a/b.html") || validURLPath("a/b") || validURLPath("/a b") {
+		t.Error("urlpath validation wrong")
+	}
+}
+
+// ipCols builds four adjacent int columns that join into IPs.
+func ipCols(n int) ([]Column, []string) {
+	cols := make([]Column, 4)
+	for i := range cols {
+		cols[i].Name = fmt.Sprintf("f%d", i)
+	}
+	for r := 0; r < n; r++ {
+		cols[0].Values = append(cols[0].Values, fmt.Sprintf("%d", 10+r%200))
+		cols[1].Values = append(cols[1].Values, fmt.Sprintf("%d", r%256))
+		cols[2].Values = append(cols[2].Values, fmt.Sprintf("%d", (r*3)%256))
+		cols[3].Values = append(cols[3].Values, fmt.Sprintf("%d", 1+r%250))
+	}
+	return cols, []string{".", ".", "."}
+}
+
+func TestDetectIPMerge(t *testing.T) {
+	cols, seps := ipCols(50)
+	merges := Detect(cols, seps)
+	if len(merges) != 1 {
+		t.Fatalf("merges = %d, want 1: %+v", len(merges), merges)
+	}
+	m := merges[0]
+	if m.Kind != KindIP || len(m.Columns) != 4 {
+		t.Fatalf("merge = %+v", m)
+	}
+	if m.Confidence < 0.99 {
+		t.Fatalf("confidence = %v", m.Confidence)
+	}
+}
+
+func TestDetectRejectsWrongSeparators(t *testing.T) {
+	cols, _ := ipCols(50)
+	merges := Detect(cols, []string{",", ",", ","})
+	for _, m := range merges {
+		if m.Kind == KindIP {
+			t.Fatal("IP merge proposed despite comma separators")
+		}
+	}
+}
+
+func TestDetectRejectsOutOfRange(t *testing.T) {
+	cols, seps := ipCols(50)
+	// Corrupt one column: values above 255.
+	for i := range cols[1].Values {
+		cols[1].Values[i] = "999"
+	}
+	for _, m := range Detect(cols, seps) {
+		if m.Kind == KindIP {
+			t.Fatal("IP merge proposed for out-of-range octets")
+		}
+	}
+}
+
+func TestDetectTimeAndDate(t *testing.T) {
+	cols := []Column{
+		{Name: "h"}, {Name: "m"}, {Name: "s"},
+		{Name: "y"}, {Name: "mo"}, {Name: "d"},
+	}
+	for r := 0; r < 40; r++ {
+		cols[0].Values = append(cols[0].Values, fmt.Sprintf("%02d", r%24))
+		cols[1].Values = append(cols[1].Values, fmt.Sprintf("%02d", r%60))
+		cols[2].Values = append(cols[2].Values, fmt.Sprintf("%02d", (r*7)%60))
+		cols[3].Values = append(cols[3].Values, "2016")
+		cols[4].Values = append(cols[4].Values, fmt.Sprintf("%02d", 1+r%12))
+		cols[5].Values = append(cols[5].Values, fmt.Sprintf("%02d", 1+r%28))
+	}
+	seps := []string{":", ":", "", "-", "-"}
+	merges := Detect(cols, seps)
+	kinds := map[Kind]bool{}
+	for _, m := range merges {
+		kinds[m.Kind] = true
+	}
+	if !kinds[KindTime] || !kinds[KindDate] {
+		t.Fatalf("kinds = %v, want time and date", kinds)
+	}
+}
+
+func TestDetectSingleColumnIP(t *testing.T) {
+	cols := []Column{{Name: "addr"}}
+	for r := 0; r < 30; r++ {
+		cols[0].Values = append(cols[0].Values, fmt.Sprintf("10.0.%d.%d", r%256, 1+r%250))
+	}
+	merges := Detect(cols, nil)
+	if len(merges) != 1 || merges[0].Kind != KindIP || len(merges[0].Columns) != 1 {
+		t.Fatalf("merges = %+v", merges)
+	}
+}
+
+func TestDetectNoFalsePositivesOnText(t *testing.T) {
+	cols := []Column{{Name: "a"}, {Name: "b"}}
+	for r := 0; r < 30; r++ {
+		cols[0].Values = append(cols[0].Values, "hello")
+		cols[1].Values = append(cols[1].Values, "world")
+	}
+	if merges := Detect(cols, []string{" "}); len(merges) != 0 {
+		t.Fatalf("unexpected merges on text: %+v", merges)
+	}
+}
+
+func TestApplyMergesRows(t *testing.T) {
+	cols, seps := ipCols(5)
+	merges := Detect(cols, seps)
+	names := []string{"f0", "f1", "f2", "f3"}
+	rows := make([][]string, 5)
+	for r := 0; r < 5; r++ {
+		rows[r] = []string{cols[0].Values[r], cols[1].Values[r], cols[2].Values[r], cols[3].Values[r]}
+	}
+	outNames, outRows := Apply(names, rows, merges)
+	if len(outNames) != 1 || outNames[0] != "ip" {
+		t.Fatalf("names = %v", outNames)
+	}
+	want := strings.Join(rows[0], ".")
+	if outRows[0][0] != want {
+		t.Fatalf("row 0 = %v, want %q", outRows[0], want)
+	}
+}
+
+func TestApplyPreservesUnmerged(t *testing.T) {
+	cols, seps := ipCols(5)
+	cols = append(cols, Column{Name: "status", Values: []string{"a", "b", "c", "d", "e"}})
+	seps = append(seps, " ")
+	merges := Detect(cols, seps)
+	names := []string{"f0", "f1", "f2", "f3", "status"}
+	rows := make([][]string, 5)
+	for r := 0; r < 5; r++ {
+		rows[r] = []string{cols[0].Values[r], cols[1].Values[r], cols[2].Values[r], cols[3].Values[r], cols[4].Values[r]}
+	}
+	outNames, outRows := Apply(names, rows, merges)
+	if len(outNames) != 2 || outNames[1] != "status" {
+		t.Fatalf("names = %v", outNames)
+	}
+	if outRows[2][1] != "c" {
+		t.Fatalf("rows = %v", outRows[2])
+	}
+}
+
+func TestApplyNoMergesIdentity(t *testing.T) {
+	names := []string{"a", "b"}
+	rows := [][]string{{"1", "2"}}
+	outNames, outRows := Apply(names, rows, nil)
+	if len(outNames) != 2 || outRows[0][1] != "2" {
+		t.Fatal("identity Apply broken")
+	}
+}
+
+func TestUUIDMergeBeatsShorterProbes(t *testing.T) {
+	cols := make([]Column, 5)
+	widths := []int{8, 4, 4, 4, 12}
+	for r := 0; r < 20; r++ {
+		for i, w := range widths {
+			cols[i].Values = append(cols[i].Values, strings.Repeat("a", w))
+		}
+	}
+	seps := []string{"-", "-", "-", "-"}
+	merges := Detect(cols, seps)
+	if len(merges) != 1 || merges[0].Kind != KindUUID {
+		t.Fatalf("merges = %+v, want one uuid", merges)
+	}
+}

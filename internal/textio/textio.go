@@ -1,0 +1,127 @@
+// Package textio provides the text-layer substrate for Datamaran: line
+// indexing over a byte buffer, block slicing between end-of-line
+// characters, and the cache-aware chunk sampling used by the generation
+// and evaluation steps on large datasets (§9.1 of the paper).
+package textio
+
+import (
+	"bytes"
+	"math/rand"
+)
+
+// Lines indexes the line structure of a dataset. Per Definition 2.4,
+// blocks are separated by '\n'; a candidate record is the content between
+// two line boundaries at most L lines apart.
+type Lines struct {
+	data []byte
+	// starts[i] is the byte offset of the first byte of line i.
+	// A sentinel entry equal to len(data) is appended so that
+	// starts[i+1] is always valid for line i.
+	starts []int
+}
+
+// NewLines builds a line index for data. A trailing line without a final
+// '\n' is still counted as a line.
+func NewLines(data []byte) *Lines {
+	starts := make([]int, 0, bytes.Count(data, []byte{'\n'})+2)
+	if len(data) > 0 {
+		starts = append(starts, 0)
+		for i := 0; i < len(data)-1; i++ {
+			if data[i] == '\n' {
+				starts = append(starts, i+1)
+			}
+		}
+	}
+	starts = append(starts, len(data))
+	l := &Lines{data: data, starts: starts}
+	return l
+}
+
+// N returns the number of lines.
+func (l *Lines) N() int { return len(l.starts) - 1 }
+
+// Data returns the underlying buffer.
+func (l *Lines) Data() []byte { return l.data }
+
+// Line returns the content of line i including its trailing '\n' when
+// present.
+func (l *Lines) Line(i int) []byte {
+	return l.data[l.starts[i]:l.starts[i+1]]
+}
+
+// Start returns the byte offset of line i. Start(N()) is len(data).
+func (l *Lines) Start(i int) int { return l.starts[i] }
+
+// Slice returns the contents of lines [from, to) including trailing
+// newlines.
+func (l *Lines) Slice(from, to int) []byte {
+	return l.data[l.starts[from]:l.starts[to]]
+}
+
+// Sampler extracts a bounded, cache-friendly sample of a dataset: a few
+// large contiguous chunks, concatenated at line boundaries. Per §9.1 this
+// caps Sdata so the generation and evaluation steps run in time
+// independent of the total dataset size.
+type Sampler struct {
+	// Budget is the maximum number of bytes in the sample. Zero means
+	// no sampling (the whole dataset is the sample).
+	Budget int
+	// Chunks is the number of contiguous chunks to cut. Zero means 8.
+	Chunks int
+	// Seed makes sampling deterministic.
+	Seed int64
+}
+
+// Sample returns a sample of data no larger than s.Budget (when Budget>0)
+// cut at line boundaries. If the dataset fits in the budget it is returned
+// unchanged (no copy).
+func (s Sampler) Sample(data []byte) []byte {
+	if s.Budget <= 0 || len(data) <= s.Budget {
+		return data
+	}
+	nChunks := s.Chunks
+	if nChunks <= 0 {
+		nChunks = 8
+	}
+	lines := NewLines(data)
+	n := lines.N()
+	if n == 0 {
+		return data[:s.Budget]
+	}
+	perChunk := s.Budget / nChunks
+	if perChunk <= 0 {
+		perChunk = s.Budget
+		nChunks = 1
+	}
+	rng := rand.New(rand.NewSource(s.Seed))
+	out := make([]byte, 0, s.Budget)
+	// Cut nChunks chunks starting at random line offsets spread over
+	// the file; each chunk extends whole lines until its byte share is
+	// exhausted.
+	for c := 0; c < nChunks && len(out) < s.Budget; c++ {
+		// Stratified start: chunk c starts in the c-th n/nChunks
+		// stripe so samples cover the whole file.
+		lo := c * n / nChunks
+		hi := (c + 1) * n / nChunks
+		if hi <= lo {
+			hi = lo + 1
+		}
+		start := lo + rng.Intn(hi-lo)
+		budget := perChunk
+		if c == nChunks-1 {
+			budget = s.Budget - len(out)
+		}
+		for i := start; i < n && budget > 0; i++ {
+			line := lines.Line(i)
+			if len(line) > budget && len(out) > 0 {
+				break
+			}
+			out = append(out, line...)
+			budget -= len(line)
+		}
+	}
+	if len(out) == 0 {
+		return data[:s.Budget]
+	}
+	return out
+}

@@ -1,0 +1,246 @@
+// Package wrangler simulates the user study of §6: starting from the raw
+// file (R), the Datamaran extraction (A), or the RecordBreaker extraction
+// (B), how many spreadsheet operations — Concatenate, Split, FlashFill,
+// Offset — does it take to reach the target table, and does the attempt
+// fail outright?
+//
+// The simulator is a deterministic planner substituting for the six human
+// participants. It reproduces the structure of Figure 18: A needs the
+// fewest operations and never fails; B needs Offset gymnastics for
+// multi-line records and fails when noise breaks row alignment; R costs
+// the most and equally fails on noisy multi-line files. The §6.3
+// difficulty ratings are proxied by a 1-10 score derived from operation
+// count and failure.
+package wrangler
+
+import (
+	"fmt"
+
+	"datamaran/internal/datagen"
+	"datamaran/internal/evaluate"
+)
+
+// Op is one spreadsheet operation kind from the study's tutorial.
+type Op string
+
+const (
+	// Concatenate merges two columns.
+	Concatenate Op = "Concatenate"
+	// Split cuts a column at a delimiter.
+	Split Op = "Split"
+	// FlashFill autocompletes a column from examples.
+	FlashFill Op = "FlashFill"
+	// Offset copies content every K rows (multi-line reassembly).
+	Offset Op = "Offset"
+)
+
+// Source identifies the starting artifact.
+type Source string
+
+const (
+	// SourceRaw is the raw log file (R).
+	SourceRaw Source = "R"
+	// SourceDatamaran is Datamaran's extraction (A).
+	SourceDatamaran Source = "A"
+	// SourceRecordBreaker is RecordBreaker's extraction (B).
+	SourceRecordBreaker Source = "B"
+)
+
+// Plan is the simulated transformation attempt.
+type Plan struct {
+	Source Source
+	Ops    []Op
+	Failed bool
+	Reason string
+}
+
+// NumOps returns the operation count (0 for failed attempts, matching the
+// study's truncated sequences ending in a black circle).
+func (p Plan) NumOps() int { return len(p.Ops) }
+
+// Difficulty proxies the §6.3 participant rating on a 1-10 scale.
+func (p Plan) Difficulty() float64 {
+	if p.Failed {
+		return 10
+	}
+	d := 1 + float64(len(p.Ops))*0.45
+	if d > 10 {
+		d = 10
+	}
+	return d
+}
+
+// datasetShape summarizes the ground-truth properties the planner needs.
+type datasetShape struct {
+	span     int  // max record span in lines
+	noisy    bool // noise or incomplete records present
+	targets  int  // distinct target columns per record (max over types)
+	perSpan  int  // lines per record (== span)
+	multiRec bool
+}
+
+func shapeOf(d *datagen.Dataset) datasetShape {
+	s := datasetShape{span: d.MaxRecSpan, perSpan: d.MaxRecSpan}
+	s.multiRec = d.MaxRecSpan > 1
+	covered := 0
+	for _, tr := range d.Truth {
+		covered += tr.EndLine - tr.StartLine
+		if len(tr.Targets) > s.targets {
+			s.targets = len(tr.Targets)
+		}
+	}
+	totalLines := 0
+	for _, b := range d.Data {
+		if b == '\n' {
+			totalLines++
+		}
+	}
+	s.noisy = covered < totalLines
+	return s
+}
+
+// PlanRaw simulates starting from the raw file.
+func PlanRaw(d *datagen.Dataset) Plan {
+	s := shapeOf(d)
+	p := Plan{Source: SourceRaw}
+	if s.multiRec && s.noisy {
+		// No regular row period: Offset cannot reassemble records.
+		p.Failed = true
+		p.Reason = "no regular pattern: noise/incomplete records break Offset reassembly"
+		return p
+	}
+	if s.multiRec {
+		// One Offset formula per line of the record to fold the
+		// K-line records into columns.
+		for i := 0; i < s.perSpan; i++ {
+			p.Ops = append(p.Ops, Offset)
+		}
+	} else {
+		p.Ops = append(p.Ops, Split)
+	}
+	// One FlashFill per target column to isolate the value from its
+	// formatting.
+	for i := 0; i < s.targets; i++ {
+		p.Ops = append(p.Ops, FlashFill)
+	}
+	return p
+}
+
+// PlanDatamaran simulates starting from Datamaran's extraction: one row
+// per record, fine-grained fields. Targets split across k fields need k−1
+// Concatenates.
+func PlanDatamaran(d *datagen.Dataset, ex evaluate.Extraction) Plan {
+	p := Plan{Source: SourceDatamaran}
+	merges := targetMergeOps(d, ex)
+	for i := 0; i < merges; i++ {
+		p.Ops = append(p.Ops, Concatenate)
+	}
+	return p
+}
+
+// PlanRecordBreaker simulates starting from RecordBreaker's extraction:
+// per-line records, possibly split across structure files.
+func PlanRecordBreaker(d *datagen.Dataset, ex evaluate.Extraction) Plan {
+	s := shapeOf(d)
+	p := Plan{Source: SourceRecordBreaker}
+	if s.multiRec && s.noisy {
+		// Lines of one record land in different files with no stable
+		// row correspondence — the study's participants gave up here.
+		p.Failed = true
+		p.Reason = "record lines scattered across files; noise destroys row alignment"
+		return p
+	}
+	if s.multiRec {
+		// Cross-file reassembly: one Offset per record line.
+		for i := 0; i < s.perSpan; i++ {
+			p.Ops = append(p.Ops, Offset)
+		}
+	}
+	merges := targetMergeOps(d, ex)
+	for i := 0; i < merges; i++ {
+		p.Ops = append(p.Ops, FlashFill)
+	}
+	// Coarse tokens covering more than the target need Splits.
+	for range straddledTargets(d, ex) {
+		p.Ops = append(p.Ops, Split)
+	}
+	return p
+}
+
+// targetMergeOps counts, over one representative record per type, the
+// concatenations needed: a target covered by k extracted fields costs k−1.
+func targetMergeOps(d *datagen.Dataset, ex evaluate.Extraction) int {
+	byStart := map[int]*evaluate.ExtractedRecord{}
+	for i := range ex.Records {
+		byStart[ex.Records[i].StartLine] = &ex.Records[i]
+	}
+	seenType := map[int]bool{}
+	ops := 0
+	for _, tr := range d.Truth {
+		if seenType[tr.Type] {
+			continue
+		}
+		er, ok := byStart[tr.StartLine]
+		if !ok {
+			continue
+		}
+		seenType[tr.Type] = true
+		for _, tgt := range tr.Targets {
+			k := 0
+			for _, f := range er.Fields {
+				if f.Start >= tgt.Start && f.End <= tgt.End {
+					k++
+				}
+			}
+			if k > 1 {
+				ops += k - 1
+			}
+		}
+	}
+	return ops
+}
+
+// straddledTargets lists targets (one representative record per type)
+// where an extracted field crosses the target boundary.
+func straddledTargets(d *datagen.Dataset, ex evaluate.Extraction) []evaluate.Span {
+	byStart := map[int]*evaluate.ExtractedRecord{}
+	for i := range ex.Records {
+		byStart[ex.Records[i].StartLine] = &ex.Records[i]
+	}
+	seenType := map[int]bool{}
+	var out []evaluate.Span
+	for _, tr := range d.Truth {
+		if seenType[tr.Type] {
+			continue
+		}
+		er, ok := byStart[tr.StartLine]
+		if !ok {
+			continue
+		}
+		seenType[tr.Type] = true
+		for _, tgt := range tr.Targets {
+			for _, f := range er.Fields {
+				if f.Start < tgt.End && f.End > tgt.Start &&
+					(f.Start < tgt.Start || f.End > tgt.End) {
+					out = append(out, tgt)
+					break
+				}
+			}
+		}
+	}
+	return out
+}
+
+// StudyRow is one dataset × source cell of Figure 18.
+type StudyRow struct {
+	Dataset string
+	Plan    Plan
+}
+
+// String renders the row like the figure's op sequences.
+func (r StudyRow) String() string {
+	if r.Plan.Failed {
+		return fmt.Sprintf("%-22s %s: FAILED (%s)", r.Dataset, r.Plan.Source, r.Plan.Reason)
+	}
+	return fmt.Sprintf("%-22s %s: %d ops %v", r.Dataset, r.Plan.Source, r.Plan.NumOps(), r.Plan.Ops)
+}

@@ -1,0 +1,91 @@
+package datamaran
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"datamaran/internal/core"
+	"datamaran/internal/template"
+)
+
+// Profile is a learned, serializable set of structure templates. In a
+// data lake, many files share a format: discover the structure once with
+// Extract, save the profile, and apply it to sibling files with
+// ExtractWithProfile — which runs only the linear extraction pass, no
+// template search.
+type Profile struct {
+	templates []*template.Node
+}
+
+// Profile captures the discovered structures of a completed extraction.
+func (r *Result) Profile() *Profile {
+	p := &Profile{}
+	for _, s := range r.res.Structures {
+		p.templates = append(p.templates, s.Template.Clone())
+	}
+	return p
+}
+
+// Templates lists the profile's structure templates in the paper's
+// notation.
+func (p *Profile) Templates() []string {
+	out := make([]string, len(p.templates))
+	for i, t := range p.templates {
+		out[i] = t.String()
+	}
+	return out
+}
+
+// profileJSON is the serialized profile format (versioned for forward
+// compatibility).
+type profileJSON struct {
+	Version   int               `json:"version"`
+	Templates []json.RawMessage `json:"templates"`
+}
+
+// MarshalJSON serializes the profile.
+func (p *Profile) MarshalJSON() ([]byte, error) {
+	pj := profileJSON{Version: 1}
+	for _, t := range p.templates {
+		raw, err := json.Marshal(t)
+		if err != nil {
+			return nil, err
+		}
+		pj.Templates = append(pj.Templates, raw)
+	}
+	return json.Marshal(pj)
+}
+
+// UnmarshalJSON parses a profile serialized by MarshalJSON.
+func (p *Profile) UnmarshalJSON(data []byte) error {
+	var pj profileJSON
+	if err := json.Unmarshal(data, &pj); err != nil {
+		return fmt.Errorf("datamaran: bad profile: %w", err)
+	}
+	if pj.Version != 1 {
+		return fmt.Errorf("datamaran: unsupported profile version %d", pj.Version)
+	}
+	p.templates = nil
+	for _, raw := range pj.Templates {
+		n, err := template.UnmarshalNode(raw)
+		if err != nil {
+			return fmt.Errorf("datamaran: bad profile template: %w", err)
+		}
+		p.templates = append(p.templates, n.Normalize())
+	}
+	return nil
+}
+
+// ExtractWithProfile extracts records from data using the already-learned
+// templates of p, skipping structure discovery entirely. It runs in one
+// linear pass per template (the O(Tdata) extraction row of Table 3).
+func ExtractWithProfile(data []byte, p *Profile) (*Result, error) {
+	if p == nil || len(p.templates) == 0 {
+		return nil, fmt.Errorf("datamaran: empty profile")
+	}
+	res, err := core.ApplyTemplates(data, p.templates)
+	if err != nil {
+		return nil, err
+	}
+	return wrapResult(data, res), nil
+}

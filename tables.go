@@ -1,0 +1,163 @@
+package datamaran
+
+import (
+	"fmt"
+	"io"
+
+	"datamaran/internal/parser"
+	"datamaran/internal/relational"
+	"datamaran/internal/semtype"
+	"datamaran/internal/template"
+	"datamaran/internal/textio"
+)
+
+// Table is a relational table produced from an extraction (Figure 7 of
+// the paper).
+type Table struct {
+	// Name names the table; child list tables reference their parent.
+	Name string
+	// Parent is the referenced parent table name ("" for a root table).
+	Parent string
+	// Columns lists the column names ("id" and "parent_id" are
+	// bookkeeping columns of the normalized form).
+	Columns []string
+	// Rows holds the string-valued cells.
+	Rows [][]string
+}
+
+// WriteCSV writes the table as CSV (cells containing commas, quotes or
+// newlines are quoted).
+func (t *Table) WriteCSV(w io.Writer) error {
+	rt := relational.Table{Name: t.Name, Columns: t.Columns, Rows: t.Rows}
+	return rt.WriteCSV(w)
+}
+
+// rebuildScan re-parses the already-located records of one type so the
+// relational builders can walk their parse trees.
+func (r *Result) rebuildScan(typeID int) (*parser.Matcher, *parser.ScanResult, bool) {
+	if typeID < 0 || typeID >= len(r.res.Structures) {
+		return nil, nil, false
+	}
+	st := r.res.Structures[typeID].Template
+	m := parser.NewMatcher(st)
+	lines := textio.NewLines(r.data)
+	scan := &parser.ScanResult{}
+	for _, rec := range r.res.Records {
+		if rec.TypeID != typeID {
+			continue
+		}
+		v, end, ok := m.Match(r.data, lines.Start(rec.StartLine))
+		if !ok {
+			continue
+		}
+		scan.Records = append(scan.Records, parser.Record{
+			StartLine: rec.StartLine,
+			EndLine:   rec.EndLine,
+			Start:     lines.Start(rec.StartLine),
+			End:       end,
+			Value:     v,
+		})
+	}
+	return m, scan, true
+}
+
+// Tables returns the normalized relational form of the extraction: per
+// record type, a root table plus one child table per list, linked by
+// foreign keys.
+func (r *Result) Tables() []*Table {
+	var out []*Table
+	for typeID := range r.res.Structures {
+		m, scan, ok := r.rebuildScan(typeID)
+		if !ok {
+			continue
+		}
+		db := relational.Build(m, r.data, scan, fmt.Sprintf("type%d", typeID))
+		for _, t := range db.Tables {
+			out = append(out, &Table{Name: t.Name, Parent: t.Parent, Columns: t.Columns, Rows: t.Rows})
+		}
+	}
+	return out
+}
+
+// DenormalizedTables returns the single-table-per-type form: one row per
+// record, list repetitions folded into one cell per column.
+func (r *Result) DenormalizedTables() []*Table {
+	var out []*Table
+	for typeID := range r.res.Structures {
+		m, scan, ok := r.rebuildScan(typeID)
+		if !ok {
+			continue
+		}
+		t := relational.BuildDenormalized(m, r.data, scan, fmt.Sprintf("type%d", typeID))
+		out = append(out, &Table{Name: t.Name, Columns: t.Columns, Rows: t.Rows})
+	}
+	return out
+}
+
+// TypedTables returns the denormalized tables with semantic-type
+// post-processing applied (the type-awareness extension of the paper's
+// §6.3): runs of adjacent fine-grained columns that reassemble into IPs,
+// times, dates, versions, emails or UUIDs — using the constant template
+// literals between them — are merged into one named column.
+func (r *Result) TypedTables() []*Table {
+	var out []*Table
+	for typeID := range r.res.Structures {
+		m, scan, ok := r.rebuildScan(typeID)
+		if !ok {
+			continue
+		}
+		t := relational.BuildDenormalized(m, r.data, scan, fmt.Sprintf("type%d", typeID))
+		seps := columnSeparators(m.Template())
+		cols := make([]semtype.Column, len(t.Columns))
+		for i, name := range t.Columns {
+			cols[i].Name = name
+			for _, row := range t.Rows {
+				cols[i].Values = append(cols[i].Values, row[i])
+			}
+		}
+		merges := semtype.Detect(cols, seps)
+		names, rows := semtype.Apply(t.Columns, t.Rows, merges)
+		out = append(out, &Table{Name: t.Name, Columns: names, Rows: rows})
+	}
+	return out
+}
+
+// columnSeparators extracts the constant literal between each pair of
+// adjacent field columns of a template ("" when the columns are not
+// joined by a pure literal, e.g. across array boundaries).
+func columnSeparators(st *template.Node) []string {
+	var seps []string
+	pendingLit := ""
+	sawField := false
+	inArray := 0
+	var walk func(n *template.Node)
+	walk = func(n *template.Node) {
+		switch n.Kind {
+		case template.KField:
+			if sawField {
+				if inArray == 0 {
+					seps = append(seps, pendingLit)
+				} else {
+					seps = append(seps, "")
+				}
+			}
+			sawField = true
+			pendingLit = ""
+		case template.KLiteral:
+			pendingLit += n.Lit
+		case template.KStruct:
+			for _, c := range n.Children {
+				walk(c)
+			}
+		case template.KArray:
+			inArray++
+			for _, c := range n.Children {
+				walk(c)
+			}
+			inArray--
+			pendingLit = ""
+		}
+	}
+	walk(st)
+	return seps
+}

@@ -1,0 +1,9 @@
+package datamaran
+
+import "os"
+
+// writeFile is a test helper kept out of datamaran_test.go so the example
+// of a minimal test-support file stays tiny.
+func writeFile(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644)
+}
