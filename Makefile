@@ -1,0 +1,36 @@
+# Datamaran build/test entry points. CI (.github/workflows/ci.yml) runs
+# exactly these targets, so local runs reproduce CI.
+
+GO ?= go
+
+.PHONY: build test test-short test-race bench lint fmt
+
+build:
+	$(GO) build ./...
+
+# The full suite regenerates the paper experiments and takes several
+# minutes; CI and quick local iteration use test-short.
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+# Race job over the concurrent packages (parser fan-out, streaming
+# pipeline, chunk reader).
+test-race:
+	$(GO) test -race -short ./internal/parser ./internal/pipeline ./internal/textio .
+
+bench:
+	$(GO) test -bench=. -benchmem -run '^$$' .
+
+# BENCH_extract.json: the streaming-engine benchmark report.
+bench-extract:
+	$(GO) run ./cmd/experiments -bench-extract BENCH_extract.json
+
+lint:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+	$(GO) vet ./...
+
+fmt:
+	gofmt -w .

@@ -11,6 +11,7 @@ package datamaran
 // rows.
 
 import (
+	"bytes"
 	"io"
 	"testing"
 
@@ -260,6 +261,51 @@ func BenchmarkPublicExtract(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := Extract(d.Data, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- The streaming sharded engine (§5.2.2's parallel extraction pass) ---
+
+// streamBenchInput builds a multi-megabyte log by tiling a generated
+// dataset, so extraction (not discovery) dominates the run.
+func streamBenchInput(mb int) []byte {
+	block := datagen.WebServerLog(4000, 7).Data
+	out := make([]byte, 0, mb<<20)
+	for len(out) < mb<<20 {
+		out = append(out, block...)
+	}
+	return out
+}
+
+func benchStream(b *testing.B, data []byte, workers int) {
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := ExtractStream(bytes.NewReader(data), Options{Workers: workers},
+			func(Record) error { return nil })
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Structures) == 0 {
+			b.Fatal("no structures")
+		}
+	}
+}
+
+func BenchmarkStreamExtract16MBWorkers1(b *testing.B) { benchStream(b, streamBenchInput(16), 1) }
+func BenchmarkStreamExtract16MBWorkers2(b *testing.B) { benchStream(b, streamBenchInput(16), 2) }
+func BenchmarkStreamExtract16MBWorkers4(b *testing.B) { benchStream(b, streamBenchInput(16), 4) }
+
+// BenchmarkStreamVsInMemory16MB is the sequential in-memory baseline for
+// the worker-scaling benches above.
+func BenchmarkStreamVsInMemory16MB(b *testing.B) {
+	data := streamBenchInput(16)
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Extract(data, Options{}); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -32,6 +32,9 @@ func main() {
 	typed := flag.Bool("typed", false, "emit denormalized tables with semantic type merging (IPs, times, ...)")
 	saveProfile := flag.String("save-profile", "", "write the learned structure profile (JSON) to this file")
 	useProfile := flag.String("profile", "", "skip discovery: apply a previously saved profile")
+	stream := flag.Bool("stream", false, "use the streaming sharded engine (bounded memory; discovery on a prefix)")
+	workers := flag.Int("workers", 0, "extraction parallelism (0 = all cores for -stream, sequential otherwise)")
+	shardSize := flag.Int("shard-size", 0, "streaming shard size in bytes (0 = 1 MiB)")
 	quiet := flag.Bool("q", false, "suppress the structure summary")
 	flag.Parse()
 
@@ -46,6 +49,8 @@ func main() {
 		MaxSpan:        *maxSpan,
 		TopM:           *topM,
 		MaxRecordTypes: *maxTypes,
+		Workers:        *workers,
+		ShardSize:      *shardSize,
 	}
 	if *greedy {
 		opts.Search = datamaran.Greedy
@@ -54,9 +59,14 @@ func main() {
 	t0 := time.Now()
 	var res *datamaran.Result
 	var err error
-	if *useProfile != "" {
-		res, err = extractWithSavedProfile(flag.Arg(0), *useProfile)
-	} else {
+	switch {
+	case *useProfile != "" && *stream:
+		res, err = streamWithSavedProfile(flag.Arg(0), *useProfile, opts)
+	case *useProfile != "":
+		res, err = extractWithSavedProfile(flag.Arg(0), *useProfile, opts)
+	case *stream:
+		res, err = streamFile(flag.Arg(0), opts)
+	default:
 		res, err = datamaran.ExtractFile(flag.Arg(0), opts)
 	}
 	if err != nil {
@@ -125,6 +135,45 @@ func main() {
 	}
 }
 
+// streamFile extracts through the streaming sharded engine: the file is
+// consumed shard by shard instead of being read whole.
+func streamFile(path string, opts datamaran.Options) (*datamaran.Result, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return datamaran.ExtractReader(f, opts)
+}
+
+// streamWithSavedProfile applies a saved profile over the file as a
+// single-pass stream: no discovery and no whole-file buffering.
+func streamWithSavedProfile(logPath, profilePath string, opts datamaran.Options) (*datamaran.Result, error) {
+	p, err := loadProfile(profilePath)
+	if err != nil {
+		return nil, err
+	}
+	f, err := os.Open(logPath)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return datamaran.ExtractReaderWithProfile(f, p, opts)
+}
+
+// loadProfile reads a saved profile from disk.
+func loadProfile(path string) (*datamaran.Profile, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var p datamaran.Profile
+	if err := json.Unmarshal(raw, &p); err != nil {
+		return nil, err
+	}
+	return &p, nil
+}
+
 // writeProfile saves the learned structure profile as JSON.
 func writeProfile(res *datamaran.Result, path string) error {
 	raw, err := json.MarshalIndent(res.Profile(), "", "  ")
@@ -135,18 +184,14 @@ func writeProfile(res *datamaran.Result, path string) error {
 }
 
 // extractWithSavedProfile applies a saved profile, skipping discovery.
-func extractWithSavedProfile(logPath, profilePath string) (*datamaran.Result, error) {
-	raw, err := os.ReadFile(profilePath)
+func extractWithSavedProfile(logPath, profilePath string, opts datamaran.Options) (*datamaran.Result, error) {
+	p, err := loadProfile(profilePath)
 	if err != nil {
-		return nil, err
-	}
-	var p datamaran.Profile
-	if err := json.Unmarshal(raw, &p); err != nil {
 		return nil, err
 	}
 	data, err := os.ReadFile(logPath)
 	if err != nil {
 		return nil, err
 	}
-	return datamaran.ExtractWithProfile(data, &p)
+	return datamaran.ExtractWithProfileParallel(data, p, opts.Workers)
 }

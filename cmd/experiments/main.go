@@ -4,17 +4,39 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"time"
 
+	"datamaran"
+	"datamaran/internal/datagen"
 	"datamaran/internal/experiments"
 )
 
 func main() {
 	exp := flag.String("exp", "all", "experiment: table1|table3|table5|accuracy25|fig14a|fig14b|fig15|fig16|fig17a|fig17b|userstudy|ablation|all")
 	quick := flag.Bool("quick", false, "shrink workloads for a fast run")
+	benchExtract := flag.String("bench-extract", "", "run the streaming-engine benchmark and write the JSON report to this file")
+	benchMB := flag.Int("bench-mb", 0, "input size in MiB for -bench-extract (0 = 32, or 8 with -quick)")
 	flag.Parse()
+
+	if *benchExtract != "" {
+		if *benchMB <= 0 {
+			*benchMB = 32
+			if *quick {
+				*benchMB = 8
+			}
+		}
+		if err := runBenchExtract(*benchExtract, *benchMB); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	w := os.Stdout
 	scale := 0.5
@@ -57,4 +79,98 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
 		os.Exit(2)
 	}
+}
+
+// benchRun is one timed configuration of the extraction benchmark.
+type benchRun struct {
+	Mode      string  `json:"mode"`
+	Workers   int     `json:"workers"`
+	Seconds   float64 `json:"seconds"`
+	MBPerSec  float64 `json:"mb_per_s"`
+	SpeedupW1 float64 `json:"speedup_vs_workers1"`
+}
+
+// benchReport is the BENCH_extract.json schema.
+type benchReport struct {
+	InputBytes int        `json:"input_bytes"`
+	NumCPU     int        `json:"num_cpu"`
+	GoMaxProcs int        `json:"gomaxprocs"`
+	Note       string     `json:"note"`
+	Runs       []benchRun `json:"runs"`
+}
+
+// runBenchExtract measures the streaming engine: full discovery+extract
+// runs, then the discovery-free profile-apply path (the parallelizable
+// extraction pass in isolation) at increasing worker counts.
+func runBenchExtract(path string, mb int) error {
+	block := datagen.WebServerLog(4000, 7).Data
+	data := make([]byte, 0, mb<<20)
+	for len(data) < mb<<20 {
+		data = append(data, block...)
+	}
+	learned, err := datamaran.Extract(block, datamaran.Options{})
+	if err != nil {
+		return err
+	}
+	profile := learned.Profile()
+
+	rep := benchReport{
+		InputBytes: len(data),
+		NumCPU:     runtime.NumCPU(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Note: "apply-profile isolates the parallel extraction pass; discovery cost is " +
+			"sample-bounded and input-size independent. Worker speedups require NumCPU > 1.",
+	}
+	time1 := map[string]float64{}
+	record := func(mode string, workers int, fn func() error) error {
+		t0 := time.Now()
+		if err := fn(); err != nil {
+			return err
+		}
+		sec := time.Since(t0).Seconds()
+		r := benchRun{Mode: mode, Workers: workers, Seconds: sec,
+			MBPerSec: float64(len(data)) / (1 << 20) / sec}
+		if workers == 1 {
+			time1[mode] = sec
+		}
+		if base, ok := time1[mode]; ok && sec > 0 {
+			r.SpeedupW1 = base / sec
+		}
+		rep.Runs = append(rep.Runs, r)
+		fmt.Fprintf(os.Stderr, "%-16s workers=%d: %.2fs (%.1f MiB/s)\n", mode, workers, sec, r.MBPerSec)
+		return nil
+	}
+
+	if err := record("extract-mem", 1, func() error {
+		_, err := datamaran.Extract(data, datamaran.Options{})
+		return err
+	}); err != nil {
+		return err
+	}
+	discard := func(datamaran.Record) error { return nil }
+	for _, w := range []int{1, 2, 4} {
+		w := w
+		if err := record("stream-discover", w, func() error {
+			_, err := datamaran.ExtractStream(bytes.NewReader(data), datamaran.Options{Workers: w}, discard)
+			return err
+		}); err != nil {
+			return err
+		}
+	}
+	for _, w := range []int{1, 2, 4} {
+		w := w
+		if err := record("apply-profile", w, func() error {
+			_, err := datamaran.ExtractStreamWithProfile(bytes.NewReader(data), profile,
+				datamaran.Options{Workers: w}, discard)
+			return err
+		}); err != nil {
+			return err
+		}
+	}
+
+	raw, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(raw, '\n'), 0o644)
 }

@@ -36,6 +36,7 @@ import (
 
 	"datamaran/internal/core"
 	"datamaran/internal/generation"
+	"datamaran/internal/pipeline"
 )
 
 // SearchMode selects how the generation step enumerates RT-CharSet values.
@@ -76,6 +77,18 @@ type Options struct {
 	// DisableRefinement turns off array unfolding and structure
 	// shifting (exposed for ablation studies).
 	DisableRefinement bool
+	// Workers sets the goroutine parallelism of the extraction scans
+	// and of the streaming engine's per-shard matching. 0 means
+	// GOMAXPROCS for ExtractReader/ExtractStream and sequential for
+	// Extract; 1 forces sequential everywhere.
+	Workers int
+	// ShardSize is the target shard size in bytes for the streaming
+	// engine (ExtractReader, ExtractStream). 0 means 1 MiB.
+	ShardSize int
+	// DiscoveryBudget caps the input prefix buffered by the streaming
+	// engine for structure discovery. 0 means 8 MiB. Inputs no larger
+	// than the budget produce results identical to Extract.
+	DiscoveryBudget int
 }
 
 func (o Options) internal() core.Options {
@@ -87,11 +100,28 @@ func (o Options) internal() core.Options {
 		SampleBudget:      o.SampleBudget,
 		EvalBudget:        o.EvalBudget,
 		DisableRefinement: o.DisableRefinement,
+		Workers:           o.Workers,
 	}
 	if o.Search == Greedy {
 		opts.Search = generation.Greedy
 	}
 	return opts
+}
+
+// pipelineConfig maps the public options onto the streaming engine.
+func (o Options) pipelineConfig() pipeline.Config {
+	workers := o.Workers
+	if workers == 0 {
+		workers = -1 // streaming default: use all cores
+	}
+	co := o.internal()
+	co.Workers = workers
+	return pipeline.Config{
+		Core:            co,
+		ShardSize:       o.ShardSize,
+		Workers:         workers,
+		DiscoveryBudget: o.DiscoveryBudget,
+	}
 }
 
 // Field is one extracted field value.
@@ -199,25 +229,77 @@ func wrapResult(data []byte, res *core.Result) *Result {
 		})
 	}
 	for _, r := range res.Records {
-		rec := Record{Type: r.TypeID, StartLine: r.StartLine, EndLine: r.EndLine}
-		for _, f := range r.Fields {
-			rec.Fields = append(rec.Fields, Field{
-				Column: f.Col, Repetition: f.Rep,
-				Start: f.Start, End: f.End, Value: f.Value,
-			})
-		}
-		out.Records = append(out.Records, rec)
+		out.Records = append(out.Records, publicRecord(r))
 	}
 	return out
 }
 
-// ExtractReader reads all of r and extracts.
+// publicRecord converts one internal record to the public form.
+func publicRecord(r core.RecordOut) Record {
+	rec := Record{Type: r.TypeID, StartLine: r.StartLine, EndLine: r.EndLine}
+	for _, f := range r.Fields {
+		rec.Fields = append(rec.Fields, Field{
+			Column: f.Col, Repetition: f.Rep,
+			Start: f.Start, End: f.End, Value: f.Value,
+		})
+	}
+	return rec
+}
+
+// ExtractReader runs the streaming, sharded extraction engine on r: the
+// input is consumed as line-aligned shards, structure discovery runs on a
+// bounded prefix (Options.DiscoveryBudget), and extraction fans per-shard
+// template matching out over Options.Workers goroutines. The input is
+// never buffered whole — memory stays bounded by a few shards per record
+// type (the extracted records themselves are still materialized into the
+// Result; use ExtractStream to bound that too).
+//
+// For inputs no larger than the discovery budget the result's structures,
+// records and noise lines are identical to Extract's.
 func ExtractReader(r io.Reader, opts Options) (*Result, error) {
-	data, err := io.ReadAll(r)
+	res, err := pipeline.Run(r, opts.pipelineConfig())
 	if err != nil {
 		return nil, err
 	}
-	return Extract(data, opts)
+	return wrapResult(nil, res), nil
+}
+
+// ExtractStream is ExtractReader in bounded-memory form: every record is
+// yielded to fn as soon as its shard is finalized instead of being
+// accumulated. Records of one type arrive in input order; different types
+// interleave at shard granularity. A non-nil error from fn aborts the
+// run. The returned Result carries the structures, noise lines and
+// timing, with Records empty — so the table builders return schema-only
+// tables for a streamed result; use ExtractReader when tables are
+// needed. Memory is bounded except for the noise line indices, which
+// still accumulate into Result.NoiseLines (8 bytes per unmatched line).
+func ExtractStream(r io.Reader, opts Options, fn func(Record) error) (*Result, error) {
+	cfg := opts.pipelineConfig()
+	return runStream(r, cfg, fn)
+}
+
+// runStream executes the pipeline in callback mode, reconstructing the
+// per-structure MultiLine flag (normally derived from Result.Records)
+// from the records flowing past.
+func runStream(r io.Reader, cfg pipeline.Config, fn func(Record) error) (*Result, error) {
+	multi := map[int]bool{}
+	cfg.OnRecord = func(ro core.RecordOut) error {
+		if ro.EndLine-ro.StartLine > 1 {
+			multi[ro.TypeID] = true
+		}
+		return fn(publicRecord(ro))
+	}
+	res, err := pipeline.Run(r, cfg)
+	if err != nil {
+		return nil, err
+	}
+	out := wrapResult(nil, res)
+	for i := range out.Structures {
+		if multi[out.Structures[i].Type] {
+			out.Structures[i].MultiLine = true
+		}
+	}
+	return out, nil
 }
 
 // ExtractFile extracts from the named file.

@@ -1,0 +1,3 @@
+module datamaran
+
+go 1.24

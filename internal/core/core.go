@@ -56,6 +56,19 @@ type Options struct {
 	// score plus the RefineTop best by assimilation rank (an ablation
 	// knob).
 	RefineTop int
+	// Workers sets the goroutine parallelism of the extraction scans
+	// (the "eminently parallelizable" pass of §5.2.2). 0 or 1 keeps the
+	// sequential scan; negative means GOMAXPROCS.
+	Workers int
+}
+
+// scan partitions lines with the template, in parallel when opts.Workers
+// asks for it. ScanParallel is output-identical to Scan.
+func (o Options) scan(m *parser.Matcher, lines *textio.Lines) *parser.ScanResult {
+	if o.Workers == 0 || o.Workers == 1 {
+		return m.Scan(lines)
+	}
+	return m.ScanParallel(lines, o.Workers)
 }
 
 func (o Options) withDefaults() Options {
@@ -206,7 +219,7 @@ func Extract(data []byte, opts Options) (*Result, error) {
 		t0 := time.Now()
 		rl := textio.NewLines(residData)
 		m := parser.NewMatcher(st)
-		scan := m.Scan(rl)
+		scan := opts.scan(m, rl)
 		res.Timing.Extraction += time.Since(t0)
 
 		if scan.Coverage < int(opts.Alpha*float64(len(data))) {
@@ -392,6 +405,14 @@ func makeByteShift(resid *textio.Lines, origOf []int, orig *textio.Lines) func(i
 // each consumes its matching records from the residue left by the
 // previous ones, exactly as the discovery loop would have.
 func ApplyTemplates(data []byte, templates []*template.Node) (*Result, error) {
+	return ApplyTemplatesParallel(data, templates, 0)
+}
+
+// ApplyTemplatesParallel is ApplyTemplates with the extraction scans fanned
+// out over workers goroutines (0 or 1 sequential, negative GOMAXPROCS).
+// Output is identical to ApplyTemplates.
+func ApplyTemplatesParallel(data []byte, templates []*template.Node, workers int) (*Result, error) {
+	opts := Options{Workers: workers}.withDefaults()
 	lines := textio.NewLines(data)
 	if lines.N() == 0 {
 		return nil, ErrEmptyInput
@@ -406,7 +427,7 @@ func ApplyTemplates(data []byte, templates []*template.Node) (*Result, error) {
 		t0 := time.Now()
 		rl := textio.NewLines(residData)
 		m := parser.NewMatcher(st)
-		scan := m.Scan(rl)
+		scan := opts.scan(m, rl)
 		res.Timing.Extraction += time.Since(t0)
 		res.Structures = append(res.Structures, Structure{
 			TypeID:   typeID,

@@ -226,6 +226,9 @@ func TestExtractMaxRecordTypesBounds(t *testing.T) {
 }
 
 func TestExtractRespectsMaxSpanFailure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second full-pipeline case")
+	}
 	// Records of 12 lines with L=10 and structurally distinct lines
 	// (no fold, so unfolding cannot re-expand past L): the paper's
 	// "long records" failure cause — the full record template cannot
@@ -370,6 +373,9 @@ func TestExtractSingleLineFile(t *testing.T) {
 }
 
 func TestExtractRecordsAndNoisePartitionLines(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second full-pipeline case")
+	}
 	// Invariant: every input line is either part of exactly one record
 	// or listed as noise.
 	rng := rand.New(rand.NewSource(10))

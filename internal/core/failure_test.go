@@ -118,6 +118,9 @@ func TestAllIdenticalLines(t *testing.T) {
 }
 
 func TestEmptyLinesInterspersed(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second full-pipeline case")
+	}
 	var b strings.Builder
 	rng := rand.New(rand.NewSource(5))
 	for i := 0; i < 150; i++ {

@@ -7,17 +7,95 @@ import (
 	"datamaran/internal/textio"
 )
 
-// ScanParallel computes the same partition as Scan using worker
-// goroutines. The paper notes the extraction pass "is eminently
-// parallelizable" (§1, §5.2.2) — this is that pass.
+// Cand is the outcome of one context-free match attempt: does a record of
+// the template start at this line, and if so where does it end. EndLine is
+// 0 (and Value nil) when no line-aligned match starts at the line.
+type Cand struct {
+	// EndLine is the exclusive end line of the match.
+	EndLine int
+	// End is the exclusive end byte offset.
+	End int
+	// Value is the parse tree of the match.
+	Value *Value
+	// Truncated reports that a failed attempt ran off the end of the
+	// buffer: with more bytes the line could still start a record. Only
+	// meaningful to callers whose buffer is a window of a longer stream.
+	Truncated bool
+}
+
+// MatchCandidates computes, for every line in [from, to), whether a
+// line-aligned record match starts there, fanning the lines out over
+// worker goroutines. Matching at a line is context-free — it depends only
+// on the template and the bytes — which is what makes the extraction pass
+// "eminently parallelizable" (§1, §5.2.2 of the paper) and lets the
+// streaming engine scan shards concurrently: any greedy walk over the
+// returned candidates reproduces the sequential Scan exactly.
 //
-// Matching at a line is context-free (it depends only on the template and
-// the bytes), so workers independently compute, for every line of their
-// chunk, whether a record match starts there; a trivial greedy walk over
-// the per-line results then reproduces the sequential Scan exactly —
-// including on pathological inputs where record phases are ambiguous.
-// workers <= 1 falls back to the sequential Scan.
-func (m *Matcher) ScanParallel(lines *textio.Lines, maxSpan, workers int) *ScanResult {
+// Matches may extend past line to−1; they are resolved against the full
+// buffer behind lines. workers <= 0 selects GOMAXPROCS; the slice is
+// indexed by line−from.
+func (m *Matcher) MatchCandidates(lines *textio.Lines, from, to, workers int) []Cand {
+	if to > lines.N() {
+		to = lines.N()
+	}
+	if from < 0 {
+		from = 0
+	}
+	if from >= to {
+		return nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	n := to - from
+	cands := make([]Cand, n)
+	data := lines.Data()
+
+	matchRange := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			pos := lines.Start(from + i)
+			v, matchEnd, ok, trunc := m.MatchTrunc(data, pos)
+			if !ok {
+				cands[i] = Cand{Truncated: trunc}
+				continue
+			}
+			if endLine, aligned := lines.AlignedLine(matchEnd); aligned && endLine > from+i {
+				cands[i] = Cand{EndLine: endLine, End: matchEnd, Value: v}
+			}
+		}
+	}
+
+	if workers <= 1 || n < workers*4 {
+		matchRange(0, n)
+		return cands
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		if lo >= n {
+			break
+		}
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			matchRange(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+	return cands
+}
+
+// ScanParallel computes the same partition as Scan using worker
+// goroutines: a parallel per-line candidate pass (MatchCandidates)
+// followed by the trivial greedy walk of Scan over the results — identical
+// output, including on pathological inputs where record phases are
+// ambiguous. workers <= 1 falls back to the sequential Scan.
+func (m *Matcher) ScanParallel(lines *textio.Lines, workers int) *ScanResult {
 	n := lines.N()
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -25,71 +103,29 @@ func (m *Matcher) ScanParallel(lines *textio.Lines, maxSpan, workers int) *ScanR
 	if workers <= 1 || n < workers*4 {
 		return m.Scan(lines)
 	}
-	if maxSpan < 1 {
-		maxSpan = 1
-	}
 
-	data := lines.Data()
-	lineOf := make(map[int]int, n+1)
-	for i := 0; i <= n; i++ {
-		lineOf[lines.Start(i)] = i
-	}
+	cands := m.MatchCandidates(lines, 0, n, workers)
 
-	// Phase 1 (parallel): per-line match results.
-	type cand struct {
-		endLine int
-		end     int
-		value   *Value
-	}
-	cands := make([]cand, n)
-	chunk := (n + workers - 1) / workers
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		start := w * chunk
-		if start >= n {
-			break
-		}
-		end := start + chunk
-		if end > n {
-			end = n
-		}
-		wg.Add(1)
-		go func(start, end int) {
-			defer wg.Done()
-			for i := start; i < end; i++ {
-				pos := lines.Start(i)
-				v, matchEnd, ok := m.Match(data, pos)
-				if !ok {
-					continue
-				}
-				if endLine, aligned := lineOf[matchEnd]; aligned && endLine > i {
-					cands[i] = cand{endLine: endLine, end: matchEnd, value: v}
-				}
-			}
-		}(start, end)
-	}
-	wg.Wait()
-
-	// Phase 2 (sequential, cheap): the greedy walk of Scan.
+	// Greedy walk (sequential, cheap).
 	res := &ScanResult{}
 	i := 0
 	for i < n {
 		c := cands[i]
-		if c.value == nil {
+		if c.Value == nil {
 			res.NoiseLines = append(res.NoiseLines, i)
 			i++
 			continue
 		}
 		rec := Record{
-			StartLine: i, EndLine: c.endLine,
-			Start: lines.Start(i), End: c.end, Value: c.value,
+			StartLine: i, EndLine: c.EndLine,
+			Start: lines.Start(i), End: c.End, Value: c.Value,
 		}
 		res.Records = append(res.Records, rec)
 		res.Coverage += rec.End - rec.Start
-		for _, f := range m.Flatten(c.value) {
+		for _, f := range m.Flatten(c.Value) {
 			res.FieldBytes += f.End - f.Start
 		}
-		i = c.endLine
+		i = c.EndLine
 	}
 	return res
 }

@@ -49,7 +49,7 @@ func TestScanParallelMatchesSequentialSingleLine(t *testing.T) {
 	m := NewMatcher(tm)
 	seq := m.Scan(lines)
 	for _, workers := range []int{2, 3, 7} {
-		par := m.ScanParallel(lines, 10, workers)
+		par := m.ScanParallel(lines, workers)
 		scanEqual(t, seq, par)
 	}
 }
@@ -71,7 +71,7 @@ func TestScanParallelMatchesSequentialMultiLine(t *testing.T) {
 	m := NewMatcher(tm)
 	seq := m.Scan(lines)
 	for _, workers := range []int{2, 5} {
-		par := m.ScanParallel(lines, 10, workers)
+		par := m.ScanParallel(lines, workers)
 		scanEqual(t, seq, par)
 	}
 }
@@ -80,7 +80,7 @@ func TestScanParallelFallbackSmallInput(t *testing.T) {
 	lines := textio.NewLines([]byte("a,b\nc,d\n"))
 	tm := template.Struct(template.Field(), template.Lit(","), template.Field(), template.Lit("\n")).Normalize()
 	m := NewMatcher(tm)
-	par := m.ScanParallel(lines, 10, 8)
+	par := m.ScanParallel(lines, 8)
 	if len(par.Records) != 2 {
 		t.Fatalf("records = %d", len(par.Records))
 	}
@@ -105,7 +105,7 @@ func TestScanParallelBoundaryStraddle(t *testing.T) {
 		t.Fatalf("sequential records = %d", len(seq.Records))
 	}
 	for _, workers := range []int{2, 4, 9} {
-		par := m.ScanParallel(lines, 10, workers)
+		par := m.ScanParallel(lines, workers)
 		scanEqual(t, seq, par)
 	}
 }

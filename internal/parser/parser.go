@@ -28,16 +28,32 @@ type Value struct {
 	Children []*Value
 }
 
-// Matcher matches one structure template. It precomputes the RT-CharSet.
+// Matcher matches one structure template. It precomputes the RT-CharSet
+// and the per-array body nodes, and is safe for concurrent use.
 type Matcher struct {
 	st    *template.Node
 	rtset chars.Set
 	cols  int
+	// bodies caches the KStruct wrapper over each array's children so
+	// the hot match loop does not allocate one per attempt.
+	bodies map[*template.Node]*template.Node
 }
 
 // NewMatcher builds a matcher for st.
 func NewMatcher(st *template.Node) *Matcher {
-	return &Matcher{st: st, rtset: st.RTCharSet(), cols: st.NumFields()}
+	m := &Matcher{st: st, rtset: st.RTCharSet(), cols: st.NumFields(),
+		bodies: map[*template.Node]*template.Node{}}
+	var walk func(n *template.Node)
+	walk = func(n *template.Node) {
+		if n.Kind == template.KArray {
+			m.bodies[n] = &template.Node{Kind: template.KStruct, Children: n.Children}
+		}
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	walk(st)
+	return m
 }
 
 // Template returns the matcher's structure template.
@@ -50,61 +66,80 @@ func (m *Matcher) Columns() int { return m.cols }
 // Match attempts to match the template starting at data[pos]. On success
 // it returns the parse tree and the end offset (exclusive).
 func (m *Matcher) Match(data []byte, pos int) (*Value, int, bool) {
-	v, end, ok := m.match(m.st, data, pos)
+	v, end, ok, _ := m.match(m.st, data, pos)
 	if !ok {
 		return nil, 0, false
 	}
 	return v, end, true
 }
 
-func (m *Matcher) match(n *template.Node, data []byte, pos int) (*Value, int, bool) {
+// MatchTrunc is Match, additionally reporting whether a failed attempt ran
+// off the end of data — i.e. whether appending more bytes could turn the
+// failure into a match. The streaming engine uses this to defer decisions
+// for lines near a shard boundary instead of finalizing them; on a full
+// buffer the flag is irrelevant (no more bytes ever arrive).
+func (m *Matcher) MatchTrunc(data []byte, pos int) (v *Value, end int, ok, truncated bool) {
+	v, end, ok, truncated = m.match(m.st, data, pos)
+	if !ok {
+		return nil, 0, false, truncated
+	}
+	return v, end, true, false
+}
+
+func (m *Matcher) match(n *template.Node, data []byte, pos int) (*Value, int, bool, bool) {
 	switch n.Kind {
 	case template.KField:
 		end := pos
 		for end < len(data) && data[end] != '\n' && !m.rtset.Contains(data[end]) {
 			end++
 		}
-		return &Value{Node: n, Start: pos, End: end}, end, true
+		return &Value{Node: n, Start: pos, End: end}, end, true, false
 
 	case template.KLiteral:
 		lit := n.Lit
-		if pos+len(lit) > len(data) {
-			return nil, 0, false
+		avail := len(lit)
+		if pos+avail > len(data) {
+			avail = len(data) - pos
 		}
-		for i := 0; i < len(lit); i++ {
+		for i := 0; i < avail; i++ {
 			if data[pos+i] != lit[i] {
-				return nil, 0, false
+				return nil, 0, false, false
 			}
 		}
-		return &Value{Node: n, Start: pos, End: pos + len(lit)}, pos + len(lit), true
+		if avail < len(lit) {
+			// Running off the buffer after matching every resident
+			// byte is not a definitive mismatch.
+			return nil, 0, false, true
+		}
+		return &Value{Node: n, Start: pos, End: pos + len(lit)}, pos + len(lit), true, false
 
 	case template.KStruct:
 		v := &Value{Node: n, Start: pos, Children: make([]*Value, 0, len(n.Children))}
 		cur := pos
 		for _, c := range n.Children {
-			cv, end, ok := m.match(c, data, cur)
+			cv, end, ok, trunc := m.match(c, data, cur)
 			if !ok {
-				return nil, 0, false
+				return nil, 0, false, trunc
 			}
 			v.Children = append(v.Children, cv)
 			cur = end
 		}
 		v.End = cur
-		return v, cur, true
+		return v, cur, true, false
 
 	case template.KArray:
 		v := &Value{Node: n, Start: pos}
 		cur := pos
-		body := &template.Node{Kind: template.KStruct, Children: n.Children}
+		body := m.bodies[n]
 		for {
-			gv, end, ok := m.match(body, data, cur)
+			gv, end, ok, trunc := m.match(body, data, cur)
 			if !ok {
-				return nil, 0, false
+				return nil, 0, false, trunc
 			}
 			v.Children = append(v.Children, gv)
 			cur = end
 			if cur >= len(data) {
-				return nil, 0, false
+				return nil, 0, false, true
 			}
 			switch data[cur] {
 			case n.Sep:
@@ -112,13 +147,13 @@ func (m *Matcher) match(n *template.Node, data []byte, pos int) (*Value, int, bo
 			case n.Term:
 				cur++
 				v.End = cur
-				return v, cur, true
+				return v, cur, true, false
 			default:
-				return nil, 0, false
+				return nil, 0, false, false
 			}
 		}
 	}
-	return nil, 0, false
+	return nil, 0, false, false
 }
 
 // FieldOcc is one field-value occurrence in a parsed record.
@@ -137,7 +172,7 @@ type FieldOcc struct {
 // Flatten lists every field occurrence of a parsed record in left-to-right
 // order, with template column indices.
 func (m *Matcher) Flatten(v *Value) []FieldOcc {
-	var out []FieldOcc
+	out := make([]FieldOcc, 0, m.cols*2)
 	var walk func(n *template.Node, v *Value, col int, rep int) int
 	walk = func(n *template.Node, v *Value, col int, rep int) int {
 		switch n.Kind {
@@ -164,7 +199,7 @@ func (m *Matcher) Flatten(v *Value) []FieldOcc {
 			if len(v.Children) == 0 {
 				// No repetitions: still advance the column
 				// counter past the body's fields.
-				end = col + (&template.Node{Kind: template.KStruct, Children: n.Children}).NumFields()
+				end = col + m.bodies[n].NumFields()
 			}
 			return end
 		}

@@ -40,7 +40,7 @@ func BenchmarkScanParallel4(b *testing.B) {
 	b.SetBytes(int64(len(lines.Data())))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		m.ScanParallel(lines, 10, 4)
+		m.ScanParallel(lines, 4)
 	}
 }
 

@@ -1,0 +1,90 @@
+package parser
+
+import (
+	"testing"
+
+	"datamaran/internal/template"
+	"datamaran/internal/textio"
+)
+
+// TestMatchTruncDistinguishesFailures pins the contract the streaming
+// engine depends on: a failure caused by running off the buffer is
+// flagged (more bytes could flip it), a mismatch on resident bytes is
+// not (no amount of extra data can).
+func TestMatchTruncDistinguishesFailures(t *testing.T) {
+	csv := NewMatcher(template.Struct(
+		template.Field(), template.Lit(","), template.Field(), template.Lit("\n"),
+	).Normalize())
+	multi := NewMatcher(template.Struct(
+		template.Lit("BEGIN "), template.Field(), template.Lit("\nEND;\n"),
+	).Normalize())
+	arr := NewMatcher(template.Array([]*template.Node{template.Field()}, ',', '\n'))
+	arrLit := NewMatcher(template.Array(
+		[]*template.Node{template.Field(), template.Lit(":")}, ',', '\n'))
+
+	cases := []struct {
+		name      string
+		m         *Matcher
+		data      string
+		ok        bool
+		truncated bool
+	}{
+		{"csv complete", csv, "a,b\n", true, false},
+		{"csv cut mid-field", csv, "a,b", false, true},
+		{"csv cut before comma", csv, "ab", false, true},
+		{"csv definitive mismatch", csv, "ab\n", false, false},
+		{"multi complete", multi, "BEGIN x\nEND;\n", true, false},
+		{"multi cut inside literal", multi, "BEGIN x\nEN", false, true},
+		{"multi literal mismatch", multi, "BEGIN x\nEXD;\n", false, false},
+		{"multi cut at start", multi, "BEG", false, true},
+		{"multi wrong head", multi, "BOGUS\n", false, false},
+		{"array complete", arr, "a,b,c\n", true, false},
+		{"array cut after sep", arr, "a,b", false, true},
+		{"array bad delimiter", arrLit, "a:,b:x\n", false, false},
+	}
+	for _, c := range cases {
+		_, _, ok, trunc := c.m.MatchTrunc([]byte(c.data), 0)
+		if ok != c.ok || trunc != c.truncated {
+			t.Errorf("%s: MatchTrunc(%q) = ok %v, truncated %v; want %v, %v",
+				c.name, c.data, ok, trunc, c.ok, c.truncated)
+		}
+	}
+}
+
+// TestMatchTruncAgreesWithMatch: on any buffer, the ok/value/end results
+// must be exactly Match's.
+func TestMatchTruncAgreesWithMatch(t *testing.T) {
+	m := NewMatcher(template.Struct(
+		template.Field(), template.Lit(","), template.Field(), template.Lit("\n"),
+	).Normalize())
+	data := []byte("a,b\nxy\nc,d\ne,")
+	for pos := 0; pos <= len(data); pos++ {
+		v1, e1, ok1 := m.Match(data, pos)
+		v2, e2, ok2, _ := m.MatchTrunc(data, pos)
+		if ok1 != ok2 || e1 != e2 || (v1 == nil) != (v2 == nil) {
+			t.Errorf("pos %d: Match=(%v,%d) MatchTrunc=(%v,%d)", pos, ok1, e1, ok2, e2)
+		}
+	}
+}
+
+// TestMatchCandidatesTruncatedFlag checks candidates near the buffer end
+// carry the deferral flag while interior failures do not.
+func TestMatchCandidatesTruncatedFlag(t *testing.T) {
+	m := NewMatcher(template.Struct(
+		template.Field(), template.Lit(","), template.Field(), template.Lit("\n"),
+	).Normalize())
+	lines := textio.NewLines([]byte("a,b\n~~noise~~\nc,d\ne,f"))
+	cands := m.MatchCandidates(lines, 0, lines.N(), 2)
+	if cands[0].Value == nil || cands[0].EndLine != 1 {
+		t.Errorf("line 0: %+v, want match ending at line 1", cands[0])
+	}
+	if cands[1].Value != nil || cands[1].Truncated {
+		t.Errorf("line 1 (interior noise): %+v, want definitive failure", cands[1])
+	}
+	if cands[2].Value == nil {
+		t.Errorf("line 2: %+v, want match", cands[2])
+	}
+	if cands[3].Value != nil || !cands[3].Truncated {
+		t.Errorf("line 3 (cut record): %+v, want truncated failure", cands[3])
+	}
+}

@@ -1,0 +1,435 @@
+// Package pipeline implements the streaming, sharded extraction engine —
+// the production-scale form of the paper's observation that the
+// extraction pass "is eminently parallelizable" (§1, §5.2.2). Input
+// arrives as line-aligned shards from a textio.ChunkReader; structure
+// discovery runs once on a bounded prefix reservoir; and extraction flows
+// through one stage per discovered template, each stage fanning per-line
+// template matching out over a worker pool and reproducing the in-memory
+// greedy scan with a cheap sequential merge.
+//
+// Equivalence. Per-line matching is context-free, so a stage's sharded
+// scan finalizes exactly the decisions the sequential scan would make:
+// matches are deferred (not failed) when an attempt runs off the end of
+// the resident window, and resume when the next shard arrives. Noise
+// lines cascade into the next stage's window carrying their original
+// line/byte coordinates, which reproduces core.Extract's residue
+// construction. The result is byte-identical to core.Extract whenever the
+// discovery prefix holds the whole input (inputs up to DiscoveryBudget);
+// for larger inputs the only divergence is that templates are learned
+// from the prefix rather than from stratified whole-file samples.
+//
+// Memory. Each stage retains at most about two shards of residue (plus
+// any single record still being completed across a shard boundary), so
+// the input streams through in bounded space. The outputs accumulate in
+// the Result unless streamed away: use OnRecord for records and OnNoise
+// for noise line indices to keep the whole run bounded.
+package pipeline
+
+import (
+	"bytes"
+	"io"
+	"runtime"
+	"sync"
+	"time"
+
+	"datamaran/internal/core"
+	"datamaran/internal/parser"
+	"datamaran/internal/template"
+	"datamaran/internal/textio"
+)
+
+// DefaultShardSize is the per-stage batch granularity of the engine.
+const DefaultShardSize = 1 << 20
+
+// DefaultDiscoveryBudget bounds the prefix buffered for template
+// discovery. Inputs no larger than this extract identically to the
+// in-memory core.Extract.
+const DefaultDiscoveryBudget = 8 << 20
+
+// Config parameterizes a streaming run.
+type Config struct {
+	// Core holds the discovery/extraction options, forwarded to the
+	// template search on the discovery prefix.
+	Core core.Options
+	// ShardSize is the target shard size in bytes (default 1 MiB).
+	ShardSize int
+	// Workers is the matching/materialization parallelism per batch.
+	// 0 means GOMAXPROCS, 1 is sequential.
+	Workers int
+	// DiscoveryBudget caps the bytes buffered for structure discovery
+	// (default 8 MiB).
+	DiscoveryBudget int
+	// OnRecord, when non-nil, receives every record as its shard is
+	// finalized instead of the record being accumulated into
+	// Result.Records — the bounded-memory mode. Records of one type
+	// arrive in input order; types interleave at shard granularity.
+	// A non-nil error aborts the run.
+	OnRecord func(core.RecordOut) error
+	// OnNoise, when non-nil, receives each final noise line's original
+	// index as it is decided instead of the index being accumulated
+	// into Result.NoiseLines — without it, streaming memory grows with
+	// the noise count even in OnRecord mode. A non-nil error aborts
+	// the run.
+	OnNoise func(origLine int) error
+	// Templates, when non-empty, skips discovery entirely and applies
+	// the given structure templates in order — the streaming form of
+	// core.ApplyTemplates (the learn-once, apply-many data-lake
+	// workflow). No prefix is buffered: the input streams through in
+	// one pass from the first byte.
+	Templates []*template.Node
+}
+
+func (c Config) withDefaults() Config {
+	if c.ShardSize <= 0 {
+		c.ShardSize = DefaultShardSize
+	}
+	if c.DiscoveryBudget <= 0 {
+		c.DiscoveryBudget = DefaultDiscoveryBudget
+	}
+	if c.Workers == 0 {
+		// Normalize the documented all-cores default so the discovery
+		// pass (core.Options, where 0 means sequential) agrees with
+		// the shard matchers.
+		c.Workers = -1
+	}
+	return c
+}
+
+// lineMeta locates one resident line in the original stream.
+type lineMeta struct {
+	orig  int // original line index
+	start int // original byte offset of the line's first byte
+}
+
+// stage applies one template to its residue stream. buf holds the
+// resident window of still-undecided residue lines; meta maps each
+// resident line back to original coordinates.
+type stage struct {
+	m        *parser.Matcher
+	typeID   int
+	buf      []byte
+	meta     []lineMeta
+	records  int
+	coverage int
+	recs     []core.RecordOut // collected when Config.OnRecord is nil
+	// minRetry backs off re-processing while a record-in-progress spans
+	// the whole window (a batch that finalized nothing): the window must
+	// grow past it before matching is attempted again, keeping the
+	// rework linear instead of quadratic.
+	minRetry int
+}
+
+// engine drives the staged streaming scan.
+type engine struct {
+	cfg      Config
+	stages   []*stage
+	noise    []int
+	nextLine int // original line counter of the input feed
+	nextByte int // original byte counter of the input feed
+}
+
+// Run streams r through discovery and sharded extraction. With
+// cfg.Templates set, discovery is skipped and the templates are applied
+// directly (the streaming core.ApplyTemplates).
+func Run(r io.Reader, cfg Config) (*core.Result, error) {
+	cfg = cfg.withDefaults()
+	cr := textio.NewChunkReader(r, cfg.ShardSize)
+
+	var structures []core.Structure
+	var discTiming core.Timing
+	var prefix []byte
+	readErr := error(nil)
+	if len(cfg.Templates) > 0 {
+		for i, tpl := range cfg.Templates {
+			structures = append(structures, core.Structure{TypeID: i, Template: tpl})
+		}
+	} else {
+		// Phase 1: buffer the discovery prefix (a reservoir of
+		// leading shards, whole input when it fits the budget).
+		for len(prefix) < cfg.DiscoveryBudget {
+			chunk, err := cr.Next()
+			prefix = append(prefix, chunk...)
+			if err != nil {
+				readErr = err
+				break
+			}
+		}
+		if readErr != nil && readErr != io.EOF {
+			return nil, readErr
+		}
+
+		// Phase 2: template discovery on the prefix.
+		discOpts := cfg.Core
+		discOpts.Workers = cfg.Workers
+		disc, err := core.Extract(prefix, discOpts)
+		if err != nil {
+			return nil, err
+		}
+		structures = disc.Structures
+		discTiming = disc.Timing
+	}
+
+	// Phase 3: staged streaming extraction over prefix + remainder.
+	e := &engine{cfg: cfg}
+	for i, s := range structures {
+		e.stages = append(e.stages, &stage{m: parser.NewMatcher(s.Template), typeID: i})
+	}
+
+	t0 := time.Now()
+	if len(prefix) > 0 {
+		if err := e.feed(prefix); err != nil {
+			return nil, err
+		}
+	}
+	for readErr == nil {
+		chunk, err := cr.Next()
+		if err != nil {
+			readErr = err
+		}
+		if len(chunk) > 0 {
+			if err := e.feed(chunk); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if readErr != io.EOF {
+		return nil, readErr
+	}
+	if e.nextLine == 0 {
+		return nil, core.ErrEmptyInput
+	}
+	// Final flush, in stage order so cascaded residue is complete.
+	for t := range e.stages {
+		if err := e.process(t, true); err != nil {
+			return nil, err
+		}
+	}
+
+	res := &core.Result{NoiseLines: e.noise, Timing: discTiming}
+	res.Timing.Extraction = time.Since(t0)
+	for i, s := range structures {
+		st := e.stages[i]
+		s.Records = st.records
+		s.Coverage = st.coverage
+		res.Structures = append(res.Structures, s)
+		res.Records = append(res.Records, st.recs...)
+	}
+	return res, nil
+}
+
+// feed appends one line-aligned input block to stage 0 (or straight to
+// noise when discovery found no structure) and lets ready stages run.
+func (e *engine) feed(block []byte) error {
+	if len(e.stages) == 0 {
+		// No templates: every input line is noise.
+		for off := 0; off < len(block); {
+			if err := e.finalNoise(e.nextLine); err != nil {
+				return err
+			}
+			e.nextLine++
+			nl := lineLen(block[off:])
+			e.nextByte += nl
+			off += nl
+		}
+		return nil
+	}
+	s := e.stages[0]
+	for off := 0; off < len(block); {
+		nl := lineLen(block[off:])
+		s.meta = append(s.meta, lineMeta{orig: e.nextLine, start: e.nextByte})
+		e.nextLine++
+		e.nextByte += nl
+		off += nl
+	}
+	s.buf = append(s.buf, block...)
+	for t := range e.stages {
+		st := e.stages[t]
+		if len(st.buf) >= e.cfg.ShardSize && len(st.buf) >= st.minRetry {
+			if err := e.process(t, false); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// lineLen returns the length of the first line of b including its '\n'
+// (or all of b when no '\n' remains — the unterminated final line).
+func lineLen(b []byte) int {
+	if i := bytes.IndexByte(b, '\n'); i >= 0 {
+		return i + 1
+	}
+	return len(b)
+}
+
+// process runs one batch of stage t: parallel per-line candidates, the
+// sequential greedy walk, parallel record materialization, then window
+// compaction. final means no more input can arrive, so every decision is
+// safe to finalize.
+func (e *engine) process(t int, final bool) error {
+	st := e.stages[t]
+	ls := textio.NewLines(st.buf)
+	n := ls.N()
+	if n == 0 {
+		return nil
+	}
+	cands := st.m.MatchCandidates(ls, 0, n, e.cfg.Workers)
+
+	// Greedy walk — identical decisions to the sequential Scan. Near
+	// the window's end (when more input may arrive), decisions that
+	// could change with more bytes are deferred to the next batch:
+	// attempts that ran off the buffer, and matches that consumed the
+	// buffer's unterminated tail.
+	var accepted []parser.Record
+	i := 0
+	for i < n {
+		c := cands[i]
+		if c.Value == nil {
+			if !final && c.Truncated {
+				break
+			}
+			if !final && i == n-1 && st.buf[len(st.buf)-1] != '\n' {
+				break // unterminated tail line: defer
+			}
+			if err := e.emitNoise(t, ls.Line(i), st.meta[i]); err != nil {
+				return err
+			}
+			i++
+			continue
+		}
+		if !final && c.End == len(st.buf) {
+			// A match flush against the window's end could extend
+			// with more bytes when the template ends in a field
+			// (legal in hand-written profiles); deferring is always
+			// safe — '\n'-terminal matches merely finalize one
+			// batch later.
+			break
+		}
+		accepted = append(accepted, parser.Record{
+			StartLine: i, EndLine: c.EndLine,
+			Start: ls.Start(i), End: c.End, Value: c.Value,
+		})
+		st.coverage += c.End - ls.Start(i)
+		i = c.EndLine
+	}
+	consumed := i
+
+	if len(accepted) > 0 {
+		st.records += len(accepted)
+		recs := e.materialize(st, ls, accepted)
+		if e.cfg.OnRecord != nil {
+			for _, r := range recs {
+				if err := e.cfg.OnRecord(r); err != nil {
+					return err
+				}
+			}
+		} else {
+			st.recs = append(st.recs, recs...)
+		}
+	}
+
+	// Compact: drop the finalized prefix, keep the deferred tail.
+	if consumed > 0 {
+		cut := ls.Start(consumed)
+		st.buf = append(st.buf[:0], st.buf[cut:]...)
+		st.meta = append(st.meta[:0], st.meta[consumed:]...)
+	}
+	// A deferred tail is re-matched from scratch next batch; when it is
+	// already shard-sized (a record still completing across shards),
+	// require a full extra shard of growth before retrying so the
+	// rework stays proportional to the data, not quadratic in it.
+	if !final && len(st.buf) >= e.cfg.ShardSize {
+		st.minRetry = len(st.buf) + e.cfg.ShardSize
+	} else {
+		st.minRetry = 0
+	}
+	return nil
+}
+
+// emitNoise routes one noise line to the next stage's residue window, or
+// to the final noise sink after the last stage.
+func (e *engine) emitNoise(t int, line []byte, meta lineMeta) error {
+	if t+1 < len(e.stages) {
+		next := e.stages[t+1]
+		next.buf = append(next.buf, line...)
+		next.meta = append(next.meta, meta)
+		return nil
+	}
+	return e.finalNoise(meta.orig)
+}
+
+// finalNoise records one line nothing matched: streamed to OnNoise when
+// set, accumulated into the Result otherwise.
+func (e *engine) finalNoise(origLine int) error {
+	if e.cfg.OnNoise != nil {
+		return e.cfg.OnNoise(origLine)
+	}
+	e.noise = append(e.noise, origLine)
+	return nil
+}
+
+// materialize converts accepted window-local records into original-stream
+// coordinates, fanning the field flattening and value copies out over the
+// worker pool. Output order matches the accepted order.
+func (e *engine) materialize(st *stage, ls *textio.Lines, accepted []parser.Record) []core.RecordOut {
+	out := make([]core.RecordOut, len(accepted))
+	fill := func(lo, hi int) {
+		for idx := lo; idx < hi; idx++ {
+			rec := accepted[idx]
+			ro := core.RecordOut{
+				TypeID:    st.typeID,
+				StartLine: st.meta[rec.StartLine].orig,
+				EndLine:   st.meta[rec.EndLine-1].orig + 1,
+			}
+			fields := st.m.Flatten(rec.Value)
+			ro.Fields = make([]core.FieldValue, 0, len(fields))
+			// Fields arrive left to right and never cross line
+			// boundaries, so the containing line advances
+			// monotonically from the record's first line and one
+			// per-line delta translates both span ends.
+			li := rec.StartLine
+			for _, f := range fields {
+				// li+1 < N() guards the sentinel: a zero-length
+				// field at the very end of the window belongs to
+				// the last line.
+				for li+1 < ls.N() && ls.Start(li+1) <= f.Start {
+					li++
+				}
+				shift := st.meta[li].start - ls.Start(li)
+				ro.Fields = append(ro.Fields, core.FieldValue{
+					Col: f.Col, Rep: f.Rep,
+					Start: f.Start + shift, End: f.End + shift,
+					Value: string(st.buf[f.Start:f.End]),
+				})
+			}
+			out[idx] = ro
+		}
+	}
+	workers := e.cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers <= 1 || len(accepted) < workers*4 {
+		fill(0, len(accepted))
+		return out
+	}
+	chunk := (len(accepted) + workers - 1) / workers
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		if lo >= len(accepted) {
+			break
+		}
+		hi := lo + chunk
+		if hi > len(accepted) {
+			hi = len(accepted)
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fill(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+	return out
+}

@@ -1,0 +1,386 @@
+package pipeline
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"reflect"
+	"runtime"
+	"strings"
+	"testing"
+
+	"datamaran/internal/core"
+	"datamaran/internal/datagen"
+	"datamaran/internal/template"
+)
+
+// runBoth extracts d in memory and through the streaming engine (forcing
+// many shards) and returns both results.
+func runBoth(t *testing.T, data []byte, shardSize int, workers int) (*core.Result, *core.Result) {
+	t.Helper()
+	want, err := core.Extract(data, core.Options{})
+	if err != nil {
+		t.Fatalf("core.Extract: %v", err)
+	}
+	got, err := Run(bytes.NewReader(data), Config{
+		ShardSize: shardSize,
+		Workers:   workers,
+	})
+	if err != nil {
+		t.Fatalf("pipeline.Run: %v", err)
+	}
+	return want, got
+}
+
+// assertEquivalent checks the streaming result is byte-identical to the
+// in-memory one on everything but timing.
+func assertEquivalent(t *testing.T, name string, want, got *core.Result) {
+	t.Helper()
+	if len(got.Structures) != len(want.Structures) {
+		t.Fatalf("%s: structures = %d, want %d", name, len(got.Structures), len(want.Structures))
+	}
+	for i := range want.Structures {
+		w, g := want.Structures[i], got.Structures[i]
+		if w.Template.Key() != g.Template.Key() {
+			t.Errorf("%s: type %d template = %s, want %s", name, i, g.Template, w.Template)
+		}
+		if w.Records != g.Records || w.Coverage != g.Coverage {
+			t.Errorf("%s: type %d records/coverage = %d/%d, want %d/%d",
+				name, i, g.Records, g.Coverage, w.Records, w.Coverage)
+		}
+	}
+	if !reflect.DeepEqual(got.Records, want.Records) {
+		if len(got.Records) != len(want.Records) {
+			t.Fatalf("%s: records = %d, want %d", name, len(got.Records), len(want.Records))
+		}
+		for i := range want.Records {
+			if !reflect.DeepEqual(got.Records[i], want.Records[i]) {
+				t.Fatalf("%s: record %d = %+v, want %+v", name, i, got.Records[i], want.Records[i])
+			}
+		}
+	}
+	if !reflect.DeepEqual(got.NoiseLines, want.NoiseLines) {
+		t.Errorf("%s: noise lines = %v, want %v", name, got.NoiseLines, want.NoiseLines)
+	}
+}
+
+// TestStreamEquivalenceCorpus is the property test of the engine: on the
+// datagen corpus, the sharded streaming extraction must produce the same
+// structures, records and noise lines as the in-memory pipeline, even
+// with shards far smaller than a record.
+func TestStreamEquivalenceCorpus(t *testing.T) {
+	// The 25 Table-5 analogs at reduced scale cover every structure
+	// class (single/multi-line, interleaved, noisy) while keeping the
+	// 2×(datasets×shards) full-extraction matrix inside CI budgets; the
+	// full-size GitHub corpus adds minutes per dataset without new code
+	// paths.
+	datasets := datagen.ManualDatasets(0.05)
+	shards := []int{512, 64 << 10}
+	if testing.Short() {
+		// Keep the -race CI job fast: a subset of datasets, one
+		// adversarially small shard size.
+		datasets = datasets[:8]
+		shards = []int{512}
+	}
+	for _, d := range datasets {
+		for _, shard := range shards {
+			name := fmt.Sprintf("%s/shard%d", d.Name, shard)
+			t.Run(name, func(t *testing.T) {
+				want, got := runBoth(t, d.Data, shard, 4)
+				assertEquivalent(t, name, want, got)
+			})
+		}
+	}
+}
+
+// TestRecordSpansShardCut pins the boundary behavior directly: a
+// multi-line record type with the shard size smaller than one record, so
+// every record straddles at least one shard boundary.
+func TestRecordSpansShardCut(t *testing.T) {
+	var b strings.Builder
+	for i := 0; i < 300; i++ {
+		fmt.Fprintf(&b, "begin %d\ndetailfieldvalue:%d\nchecksum %d end\n", i, i*7, i*13)
+	}
+	data := []byte(b.String())
+	want, got := runBoth(t, data, 48, 2)
+	assertEquivalent(t, "span", want, got)
+	if len(want.Records) == 0 {
+		t.Fatal("test is vacuous: no records extracted")
+	}
+	for _, r := range want.Records {
+		if r.EndLine-r.StartLine < 2 {
+			t.Fatalf("test is vacuous: single-line record %+v", r)
+		}
+	}
+}
+
+// TestNoiseAtShardEdges interleaves noise with records so shard cuts land
+// on noise lines and on record boundaries alike.
+func TestNoiseAtShardEdges(t *testing.T) {
+	var b strings.Builder
+	for i := 0; i < 200; i++ {
+		fmt.Fprintf(&b, "%d,%d,%d,%d\n", i, i*3, i*5, i*7)
+		if i%3 == 0 {
+			fmt.Fprintf(&b, "### corrupted garbage %d @@\n", i)
+		}
+	}
+	data := []byte(b.String())
+	for _, shard := range []int{16, 57, 256, 4096} {
+		want, got := runBoth(t, data, shard, 3)
+		assertEquivalent(t, fmt.Sprintf("shard%d", shard), want, got)
+	}
+	if res, _ := core.Extract(data, core.Options{}); len(res.NoiseLines) == 0 {
+		t.Fatal("test is vacuous: no noise lines")
+	}
+}
+
+// TestNoTrailingNewline checks the unterminated final line is handled
+// across the deferral logic.
+func TestNoTrailingNewline(t *testing.T) {
+	var b strings.Builder
+	for i := 0; i < 100; i++ {
+		fmt.Fprintf(&b, "%d,%d,%d\n", i, i*3, i*5)
+	}
+	b.WriteString("tail,without,newline")
+	want, got := runBoth(t, []byte(b.String()), 32, 2)
+	assertEquivalent(t, "notrailing", want, got)
+}
+
+// TestEmptyInput mirrors core.Extract's error.
+func TestEmptyInput(t *testing.T) {
+	if _, err := Run(bytes.NewReader(nil), Config{}); err != core.ErrEmptyInput {
+		t.Fatalf("err = %v, want ErrEmptyInput", err)
+	}
+}
+
+// TestOnRecordStreams checks the constant-memory callback mode yields
+// every record exactly once, in order within a type, and that an error
+// aborts the run.
+func TestOnRecordStreams(t *testing.T) {
+	d := datagen.CommaSepRecords(500, 3)
+	want, err := core.Extract(d.Data, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []core.RecordOut
+	res, err := Run(bytes.NewReader(d.Data), Config{
+		ShardSize: 256,
+		OnRecord:  func(r core.RecordOut) error { got = append(got, r); return nil },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Records) != 0 {
+		t.Errorf("Result.Records = %d, want 0 in callback mode", len(res.Records))
+	}
+	// Single-type data: callback order must equal the in-memory order.
+	if !reflect.DeepEqual(got, want.Records) {
+		t.Fatalf("streamed records differ: %d vs %d", len(got), len(want.Records))
+	}
+
+	stop := fmt.Errorf("stop")
+	n := 0
+	_, err = Run(bytes.NewReader(d.Data), Config{
+		ShardSize: 256,
+		OnRecord: func(core.RecordOut) error {
+			n++
+			if n == 3 {
+				return stop
+			}
+			return nil
+		},
+	})
+	if err != stop {
+		t.Fatalf("err = %v, want callback error", err)
+	}
+	if n != 3 {
+		t.Fatalf("callback ran %d times after abort, want 3", n)
+	}
+}
+
+// repeatReader serves count copies of block without materializing them —
+// the synthetic large-log source for the bounded-memory check.
+type repeatReader struct {
+	block []byte
+	count int
+	off   int
+}
+
+func (r *repeatReader) Read(p []byte) (int, error) {
+	if r.count == 0 {
+		return 0, io.EOF
+	}
+	n := copy(p, r.block[r.off:])
+	r.off += n
+	if r.off == len(r.block) {
+		r.off = 0
+		r.count--
+	}
+	return n, nil
+}
+
+// TestBoundedMemoryLargeInput streams a >100 MB synthetic log through the
+// callback mode and checks the engine never buffers the input: heap usage
+// stays far below the input size.
+func TestBoundedMemoryLargeInput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("streams >100 MB")
+	}
+	var b strings.Builder
+	for i := 0; i < 2000; i++ {
+		fmt.Fprintf(&b, "10.0.%d.%d GET /api/v1/item/%d 200 %d\n", i%256, (i*7)%256, i, 1000+i)
+	}
+	block := []byte(b.String())
+	count := (110 << 20) / len(block)
+	total := int64(len(block)) * int64(count)
+	if total < 100<<20 {
+		t.Fatalf("input only %d bytes", total)
+	}
+
+	runtime.GC()
+	var before runtime.MemStats
+	runtime.ReadMemStats(&before)
+
+	records := 0
+	res, err := Run(&repeatReader{block: block, count: count}, Config{
+		OnRecord: func(core.RecordOut) error { records++; return nil },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	runtime.GC()
+	var after runtime.MemStats
+	runtime.ReadMemStats(&after)
+
+	if records == 0 || len(res.Structures) == 0 {
+		t.Fatalf("extracted nothing: %d records, %d structures", records, len(res.Structures))
+	}
+	// The discovery prefix (8 MiB) plus a few shards per stage must be
+	// the high-water mark — nothing close to the 110 MiB input.
+	if grew := int64(after.HeapInuse) - int64(before.HeapInuse); grew > 64<<20 {
+		t.Errorf("heap grew %d MiB streaming a %d MiB input — input is being buffered",
+			grew>>20, total>>20)
+	}
+	t.Logf("streamed %d MiB, %d records, %d structures", total>>20, records, len(res.Structures))
+}
+
+// TestTemplatesModeMatchesApplyTemplates checks the discovery-free
+// streaming path against core.ApplyTemplates: same structures, records
+// and noise, with no prefix buffering involved.
+func TestTemplatesModeMatchesApplyTemplates(t *testing.T) {
+	d := datagen.InterleavedTypes(2, 150, 11)
+	disc, err := core.Extract(d.Data, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(disc.Structures) < 2 {
+		t.Fatalf("test is vacuous: %d structures", len(disc.Structures))
+	}
+	var tpls []*template.Node
+	for _, s := range disc.Structures {
+		tpls = append(tpls, s.Template)
+	}
+	want, err := core.ApplyTemplates(d.Data, tpls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, shard := range []int{128, 8 << 10} {
+		got, err := Run(bytes.NewReader(d.Data), Config{
+			ShardSize: shard,
+			Workers:   3,
+			Templates: tpls,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertEquivalent(t, fmt.Sprintf("apply/shard%d", shard), want, got)
+	}
+}
+
+// TestTemplatesModeEmptyInput mirrors ApplyTemplates' empty-input error.
+func TestTemplatesModeEmptyInput(t *testing.T) {
+	d := datagen.CommaSepRecords(10, 1)
+	disc, err := core.Extract(d.Data, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Run(bytes.NewReader(nil), Config{Templates: []*template.Node{disc.Structures[0].Template}})
+	if err != core.ErrEmptyInput {
+		t.Fatalf("err = %v, want ErrEmptyInput", err)
+	}
+}
+
+// TestFieldTerminalProfileTemplate covers templates that do not end in
+// '\n' — never produced by discovery, but legal in hand-written profiles
+// (Profile.UnmarshalJSON does not require newline termination). The
+// engine must neither panic on zero-length fields at the window end nor
+// finalize boundary matches the sequential scan would decide differently.
+func TestFieldTerminalProfileTemplate(t *testing.T) {
+	tpl := template.Struct(template.Lit("x\n"), template.Field()).Normalize()
+	inputs := []string{
+		"x\n",                          // empty field at EOF
+		"x\nx\nx\n",                    // stacked: field matches empty between records
+		"x\nfield-value-line\nx\ntail", // field consuming a full line, unterminated tail
+		strings.Repeat("x\nYY\n", 200), // shard boundaries land after "x\n" lines
+	}
+	for _, in := range inputs {
+		want, err := core.ApplyTemplates([]byte(in), []*template.Node{tpl})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, shard := range []int{2, 5, 64} {
+			got, err := Run(strings.NewReader(in), Config{
+				ShardSize: shard,
+				Templates: []*template.Node{tpl},
+			})
+			if err != nil {
+				t.Fatalf("shard %d: %v", shard, err)
+			}
+			assertEquivalent(t, fmt.Sprintf("fieldterm/%q/shard%d", in[:min(len(in), 12)], shard), want, got)
+		}
+	}
+}
+
+// TestOnNoiseStreams checks noise indices stream through the callback in
+// order instead of accumulating, and that its error aborts the run.
+func TestOnNoiseStreams(t *testing.T) {
+	var b strings.Builder
+	for i := 0; i < 200; i++ {
+		fmt.Fprintf(&b, "%d,%d,%d\n", i, i*3, i*5)
+		if i%3 == 0 {
+			fmt.Fprintf(&b, "### corrupted garbage %d @@\n", i)
+		}
+	}
+	data := []byte(b.String())
+	want, err := core.Extract(data, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want.NoiseLines) == 0 {
+		t.Fatal("test is vacuous: no noise")
+	}
+	var got []int
+	res, err := Run(bytes.NewReader(data), Config{
+		ShardSize: 256,
+		OnRecord:  func(core.RecordOut) error { return nil },
+		OnNoise:   func(line int) error { got = append(got, line); return nil },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.NoiseLines) != 0 {
+		t.Errorf("Result.NoiseLines = %d, want 0 in callback mode", len(res.NoiseLines))
+	}
+	if !reflect.DeepEqual(got, want.NoiseLines) {
+		t.Fatalf("streamed noise = %v, want %v", got, want.NoiseLines)
+	}
+
+	stop := fmt.Errorf("stop")
+	if _, err := Run(bytes.NewReader(data), Config{
+		ShardSize: 256,
+		OnNoise:   func(int) error { return stop },
+	}); err != stop {
+		t.Fatalf("err = %v, want callback error", err)
+	}
+}

@@ -1,0 +1,155 @@
+package relational
+
+import (
+	"fmt"
+
+	"datamaran/internal/template"
+)
+
+// FlatField is one field occurrence carrying its text — the information a
+// streamed extraction retains once the original buffer is gone. Col and
+// Rep follow parser.FieldOcc: template column in DFS order, repetition
+// ordinal inside arrays.
+type FlatField struct {
+	Col, Rep int
+	Value    string
+}
+
+// flatSchema augments the template schema with the column→slot table and
+// per-child-table parent indices needed to rebuild rows from flattened
+// fields rather than parse trees.
+type flatSchema struct {
+	*schema
+	// slots[col] is the (table, column) of template field column col.
+	slots [][2]int
+	// parentOf[tableIdx] is the parent table index (0 for the root's
+	// children; unused for table 0).
+	parentOf []int
+}
+
+func newFlatSchema(st *template.Node, rootName string) *flatSchema {
+	if rootName == "" {
+		rootName = "records"
+	}
+	s := buildSchema(st, rootName)
+	fs := &flatSchema{schema: s, parentOf: make([]int, len(s.tables))}
+	var walk func(n *template.Node, tableIdx int)
+	walk = func(n *template.Node, tableIdx int) {
+		switch n.Kind {
+		case template.KField:
+			fs.slots = append(fs.slots, s.fieldSlot[n])
+		case template.KStruct:
+			for _, c := range n.Children {
+				walk(c, tableIdx)
+			}
+		case template.KArray:
+			childIdx := s.tableOf[n]
+			fs.parentOf[childIdx] = tableIdx
+			for _, c := range n.Children {
+				walk(c, childIdx)
+			}
+		}
+	}
+	walk(st, 0)
+	return fs
+}
+
+// BuildFlat converts flattened records into the normalized relational
+// form, mirroring Build without needing the original byte buffer or parse
+// trees. Fields of one record must be in flatten (left-to-right) order.
+// Array repetitions are recovered from the Rep ordinals; for the
+// (unusual) nested-array case repetition grouping degrades to the
+// innermost level, the same information Flatten retains.
+func BuildFlat(st *template.Node, records [][]FlatField, rootName string) *Database {
+	fs := newFlatSchema(st, rootName)
+	for _, fields := range records {
+		fs.addFlatRecord(fields)
+	}
+	return &Database{Tables: fs.tables}
+}
+
+// addFlatRecord appends one flattened record to the schema's tables.
+func (fs *flatSchema) addFlatRecord(fields []FlatField) {
+	rowOf := make([]int, len(fs.tables))
+	curRep := make([]int, len(fs.tables))
+	lastCol := make([]int, len(fs.tables))
+	for i := range rowOf {
+		rowOf[i] = -1
+		curRep[i] = -1
+		lastCol[i] = -1
+	}
+	newRow := func(tableIdx, parentRow int) int {
+		t := fs.tables[tableIdx]
+		row := make([]string, len(t.Columns))
+		row[0] = fmt.Sprintf("%d", len(t.Rows)+1)
+		if tableIdx != 0 {
+			row[1] = fmt.Sprintf("%d", parentRow+1)
+		}
+		t.Rows = append(t.Rows, row)
+		return len(t.Rows) - 1
+	}
+	rowOf[0] = newRow(0, -1)
+	for _, f := range fields {
+		if f.Col < 0 || f.Col >= len(fs.slots) {
+			continue
+		}
+		slot := fs.slots[f.Col]
+		ti := slot[0]
+		// A new repetition group starts when the ordinal changes — or
+		// when the column index wraps back (fields of one group arrive
+		// in ascending column order, so a non-greater column means a
+		// fresh group rather than an overwrite).
+		wrap := rowOf[ti] >= 0 && f.Col <= lastCol[ti]
+		if ti != 0 && (rowOf[ti] < 0 || curRep[ti] != f.Rep || wrap) {
+			parent := fs.parentOf[ti]
+			// A wrap without a rep advance is a fresh *instance* of
+			// this array — the enclosing group advanced too, so open
+			// a new parent row (one nesting level; deeper chains
+			// degrade to merged groups, the information Flatten's
+			// innermost-only Rep retains).
+			if wrap && f.Rep <= curRep[ti] && parent != 0 {
+				rowOf[parent] = newRow(parent, rowOf[fs.parentOf[parent]])
+			}
+			if rowOf[parent] < 0 {
+				// Nested array whose parent group was never
+				// materialized: anchor to a fresh parent row.
+				rowOf[parent] = newRow(parent, rowOf[fs.parentOf[parent]])
+			}
+			rowOf[ti] = newRow(ti, rowOf[parent])
+			curRep[ti] = f.Rep
+		}
+		fs.tables[ti].Rows[rowOf[ti]][slot[1]] = f.Value
+		lastCol[ti] = f.Col
+	}
+}
+
+// BuildDenormalizedFlat converts flattened records into the single-table
+// form, mirroring BuildDenormalized without the original buffer.
+func BuildDenormalizedFlat(st *template.Node, records [][]FlatField, name string) *Table {
+	if name == "" {
+		name = "records"
+	}
+	cols := st.NumFields()
+	t := &Table{Name: name}
+	for i := 0; i < cols; i++ {
+		t.Columns = append(t.Columns, fmt.Sprintf("f%d", i))
+	}
+	sep := arraySepByCol(st)
+	for _, fields := range records {
+		row := make([]string, cols)
+		joined := make([]bool, cols)
+		for _, f := range fields {
+			if f.Col < 0 || f.Col >= cols {
+				continue
+			}
+			if row[f.Col] == "" && !joined[f.Col] {
+				row[f.Col] = f.Value
+				joined[f.Col] = true
+			} else {
+				row[f.Col] += string(sep[f.Col]) + f.Value
+			}
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}

@@ -317,3 +317,46 @@ func TestDenormalizedEmptyFieldCells(t *testing.T) {
 		t.Fatalf("row 1 = %v", den.Rows[1])
 	}
 }
+
+// TestBuildFlatNestedArrayEqualReps pins the nested-array case where
+// innermost Rep ordinals repeat across outer groups: the flat builder
+// must open a new row (column wrap detection) instead of overwriting.
+func TestBuildFlatNestedArrayEqualReps(t *testing.T) {
+	inner := template.Array([]*template.Node{template.Field()}, ',', ';')
+	outer := template.Array([]*template.Node{inner}, ' ', '\n')
+	m := parser.NewMatcher(outer)
+	data := []byte("a; b;\n")
+	lines := textio.NewLines(data)
+	scan := m.Scan(lines)
+	if len(scan.Records) != 1 {
+		t.Fatalf("records = %d", len(scan.Records))
+	}
+	want := Build(m, data, scan, "t")
+
+	var flat [][]FlatField
+	for _, rec := range scan.Records {
+		var fs []FlatField
+		for _, f := range m.Flatten(rec.Value) {
+			fs = append(fs, FlatField{Col: f.Col, Rep: f.Rep, Value: string(data[f.Start:f.End])})
+		}
+		flat = append(flat, fs)
+	}
+	got := BuildFlat(outer, flat, "t")
+	if len(got.Tables) != len(want.Tables) {
+		t.Fatalf("tables = %d, want %d", len(got.Tables), len(want.Tables))
+	}
+	for i := range want.Tables {
+		w, g := want.Tables[i], got.Tables[i]
+		if len(g.Rows) != len(w.Rows) {
+			t.Fatalf("table %s: rows = %d, want %d (%v vs %v)", w.Name, len(g.Rows), len(w.Rows), g.Rows, w.Rows)
+		}
+		// Both "a" and "b" must survive in the innermost table.
+		for r := range w.Rows {
+			for c := range w.Rows[r] {
+				if g.Rows[r][c] != w.Rows[r][c] {
+					t.Errorf("table %s row %d col %d = %q, want %q", w.Name, r, c, g.Rows[r][c], w.Rows[r][c])
+				}
+			}
+		}
+	}
+}

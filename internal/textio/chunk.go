@@ -1,0 +1,102 @@
+package textio
+
+import (
+	"bytes"
+	"io"
+)
+
+// ChunkReader slices a byte stream into line-aligned chunks of roughly a
+// target size. Every chunk but the last ends exactly after a '\n'; bytes
+// of a line straddling the target boundary are carried over into the next
+// chunk, so no line is ever split across chunks. It is the shard source of
+// the streaming extraction engine (internal/pipeline): shards can be
+// matched independently because each holds whole lines.
+//
+// A line longer than the target size is returned as one oversized chunk
+// rather than being split.
+type ChunkReader struct {
+	r    io.Reader
+	size int
+	// carry holds the partial trailing line of the previous read.
+	carry []byte
+	err   error
+}
+
+// DefaultChunkSize is the shard granularity used when no size is given.
+const DefaultChunkSize = 1 << 20
+
+// NewChunkReader returns a ChunkReader emitting chunks of about size
+// bytes. size <= 0 selects DefaultChunkSize.
+func NewChunkReader(r io.Reader, size int) *ChunkReader {
+	if size <= 0 {
+		size = DefaultChunkSize
+	}
+	return &ChunkReader{r: r, size: size}
+}
+
+// Next returns the next line-aligned chunk. The returned slice is owned by
+// the caller (it is never reused). At end of stream it returns the final
+// bytes (possibly without a trailing '\n') and then (nil, io.EOF); any
+// other error is returned as-is, after surfacing the bytes read so far.
+func (c *ChunkReader) Next() ([]byte, error) {
+	if c.err != nil && len(c.carry) == 0 {
+		return nil, c.err
+	}
+	buf := make([]byte, 0, c.size+len(c.carry))
+	buf = append(buf, c.carry...)
+	c.carry = nil
+	// scanned marks the prefix already known to contain no '\n', so an
+	// oversized line costs one linear scan rather than one per round.
+	scanned := 0
+	for c.err == nil {
+		// Fill up to the target size, then keep extending until the
+		// buffer ends in a complete line.
+		need := c.size - len(buf)
+		if need <= 0 {
+			if cut := lastNewline(buf[scanned:]); cut >= 0 {
+				cut += scanned
+				c.carry = append(c.carry, buf[cut+1:]...)
+				return buf[:cut+1], nil
+			}
+			// Oversized line: extend by another round.
+			scanned = len(buf)
+			need = c.size
+		}
+		off := len(buf)
+		buf = append(buf, make([]byte, need)...)
+		n, err := c.r.Read(buf[off : off+need])
+		buf = buf[:off+n]
+		if err != nil {
+			c.err = err
+		}
+	}
+	if len(buf) == 0 {
+		return nil, c.err
+	}
+	return buf, nil
+}
+
+// lastNewline returns the index of the last '\n' in b, or -1.
+func lastNewline(b []byte) int {
+	return bytes.LastIndexByte(b, '\n')
+}
+
+// AlignedLine returns the index of the line starting at byte offset off,
+// and whether off is a line boundary. Offset len(data) counts as the
+// boundary of the sentinel line N(). It is the binary-search form of the
+// offset→line maps the scanners previously built, usable concurrently.
+func (l *Lines) AlignedLine(off int) (int, bool) {
+	lo, hi := 0, len(l.starts)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if l.starts[mid] < off {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(l.starts) && l.starts[lo] == off {
+		return lo, true
+	}
+	return 0, false
+}

@@ -55,6 +55,9 @@ func TestPlanRawRegularMultiLineUsesOffset(t *testing.T) {
 }
 
 func TestPlanDatamaranFewestOpsNeverFails(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full pipeline over the five study datasets")
+	}
 	for _, d := range studySets() {
 		res, err := core.Extract(d.Data, core.Options{})
 		if err != nil {
@@ -104,6 +107,9 @@ func TestPlanRecordBreakerMultiLineNeedsOffsets(t *testing.T) {
 }
 
 func TestDifficultyOrdering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full pipeline over the five study datasets")
+	}
 	// §6.3: average difficulty A < B < R.
 	var sumA, sumB, sumR float64
 	for _, d := range studySets() {

@@ -3,8 +3,10 @@ package datamaran
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 
 	"datamaran/internal/core"
+	"datamaran/internal/pipeline"
 	"datamaran/internal/template"
 )
 
@@ -80,12 +82,49 @@ func (p *Profile) UnmarshalJSON(data []byte) error {
 // templates of p, skipping structure discovery entirely. It runs in one
 // linear pass per template (the O(Tdata) extraction row of Table 3).
 func ExtractWithProfile(data []byte, p *Profile) (*Result, error) {
+	return ExtractWithProfileParallel(data, p, 0)
+}
+
+// ExtractWithProfileParallel is ExtractWithProfile with the per-template
+// scans fanned out over workers goroutines (0 or 1 sequential, negative
+// all cores). Output is identical to ExtractWithProfile.
+func ExtractWithProfileParallel(data []byte, p *Profile, workers int) (*Result, error) {
 	if p == nil || len(p.templates) == 0 {
 		return nil, fmt.Errorf("datamaran: empty profile")
 	}
-	res, err := core.ApplyTemplates(data, p.templates)
+	res, err := core.ApplyTemplatesParallel(data, p.templates, workers)
 	if err != nil {
 		return nil, err
 	}
 	return wrapResult(data, res), nil
+}
+
+// ExtractReaderWithProfile is ExtractWithProfile over a stream: no
+// discovery, no prefix buffering — the input flows through the sharded
+// engine in a single pass from the first byte, with per-shard matching
+// parallelized across Options.Workers. Structures, records and noise
+// lines are identical to ExtractWithProfile on the same bytes.
+func ExtractReaderWithProfile(r io.Reader, p *Profile, opts Options) (*Result, error) {
+	if p == nil || len(p.templates) == 0 {
+		return nil, fmt.Errorf("datamaran: empty profile")
+	}
+	cfg := opts.pipelineConfig()
+	cfg.Templates = p.templates
+	res, err := pipeline.Run(r, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return wrapResult(nil, res), nil
+}
+
+// ExtractStreamWithProfile applies a learned profile to a stream in
+// constant memory, yielding each record as its shard is finalized — the
+// highest-throughput path for data-lake files sharing one format.
+func ExtractStreamWithProfile(r io.Reader, p *Profile, opts Options, fn func(Record) error) (*Result, error) {
+	if p == nil || len(p.templates) == 0 {
+		return nil, fmt.Errorf("datamaran: empty profile")
+	}
+	cfg := opts.pipelineConfig()
+	cfg.Templates = p.templates
+	return runStream(r, cfg, fn)
 }

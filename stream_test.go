@@ -1,0 +1,153 @@
+package datamaran
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"datamaran/internal/datagen"
+)
+
+// TestExtractReaderMatchesExtract checks the public streaming API against
+// the in-memory one, forcing many small shards through the engine.
+func TestExtractReaderMatchesExtract(t *testing.T) {
+	datasets := []*datagen.Dataset{
+		datagen.WebServerLog(400, 7),
+		datagen.InterleavedTypes(2, 120, 9),
+		datagen.ThailandDistricts(40, 3),
+	}
+	for _, d := range datasets {
+		want, err := Extract(d.Data, Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", d.Name, err)
+		}
+		got, err := ExtractReader(bytes.NewReader(d.Data), Options{ShardSize: 512, Workers: 2})
+		if err != nil {
+			t.Fatalf("%s: %v", d.Name, err)
+		}
+		if !reflect.DeepEqual(got.Structures, want.Structures) {
+			t.Errorf("%s: structures differ:\n got %+v\nwant %+v", d.Name, got.Structures, want.Structures)
+		}
+		if !reflect.DeepEqual(got.Records, want.Records) {
+			t.Errorf("%s: records differ (%d vs %d)", d.Name, len(got.Records), len(want.Records))
+		}
+		if !reflect.DeepEqual(got.NoiseLines, want.NoiseLines) {
+			t.Errorf("%s: noise lines differ", d.Name)
+		}
+	}
+}
+
+// TestStreamedTablesMatchInMemory checks the buffer-free table builders
+// produce the same CSV tables as the parse-tree path.
+func TestStreamedTablesMatchInMemory(t *testing.T) {
+	d := datagen.WebServerLog(300, 7)
+	want, err := Extract(d.Data, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ExtractReader(bytes.NewReader(d.Data), Options{ShardSize: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	compare := func(name string, a, b []*Table) {
+		if len(a) != len(b) {
+			t.Fatalf("%s: %d tables vs %d", name, len(b), len(a))
+		}
+		for i := range a {
+			var wb, gb bytes.Buffer
+			if err := a[i].WriteCSV(&wb); err != nil {
+				t.Fatal(err)
+			}
+			if err := b[i].WriteCSV(&gb); err != nil {
+				t.Fatal(err)
+			}
+			if wb.String() != gb.String() {
+				t.Errorf("%s table %d (%s) differs", name, i, a[i].Name)
+			}
+		}
+	}
+	compare("normalized", want.Tables(), got.Tables())
+	compare("denormalized", want.DenormalizedTables(), got.DenormalizedTables())
+	compare("typed", want.TypedTables(), got.TypedTables())
+}
+
+// TestExtractStreamYieldsRecords checks the constant-memory public mode.
+func TestExtractStreamYieldsRecords(t *testing.T) {
+	d := datagen.CommaSepRecords(300, 3)
+	want, err := Extract(d.Data, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []Record
+	res, err := ExtractStream(bytes.NewReader(d.Data), Options{ShardSize: 512}, func(r Record) error {
+		got = append(got, r)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Records) != 0 {
+		t.Errorf("Result.Records = %d, want 0", len(res.Records))
+	}
+	if !reflect.DeepEqual(got, want.Records) {
+		t.Fatalf("streamed records differ (%d vs %d)", len(got), len(want.Records))
+	}
+	if !reflect.DeepEqual(res.Structures, want.Structures) {
+		t.Errorf("structures differ")
+	}
+}
+
+// TestExtractReaderWithProfileMatches checks the single-pass profile
+// application over a stream against the in-memory form.
+func TestExtractReaderWithProfileMatches(t *testing.T) {
+	d := datagen.WebServerLog(500, 7)
+	learned, err := Extract(d.Data, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := learned.Profile()
+	sibling := datagen.WebServerLog(700, 13)
+	want, err := ExtractWithProfile(sibling.Data, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ExtractReaderWithProfile(bytes.NewReader(sibling.Data), p, Options{ShardSize: 2048, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Structures, want.Structures) {
+		t.Errorf("structures differ:\n got %+v\nwant %+v", got.Structures, want.Structures)
+	}
+	if !reflect.DeepEqual(got.Records, want.Records) {
+		t.Errorf("records differ (%d vs %d)", len(got.Records), len(want.Records))
+	}
+	if !reflect.DeepEqual(got.NoiseLines, want.NoiseLines) {
+		t.Errorf("noise differs")
+	}
+
+	if _, err := ExtractReaderWithProfile(bytes.NewReader(sibling.Data), nil, Options{}); err == nil {
+		t.Error("nil profile: expected error")
+	}
+}
+
+// TestExtractStreamMultiLineFlag pins the callback-mode MultiLine
+// reconstruction: with Records not materialized, the flag must still be
+// derived from the records streaming past.
+func TestExtractStreamMultiLineFlag(t *testing.T) {
+	var b bytes.Buffer
+	for i := 0; i < 120; i++ {
+		fmt.Fprintf(&b, "BEGIN %d\nvalue= %d\nEND;\n", i, i*3)
+	}
+	res, err := ExtractStream(bytes.NewReader(b.Bytes()), Options{ShardSize: 256},
+		func(Record) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Structures) == 0 {
+		t.Fatal("no structures")
+	}
+	if !res.Structures[0].MultiLine {
+		t.Errorf("MultiLine = false for a multi-line record type: %+v", res.Structures[0])
+	}
+}

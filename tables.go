@@ -32,10 +32,28 @@ func (t *Table) WriteCSV(w io.Writer) error {
 	return rt.WriteCSV(w)
 }
 
+// flatRecords gathers the stored field values of one type in record
+// order — the table-building path for streamed extractions, which retain
+// no input buffer to re-parse.
+func (r *Result) flatRecords(typeID int) [][]relational.FlatField {
+	var out [][]relational.FlatField
+	for _, rec := range r.res.Records {
+		if rec.TypeID != typeID {
+			continue
+		}
+		fields := make([]relational.FlatField, 0, len(rec.Fields))
+		for _, f := range rec.Fields {
+			fields = append(fields, relational.FlatField{Col: f.Col, Rep: f.Rep, Value: f.Value})
+		}
+		out = append(out, fields)
+	}
+	return out
+}
+
 // rebuildScan re-parses the already-located records of one type so the
 // relational builders can walk their parse trees.
 func (r *Result) rebuildScan(typeID int) (*parser.Matcher, *parser.ScanResult, bool) {
-	if typeID < 0 || typeID >= len(r.res.Structures) {
+	if typeID < 0 || typeID >= len(r.res.Structures) || r.data == nil {
 		return nil, nil, false
 	}
 	st := r.res.Structures[typeID].Template
@@ -67,11 +85,15 @@ func (r *Result) rebuildScan(typeID int) (*parser.Matcher, *parser.ScanResult, b
 func (r *Result) Tables() []*Table {
 	var out []*Table
 	for typeID := range r.res.Structures {
-		m, scan, ok := r.rebuildScan(typeID)
-		if !ok {
+		var db *relational.Database
+		if m, scan, ok := r.rebuildScan(typeID); ok {
+			db = relational.Build(m, r.data, scan, fmt.Sprintf("type%d", typeID))
+		} else if r.data == nil {
+			db = relational.BuildFlat(r.res.Structures[typeID].Template,
+				r.flatRecords(typeID), fmt.Sprintf("type%d", typeID))
+		} else {
 			continue
 		}
-		db := relational.Build(m, r.data, scan, fmt.Sprintf("type%d", typeID))
 		for _, t := range db.Tables {
 			out = append(out, &Table{Name: t.Name, Parent: t.Parent, Columns: t.Columns, Rows: t.Rows})
 		}
@@ -84,14 +106,27 @@ func (r *Result) Tables() []*Table {
 func (r *Result) DenormalizedTables() []*Table {
 	var out []*Table
 	for typeID := range r.res.Structures {
-		m, scan, ok := r.rebuildScan(typeID)
-		if !ok {
+		t := r.denormalized(typeID)
+		if t == nil {
 			continue
 		}
-		t := relational.BuildDenormalized(m, r.data, scan, fmt.Sprintf("type%d", typeID))
 		out = append(out, &Table{Name: t.Name, Columns: t.Columns, Rows: t.Rows})
 	}
 	return out
+}
+
+// denormalized builds the single-table form of one type via parse trees
+// when the input buffer is resident, or from the stored field values for
+// streamed extractions.
+func (r *Result) denormalized(typeID int) *relational.Table {
+	if m, scan, ok := r.rebuildScan(typeID); ok {
+		return relational.BuildDenormalized(m, r.data, scan, fmt.Sprintf("type%d", typeID))
+	}
+	if r.data == nil {
+		return relational.BuildDenormalizedFlat(r.res.Structures[typeID].Template,
+			r.flatRecords(typeID), fmt.Sprintf("type%d", typeID))
+	}
+	return nil
 }
 
 // TypedTables returns the denormalized tables with semantic-type
@@ -102,12 +137,11 @@ func (r *Result) DenormalizedTables() []*Table {
 func (r *Result) TypedTables() []*Table {
 	var out []*Table
 	for typeID := range r.res.Structures {
-		m, scan, ok := r.rebuildScan(typeID)
-		if !ok {
+		t := r.denormalized(typeID)
+		if t == nil {
 			continue
 		}
-		t := relational.BuildDenormalized(m, r.data, scan, fmt.Sprintf("type%d", typeID))
-		seps := columnSeparators(m.Template())
+		seps := columnSeparators(r.res.Structures[typeID].Template)
 		cols := make([]semtype.Column, len(t.Columns))
 		for i, name := range t.Columns {
 			cols[i].Name = name
