@@ -1,0 +1,146 @@
+// The index subcommand: crawl a directory tree of heterogeneous log
+// files, discover each format's structure exactly once, and cluster the
+// files by profile via a persistent registry.
+//
+// Usage:
+//
+//	datamaran index [flags] <dir>
+//
+// The report on stdout (formats, per-file assignments, summary) is
+// deterministic: byte-identical across runs and worker counts. With
+// -o DIR, the extracted tables of every structured file are written as
+// CSVs there, one file per table, named <path>.<table>.csv with path
+// separators flattened to "__".
+package main
+
+import (
+	"crypto/sha256"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"datamaran"
+)
+
+func runIndex(args []string) {
+	fs := flag.NewFlagSet("index", flag.ExitOnError)
+	registry := fs.String("registry", "", "persistent profile registry (JSON); loaded before the crawl, updated after")
+	workers := fs.Int("workers", 0, "files extracted concurrently (0 = all cores; never changes output)")
+	sample := fs.Int("sample", 0, "per-file classification sample in bytes (0 = 256 KiB)")
+	threshold := fs.Float64("threshold", 0, "min sample coverage for a cached profile to claim a file (0 = 0.5)")
+	alpha := fs.Float64("alpha", 0.10, "minimum coverage threshold α for discovery (fraction)")
+	outDir := fs.String("o", "", "directory for per-file CSV output")
+	quiet := fs.Bool("q", false, "suppress the progress note on stderr")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: datamaran index [flags] <dir>")
+		fs.PrintDefaults()
+	}
+	fs.Parse(args)
+
+	if fs.NArg() != 1 {
+		fs.Usage()
+		os.Exit(2)
+	}
+
+	t0 := time.Now()
+	res, err := datamaran.IndexDir(fs.Arg(0), datamaran.IndexOptions{
+		Extract:        datamaran.Options{Alpha: *alpha},
+		RegistryPath:   *registry,
+		Workers:        *workers,
+		SampleBytes:    *sample,
+		MatchThreshold: *threshold,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "datamaran index: %v\n", err)
+		os.Exit(1)
+	}
+	if !*quiet {
+		fmt.Fprintf(os.Stderr, "indexed %d file(s) in %v\n",
+			res.Summary.Files, time.Since(t0).Round(time.Millisecond))
+	}
+
+	printIndexReport(res)
+
+	if *outDir != "" {
+		if err := writeIndexCSVs(res, *outDir); err != nil {
+			fmt.Fprintf(os.Stderr, "datamaran index: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if res.Summary.Failed > 0 {
+		os.Exit(1)
+	}
+}
+
+// printIndexReport writes the deterministic crawl report: formats in
+// registry order, files in sorted path order, then the summary line.
+func printIndexReport(res *datamaran.IndexResult) {
+	fmt.Printf("formats (%d):\n", len(res.Formats))
+	for _, f := range res.Formats {
+		origin := "cached"
+		if f.Discovered {
+			origin = "discovered"
+		}
+		fmt.Printf("  format %s  files=%d  %s\n", f.Fingerprint, f.Files, origin)
+		for i, t := range f.Templates {
+			fmt.Printf("    type %d: %s\n", i, t)
+		}
+	}
+	fmt.Printf("files (%d):\n", len(res.Files))
+	for _, f := range res.Files {
+		switch {
+		case f.Err != nil:
+			fmt.Printf("  %s  failed: %v\n", f.Path, f.Err)
+		case f.Unstructured:
+			fmt.Printf("  %s  unstructured\n", f.Path)
+		default:
+			via := "cached"
+			if f.Discovered {
+				via = "discovered"
+			}
+			fmt.Printf("  %s  format=%s  records=%d  noise=%d  %s\n",
+				f.Path, f.Fingerprint, len(f.Result.Records), len(f.Result.NoiseLines), via)
+		}
+	}
+	s := res.Summary
+	fmt.Printf("summary: files=%d structured=%d unstructured=%d failed=%d formats=%d discovered=%d cache-hits=%d\n",
+		s.Files, s.Structured, s.Unstructured, s.Failed, s.FormatsKnown, s.FormatsDiscovered, s.CacheHits)
+}
+
+// writeIndexCSVs writes every structured file's tables under dir.
+func writeIndexCSVs(res *datamaran.IndexResult, dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	used := map[string]bool{}
+	for _, f := range res.Files {
+		if f.Result == nil {
+			continue
+		}
+		base := strings.ReplaceAll(f.Path, "/", "__")
+		// Flattening can collide (a/b.log vs a literal a__b.log);
+		// disambiguate deterministically — files arrive path-sorted.
+		if used[base] {
+			base += "-" + fmt.Sprintf("%x", sha256.Sum256([]byte(f.Path)))[:8]
+		}
+		used[base] = true
+		for _, t := range f.Result.Tables() {
+			path := filepath.Join(dir, base+"."+t.Name+".csv")
+			out, err := os.Create(path)
+			if err != nil {
+				return err
+			}
+			if err := t.WriteCSV(out); err != nil {
+				out.Close()
+				return err
+			}
+			if err := out.Close(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

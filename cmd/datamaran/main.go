@@ -5,9 +5,12 @@
 // Usage:
 //
 //	datamaran [flags] <logfile>
+//	datamaran index [flags] <dir>
 //
 // With -o DIR, one CSV file per extracted table is written there;
-// otherwise tables go to stdout.
+// otherwise tables go to stdout. The index subcommand crawls a
+// directory tree (a data lake), discovering each log format once and
+// applying cached profiles to every other file — see index.go.
 package main
 
 import (
@@ -22,6 +25,10 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "index" {
+		runIndex(os.Args[2:])
+		return
+	}
 	alpha := flag.Float64("alpha", 0.10, "minimum coverage threshold α (fraction)")
 	maxSpan := flag.Int("L", 10, "maximum record span in lines")
 	topM := flag.Int("M", 50, "templates retained after pruning")

@@ -22,6 +22,7 @@ func main() {
 	quick := flag.Bool("quick", false, "shrink workloads for a fast run")
 	benchExtract := flag.String("bench-extract", "", "run the streaming-engine benchmark and write the JSON report to this file")
 	benchMB := flag.Int("bench-mb", 0, "input size in MiB for -bench-extract (0 = 32, or 8 with -quick)")
+	benchBaseline := flag.String("bench-baseline", "", "with -bench-extract: compare against this baseline report and fail on a >20% throughput regression")
 	flag.Parse()
 
 	if *benchExtract != "" {
@@ -34,6 +35,12 @@ func main() {
 		if err := runBenchExtract(*benchExtract, *benchMB); err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
 			os.Exit(1)
+		}
+		if *benchBaseline != "" {
+			if err := gateBench(*benchBaseline, *benchExtract); err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: bench gate: %v\n", err)
+				os.Exit(1)
+			}
 		}
 		return
 	}
@@ -173,4 +180,104 @@ func runBenchExtract(path string, mb int) error {
 		return err
 	}
 	return os.WriteFile(path, append(raw, '\n'), 0o644)
+}
+
+// gateRegression is the throughput drop the bench gate tolerates before
+// failing (CI hosts are noisy; real regressions are usually larger).
+const gateRegression = 0.20
+
+// gateMinSpeedRatio is a hardware-independent floor on apply-profile
+// throughput relative to extract-mem. The committed report shows the
+// profile fast path ~14x the discovery path; a fast-path regression
+// large enough to matter drags the ratio under this floor on any
+// machine — so the gate catches it even when the absolute comparison
+// is slack because the runner outclasses the baseline host.
+const gateMinSpeedRatio = 5.0
+
+// gatedModes are the benchmark modes the gate protects: the in-memory
+// discovery+extraction path and the registry fast path.
+var gatedModes = []string{"extract-mem", "apply-profile"}
+
+// gateBench compares a fresh benchmark report against the committed
+// baseline, failing when a gated mode's workers=1 throughput regressed
+// more than gateRegression, or when the candidate's apply-profile /
+// extract-mem ratio falls below gateMinSpeedRatio. The absolute check
+// is only meaningful when the baseline was measured on the gate's
+// hardware class — refresh it from the CI artifact in the same PR when
+// a change is intentional; the ratio check holds everywhere.
+func gateBench(baselinePath, candidatePath string) error {
+	baseline, err := loadBenchReport(baselinePath)
+	if err != nil {
+		return err
+	}
+	candidate, err := loadBenchReport(candidatePath)
+	if err != nil {
+		return err
+	}
+	failed := false
+	candW1 := map[string]float64{}
+	for _, mode := range gatedModes {
+		base, ok := throughputW1(baseline, mode)
+		if !ok {
+			return fmt.Errorf("baseline %s has no %q runs", baselinePath, mode)
+		}
+		cand, ok := throughputW1(candidate, mode)
+		if !ok {
+			return fmt.Errorf("candidate %s has no %q runs", candidatePath, mode)
+		}
+		candW1[mode] = cand
+		ratio := cand / base
+		verdict := "ok"
+		if ratio < 1-gateRegression {
+			verdict = "REGRESSED"
+			failed = true
+		}
+		fmt.Fprintf(os.Stderr, "bench-gate %-16s baseline %6.2f MiB/s, candidate %6.2f MiB/s (%.0f%%): %s\n",
+			mode, base, cand, ratio*100, verdict)
+	}
+	speedRatio := candW1["apply-profile"] / candW1["extract-mem"]
+	verdict := "ok"
+	if speedRatio < gateMinSpeedRatio {
+		verdict = "REGRESSED"
+		failed = true
+	}
+	fmt.Fprintf(os.Stderr, "bench-gate apply/extract speed ratio %.1fx (floor %.1fx): %s\n",
+		speedRatio, gateMinSpeedRatio, verdict)
+	if failed {
+		return fmt.Errorf("throughput regressed >%.0f%% vs %s or fast-path ratio under %.1fx (regenerate the baseline if intentional: make bench-extract)",
+			gateRegression*100, baselinePath, gateMinSpeedRatio)
+	}
+	return nil
+}
+
+// loadBenchReport reads a BENCH_extract.json report.
+func loadBenchReport(path string) (*benchReport, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep benchReport
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &rep, nil
+}
+
+// throughputW1 returns a mode's workers=1 MiB/s — the one configuration
+// whose meaning does not depend on the host's core count. A report
+// without a workers=1 run falls back to the mode's best.
+func throughputW1(rep *benchReport, mode string) (float64, bool) {
+	best, found := 0.0, false
+	for _, r := range rep.Runs {
+		if r.Mode != mode {
+			continue
+		}
+		if r.Workers == 1 {
+			return r.MBPerSec, true
+		}
+		if !found || r.MBPerSec > best {
+			best, found = r.MBPerSec, true
+		}
+	}
+	return best, found
 }

@@ -1,56 +1,119 @@
-// Datalake: tease apart multiple interleaved record types from one file —
-// the scenario of Figure 2 of the paper (record types A and B randomly
-// interleaved, so no boundary rule can chunk the file up front) — and
-// write one relational table per type.
+// Datalake: navigate a directory tree of heterogeneous log files — the
+// paper's headline scenario. Many files share a handful of formats, so
+// structure should be discovered once per format and reused everywhere:
+// IndexDir samples each new file, matches it against the profile
+// registry, and only the first file of a format pays for discovery;
+// every sibling runs the one-pass profile-apply fast path. A second
+// crawl with the persisted registry discovers nothing at all.
 package main
 
 import (
 	"fmt"
 	"log"
 	"math/rand"
+	"os"
+	"path/filepath"
 	"strings"
 
 	"datamaran"
 )
 
-func buildLake() []byte {
-	rng := rand.New(rand.NewSource(3))
+// buildLake writes a small lake: three formats spread over nine files
+// plus one unstructured notes file.
+func buildLake(root string) error {
 	verbs := []string{"GET", "PUT", "POST"}
-	var b strings.Builder
-	for i := 0; i < 200; i++ {
-		switch rng.Intn(3) {
-		case 0: // 3-line job records
-			fmt.Fprintf(&b, "JOB <%d>\n  queue= q%d;\n  state= %s;\n",
-				rng.Intn(100000), rng.Intn(5), []string{"DONE", "FAILED"}[rng.Intn(2)])
-		case 1: // request lines
-			fmt.Fprintf(&b, "%s /api/v%d/item %d\n", verbs[rng.Intn(3)], 1+rng.Intn(2), []int{200, 404, 500}[rng.Intn(3)])
-		case 2: // metric lines
-			fmt.Fprintf(&b, "metric|cpu%d|%d.%02d|\n", rng.Intn(8), rng.Intn(100), rng.Intn(100))
+	states := []string{"DONE", "FAILED"}
+	write := func(rel, content string) error {
+		p := filepath.Join(root, rel)
+		if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+			return err
+		}
+		return os.WriteFile(p, []byte(content), 0o644)
+	}
+	for f := 1; f <= 3; f++ {
+		rng := rand.New(rand.NewSource(int64(f)))
+		var jobs, reqs, metrics strings.Builder
+		for i := 0; i < 80; i++ {
+			fmt.Fprintf(&jobs, "JOB <%d>\n  queue= q%d;\n  state= %s;\n",
+				rng.Intn(100000), rng.Intn(5), states[rng.Intn(2)])
+			fmt.Fprintf(&reqs, "%s /api/v%d/item/%d %d\n",
+				verbs[rng.Intn(3)], 1+rng.Intn(2), rng.Intn(10000),
+				[]int{200, 404, 500}[rng.Intn(3)])
+			fmt.Fprintf(&metrics, "metric|cpu%d|%d.%02d|\n",
+				rng.Intn(8), rng.Intn(100), rng.Intn(100))
+		}
+		if err := write(fmt.Sprintf("scheduler/jobs-%d.log", f), jobs.String()); err != nil {
+			return err
+		}
+		if err := write(fmt.Sprintf("edge/requests-%d.log", f), reqs.String()); err != nil {
+			return err
+		}
+		if err := write(fmt.Sprintf("telemetry/metrics-%d.log", f), metrics.String()); err != nil {
+			return err
 		}
 	}
-	return []byte(b.String())
+	return write("NOTES.txt", `These logs were collected from the staging cluster.
+Rotate anything older than thirty days; ask Dana first!
+(The telemetry tier moved to pull-based scraping in March.)
+scheduler/ holds the job dumps -- multi-line, one stanza per job
+edge/ is the request tier; status codes are plain integers
+TODO: fold the db01 host metrics into their own directory?
+`)
 }
 
 func main() {
-	res, err := datamaran.Extract(buildLake(), datamaran.Options{})
+	root, err := os.MkdirTemp("", "datalake-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(root)
+	if err := buildLake(root); err != nil {
+		log.Fatal(err)
+	}
+	registry := filepath.Join(root, ".registry.json")
+
+	opts := datamaran.IndexOptions{RegistryPath: registry}
+	res, err := datamaran.IndexDir(root, opts)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	fmt.Printf("record types discovered: %d\n", len(res.Structures))
-	for _, s := range res.Structures {
-		fmt.Printf("  type %d: %-40s %4d records (multi-line=%v)\n",
-			s.Type, s.Template, s.Records, s.MultiLine)
+	fmt.Printf("first crawl: %d files, %d formats discovered, %d cache hits\n",
+		res.Summary.Files, res.Summary.FormatsDiscovered, res.Summary.CacheHits)
+	for _, f := range res.Formats {
+		fmt.Printf("  format %s (%d files):\n", f.Fingerprint, f.Files)
+		for i, tpl := range f.Templates {
+			fmt.Printf("    type %d: %s\n", i, tpl)
+		}
+	}
+	for _, f := range res.Files {
+		switch {
+		case f.Unstructured:
+			fmt.Printf("  %-26s unstructured\n", f.Path)
+		case f.Err != nil:
+			fmt.Printf("  %-26s failed: %v\n", f.Path, f.Err)
+		default:
+			how := "cached profile"
+			if f.Discovered {
+				how = "full discovery"
+			}
+			fmt.Printf("  %-26s %d records via %s\n", f.Path, len(f.Result.Records), how)
+		}
 	}
 
-	counts := map[int]int{}
-	for _, r := range res.Records {
-		counts[r.Type]++
+	// The registry persisted: a second crawl discovers nothing.
+	res2, err := datamaran.IndexDir(root, opts)
+	if err != nil {
+		log.Fatal(err)
 	}
-	fmt.Printf("\nper-type record counts: %v\n", counts)
-	fmt.Printf("noise lines: %d\n", len(res.NoiseLines))
+	fmt.Printf("second crawl: %d formats discovered, %d cache hits (registry reused)\n",
+		res2.Summary.FormatsDiscovered, res2.Summary.CacheHits)
 
-	for _, t := range res.DenormalizedTables() {
-		fmt.Printf("\ntable %s: %d columns × %d rows\n", t.Name, len(t.Columns), len(t.Rows))
+	// Every format's profile is a first-class Profile, usable with the
+	// ExtractWithProfile family on files that never went through IndexDir.
+	if len(res.Formats) == 0 {
+		log.Fatal("no formats discovered")
 	}
+	p := res.Formats[0].Profile()
+	fmt.Printf("profile %s round-trips through the registry and the streaming API\n", p.Fingerprint())
 }

@@ -1,0 +1,46 @@
+// Package lake implements the data-lake indexer: a directory crawl that
+// discovers the structure of each *new* log format exactly once — on a
+// bounded sample of the first file exhibiting it — and clusters every
+// other file under an already-known format via a persistent profile
+// registry, so the bulk of the lake runs the discovery-free one-pass
+// extraction path.
+//
+// The crawl is two-phase. Phase 1 walks the files in sorted path order
+// and, strictly sequentially, matches a line-aligned sample of each file
+// against the registry (best coverage wins); samples no known profile
+// claims go through full template discovery, and the learned profile is
+// registered under its fingerprint. Phase 2 fans the full-file
+// extraction of every claimed file out over a worker pool. Only phase 2
+// is concurrent and it carries no cross-file state, so the registry, the
+// per-file results and every derived output are byte-identical
+// regardless of worker count — the equivalence the package's property
+// tests pin down.
+package lake
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+
+	"datamaran/internal/template"
+)
+
+// Fingerprint returns a stable identifier for an ordered set of
+// structure templates: the truncated SHA-256 of their canonical
+// structural JSON serialization. Two template sets fingerprint equal iff
+// they serialize equal, so a fingerprint names a format across runs,
+// machines and registry files.
+func Fingerprint(templates []*template.Node) string {
+	h := sha256.New()
+	for _, t := range templates {
+		raw, err := json.Marshal(t)
+		if err != nil {
+			// Template trees are plain data; Marshal cannot fail on
+			// them. Keep the signature error-free.
+			panic("lake: template marshal: " + err.Error())
+		}
+		h.Write(raw)
+		h.Write([]byte{0}) // unambiguous joint between templates
+	}
+	return hex.EncodeToString(h.Sum(nil))[:16]
+}

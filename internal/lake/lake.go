@@ -1,0 +1,437 @@
+package lake
+
+import (
+	"bytes"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+
+	"datamaran/internal/core"
+	"datamaran/internal/pipeline"
+	"datamaran/internal/template"
+)
+
+// DefaultSampleBytes is the per-file prefix examined to classify a file
+// (profile matching, and template discovery for new formats).
+const DefaultSampleBytes = 256 << 10
+
+// DefaultMatchThreshold is the minimum fraction of a file's sample that
+// a known profile must cover to claim the file.
+const DefaultMatchThreshold = 0.5
+
+// Config parameterizes an Index run.
+type Config struct {
+	// Core holds the discovery/extraction options applied per file.
+	Core core.Options
+	// Workers is the file-level fan-out of the extraction phase
+	// (<= 0 means GOMAXPROCS). Worker count never changes any output.
+	Workers int
+	// SampleBytes caps the per-file prefix used for classification
+	// (<= 0 means DefaultSampleBytes). Samples are trimmed to the last
+	// complete line.
+	SampleBytes int
+	// MatchThreshold is the minimum sample coverage fraction for a
+	// known profile to claim a file (<= 0 means DefaultMatchThreshold).
+	MatchThreshold float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.SampleBytes <= 0 {
+		c.SampleBytes = DefaultSampleBytes
+	}
+	if c.MatchThreshold <= 0 {
+		c.MatchThreshold = DefaultMatchThreshold
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	return c
+}
+
+// Status classifies how the indexer handled one file.
+type Status int
+
+const (
+	// StatusDiscovered marks a file that went through full template
+	// discovery because no registered profile claimed its sample.
+	StatusDiscovered Status = iota
+	// StatusMatched marks a file claimed by an already-registered
+	// profile, extracted with no discovery.
+	StatusMatched
+	// StatusUnstructured marks a file in which discovery found no
+	// record structure (or an empty file).
+	StatusUnstructured
+	// StatusFailed marks a file the indexer could not process.
+	StatusFailed
+)
+
+// String names the status for human-readable summaries.
+func (s Status) String() string {
+	switch s {
+	case StatusDiscovered:
+		return "discovered"
+	case StatusMatched:
+		return "matched"
+	case StatusUnstructured:
+		return "unstructured"
+	case StatusFailed:
+		return "failed"
+	}
+	return "unknown"
+}
+
+// FileResult is the indexing outcome of one file.
+type FileResult struct {
+	// Path is the file's slash-separated path relative to the indexed
+	// root.
+	Path string
+	// Size is the file size in bytes.
+	Size int64
+	// Fingerprint names the format that claimed the file ("" for
+	// unstructured or failed files).
+	Fingerprint string
+	// Status reports how the file was handled.
+	Status Status
+	// Res holds the full-file extraction result (nil for unstructured
+	// or failed files).
+	Res *core.Result
+	// Err is the failure for StatusFailed files.
+	Err error
+}
+
+// Summary aggregates one Index run.
+type Summary struct {
+	// Files is the number of regular files crawled.
+	Files int
+	// Structured counts files extracted under some format.
+	Structured int
+	// Unstructured counts files with no discoverable structure.
+	Unstructured int
+	// Failed counts files that errored.
+	Failed int
+	// FormatsKnown is the registry size after the run.
+	FormatsKnown int
+	// FormatsDiscovered counts formats first registered by this run.
+	FormatsDiscovered int
+	// CacheHits counts files claimed by a profile without discovery.
+	CacheHits int
+}
+
+// Result is a completed Index run.
+type Result struct {
+	// Files lists every crawled file in sorted path order.
+	Files []FileResult
+	// NewFormats holds the fingerprints first registered by this run —
+	// the authoritative "discovered this run" set (a file can go
+	// through discovery yet re-derive an already-known format).
+	NewFormats map[string]bool
+	// Summary aggregates the run.
+	Summary Summary
+}
+
+// Index crawls the tree rooted at root, classifies every regular file
+// against reg (discovering and registering new formats as needed), and
+// extracts each structured file with its format's profile. reg is
+// updated in place; persisting it is the caller's concern.
+//
+// Hidden files and directories (name starting with ".") are skipped.
+// The classification phase runs sequentially in sorted path order, so
+// reg and all results are independent of cfg.Workers.
+func Index(root string, reg *Registry, cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	paths, walkFails, err := crawl(root)
+	if err != nil {
+		return nil, err
+	}
+
+	// Phase 1 — sequential classify/discover on bounded samples.
+	files := make([]FileResult, len(paths))
+	entries := make([]*Entry, len(paths))
+	newFPs := map[string]bool{}
+	for i, rel := range paths {
+		files[i] = FileResult{Path: rel}
+		full := filepath.Join(root, filepath.FromSlash(rel))
+		sample, size, err := readSample(full, cfg.SampleBytes)
+		files[i].Size = size
+		if err != nil {
+			files[i].Status = StatusFailed
+			files[i].Err = err
+			continue
+		}
+		if len(sample) == 0 {
+			files[i].Status = StatusUnstructured
+			continue
+		}
+		if e := matchSample(sample, reg, cfg.MatchThreshold); e != nil {
+			e.Files++
+			entries[i] = e
+			files[i].Status = StatusMatched
+			files[i].Fingerprint = e.Fingerprint
+			continue
+		}
+		e, isNew, err := discoverSample(sample, reg, cfg.Core)
+		if err != nil {
+			files[i].Status = StatusFailed
+			files[i].Err = err
+			continue
+		}
+		if e == nil {
+			files[i].Status = StatusUnstructured
+			continue
+		}
+		e.Files++
+		entries[i] = e
+		files[i].Status = StatusDiscovered
+		files[i].Fingerprint = e.Fingerprint
+		if isNew {
+			newFPs[e.Fingerprint] = true
+		}
+	}
+
+	// Entries the walk itself could not reach surface as failed files
+	// rather than aborting the crawl.
+	for _, wf := range walkFails {
+		files = append(files, FileResult{Path: wf.rel, Status: StatusFailed, Err: wf.err})
+		entries = append(entries, nil)
+	}
+	sortByPath(files, entries)
+
+	// Phase 2 — parallel full-file extraction of every claimed file.
+	// Each file is independent and its in-file pipeline runs with
+	// Workers=1, so scheduling cannot reorder or change anything.
+	extractAll(root, files, entries, cfg)
+
+	// A file that classified in phase 1 but failed extraction in phase
+	// 2 (rotated away, truncated mid-read) holds no format claim:
+	// release it so the registry and the result agree. Sequential, so
+	// no contention with the just-finished pool.
+	for i := range files {
+		if files[i].Status == StatusFailed && entries[i] != nil {
+			entries[i].Files--
+			files[i].Fingerprint = ""
+		}
+	}
+
+	res := &Result{Files: files, NewFormats: newFPs}
+	res.Summary = summarize(files, reg, len(newFPs))
+	return res, nil
+}
+
+// walkFailure is a directory entry the crawl could not reach.
+type walkFailure struct {
+	rel string
+	err error
+}
+
+// crawl lists the regular files under root as sorted slash-separated
+// relative paths, skipping hidden files and directories. Unreachable
+// entries are reported, not fatal — only a broken root aborts.
+func crawl(root string) ([]string, []walkFailure, error) {
+	var paths []string
+	var fails []walkFailure
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			if path == root {
+				return err
+			}
+			rel, rerr := filepath.Rel(root, path)
+			if rerr != nil {
+				rel = path
+			}
+			fails = append(fails, walkFailure{rel: filepath.ToSlash(rel), err: err})
+			if d != nil && d.IsDir() {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		name := d.Name()
+		if strings.HasPrefix(name, ".") && path != root {
+			if d.IsDir() {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !d.Type().IsRegular() {
+			return nil
+		}
+		rel, err := filepath.Rel(root, path)
+		if err != nil {
+			return err
+		}
+		paths = append(paths, filepath.ToSlash(rel))
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	sort.Strings(paths)
+	return paths, fails, nil
+}
+
+// sortByPath co-sorts the file results and their registry entries.
+func sortByPath(files []FileResult, entries []*Entry) {
+	order := make([]int, len(files))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return files[order[a]].Path < files[order[b]].Path })
+	sortedF := make([]FileResult, len(files))
+	sortedE := make([]*Entry, len(entries))
+	for dst, src := range order {
+		sortedF[dst] = files[src]
+		sortedE[dst] = entries[src]
+	}
+	copy(files, sortedF)
+	copy(entries, sortedE)
+}
+
+// readSample reads up to limit bytes of the file, trimmed back to the
+// last complete line when the file continues past the sample (a partial
+// trailing line would distort both matching and discovery). A file
+// whose first line alone exceeds the limit yields an empty sample — the
+// file classifies as unstructured rather than a format being invented
+// from a truncated line. The returned size is the file size observed by
+// the same open handle that produced the sample.
+func readSample(path string, limit int) ([]byte, int64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer f.Close()
+	size := int64(0)
+	bufSize := limit + 1
+	if info, err := f.Stat(); err == nil {
+		size = info.Size()
+		if size < int64(limit) {
+			bufSize = int(size) + 1 // small file: skip the full-budget alloc
+		}
+	}
+	buf := make([]byte, bufSize)
+	n, err := io.ReadFull(f, buf)
+	if err != nil && err != io.EOF && err != io.ErrUnexpectedEOF {
+		return nil, size, err
+	}
+	if n < len(buf) {
+		return buf[:n], size, nil // whole file
+	}
+	sample := buf[:min(n, limit)]
+	i := bytes.LastIndexByte(sample, '\n')
+	return sample[:i+1], size, nil // i == -1: no complete line, empty sample
+}
+
+// matchSample returns the registered profile with the best sample
+// coverage at or above the threshold (ties keep the earlier entry), or
+// nil when no profile claims the sample.
+func matchSample(sample []byte, reg *Registry, threshold float64) *Entry {
+	var best *Entry
+	bestCov := 0.0
+	for _, e := range reg.Entries() {
+		res, err := core.ApplyTemplatesParallel(sample, e.Templates, 1)
+		if err != nil {
+			continue
+		}
+		covered := 0
+		for _, s := range res.Structures {
+			covered += s.Coverage
+		}
+		cov := float64(covered) / float64(len(sample))
+		if cov >= threshold && cov > bestCov {
+			best, bestCov = e, cov
+		}
+	}
+	return best
+}
+
+// discoverSample runs full template discovery on the sample and
+// registers the learned profile. It returns (nil, false, nil) when the
+// sample has no discoverable structure.
+func discoverSample(sample []byte, reg *Registry, opts core.Options) (*Entry, bool, error) {
+	opts.Workers = 1 // phase 1 is the strictly sequential phase
+	res, err := core.Extract(sample, opts)
+	if err != nil {
+		if err == core.ErrEmptyInput {
+			return nil, false, nil
+		}
+		return nil, false, err
+	}
+	if len(res.Structures) == 0 {
+		return nil, false, nil
+	}
+	templates := make([]*template.Node, 0, len(res.Structures))
+	for _, s := range res.Structures {
+		templates = append(templates, s.Template)
+	}
+	e, isNew := reg.Add(templates)
+	return e, isNew, nil
+}
+
+// extractAll runs the full-file profile extraction of every claimed
+// file over the worker pool, writing results into files by index.
+func extractAll(root string, files []FileResult, entries []*Entry, cfg Config) {
+	indices := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range indices {
+				extractOne(root, &files[i], entries[i], cfg)
+			}
+		}()
+	}
+	for i := range files {
+		if entries[i] != nil {
+			indices <- i
+		}
+	}
+	close(indices)
+	wg.Wait()
+}
+
+// extractOne streams one claimed file through the discovery-free
+// pipeline with its format's templates.
+func extractOne(root string, fr *FileResult, e *Entry, cfg Config) {
+	full := filepath.Join(root, filepath.FromSlash(fr.Path))
+	f, err := os.Open(full)
+	if err != nil {
+		fr.Status = StatusFailed
+		fr.Err = err
+		return
+	}
+	defer f.Close()
+	res, err := pipeline.Run(f, pipeline.Config{
+		Core:      cfg.Core,
+		Templates: e.Templates,
+		Workers:   1, // parallelism lives at the file level
+	})
+	if err != nil {
+		fr.Status = StatusFailed
+		fr.Err = err
+		return
+	}
+	fr.Res = res
+}
+
+// summarize aggregates the per-file outcomes.
+func summarize(files []FileResult, reg *Registry, discovered int) Summary {
+	s := Summary{Files: len(files), FormatsKnown: reg.Len(), FormatsDiscovered: discovered}
+	for _, f := range files {
+		switch f.Status {
+		case StatusDiscovered:
+			s.Structured++
+		case StatusMatched:
+			s.Structured++
+			s.CacheHits++
+		case StatusUnstructured:
+			s.Unstructured++
+		case StatusFailed:
+			s.Failed++
+		}
+	}
+	return s
+}

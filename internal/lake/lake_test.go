@@ -1,0 +1,274 @@
+package lake
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"datamaran/internal/core"
+)
+
+// buildLake writes a small heterogeneous lake: three formats spread
+// over eight files, one prose file, one empty file, and hidden entries
+// that the crawl must skip.
+func buildLake(t *testing.T) string {
+	t.Helper()
+	root := t.TempDir()
+	write := func(rel, content string) {
+		t.Helper()
+		p := filepath.Join(root, filepath.FromSlash(rel))
+		if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	states := []string{"DONE", "FAILED", "RUNNING"}
+	verbs := []string{"GET", "PUT", "POST"}
+	for f := 1; f <= 3; f++ {
+		rng := rand.New(rand.NewSource(int64(10 + f)))
+		var b strings.Builder
+		for i := 0; i < 60; i++ {
+			fmt.Fprintf(&b, "JOB <%d>\n  queue= q%d;\n  state= %s;\n",
+				rng.Intn(90000), rng.Intn(6), states[rng.Intn(3)])
+		}
+		write(fmt.Sprintf("a/jobs-%d.log", f), b.String())
+	}
+	for f := 1; f <= 3; f++ {
+		rng := rand.New(rand.NewSource(int64(20 + f)))
+		var b strings.Builder
+		for i := 0; i < 150; i++ {
+			fmt.Fprintf(&b, "%s /api/v%d/item/%d %d\n",
+				verbs[rng.Intn(3)], 1+rng.Intn(2), rng.Intn(10000),
+				[]int{200, 404, 500}[rng.Intn(3)])
+		}
+		write(fmt.Sprintf("b/req-%d.log", f), b.String())
+	}
+	for f := 1; f <= 2; f++ {
+		rng := rand.New(rand.NewSource(int64(30 + f)))
+		var b strings.Builder
+		for i := 0; i < 140; i++ {
+			fmt.Fprintf(&b, "metric|cpu%d|%d.%02d|\n",
+				rng.Intn(8), rng.Intn(100), rng.Intn(100))
+		}
+		write(fmt.Sprintf("c/metrics-%d.log", f), b.String())
+	}
+	write("noise.txt", `These logs were collected from the staging cluster.
+Rotate anything older than thirty days; ask Dana first!
+(The metrics tier moved to pull-based scraping in March.)
+jobs/ holds the scheduler dumps -- multi-line, one stanza per job
+web/ is the edge tier; latency units are milliseconds
+TODO: fold the db01 host metrics into their own directory?
+`)
+	write("empty.log", "")
+	write(".hidden/skip.log", "GET /api/v1/item/1 200\n")
+	write(".hiddenfile", "metric|cpu0|1.00|\n")
+	return root
+}
+
+// digest renders an Index result and registry into a canonical string:
+// every byte of observable output except timings, so two runs compare
+// equal iff they agree on everything the user can see.
+func digest(t *testing.T, res *Result, reg *Registry) string {
+	t.Helper()
+	var b strings.Builder
+	raw, err := json.Marshal(reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Write(raw)
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, "summary %+v\n", res.Summary)
+	for _, f := range res.Files {
+		fmt.Fprintf(&b, "file %s size=%d fp=%s status=%s err=%v\n",
+			f.Path, f.Size, f.Fingerprint, f.Status, f.Err)
+		if f.Res == nil {
+			continue
+		}
+		for _, s := range f.Res.Structures {
+			fmt.Fprintf(&b, "  structure %d %s records=%d coverage=%d\n",
+				s.TypeID, s.Template, s.Records, s.Coverage)
+		}
+		for _, r := range f.Res.Records {
+			fmt.Fprintf(&b, "  record %d [%d,%d)", r.TypeID, r.StartLine, r.EndLine)
+			for _, fv := range r.Fields {
+				fmt.Fprintf(&b, " %d.%d@%d-%d=%q", fv.Col, fv.Rep, fv.Start, fv.End, fv.Value)
+			}
+			b.WriteByte('\n')
+		}
+		fmt.Fprintf(&b, "  noise %v\n", f.Res.NoiseLines)
+	}
+	return b.String()
+}
+
+func TestIndexDiscoversOncePerFormat(t *testing.T) {
+	root := buildLake(t)
+	reg := NewRegistry()
+	res, err := Index(root, reg, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := res.Summary
+	if s.Files != 10 {
+		t.Fatalf("crawled %d files (hidden entries not skipped?): %+v", s.Files, res.Files)
+	}
+	if s.FormatsDiscovered != 3 || s.FormatsKnown != 3 {
+		t.Fatalf("formats: %+v", s)
+	}
+	if s.Structured != 8 || s.CacheHits != 5 {
+		t.Fatalf("clustering: %+v", s)
+	}
+	if s.Unstructured != 2 || s.Failed != 0 {
+		t.Fatalf("unstructured/failed: %+v", s)
+	}
+	// Exactly one discovery per format.
+	perFP := map[string]int{}
+	for _, f := range res.Files {
+		if f.Status == StatusDiscovered {
+			perFP[f.Fingerprint]++
+		}
+	}
+	for fp, n := range perFP {
+		if n != 1 {
+			t.Fatalf("format %s discovered %d times", fp, n)
+		}
+	}
+	// Cached files carry full extraction results.
+	for _, f := range res.Files {
+		if f.Status == StatusMatched && (f.Res == nil || len(f.Res.Records) == 0) {
+			t.Fatalf("matched file %s has no records", f.Path)
+		}
+	}
+}
+
+func TestIndexWorkerEquivalence(t *testing.T) {
+	// The acceptance property: worker count must not change one byte of
+	// the registry or the per-file records. Single-CPU-safe — it checks
+	// outputs, not wall clock.
+	root := buildLake(t)
+	var want string
+	for _, workers := range []int{1, 2, 8} {
+		reg := NewRegistry()
+		res, err := Index(root, reg, Config{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := digest(t, res, reg)
+		if workers == 1 {
+			want = got
+			continue
+		}
+		if got != want {
+			t.Fatalf("workers=%d output differs from workers=1:\n%s\n--- vs ---\n%s", workers, got, want)
+		}
+	}
+}
+
+func TestIndexRegistryReuseAcrossRuns(t *testing.T) {
+	root := buildLake(t)
+	regPath := filepath.Join(t.TempDir(), "registry.json")
+
+	reg, err := LoadRegistry(regPath) // missing file: empty registry
+	if err != nil {
+		t.Fatal(err)
+	}
+	res1, err := Index(root, reg, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Save(regPath); err != nil {
+		t.Fatal(err)
+	}
+
+	reg2, err := LoadRegistry(regPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reg2.Len() != reg.Len() {
+		t.Fatalf("registry round trip lost formats: %d vs %d", reg2.Len(), reg.Len())
+	}
+	res2, err := Index(root, reg2, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Summary.FormatsDiscovered != 0 {
+		t.Fatalf("second run re-discovered formats: %+v", res2.Summary)
+	}
+	if res2.Summary.CacheHits != res2.Summary.Structured {
+		t.Fatalf("second run should be all cache hits: %+v", res2.Summary)
+	}
+	if res2.Summary.Structured != res1.Summary.Structured {
+		t.Fatalf("runs disagree on structured files: %+v vs %+v", res2.Summary, res1.Summary)
+	}
+	// Per-file claim counts accumulate across runs.
+	for _, e := range reg2.Entries() {
+		if first := reg.Lookup(e.Fingerprint); first == nil || e.Files != 2*first.Files {
+			t.Fatalf("entry %s files=%d after two runs (first run %v)", e.Fingerprint, e.Files, first)
+		}
+	}
+}
+
+func TestIndexAppliesCoreOptions(t *testing.T) {
+	// An unsatisfiable alpha (no template can cover more than the whole
+	// file) turns every file unstructured — the Core options must flow
+	// through to discovery.
+	root := buildLake(t)
+	reg := NewRegistry()
+	res, err := Index(root, reg, Config{Core: core.Options{Alpha: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Summary.Structured != 0 || reg.Len() != 0 {
+		t.Fatalf("alpha=2 still structured files: %+v", res.Summary)
+	}
+}
+
+func TestIndexMissingRoot(t *testing.T) {
+	if _, err := Index(filepath.Join(t.TempDir(), "nope"), NewRegistry(), Config{}); err == nil {
+		t.Fatal("missing root should error")
+	}
+}
+
+func TestReadSampleTrimsToLine(t *testing.T) {
+	dir := t.TempDir()
+	p := filepath.Join(dir, "f.log")
+	if err := os.WriteFile(p, []byte("aaaa\nbbbb\ncccc\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	sample, _, err := readSample(p, 7) // cuts inside the second line
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(sample) != "aaaa\n" {
+		t.Fatalf("sample = %q, want first complete line only", sample)
+	}
+	whole, size, err := readSample(p, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(whole) != "aaaa\nbbbb\ncccc\n" {
+		t.Fatalf("whole-file sample = %q", whole)
+	}
+	if size != int64(len("aaaa\nbbbb\ncccc\n")) {
+		t.Fatalf("reported size = %d", size)
+	}
+
+	// A first line longer than the limit yields an empty sample (the
+	// file classifies unstructured) instead of a truncated-line format.
+	long := filepath.Join(dir, "long.log")
+	if err := os.WriteFile(long, []byte(strings.Repeat("x", 64)+"\nshort\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, _, err := readSample(long, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s) != 0 {
+		t.Fatalf("oversized first line produced sample %q", s)
+	}
+}

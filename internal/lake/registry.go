@@ -1,0 +1,202 @@
+package lake
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"datamaran/internal/template"
+)
+
+// registryVersion is the on-disk registry format version this package
+// reads and writes.
+const registryVersion = 1
+
+// Entry is one known format: an ordered template set plus bookkeeping.
+type Entry struct {
+	// Fingerprint identifies the template set (see Fingerprint).
+	Fingerprint string
+	// Templates are the format's structure templates in discovery order.
+	Templates []*template.Node
+	// Files counts the files this entry has claimed over the registry's
+	// lifetime (accumulated across runs when the registry persists).
+	Files int
+}
+
+// Registry is the persistent profile store: formats in first-registered
+// order, addressable by fingerprint. The zero value is not usable; call
+// NewRegistry or LoadRegistry.
+type Registry struct {
+	entries []*Entry
+	byFP    map[string]*Entry
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byFP: map[string]*Entry{}}
+}
+
+// Entries lists the registry's formats in first-registered order. The
+// slice is shared; callers must not mutate it.
+func (r *Registry) Entries() []*Entry { return r.entries }
+
+// Len reports the number of known formats.
+func (r *Registry) Len() int { return len(r.entries) }
+
+// Lookup returns the entry with the given fingerprint, or nil.
+func (r *Registry) Lookup(fp string) *Entry { return r.byFP[fp] }
+
+// Add registers a template set, returning its entry and whether it was
+// new. An already-known fingerprint returns the existing entry.
+func (r *Registry) Add(templates []*template.Node) (*Entry, bool) {
+	fp := Fingerprint(templates)
+	if e, ok := r.byFP[fp]; ok {
+		return e, false
+	}
+	cloned := make([]*template.Node, len(templates))
+	for i, t := range templates {
+		cloned[i] = t.Clone()
+	}
+	e := &Entry{Fingerprint: fp, Templates: cloned}
+	r.entries = append(r.entries, e)
+	r.byFP[fp] = e
+	return e, true
+}
+
+// registryJSON is the serialized registry.
+type registryJSON struct {
+	Version  int            `json:"version"`
+	Profiles []registryProf `json:"profiles"`
+}
+
+// registryProf is one serialized entry. Templates use the same canonical
+// structural serialization as the public Profile format.
+type registryProf struct {
+	Fingerprint string            `json:"fingerprint"`
+	Files       int               `json:"files"`
+	Templates   []json.RawMessage `json:"templates"`
+}
+
+// MarshalJSON serializes the registry deterministically: entries in
+// first-registered order, no timestamps or host state, so the bytes are
+// reproducible across runs and worker counts. (Compact — encoding/json
+// re-compacts a Marshaler's output anyway; Save indents the file form.)
+func (r *Registry) MarshalJSON() ([]byte, error) {
+	rj := registryJSON{Version: registryVersion, Profiles: []registryProf{}}
+	for _, e := range r.entries {
+		p := registryProf{Fingerprint: e.Fingerprint, Files: e.Files}
+		for _, t := range e.Templates {
+			raw, err := json.Marshal(t)
+			if err != nil {
+				return nil, err
+			}
+			p.Templates = append(p.Templates, raw)
+		}
+		rj.Profiles = append(rj.Profiles, p)
+	}
+	return json.Marshal(rj)
+}
+
+// UnmarshalJSON parses a registry serialized by MarshalJSON, rejecting
+// missing, non-integer or unknown version values rather than guessing
+// at future formats.
+func (r *Registry) UnmarshalJSON(data []byte) error {
+	var ver struct {
+		Version *int `json:"version"`
+	}
+	if err := json.Unmarshal(data, &ver); err != nil {
+		return fmt.Errorf("lake: bad registry version field (supported: %d): %w", registryVersion, err)
+	}
+	if ver.Version == nil {
+		return fmt.Errorf("lake: registry missing version field (supported: %d)", registryVersion)
+	}
+	if *ver.Version != registryVersion {
+		return fmt.Errorf("lake: unsupported registry version %d (supported: %d)", *ver.Version, registryVersion)
+	}
+	var rj registryJSON
+	if err := json.Unmarshal(data, &rj); err != nil {
+		return fmt.Errorf("lake: bad registry: %w", err)
+	}
+	r.entries = nil
+	r.byFP = map[string]*Entry{}
+	for _, p := range rj.Profiles {
+		var templates []*template.Node
+		for _, raw := range p.Templates {
+			n, err := template.UnmarshalNode(raw)
+			if err != nil {
+				return fmt.Errorf("lake: bad registry template: %w", err)
+			}
+			templates = append(templates, n.Normalize())
+		}
+		fp := Fingerprint(templates)
+		if p.Fingerprint != "" && p.Fingerprint != fp {
+			return fmt.Errorf("lake: registry fingerprint %s does not match its templates (recomputed %s)", p.Fingerprint, fp)
+		}
+		if _, ok := r.byFP[fp]; ok {
+			return fmt.Errorf("lake: duplicate registry fingerprint %s", fp)
+		}
+		e := &Entry{Fingerprint: fp, Templates: templates, Files: p.Files}
+		r.entries = append(r.entries, e)
+		r.byFP[fp] = e
+	}
+	return nil
+}
+
+// LoadRegistry reads a registry file. A missing file yields an empty
+// registry, so first runs need no setup.
+func LoadRegistry(path string) (*Registry, error) {
+	raw, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return NewRegistry(), nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	r := NewRegistry()
+	if err := json.Unmarshal(raw, r); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// Save writes the registry atomically (temp file + rename in the target
+// directory), indented for human inspection.
+func (r *Registry) Save(path string) error {
+	compact, err := json.Marshal(r)
+	if err != nil {
+		return err
+	}
+	var buf bytes.Buffer
+	if err := json.Indent(&buf, compact, "", "  "); err != nil {
+		return err
+	}
+	raw := append(buf.Bytes(), '\n')
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".registry-*")
+	if err != nil {
+		return err
+	}
+	// CreateTemp's 0600 would make a shared registry unreadable to
+	// other users; match the 0644 of every other artifact we write.
+	if err := tmp.Chmod(0o644); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if _, err := tmp.Write(raw); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
+}

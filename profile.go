@@ -6,6 +6,7 @@ import (
 	"io"
 
 	"datamaran/internal/core"
+	"datamaran/internal/lake"
 	"datamaran/internal/pipeline"
 	"datamaran/internal/template"
 )
@@ -38,6 +39,19 @@ func (p *Profile) Templates() []string {
 	return out
 }
 
+// Fingerprint returns the profile's stable identifier: a hash of the
+// canonical template serialization. Two profiles fingerprint equal iff
+// their template sets serialize equal, so the fingerprint names a
+// format across runs and machines — it is the key of the IndexDir
+// profile registry.
+func (p *Profile) Fingerprint() string {
+	return lake.Fingerprint(p.templates)
+}
+
+// profileVersion is the serialized profile format version this package
+// reads and writes.
+const profileVersion = 1
+
 // profileJSON is the serialized profile format (versioned for forward
 // compatibility).
 type profileJSON struct {
@@ -47,7 +61,7 @@ type profileJSON struct {
 
 // MarshalJSON serializes the profile.
 func (p *Profile) MarshalJSON() ([]byte, error) {
-	pj := profileJSON{Version: 1}
+	pj := profileJSON{Version: profileVersion}
 	for _, t := range p.templates {
 		raw, err := json.Marshal(t)
 		if err != nil {
@@ -58,14 +72,29 @@ func (p *Profile) MarshalJSON() ([]byte, error) {
 	return json.Marshal(pj)
 }
 
-// UnmarshalJSON parses a profile serialized by MarshalJSON.
+// UnmarshalJSON parses a profile serialized by MarshalJSON. Profiles
+// with a missing, non-integer or unknown version are rejected with a
+// clear error rather than silently misparsed: a future profile format
+// may serialize templates differently, so guessing would produce a
+// plausible-looking but wrong profile.
 func (p *Profile) UnmarshalJSON(data []byte) error {
+	// Decode the version alone first, so a version field of the wrong
+	// JSON type reports a version problem, not a template one.
+	var ver struct {
+		Version *int `json:"version"`
+	}
+	if err := json.Unmarshal(data, &ver); err != nil {
+		return fmt.Errorf("datamaran: bad profile version field (supported: %d): %w", profileVersion, err)
+	}
+	if ver.Version == nil {
+		return fmt.Errorf("datamaran: profile missing version field (supported: %d)", profileVersion)
+	}
+	if *ver.Version != profileVersion {
+		return fmt.Errorf("datamaran: unsupported profile version %d (supported: %d)", *ver.Version, profileVersion)
+	}
 	var pj profileJSON
 	if err := json.Unmarshal(data, &pj); err != nil {
 		return fmt.Errorf("datamaran: bad profile: %w", err)
-	}
-	if pj.Version != 1 {
-		return fmt.Errorf("datamaran: unsupported profile version %d", pj.Version)
 	}
 	p.templates = nil
 	for _, raw := range pj.Templates {

@@ -99,6 +99,52 @@ func TestProfileEmptyErrors(t *testing.T) {
 	}
 }
 
+func TestProfileVersionValidation(t *testing.T) {
+	cases := map[string]struct {
+		doc  string
+		want string // substring of the error
+	}{
+		"future version":  {`{"version":99,"templates":[]}`, "unsupported profile version 99"},
+		"missing version": {`{"templates":[]}`, "missing version"},
+		"string version":  {`{"version":"1","templates":[]}`, "version field"},
+	}
+	for name, c := range cases {
+		var p Profile
+		err := json.Unmarshal([]byte(c.doc), &p)
+		if err == nil {
+			t.Fatalf("%s: expected error", name)
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Fatalf("%s: error %q does not mention %q", name, err, c.want)
+		}
+	}
+}
+
+func TestProfileFingerprint(t *testing.T) {
+	res, err := Extract(sampleCSV(100), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := res.Profile()
+	fp := p.Fingerprint()
+	if len(fp) != 16 {
+		t.Fatalf("fingerprint %q not 16 hex chars", fp)
+	}
+	// The fingerprint survives serialization — it names the format, not
+	// the in-memory objects.
+	raw, err := json.Marshal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Profile
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Fingerprint() != fp {
+		t.Fatalf("fingerprint changed across serialization: %s vs %s", back.Fingerprint(), fp)
+	}
+}
+
 func TestProfileBadJSON(t *testing.T) {
 	var p Profile
 	if err := json.Unmarshal([]byte(`{"version":99,"templates":[]}`), &p); err == nil {

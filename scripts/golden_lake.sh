@@ -1,0 +1,33 @@
+#!/bin/sh
+# Golden-corpus check for the data-lake indexer: `datamaran index` over
+# the checked-in fixture lake (testdata/lake — 3 formats x several
+# files plus one unstructured file) must reproduce the committed
+# report, registry and CSV outputs byte-for-byte, at several worker
+# counts. Run with -update to regenerate the golden files after an
+# intentional change.
+set -eu
+cd "$(dirname "$0")/.."
+golden=testdata/lake_golden
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+go build -o "$tmp/datamaran" ./cmd/datamaran
+
+if [ "${1:-}" = "-update" ]; then
+    rm -rf "$golden"
+    mkdir -p "$golden/csv"
+    "$tmp/datamaran" index -q -workers 1 -registry "$golden/registry.json" \
+        -o "$golden/csv" testdata/lake > "$golden/report.txt"
+    echo "golden lake files regenerated under $golden"
+    exit 0
+fi
+
+for w in 1 8; do
+    out="$tmp/w$w"
+    mkdir -p "$out/csv"
+    "$tmp/datamaran" index -q -workers "$w" -registry "$out/registry.json" \
+        -o "$out/csv" testdata/lake > "$out/report.txt"
+    diff -u "$golden/report.txt" "$out/report.txt"
+    diff -u "$golden/registry.json" "$out/registry.json"
+    diff -r "$golden/csv" "$out/csv"
+done
+echo "golden lake corpus reproduced byte-for-byte (workers 1 and 8)"
