@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test test-short test-race bench lint fmt staticcheck bench-gate golden-lake golden-lake-update
+.PHONY: build test test-short test-race bench lint fmt staticcheck bench-gate bench-allocs golden-lake golden-lake-update
 
 build:
 	$(GO) build ./...
@@ -26,10 +26,12 @@ bench:
 
 # BENCH_extract.json: the streaming-engine benchmark report. The
 # committed baseline was measured at 16 MiB; bench-gate re-measures at
-# the same size and fails on a >20% throughput regression of the
-# extract-mem or apply-profile modes. The comparison is absolute MiB/s,
-# so keep the baseline's hardware matched to wherever the gate runs:
-# refresh it from the CI job's bench-extract-report artifact (or rerun
+# the same size and fails on a >20% workers=1 throughput regression of
+# the extract-mem, stream-discover or apply-profile modes, on an
+# apply/extract ratio under 5x, or on any baseline mode missing from
+# the fresh report. The absolute comparison is MiB/s, so keep the
+# baseline's hardware matched to wherever the gate runs: refresh it
+# from the CI job's bench-extract-report artifact (or rerun
 # `make bench-extract` on the same machine) in the same PR whenever a
 # change is intentional.
 bench-extract:
@@ -38,6 +40,12 @@ bench-extract:
 bench-gate:
 	$(GO) run ./cmd/experiments -bench-extract /tmp/BENCH_extract_new.json -bench-mb 16 \
 		-bench-baseline BENCH_extract.json
+
+# Allocation gate: the parser's steady-state scan benchmarks must stay at
+# 0 allocs/op (noise rejection and arena-reuse scanning never touch the
+# heap — see scripts/bench_allocs.sh).
+bench-allocs:
+	sh scripts/bench_allocs.sh
 
 # Golden-corpus check: the fixture lake must index byte-identically to
 # the committed outputs (see scripts/golden_lake.sh).

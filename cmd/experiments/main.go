@@ -10,6 +10,8 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
+	"sort"
 	"time"
 
 	"datamaran"
@@ -18,12 +20,51 @@ import (
 )
 
 func main() {
+	// The body lives in run so deferred profile writers fire before the
+	// process exits (os.Exit skips defers).
+	os.Exit(run())
+}
+
+func run() int {
 	exp := flag.String("exp", "all", "experiment: table1|table3|table5|accuracy25|fig14a|fig14b|fig15|fig16|fig17a|fig17b|userstudy|ablation|all")
 	quick := flag.Bool("quick", false, "shrink workloads for a fast run")
 	benchExtract := flag.String("bench-extract", "", "run the streaming-engine benchmark and write the JSON report to this file")
 	benchMB := flag.Int("bench-mb", 0, "input size in MiB for -bench-extract (0 = 32, or 8 with -quick)")
 	benchBaseline := flag.String("bench-baseline", "", "with -bench-extract: compare against this baseline report and fail on a >20% throughput regression")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the selected run (experiments or benchmark) to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile taken at the end of the run to this file")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: -cpuprofile: %v\n", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: -cpuprofile: %v\n", err)
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memprofile != "" {
+		path := *memprofile
+		defer func() {
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: -memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // material allocations only, not garbage
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: -memprofile: %v\n", err)
+			}
+		}()
+	}
 
 	if *benchExtract != "" {
 		if *benchMB <= 0 {
@@ -34,15 +75,15 @@ func main() {
 		}
 		if err := runBenchExtract(*benchExtract, *benchMB); err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 		if *benchBaseline != "" {
 			if err := gateBench(*benchBaseline, *benchExtract); err != nil {
 				fmt.Fprintf(os.Stderr, "experiments: bench gate: %v\n", err)
-				os.Exit(1)
+				return 1
 			}
 		}
-		return
+		return 0
 	}
 
 	w := os.Stdout
@@ -61,31 +102,32 @@ func main() {
 		perLabel = 3
 	}
 
-	run := func(name string, fn func()) {
+	runExp := func(name string, fn func()) {
 		if *exp == name || *exp == "all" {
 			fn()
 		}
 	}
-	run("table1", func() { experiments.Table1(w) })
-	run("table5", func() { experiments.Table5(scale, w) })
-	run("accuracy25", func() { experiments.Accuracy25(scale, w) })
-	run("table3", func() { experiments.Table3Complexity(w) })
-	run("fig14a", func() { experiments.Fig14aSize(sizes, w) })
-	run("fig14b", func() { experiments.Fig14bComplexity(complexities, rowsPerType, w) })
-	run("fig15", func() { experiments.Fig15Params(w) })
-	run("fig16", func() { experiments.Fig16Sensitivity(scale/2, ms, w) })
-	run("fig17a", func() { experiments.Fig17a(w) })
-	run("fig17b", func() { experiments.Fig17b(perLabel, w) })
-	run("userstudy", func() { experiments.UserStudy(w) })
-	run("ablation", func() { experiments.AblationAssimilation(w) })
+	runExp("table1", func() { experiments.Table1(w) })
+	runExp("table5", func() { experiments.Table5(scale, w) })
+	runExp("accuracy25", func() { experiments.Accuracy25(scale, w) })
+	runExp("table3", func() { experiments.Table3Complexity(w) })
+	runExp("fig14a", func() { experiments.Fig14aSize(sizes, w) })
+	runExp("fig14b", func() { experiments.Fig14bComplexity(complexities, rowsPerType, w) })
+	runExp("fig15", func() { experiments.Fig15Params(w) })
+	runExp("fig16", func() { experiments.Fig16Sensitivity(scale/2, ms, w) })
+	runExp("fig17a", func() { experiments.Fig17a(w) })
+	runExp("fig17b", func() { experiments.Fig17b(perLabel, w) })
+	runExp("userstudy", func() { experiments.UserStudy(w) })
+	runExp("ablation", func() { experiments.AblationAssimilation(w) })
 
 	switch *exp {
 	case "table1", "table3", "table5", "accuracy25", "fig14a", "fig14b",
 		"fig15", "fig16", "fig17a", "fig17b", "userstudy", "ablation", "all":
 	default:
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
-		os.Exit(2)
+		return 2
 	}
+	return 0
 }
 
 // benchRun is one timed configuration of the extraction benchmark.
@@ -188,23 +230,27 @@ const gateRegression = 0.20
 
 // gateMinSpeedRatio is a hardware-independent floor on apply-profile
 // throughput relative to extract-mem. The committed report shows the
-// profile fast path ~14x the discovery path; a fast-path regression
+// profile fast path ~13x the discovery path; a fast-path regression
 // large enough to matter drags the ratio under this floor on any
 // machine — so the gate catches it even when the absolute comparison
 // is slack because the runner outclasses the baseline host.
 const gateMinSpeedRatio = 5.0
 
-// gatedModes are the benchmark modes the gate protects: the in-memory
-// discovery+extraction path and the registry fast path.
-var gatedModes = []string{"extract-mem", "apply-profile"}
+// gatedModes are the benchmark modes the gate protects with the absolute
+// throughput floor: the in-memory discovery+extraction path, the
+// streaming discovery path, and the registry fast path.
+var gatedModes = []string{"extract-mem", "stream-discover", "apply-profile"}
 
 // gateBench compares a fresh benchmark report against the committed
 // baseline, failing when a gated mode's workers=1 throughput regressed
-// more than gateRegression, or when the candidate's apply-profile /
-// extract-mem ratio falls below gateMinSpeedRatio. The absolute check
-// is only meaningful when the baseline was measured on the gate's
-// hardware class — refresh it from the CI artifact in the same PR when
-// a change is intentional; the ratio check holds everywhere.
+// more than gateRegression, when the candidate's apply-profile /
+// extract-mem ratio falls below gateMinSpeedRatio, or when any mode the
+// baseline measured is missing from the candidate report (a silently
+// dropped mode would otherwise pass the gate unexamined forever). The
+// absolute check is only meaningful when the baseline was measured on
+// the gate's hardware class — refresh it from the CI artifact in the
+// same PR when a change is intentional; the ratio check holds
+// everywhere.
 func gateBench(baselinePath, candidatePath string) error {
 	baseline, err := loadBenchReport(baselinePath)
 	if err != nil {
@@ -213,6 +259,24 @@ func gateBench(baselinePath, candidatePath string) error {
 	candidate, err := loadBenchReport(candidatePath)
 	if err != nil {
 		return err
+	}
+	// Every mode the baseline measured must appear in the fresh report:
+	// a missing mode is a hard failure, not a silent pass.
+	candModes := map[string]bool{}
+	for _, r := range candidate.Runs {
+		candModes[r.Mode] = true
+	}
+	var missing []string
+	seen := map[string]bool{}
+	for _, r := range baseline.Runs {
+		if !seen[r.Mode] && !candModes[r.Mode] {
+			missing = append(missing, r.Mode)
+		}
+		seen[r.Mode] = true
+	}
+	if len(missing) > 0 {
+		sort.Strings(missing)
+		return fmt.Errorf("baseline modes %v missing from candidate %s — the benchmark no longer measures them", missing, candidatePath)
 	}
 	failed := false
 	candW1 := map[string]float64{}

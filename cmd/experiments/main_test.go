@@ -1,0 +1,84 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func writeReport(t *testing.T, dir, name string, runs []benchRun) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	var b strings.Builder
+	b.WriteString(`{"input_bytes":1,"num_cpu":1,"gomaxprocs":1,"note":"","runs":[`)
+	for i, r := range runs {
+		if i > 0 {
+			b.WriteString(",")
+		}
+		b.WriteString(`{"mode":"` + r.Mode + `","workers":` + strconv.Itoa(r.Workers) +
+			`,"seconds":1,"mb_per_s":` + strconv.FormatFloat(r.MBPerSec, 'g', -1, 64) +
+			`,"speedup_vs_workers1":1}`)
+	}
+	b.WriteString(`]}`)
+	if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func fullRuns(extract, stream, apply float64) []benchRun {
+	return []benchRun{
+		{Mode: "extract-mem", Workers: 1, MBPerSec: extract},
+		{Mode: "stream-discover", Workers: 1, MBPerSec: stream},
+		{Mode: "apply-profile", Workers: 1, MBPerSec: apply},
+	}
+}
+
+func TestGateBenchPasses(t *testing.T) {
+	dir := t.TempDir()
+	base := writeReport(t, dir, "base.json", fullRuns(1, 1, 10))
+	cand := writeReport(t, dir, "cand.json", fullRuns(1, 1, 10))
+	if err := gateBench(base, cand); err != nil {
+		t.Fatalf("identical reports must pass: %v", err)
+	}
+}
+
+func TestGateBenchFailsOnRegression(t *testing.T) {
+	dir := t.TempDir()
+	base := writeReport(t, dir, "base.json", fullRuns(10, 10, 100))
+	cand := writeReport(t, dir, "cand.json", fullRuns(1, 10, 100))
+	if err := gateBench(base, cand); err == nil {
+		t.Fatal("10x extract-mem regression must fail the gate")
+	}
+}
+
+func TestGateBenchFailsOnRatioFloor(t *testing.T) {
+	dir := t.TempDir()
+	base := writeReport(t, dir, "base.json", fullRuns(10, 10, 100))
+	// No absolute regression, but apply/extract ratio 1x < 5x floor.
+	cand := writeReport(t, dir, "cand.json", fullRuns(100, 10, 100))
+	if err := gateBench(base, cand); err == nil {
+		t.Fatal("apply/extract ratio below the floor must fail the gate")
+	}
+}
+
+// TestGateBenchFailsOnMissingMode pins the bug fixed in this revision: a
+// mode present in the committed baseline but absent from the fresh report
+// must be a hard failure, not a silent pass.
+func TestGateBenchFailsOnMissingMode(t *testing.T) {
+	dir := t.TempDir()
+	base := writeReport(t, dir, "base.json", fullRuns(1, 1, 10))
+	cand := writeReport(t, dir, "cand.json", []benchRun{
+		{Mode: "extract-mem", Workers: 1, MBPerSec: 1},
+		{Mode: "apply-profile", Workers: 1, MBPerSec: 10},
+	})
+	err := gateBench(base, cand)
+	if err == nil {
+		t.Fatal("baseline mode missing from candidate must fail the gate")
+	}
+	if !strings.Contains(err.Error(), "stream-discover") {
+		t.Fatalf("error must name the missing mode: %v", err)
+	}
+}

@@ -1,0 +1,235 @@
+package datamaran_test
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"datamaran"
+	"datamaran/internal/core"
+	"datamaran/internal/datagen"
+	"datamaran/internal/parser"
+	"datamaran/internal/textio"
+)
+
+// equivInputs gathers the property-test corpus: generated datasets from
+// the GitHub-style corpus plus fixture files of the data lake. Each input
+// costs at least one full discovery run (~seconds on the 1-CPU reference
+// host, ~10x that under the race detector), so coverage is budgeted:
+// the full run sweeps a broad stride, -short keeps one dataset per corpus
+// stripe and one lake file per format, and the race build trims to a
+// minimal cross-section — the per-line matcher's race coverage lives in
+// the dedicated internal/parser and internal/pipeline race tests, this
+// sweep only has to exercise the property end to end.
+func equivInputs(t *testing.T) map[string][]byte {
+	t.Helper()
+	out := map[string][]byte{}
+	stride := 12
+	if testing.Short() {
+		stride = 33 // indices 0, 33, 66, 99 — one per corpus label family
+	}
+	if raceEnabled {
+		stride = 99 // indices 0 and 99 only
+	}
+	for i, d := range datagen.GitHubCorpus(42) {
+		if i%stride != 0 {
+			continue
+		}
+		out[fmt.Sprintf("corpus/%02d-%s", i, d.Name)] = d.Data
+	}
+	err := filepath.Walk("testdata/lake", func(path string, info os.FileInfo, err error) error {
+		if err != nil || info.IsDir() {
+			return err
+		}
+		if testing.Short() && !strings.Contains(path, "-1.") {
+			return nil // one file per format is enough to catch a drift
+		}
+		if raceEnabled && !strings.Contains(path, "requests-1.") {
+			return nil
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		out[path] = data
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("walk testdata/lake: %v", err)
+	}
+	return out
+}
+
+// sortedNames gives the map a deterministic iteration order so failures
+// reproduce.
+func sortedNames(m map[string][]byte) []string {
+	names := make([]string, 0, len(m))
+	for n := range m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// treeScanReference reproduces the pre-arena Scan through the public tree
+// API only (offset map, Match, Flatten) — the oracle for the two-phase
+// matcher.
+type treeScanReference struct {
+	records    []parser.Record
+	fields     [][]parser.FieldOcc
+	noiseLines []int
+	coverage   int
+	fieldBytes int
+}
+
+func treeScan(m *parser.Matcher, lines *textio.Lines) *treeScanReference {
+	res := &treeScanReference{}
+	data := lines.Data()
+	n := lines.N()
+	lineOf := make(map[int]int, n)
+	for i := 0; i <= n; i++ {
+		lineOf[lines.Start(i)] = i
+	}
+	i := 0
+	for i < n {
+		pos := lines.Start(i)
+		v, end, ok := m.Match(data, pos)
+		if ok {
+			if endLine, aligned := lineOf[end]; aligned && endLine > i {
+				res.records = append(res.records, parser.Record{
+					StartLine: i, EndLine: endLine, Start: pos, End: end, Value: v,
+				})
+				occs := m.Flatten(v)
+				for _, f := range occs {
+					res.fieldBytes += f.End - f.Start
+				}
+				res.fields = append(res.fields, occs)
+				res.coverage += end - pos
+				i = endLine
+				continue
+			}
+		}
+		res.noiseLines = append(res.noiseLines, i)
+		i++
+	}
+	return res
+}
+
+func requireScanEqual(t *testing.T, label string, want *treeScanReference, got *parser.ScanResult) {
+	t.Helper()
+	if len(got.Records) != len(want.records) {
+		t.Fatalf("%s: records = %d, want %d", label, len(got.Records), len(want.records))
+	}
+	for i := range want.records {
+		g, w := got.Records[i], want.records[i]
+		if g.StartLine != w.StartLine || g.EndLine != w.EndLine || g.Start != w.Start || g.End != w.End {
+			t.Fatalf("%s: record %d spans differ: got [%d,%d)@[%d,%d), want [%d,%d)@[%d,%d)",
+				label, i, g.StartLine, g.EndLine, g.Start, g.End, w.StartLine, w.EndLine, w.Start, w.End)
+		}
+		gf, wf := got.Fields(i), want.fields[i]
+		if len(gf) != len(wf) {
+			t.Fatalf("%s: record %d fields = %d, want %d", label, i, len(gf), len(wf))
+		}
+		for j := range wf {
+			if gf[j] != wf[j] {
+				t.Fatalf("%s: record %d field %d = %+v, want %+v", label, i, j, gf[j], wf[j])
+			}
+		}
+	}
+	if len(got.NoiseLines) != len(want.noiseLines) {
+		t.Fatalf("%s: noise count = %d, want %d", label, len(got.NoiseLines), len(want.noiseLines))
+	}
+	for i := range want.noiseLines {
+		if got.NoiseLines[i] != want.noiseLines[i] {
+			t.Fatalf("%s: noise line %d = %d, want %d", label, i, got.NoiseLines[i], want.noiseLines[i])
+		}
+	}
+	if got.Coverage != want.coverage || got.FieldBytes != want.fieldBytes {
+		t.Fatalf("%s: coverage/fieldBytes = %d/%d, want %d/%d",
+			label, got.Coverage, got.FieldBytes, want.coverage, want.fieldBytes)
+	}
+}
+
+// TestTwoPhaseScanMatchesTreePathOnCorpus discovers structures on every
+// corpus input, then pins the arena-based Scan and ScanParallel (workers
+// 1, 2, 8) to the tree-path reference — records, field occurrences, noise,
+// coverage and field bytes must be identical.
+func TestTwoPhaseScanMatchesTreePathOnCorpus(t *testing.T) {
+	inputs := equivInputs(t)
+	for _, name := range sortedNames(inputs) {
+		data := inputs[name]
+		res, err := core.Extract(data, core.Options{})
+		if err != nil {
+			t.Fatalf("%s: discovery: %v", name, err)
+		}
+		lines := textio.NewLines(data)
+		for _, s := range res.Structures {
+			m := parser.NewMatcher(s.Template)
+			want := treeScan(m, lines)
+			requireScanEqual(t, name+"/seq", want, m.Scan(lines))
+			for _, workers := range []int{1, 2, 8} {
+				label := fmt.Sprintf("%s/workers%d", name, workers)
+				requireScanEqual(t, label, want, m.ScanParallel(lines, workers))
+			}
+		}
+	}
+}
+
+// extractionFingerprint renders an extraction to comparable bytes: every
+// record with spans and field values, plus the CSV of every table.
+func extractionFingerprint(t *testing.T, r *datamaran.Result) []byte {
+	t.Helper()
+	var b bytes.Buffer
+	for _, rec := range r.Records {
+		fmt.Fprintf(&b, "rec t%d [%d,%d)", rec.Type, rec.StartLine, rec.EndLine)
+		for _, f := range rec.Fields {
+			fmt.Fprintf(&b, " %d.%d@%d-%d=%q", f.Column, f.Repetition, f.Start, f.End, f.Value)
+		}
+		b.WriteByte('\n')
+	}
+	for _, tab := range r.Tables() {
+		fmt.Fprintf(&b, "table %s\n", tab.Name)
+		if err := tab.WriteCSV(&b); err != nil {
+			t.Fatalf("WriteCSV: %v", err)
+		}
+	}
+	return b.Bytes()
+}
+
+// TestExtractWorkerInvariantOnCorpus pins the end-to-end output — records,
+// field values and CSV tables — to be byte-identical across worker counts
+// on every corpus input (the parallel scan path vs the sequential one).
+// Each input costs three full discovery runs, so it halves the input set
+// on top of equivInputs' own trimming, and skips under the race detector
+// (the scan-level sweep above and the parser/pipeline race suites carry
+// the -race coverage at a fraction of the cost).
+func TestExtractWorkerInvariantOnCorpus(t *testing.T) {
+	if raceEnabled {
+		t.Skip("three discovery runs per input; race coverage lives in the scan-level sweep")
+	}
+	inputs := equivInputs(t)
+	for k, name := range sortedNames(inputs) {
+		if k%2 == 1 {
+			continue
+		}
+		data := inputs[name]
+		base, err := datamaran.Extract(data, datamaran.Options{Workers: 1})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		want := extractionFingerprint(t, base)
+		for _, workers := range []int{2, 8} {
+			got, err := datamaran.Extract(data, datamaran.Options{Workers: workers})
+			if err != nil {
+				t.Fatalf("%s workers=%d: %v", name, workers, err)
+			}
+			if fp := extractionFingerprint(t, got); !bytes.Equal(fp, want) {
+				t.Fatalf("%s: workers=%d output differs from workers=1", name, workers)
+			}
+		}
+	}
+}

@@ -104,10 +104,26 @@ func (o Options) withDefaults() Options {
 
 // cachingScorer memoizes scores by template key for one residue round:
 // refinement re-scores the same variant trees many times across
-// candidates (most candidates refine toward the same few templates).
+// candidates (most candidates refine toward the same few templates). It
+// also carries the round's scan cache, so every consumer of scan results
+// — the scorer itself, repetition statistics, structure shifting — scans
+// each unique template at most once per round instead of once per use.
 type cachingScorer struct {
 	inner score.Scorer
 	cache map[string]score.Result
+	scans *score.ScanCache
+}
+
+// newCachingScorer wraps inner for one evaluation round. When inner is
+// the default MDL scorer without its own cache, it is rebound onto the
+// round's shared scan cache so scoring and refinement share scans.
+func newCachingScorer(inner score.Scorer) *cachingScorer {
+	scans := score.NewScanCache()
+	if mdl, ok := inner.(score.MDL); ok && mdl.Cache == nil {
+		mdl.Cache = scans
+		inner = mdl
+	}
+	return &cachingScorer{inner: inner, cache: map[string]score.Result{}, scans: scans}
 }
 
 func (c *cachingScorer) Score(m *parser.Matcher, lines *textio.Lines) score.Result {
@@ -119,6 +135,9 @@ func (c *cachingScorer) Score(m *parser.Matcher, lines *textio.Lines) score.Resu
 	c.cache[key] = r
 	return r
 }
+
+// ScanCache exposes the round's shared scan memo (see refine's use).
+func (c *cachingScorer) ScanCache() *score.ScanCache { return c.scans }
 
 // FieldValue is one extracted field occurrence.
 type FieldValue struct {
@@ -235,13 +254,13 @@ func Extract(data []byte, opts Options) (*Result, error) {
 		// next residue from the noise lines.
 		origOf := residLines
 		byteShift := makeByteShift(rl, origOf, lines)
-		for _, rec := range scan.Records {
+		for ri, rec := range scan.Records {
 			out := RecordOut{
 				TypeID:    typeID,
 				StartLine: origOf[rec.StartLine],
 				EndLine:   origOf[rec.EndLine-1] + 1,
 			}
-			for _, f := range m.Flatten(rec.Value) {
+			for _, f := range scan.Fields(ri) {
 				os, oe := byteShift(f.Start), byteShift(f.End)
 				out.Fields = append(out.Fields, FieldValue{
 					Col: f.Col, Rep: f.Rep,
@@ -300,7 +319,7 @@ func discoverOne(residData []byte, opts Options, effAlpha float64, res *Result) 
 	res.Timing.Pruning += time.Since(t0)
 
 	t0 = time.Now()
-	scorer := &cachingScorer{inner: opts.Scorer, cache: map[string]score.Result{}}
+	scorer := newCachingScorer(opts.Scorer)
 	// Plain-score every retained candidate, then refine the RefineTop
 	// most promising (refinement costs many scoring passes each).
 	type scored struct {
@@ -437,13 +456,13 @@ func ApplyTemplatesParallel(data []byte, templates []*template.Node, workers int
 		})
 		origOf := residLines
 		byteShift := makeByteShift(rl, origOf, lines)
-		for _, rec := range scan.Records {
+		for ri, rec := range scan.Records {
 			out := RecordOut{
 				TypeID:    typeID,
 				StartLine: origOf[rec.StartLine],
 				EndLine:   origOf[rec.EndLine-1] + 1,
 			}
-			for _, f := range m.Flatten(rec.Value) {
+			for _, f := range scan.Fields(ri) {
 				out.Fields = append(out.Fields, FieldValue{
 					Col: f.Col, Rep: f.Rep,
 					Start: byteShift(f.Start), End: byteShift(f.End),

@@ -23,18 +23,30 @@ type Cand struct {
 	Truncated bool
 }
 
-// MatchCandidates computes, for every line in [from, to), whether a
-// line-aligned record match starts there, fanning the lines out over
-// worker goroutines. Matching at a line is context-free — it depends only
-// on the template and the bytes — which is what makes the extraction pass
-// "eminently parallelizable" (§1, §5.2.2 of the paper) and lets the
-// streaming engine scan shards concurrently: any greedy walk over the
+// CandEnd is the allocation-free form of Cand produced by the validate
+// pass alone: the match end without a parse tree. EndLine is 0 when no
+// line-aligned match starts at the line.
+type CandEnd struct {
+	// EndLine is the exclusive end line of the match (0: no match).
+	EndLine int
+	// End is the exclusive end byte offset.
+	End int
+	// Truncated reports that a failed attempt ran off the buffer end.
+	Truncated bool
+}
+
+// MatchCandidateEnds computes, for every line in [from, to), whether a
+// line-aligned record match starts there and where it ends, fanning the
+// lines out over worker goroutines. It is the validate phase only — no
+// parse trees, no per-line heap allocations — which is what makes the
+// extraction pass "eminently parallelizable" (§1, §5.2.2 of the paper):
+// matching at a line is context-free, so any greedy walk over the
 // returned candidates reproduces the sequential Scan exactly.
 //
 // Matches may extend past line to−1; they are resolved against the full
 // buffer behind lines. workers <= 0 selects GOMAXPROCS; the slice is
 // indexed by line−from.
-func (m *Matcher) MatchCandidates(lines *textio.Lines, from, to, workers int) []Cand {
+func (m *Matcher) MatchCandidateEnds(lines *textio.Lines, from, to, workers int) []CandEnd {
 	if to > lines.N() {
 		to = lines.N()
 	}
@@ -48,19 +60,19 @@ func (m *Matcher) MatchCandidates(lines *textio.Lines, from, to, workers int) []
 		workers = runtime.GOMAXPROCS(0)
 	}
 	n := to - from
-	cands := make([]Cand, n)
+	cands := make([]CandEnd, n)
 	data := lines.Data()
 
 	matchRange := func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			pos := lines.Start(from + i)
-			v, matchEnd, ok, trunc := m.MatchTrunc(data, pos)
+			matchEnd, ok, trunc := m.MatchEnds(data, pos)
 			if !ok {
-				cands[i] = Cand{Truncated: trunc}
+				cands[i] = CandEnd{Truncated: trunc}
 				continue
 			}
 			if endLine, aligned := lines.AlignedLine(matchEnd); aligned && endLine > from+i {
-				cands[i] = Cand{EndLine: endLine, End: matchEnd, Value: v}
+				cands[i] = CandEnd{EndLine: endLine, End: matchEnd}
 			}
 		}
 	}
@@ -90,11 +102,41 @@ func (m *Matcher) MatchCandidates(lines *textio.Lines, from, to, workers int) []
 	return cands
 }
 
+// MatchCandidates is MatchCandidateEnds additionally building the parse
+// tree of each successful candidate. It runs the zero-allocation validate
+// pass first, so lines that start no record (the common case) still cost
+// no heap allocations; only line-aligned matches pay for a tree.
+func (m *Matcher) MatchCandidates(lines *textio.Lines, from, to, workers int) []Cand {
+	if to > lines.N() {
+		to = lines.N()
+	}
+	if from < 0 {
+		from = 0
+	}
+	ends := m.MatchCandidateEnds(lines, from, to, workers)
+	cands := make([]Cand, len(ends))
+	data := lines.Data()
+	for i, c := range ends {
+		if c.EndLine == 0 {
+			cands[i] = Cand{Truncated: c.Truncated}
+			continue
+		}
+		v, end, _ := m.Match(data, lines.Start(from+i))
+		cands[i] = Cand{EndLine: c.EndLine, End: end, Value: v}
+	}
+	return cands
+}
+
 // ScanParallel computes the same partition as Scan using worker
-// goroutines: a parallel per-line candidate pass (MatchCandidates)
-// followed by the trivial greedy walk of Scan over the results — identical
-// output, including on pathological inputs where record phases are
-// ambiguous. workers <= 1 falls back to the sequential Scan.
+// goroutines: a parallel per-line validate pass (MatchCandidateEnds), the
+// trivial greedy walk of Scan over the results (record/noise decisions
+// only — no byte work), then a parallel extract pass fanning the accepted
+// records out over per-worker arenas that are stitched back in record
+// order. The stitched arena layout is byte-identical to the sequential
+// ScanInto's, so the output — including Fields/Arrays slices — is
+// identical for any worker count, even on pathological inputs where
+// record phases are ambiguous. workers <= 1 falls back to the sequential
+// Scan.
 func (m *Matcher) ScanParallel(lines *textio.Lines, workers int) *ScanResult {
 	n := lines.N()
 	if workers <= 0 {
@@ -104,28 +146,106 @@ func (m *Matcher) ScanParallel(lines *textio.Lines, workers int) *ScanResult {
 		return m.Scan(lines)
 	}
 
-	cands := m.MatchCandidates(lines, 0, n, workers)
+	cands := m.MatchCandidateEnds(lines, 0, n, workers)
 
-	// Greedy walk (sequential, cheap).
+	// Greedy walk — identical decisions to the sequential Scan.
 	res := &ScanResult{}
+	data := lines.Data()
 	i := 0
 	for i < n {
 		c := cands[i]
-		if c.Value == nil {
+		if c.EndLine == 0 {
 			res.NoiseLines = append(res.NoiseLines, i)
 			i++
 			continue
 		}
-		rec := Record{
-			StartLine: i, EndLine: c.EndLine,
-			Start: lines.Start(i), End: c.End, Value: c.Value,
-		}
-		res.Records = append(res.Records, rec)
-		res.Coverage += rec.End - rec.Start
-		for _, f := range m.Flatten(c.Value) {
-			res.FieldBytes += f.End - f.Start
-		}
+		res.Records = append(res.Records, Record{
+			StartLine: i, EndLine: c.EndLine, Start: lines.Start(i), End: c.End,
+		})
+		res.Coverage += c.End - lines.Start(i)
 		i = c.EndLine
+		res.reserve(i, n) // pre-grow Records/NoiseLines (arenas still empty)
 	}
+	if len(res.Records) == 0 {
+		return res
+	}
+
+	// Parallel extract: contiguous record ranges per worker, each into a
+	// private arena (extraction touches only record bytes the validate
+	// pass already vetted).
+	if workers > len(res.Records) {
+		workers = len(res.Records)
+	}
+	chunk := (len(res.Records) + workers - 1) / workers
+	parts := make([]arena, workers)
+	fieldBytes := make([]int, workers)
+	var wg sync.WaitGroup
+	forEachChunk := func(fn func(w, lo, hi int)) {
+		for w := 0; w < workers; w++ {
+			lo := w * chunk
+			if lo >= len(res.Records) {
+				break
+			}
+			hi := lo + chunk
+			if hi > len(res.Records) {
+				hi = len(res.Records)
+			}
+			fn(w, lo, hi)
+		}
+	}
+	forEachChunk(func(w, lo, hi int) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			a := &parts[w]
+			for r := lo; r < hi; r++ {
+				rec := &res.Records[r]
+				fieldLo, arrLo := len(a.occs), len(a.arrays)
+				if _, _, ok := m.extract(m.st, data, rec.Start, 0, 0, a); !ok {
+					// Unreachable after a successful validate pass;
+					// drop the partial occurrences defensively.
+					a.occs, a.arrays = a.occs[:fieldLo], a.arrays[:arrLo]
+				}
+				rec.fieldLo, rec.fieldHi = fieldLo, len(a.occs)
+				rec.arrLo, rec.arrHi = arrLo, len(a.arrays)
+				for _, f := range a.occs[fieldLo:] {
+					fieldBytes[w] += f.End - f.Start
+				}
+			}
+		}()
+	})
+	wg.Wait()
+
+	// Stitch the per-worker arenas into the result's shared arenas in
+	// record order — the same layout the sequential scan produces — and
+	// rebase each record's occurrence ranges. The copies fan out over
+	// the same worker chunks.
+	occOff := make([]int, workers)
+	arrOff := make([]int, workers)
+	totOccs, totArrs := 0, 0
+	for w := 0; w < workers; w++ {
+		occOff[w], arrOff[w] = totOccs, totArrs
+		totOccs += len(parts[w].occs)
+		totArrs += len(parts[w].arrays)
+		res.FieldBytes += fieldBytes[w]
+	}
+	res.ar.occs = make([]FieldOcc, totOccs)
+	res.ar.arrays = make([]ArrayOcc, totArrs)
+	forEachChunk(func(w, lo, hi int) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			copy(res.ar.occs[occOff[w]:], parts[w].occs)
+			copy(res.ar.arrays[arrOff[w]:], parts[w].arrays)
+			for r := lo; r < hi; r++ {
+				rec := &res.Records[r]
+				rec.fieldLo += occOff[w]
+				rec.fieldHi += occOff[w]
+				rec.arrLo += arrOff[w]
+				rec.arrHi += arrOff[w]
+			}
+		}()
+	})
+	wg.Wait()
 	return res
 }

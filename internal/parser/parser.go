@@ -8,6 +8,14 @@
 // field value is the maximal run of bytes outside the RT-CharSet and the
 // grammar is LL(1) — at an array boundary the next byte is either the
 // separator or the (distinct) terminator.
+//
+// The scan hot path is two-phase: a pointer-free validate pass
+// (MatchEnds) answers ok/end/truncated with zero heap allocations — noise
+// lines, the common case during candidate evaluation, cost nothing — and
+// an extract pass writes field occurrences into a flat reusable arena
+// held by the ScanResult instead of building a per-record *Value tree.
+// The tree-building Match API remains for callers that need the parse
+// tree (relational normalization walks nesting structure).
 package parser
 
 import (
@@ -28,25 +36,37 @@ type Value struct {
 	Children []*Value
 }
 
+// arrInfo is the precomputed per-array state of a matcher.
+type arrInfo struct {
+	// body is the KStruct wrapper over the array's children, so the hot
+	// match loop does not allocate one per attempt.
+	body *template.Node
+	// fields is the number of field columns in one repetition of body.
+	fields int
+	// idx is the array's dense index in DFS order (see ArrayNode).
+	idx int
+}
+
 // Matcher matches one structure template. It precomputes the RT-CharSet
 // and the per-array body nodes, and is safe for concurrent use.
 type Matcher struct {
-	st    *template.Node
-	rtset chars.Set
-	cols  int
-	// bodies caches the KStruct wrapper over each array's children so
-	// the hot match loop does not allocate one per attempt.
-	bodies map[*template.Node]*template.Node
+	st       *template.Node
+	rtset    chars.Set
+	cols     int
+	arrays   map[*template.Node]arrInfo
+	arrNodes []*template.Node
 }
 
 // NewMatcher builds a matcher for st.
 func NewMatcher(st *template.Node) *Matcher {
 	m := &Matcher{st: st, rtset: st.RTCharSet(), cols: st.NumFields(),
-		bodies: map[*template.Node]*template.Node{}}
+		arrays: map[*template.Node]arrInfo{}}
 	var walk func(n *template.Node)
 	walk = func(n *template.Node) {
 		if n.Kind == template.KArray {
-			m.bodies[n] = &template.Node{Kind: template.KStruct, Children: n.Children}
+			body := &template.Node{Kind: template.KStruct, Children: n.Children}
+			m.arrays[n] = arrInfo{body: body, fields: body.NumFields(), idx: len(m.arrNodes)}
+			m.arrNodes = append(m.arrNodes, n)
 		}
 		for _, c := range n.Children {
 			walk(c)
@@ -62,6 +82,13 @@ func (m *Matcher) Template() *template.Node { return m.st }
 // Columns returns the number of field columns of the template (fields
 // inside an array body count once).
 func (m *Matcher) Columns() int { return m.cols }
+
+// NumArrays returns the number of array nodes in the template.
+func (m *Matcher) NumArrays() int { return len(m.arrNodes) }
+
+// ArrayNode returns the array node with dense index i (DFS order over the
+// template) — the inverse of ArrayOcc.Arr.
+func (m *Matcher) ArrayNode(i int) *template.Node { return m.arrNodes[i] }
 
 // Match attempts to match the template starting at data[pos]. On success
 // it returns the parse tree and the end offset (exclusive).
@@ -86,6 +113,77 @@ func (m *Matcher) MatchTrunc(data []byte, pos int) (v *Value, end int, ok, trunc
 	return v, end, true, false
 }
 
+// MatchEnds is the validate half of the two-phase matcher: it decides
+// whether a record of the template starts at data[pos] and where it ends,
+// without building a parse tree or touching the heap. truncated reports
+// that a failed attempt ran off the end of data (see MatchTrunc).
+func (m *Matcher) MatchEnds(data []byte, pos int) (end int, ok, truncated bool) {
+	return m.matchEnds(m.st, data, pos)
+}
+
+func (m *Matcher) matchEnds(n *template.Node, data []byte, pos int) (int, bool, bool) {
+	switch n.Kind {
+	case template.KField:
+		end := pos
+		for end < len(data) && data[end] != '\n' && !m.rtset.Contains(data[end]) {
+			end++
+		}
+		return end, true, false
+
+	case template.KLiteral:
+		lit := n.Lit
+		avail := len(lit)
+		if pos+avail > len(data) {
+			avail = len(data) - pos
+		}
+		for i := 0; i < avail; i++ {
+			if data[pos+i] != lit[i] {
+				return 0, false, false
+			}
+		}
+		if avail < len(lit) {
+			// Running off the buffer after matching every resident
+			// byte is not a definitive mismatch.
+			return 0, false, true
+		}
+		return pos + len(lit), true, false
+
+	case template.KStruct:
+		cur := pos
+		for _, c := range n.Children {
+			end, ok, trunc := m.matchEnds(c, data, cur)
+			if !ok {
+				return 0, false, trunc
+			}
+			cur = end
+		}
+		return cur, true, false
+
+	case template.KArray:
+		cur := pos
+		body := m.arrays[n].body
+		for {
+			end, ok, trunc := m.matchEnds(body, data, cur)
+			if !ok {
+				return 0, false, trunc
+			}
+			cur = end
+			if cur >= len(data) {
+				return 0, false, true
+			}
+			switch data[cur] {
+			case n.Sep:
+				cur++
+			case n.Term:
+				return cur + 1, true, false
+			default:
+				return 0, false, false
+			}
+		}
+	}
+	return 0, false, false
+}
+
 func (m *Matcher) match(n *template.Node, data []byte, pos int) (*Value, int, bool, bool) {
 	switch n.Kind {
 	case template.KField:
@@ -107,8 +205,6 @@ func (m *Matcher) match(n *template.Node, data []byte, pos int) (*Value, int, bo
 			}
 		}
 		if avail < len(lit) {
-			// Running off the buffer after matching every resident
-			// byte is not a definitive mismatch.
 			return nil, 0, false, true
 		}
 		return &Value{Node: n, Start: pos, End: pos + len(lit)}, pos + len(lit), true, false
@@ -130,7 +226,7 @@ func (m *Matcher) match(n *template.Node, data []byte, pos int) (*Value, int, bo
 	case template.KArray:
 		v := &Value{Node: n, Start: pos}
 		cur := pos
-		body := m.bodies[n]
+		body := m.arrays[n].body
 		for {
 			gv, end, ok, trunc := m.match(body, data, cur)
 			if !ok {
@@ -169,6 +265,106 @@ type FieldOcc struct {
 	Start, End int
 }
 
+// ArrayOcc is one array instantiation inside a parsed record: which array
+// of the template (dense DFS index, see Matcher.ArrayNode) and how many
+// repetitions it matched. The MDL scorer and array unfolding consume
+// these instead of walking parse trees.
+type ArrayOcc struct {
+	Arr, Reps int
+}
+
+// arena is the flat occurrence storage the extract pass appends into.
+type arena struct {
+	occs   []FieldOcc
+	arrays []ArrayOcc
+}
+
+func (a *arena) reset() {
+	a.occs = a.occs[:0]
+	a.arrays = a.arrays[:0]
+}
+
+// extract is the second phase of the two-phase matcher: it re-walks a
+// record already validated by matchEnds and appends its field and array
+// occurrences to the arena. col is the column of the leftmost field under
+// n; rep the enclosing repetition ordinal. It mirrors Flatten's column
+// and repetition bookkeeping exactly.
+func (m *Matcher) extract(n *template.Node, data []byte, pos, col, rep int, a *arena) (end, nextCol int, ok bool) {
+	switch n.Kind {
+	case template.KField:
+		e := pos
+		for e < len(data) && data[e] != '\n' && !m.rtset.Contains(data[e]) {
+			e++
+		}
+		a.occs = append(a.occs, FieldOcc{Col: col, Rep: rep, Start: pos, End: e})
+		return e, col + 1, true
+
+	case template.KLiteral:
+		lit := n.Lit
+		if pos+len(lit) > len(data) {
+			return 0, 0, false
+		}
+		for i := 0; i < len(lit); i++ {
+			if data[pos+i] != lit[i] {
+				return 0, 0, false
+			}
+		}
+		return pos + len(lit), col, true
+
+	case template.KStruct:
+		cur := pos
+		c := col
+		for _, ch := range n.Children {
+			e, nc, ok := m.extract(ch, data, cur, c, rep, a)
+			if !ok {
+				return 0, 0, false
+			}
+			cur, c = e, nc
+		}
+		return cur, c, true
+
+	case template.KArray:
+		info := m.arrays[n]
+		cur := pos
+		reps := 0
+		for {
+			e, _, ok := m.extract(info.body, data, cur, col, reps, a)
+			if !ok {
+				return 0, 0, false
+			}
+			cur = e
+			reps++
+			if cur >= len(data) {
+				return 0, 0, false
+			}
+			switch data[cur] {
+			case n.Sep:
+				cur++
+			case n.Term:
+				a.arrays = append(a.arrays, ArrayOcc{Arr: info.idx, Reps: reps})
+				return cur + 1, col + info.fields, true
+			default:
+				return 0, 0, false
+			}
+		}
+	}
+	return 0, 0, false
+}
+
+// AppendFields re-parses the record starting at pos — already located by a
+// MatchEnds pass — and appends its field occurrences to occs, a caller-owned
+// reusable arena. It returns the extended slice and the record's end
+// offset. Occurrence order and contents are identical to Flatten over the
+// Match parse tree.
+func (m *Matcher) AppendFields(data []byte, pos int, occs []FieldOcc) ([]FieldOcc, int, bool) {
+	a := arena{occs: occs}
+	end, _, ok := m.extract(m.st, data, pos, 0, 0, &a)
+	if !ok {
+		return a.occs[:len(occs)], 0, false
+	}
+	return a.occs, end, true
+}
+
 // Flatten lists every field occurrence of a parsed record in left-to-right
 // order, with template column indices.
 func (m *Matcher) Flatten(v *Value) []FieldOcc {
@@ -199,7 +395,7 @@ func (m *Matcher) Flatten(v *Value) []FieldOcc {
 			if len(v.Children) == 0 {
 				// No repetitions: still advance the column
 				// counter past the body's fields.
-				end = col + m.bodies[n].NumFields()
+				end = col + m.arrays[n].fields
 			}
 			return end
 		}
@@ -215,12 +411,20 @@ type Record struct {
 	StartLine, EndLine int
 	// Start and End delimit the record's bytes.
 	Start, End int
-	// Value is the parse tree.
+	// Value is the parse tree when the record was built through the
+	// tree API (Match); arena-based scans leave it nil and store the
+	// field occurrences in the ScanResult instead (see Fields).
 	Value *Value
+	// fieldLo/fieldHi and arrLo/arrHi delimit the record's occurrence
+	// ranges in the owning ScanResult's arenas.
+	fieldLo, fieldHi int
+	arrLo, arrHi     int
 }
 
 // ScanResult is the partition of a dataset into records and noise for one
-// template.
+// template. Field and array occurrences of all records live in two flat
+// arenas owned by the result (reused across ScanInto calls), addressed
+// per record through Fields and Arrays.
 type ScanResult struct {
 	Records []Record
 	// NoiseLines lists the indices of lines not covered by any record.
@@ -231,6 +435,99 @@ type ScanResult struct {
 	// FieldBytes is the total byte length of all field values, so
 	// Coverage − FieldBytes is the non-field coverage of §4.2.
 	FieldBytes int
+	ar         arena
+}
+
+// Fields returns the field occurrences of Records[i], in flatten
+// (left-to-right) order. The slice aliases the result's arena.
+func (s *ScanResult) Fields(i int) []FieldOcc {
+	r := &s.Records[i]
+	return s.ar.occs[r.fieldLo:r.fieldHi]
+}
+
+// Arrays returns the array instantiations of Records[i].
+func (s *ScanResult) Arrays(i int) []ArrayOcc {
+	r := &s.Records[i]
+	return s.ar.arrays[r.arrLo:r.arrHi]
+}
+
+// AllFields returns every field occurrence of every record, in record
+// order — the whole-dataset view the MDL scorer consumes.
+func (s *ScanResult) AllFields() []FieldOcc { return s.ar.occs }
+
+// AllArrays returns every array instantiation of every record.
+func (s *ScanResult) AllArrays() []ArrayOcc { return s.ar.arrays }
+
+// scanEst extrapolates a final slice length from the current length after
+// done of total lines, with headroom so a slightly denser tail doesn't
+// force another growth step. The multiply comes before the divide —
+// n/done would truncate densities below one entry per line to zero and
+// never reserve. The headroom is computed from the projected (not
+// current) length: the projection is stable while density is, so cap
+// stays ahead of the estimate and reserve does not regrow every record.
+func scanEst(n, done, total int) int {
+	projected := n * total / done
+	return projected + projected/8 + 64
+}
+
+// reserveMinLines is the number of consumed lines required before reserve
+// trusts its extrapolation: growing from a handful of lines would gamble
+// hundreds of megabytes on one record's density, while the slices are
+// still small enough that runtime growth below the threshold is cheap.
+const reserveMinLines = 256
+
+// reserve pre-grows the result's record slice and occurrence arenas to
+// the footprint extrapolated from the fraction of lines already consumed.
+// Without it, a full-dataset scan pays for the runtime's incremental
+// large-slice growth: a 100 MB arena would be copied many times over in
+// 1.25x steps, dwarfing the match work itself.
+func (s *ScanResult) reserve(done, total int) {
+	if done < reserveMinLines || done >= total {
+		return
+	}
+	if est := scanEst(len(s.ar.occs), done, total); est > cap(s.ar.occs) {
+		occs := make([]FieldOcc, len(s.ar.occs), est)
+		copy(occs, s.ar.occs)
+		s.ar.occs = occs
+	}
+	if est := scanEst(len(s.ar.arrays), done, total); est > cap(s.ar.arrays) {
+		arrays := make([]ArrayOcc, len(s.ar.arrays), est)
+		copy(arrays, s.ar.arrays)
+		s.ar.arrays = arrays
+	}
+	if est := scanEst(len(s.Records), done, total); est > cap(s.Records) {
+		recs := make([]Record, len(s.Records), est)
+		copy(recs, s.Records)
+		s.Records = recs
+	}
+	if est := scanEst(len(s.NoiseLines), done, total); est > cap(s.NoiseLines) {
+		noise := make([]int, len(s.NoiseLines), est)
+		copy(noise, s.NoiseLines)
+		s.NoiseLines = noise
+	}
+}
+
+// appendRecord extracts the record spanning lines [startLine, endLine)
+// at byte pos into the result's arenas and accounts coverage.
+func (m *Matcher) appendRecord(res *ScanResult, data []byte, startLine, endLine, pos int) {
+	fieldLo, arrLo := len(res.ar.occs), len(res.ar.arrays)
+	end, _, ok := m.extract(m.st, data, pos, 0, 0, &res.ar)
+	if !ok {
+		// Unreachable after a successful MatchEnds (both phases follow
+		// the same LL(1) walk); drop the partial occurrences defensively.
+		res.ar.occs = res.ar.occs[:fieldLo]
+		res.ar.arrays = res.ar.arrays[:arrLo]
+		return
+	}
+	res.Records = append(res.Records, Record{
+		StartLine: startLine, EndLine: endLine, Start: pos, End: end,
+		fieldLo: fieldLo, fieldHi: len(res.ar.occs),
+		arrLo: arrLo, arrHi: len(res.ar.arrays),
+	})
+	res.Coverage += end - pos
+	for _, f := range res.ar.occs[fieldLo:] {
+		res.FieldBytes += f.End - f.Start
+	}
 }
 
 // Scan greedily partitions the dataset into records and noise: at each
@@ -239,32 +536,35 @@ type ScanResult struct {
 // linear-time extraction pass of §4.4.1 (the O(Tdata) row of Table 3).
 func (m *Matcher) Scan(lines *textio.Lines) *ScanResult {
 	res := &ScanResult{}
+	m.ScanInto(lines, res)
+	return res
+}
+
+// ScanInto is Scan writing into a caller-owned result, reusing its record,
+// noise and arena storage — the zero-steady-state-allocation form for
+// callers that scan repeatedly (candidate evaluation, profile apply).
+func (m *Matcher) ScanInto(lines *textio.Lines, res *ScanResult) {
+	res.Records = res.Records[:0]
+	res.NoiseLines = res.NoiseLines[:0]
+	res.Coverage, res.FieldBytes = 0, 0
+	res.ar.reset()
 	data := lines.Data()
 	n := lines.N()
-	lineOf := make(map[int]int, n) // byte offset -> line index
-	for i := 0; i <= n; i++ {
-		lineOf[lines.Start(i)] = i
-	}
 	i := 0
 	for i < n {
 		pos := lines.Start(i)
-		v, end, ok := m.Match(data, pos)
+		end, ok, _ := m.matchEnds(m.st, data, pos)
 		if ok {
-			if endLine, aligned := lineOf[end]; aligned && endLine > i {
-				rec := Record{StartLine: i, EndLine: endLine, Start: pos, End: end, Value: v}
-				res.Records = append(res.Records, rec)
-				res.Coverage += end - pos
-				for _, f := range m.Flatten(v) {
-					res.FieldBytes += f.End - f.Start
-				}
+			if endLine, aligned := lines.AlignedLine(end); aligned && endLine > i {
+				m.appendRecord(res, data, i, endLine, pos)
 				i = endLine
+				res.reserve(i, n)
 				continue
 			}
 		}
 		res.NoiseLines = append(res.NoiseLines, i)
 		i++
 	}
-	return res
 }
 
 // EndsWithNewline reports whether every complete match of the template

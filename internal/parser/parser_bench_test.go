@@ -54,3 +54,44 @@ func BenchmarkMatchSingleRecord(b *testing.B) {
 		}
 	}
 }
+
+// benchNoiseLines builds input no record of benchTemplate starts on.
+func benchNoiseLines(rows int) *textio.Lines {
+	var b strings.Builder
+	for i := 0; i < rows; i++ {
+		b.WriteString("!! unparseable noise line with spaces !!\n")
+	}
+	return textio.NewLines([]byte(b.String()))
+}
+
+// BenchmarkScanNoiseReject measures steady-state noise rejection through
+// the reusable ScanInto — the allocs gate (scripts/bench_allocs.sh) pins
+// its allocs/op to 0: rejecting a line must never touch the heap.
+func BenchmarkScanNoiseReject(b *testing.B) {
+	lines := benchNoiseLines(5000)
+	m := NewMatcher(benchTemplate())
+	res := &ScanResult{}
+	m.ScanInto(lines, res) // warm the noise-line storage
+	b.SetBytes(int64(len(lines.Data())))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.ScanInto(lines, res)
+	}
+}
+
+// BenchmarkScanArenaReuse measures the steady-state apply path — every
+// line a record — through the reusable ScanInto. The allocs gate pins its
+// allocs/op to 0: arena reuse must make repeated scans allocation-free.
+func BenchmarkScanArenaReuse(b *testing.B) {
+	lines := benchLines(5000)
+	m := NewMatcher(benchTemplate())
+	res := &ScanResult{}
+	m.ScanInto(lines, res) // warm the arenas
+	b.SetBytes(int64(len(lines.Data())))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.ScanInto(lines, res)
+	}
+}

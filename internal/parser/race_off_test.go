@@ -1,0 +1,7 @@
+//go:build !race
+
+package parser
+
+// raceEnabled reports whether the race detector instruments this build;
+// allocation-count tests skip under it.
+const raceEnabled = false

@@ -273,7 +273,7 @@ func (e *engine) process(t int, final bool) error {
 	if n == 0 {
 		return nil
 	}
-	cands := st.m.MatchCandidates(ls, 0, n, e.cfg.Workers)
+	cands := st.m.MatchCandidateEnds(ls, 0, n, e.cfg.Workers)
 
 	// Greedy walk — identical decisions to the sequential Scan. Near
 	// the window's end (when more input may arrive), decisions that
@@ -284,7 +284,7 @@ func (e *engine) process(t int, final bool) error {
 	i := 0
 	for i < n {
 		c := cands[i]
-		if c.Value == nil {
+		if c.EndLine == 0 {
 			if !final && c.Truncated {
 				break
 			}
@@ -307,7 +307,7 @@ func (e *engine) process(t int, final bool) error {
 		}
 		accepted = append(accepted, parser.Record{
 			StartLine: i, EndLine: c.EndLine,
-			Start: ls.Start(i), End: c.End, Value: c.Value,
+			Start: ls.Start(i), End: c.End,
 		})
 		st.coverage += c.End - ls.Start(i)
 		i = c.EndLine
@@ -369,11 +369,16 @@ func (e *engine) finalNoise(origLine int) error {
 }
 
 // materialize converts accepted window-local records into original-stream
-// coordinates, fanning the field flattening and value copies out over the
-// worker pool. Output order matches the accepted order.
+// coordinates, fanning the field extraction and value copies out over the
+// worker pool. Each worker re-parses its records through the arena-based
+// extract pass into a private reusable scratch — the validate pass already
+// vetted every accepted record, so extraction touches only record bytes
+// and allocates nothing per record beyond the output values. Output order
+// matches the accepted order.
 func (e *engine) materialize(st *stage, ls *textio.Lines, accepted []parser.Record) []core.RecordOut {
 	out := make([]core.RecordOut, len(accepted))
 	fill := func(lo, hi int) {
+		var scratch []parser.FieldOcc
 		for idx := lo; idx < hi; idx++ {
 			rec := accepted[idx]
 			ro := core.RecordOut{
@@ -381,7 +386,12 @@ func (e *engine) materialize(st *stage, ls *textio.Lines, accepted []parser.Reco
 				StartLine: st.meta[rec.StartLine].orig,
 				EndLine:   st.meta[rec.EndLine-1].orig + 1,
 			}
-			fields := st.m.Flatten(rec.Value)
+			fields, _, ok := st.m.AppendFields(st.buf, rec.Start, scratch[:0])
+			scratch = fields[:0]
+			if !ok {
+				// Unreachable: the candidate pass validated the match.
+				continue
+			}
 			ro.Fields = make([]core.FieldValue, 0, len(fields))
 			// Fields arrive left to right and never cross line
 			// boundaries, so the containing line advances

@@ -25,10 +25,30 @@ import (
 // array node.
 const maxPartialPrefix = 8
 
+// scanCacher is implemented by scorers that share a round-level scan
+// cache (core's caching scorer, score.MDL with a Cache). Refinement uses
+// it so repetition statistics reuse the scan the scorer just performed
+// instead of re-scanning per round.
+type scanCacher interface {
+	ScanCache() *score.ScanCache
+}
+
+// cacheOf extracts the shared scan cache from a scorer, when it has one.
+func cacheOf(scorer score.Scorer) *score.ScanCache {
+	if sc, ok := scorer.(scanCacher); ok {
+		return sc.ScanCache()
+	}
+	if mdl, ok := scorer.(score.MDL); ok {
+		return mdl.Cache
+	}
+	return nil
+}
+
 // Refine applies array unfolding to a fixpoint and then structure
 // shifting, returning the refined template and its score. It mirrors
 // Algorithm 2's RefineST.
 func Refine(st *template.Node, lines *textio.Lines, scorer score.Scorer) (*template.Node, score.Result) {
+	cache := cacheOf(scorer)
 	best := st
 	bestRes := scorer.Score(parser.NewMatcher(best), lines)
 	for {
@@ -39,7 +59,7 @@ func Refine(st *template.Node, lines *textio.Lines, scorer score.Scorer) (*templ
 		// far better.
 		var roundBest *template.Node
 		roundRes := bestRes
-		stats := allRepStats(best, lines)
+		stats := allRepStats(best, lines, cache)
 		for _, path := range arrayPaths(best) {
 			for _, variant := range unfoldVariantsWithStats(best, path, stats) {
 				res := scorer.Score(parser.NewMatcher(variant), lines)
@@ -109,38 +129,27 @@ type repStat struct {
 	any     bool
 }
 
-// allRepStats scans lines once with st and collects the repetition-count
-// distribution of every array node in the tree.
-func allRepStats(st *template.Node, lines *textio.Lines) map[*template.Node]repStat {
+// allRepStats scans lines once with st (through the shared cache when one
+// is available) and collects the repetition-count distribution of every
+// array node in the tree, read off the scan's flat ArrayOcc arena — no
+// parse trees are built or walked.
+func allRepStats(st *template.Node, lines *textio.Lines, cache *score.ScanCache) map[*template.Node]repStat {
 	m := parser.NewMatcher(st)
-	scan := m.Scan(lines)
-	counts := map[*template.Node]map[int]int{}
-	var walk func(n *template.Node, v *parser.Value)
-	walk = func(n *template.Node, v *parser.Value) {
-		switch n.Kind {
-		case template.KStruct:
-			for i, c := range n.Children {
-				walk(c, v.Children[i])
-			}
-		case template.KArray:
-			cm := counts[n]
-			if cm == nil {
-				cm = map[int]int{}
-				counts[n] = cm
-			}
-			cm[len(v.Children)]++
-			for _, group := range v.Children {
-				for i, c := range n.Children {
-					walk(c, group.Children[i])
-				}
-			}
+	scan := cache.Scan(m, lines)
+	counts := make([]map[int]int, m.NumArrays())
+	for _, a := range scan.AllArrays() {
+		cm := counts[a.Arr]
+		if cm == nil {
+			cm = map[int]int{}
+			counts[a.Arr] = cm
 		}
-	}
-	for _, rec := range scan.Records {
-		walk(st, rec.Value)
+		cm[a.Reps]++
 	}
 	out := make(map[*template.Node]repStat, len(counts))
-	for node, cm := range counts {
+	for idx, cm := range counts {
+		if cm == nil {
+			continue
+		}
 		s := repStat{min: -1, any: true, uniform: len(cm) == 1}
 		bestN := -1
 		for c, n := range cm {
@@ -151,7 +160,7 @@ func allRepStats(st *template.Node, lines *textio.Lines) map[*template.Node]repS
 				s.min = c
 			}
 		}
-		out[node] = s
+		out[m.ArrayNode(idx)] = s
 	}
 	return out
 }
@@ -159,7 +168,7 @@ func allRepStats(st *template.Node, lines *textio.Lines) map[*template.Node]repS
 // repStats returns the stats for one array node (kept for tests and the
 // public UnfoldVariants entry point).
 func repStats(st, target *template.Node, lines *textio.Lines) (modal, min int, uniform, any bool) {
-	s := allRepStats(st, lines)[target]
+	s := allRepStats(st, lines, nil)[target]
 	return s.modal, s.min, s.uniform, s.any
 }
 
@@ -167,7 +176,7 @@ func repStats(st, target *template.Node, lines *textio.Lines) (modal, min int, u
 // path: a full struct expansion at the uniform repetition count, and
 // partial expansions with prefixes up to min−1 units (§4.3.1, Fig 12a).
 func UnfoldVariants(st *template.Node, path []int, lines *textio.Lines) []*template.Node {
-	return unfoldVariantsWithStats(st, path, allRepStats(st, lines))
+	return unfoldVariantsWithStats(st, path, allRepStats(st, lines, nil))
 }
 
 // unfoldVariantsWithStats builds the variants from precomputed stats.
@@ -287,21 +296,17 @@ func lineSegments(st *template.Node) [][]*template.Node {
 }
 
 // firstOccurrence returns the line index of the template's first matched
-// record, or -1.
+// record, or -1. It runs on the allocation-free validate pass: no parse
+// trees are built for an early-exit existence probe.
 func firstOccurrence(st *template.Node, lines *textio.Lines) int {
 	m := parser.NewMatcher(st)
 	data := lines.Data()
 	n := lines.N()
 	for i := 0; i < n; i++ {
-		if _, end, ok := m.Match(data, lines.Start(i)); ok {
-			// Must end at a line boundary to be a record.
-			for j := i + 1; j <= n; j++ {
-				if lines.Start(j) == end {
-					return i
-				}
-				if lines.Start(j) > end {
-					break
-				}
+		if end, ok, _ := m.MatchEnds(data, lines.Start(i)); ok {
+			// Must end at a later line boundary to be a record.
+			if j, aligned := lines.AlignedLine(end); aligned && j > i {
+				return i
 			}
 		}
 	}

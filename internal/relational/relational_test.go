@@ -16,10 +16,24 @@ func stc(c ...*template.Node) *template.Node {
 	return template.Struct(c...).Normalize()
 }
 
+// attachTrees re-parses each scanned record through the tree API: the
+// arena-based Scan leaves Record.Value nil, while Build/BuildDenormalized
+// walk parse trees (their production callers rebuild trees the same way).
+func attachTrees(m *parser.Matcher, b []byte, scan *parser.ScanResult) *parser.ScanResult {
+	for i := range scan.Records {
+		v, _, ok := m.Match(b, scan.Records[i].Start)
+		if !ok {
+			panic("attachTrees: record no longer matches")
+		}
+		scan.Records[i].Value = v
+	}
+	return scan
+}
+
 func scanOf(tm *template.Node, data string) (*parser.Matcher, []byte, *parser.ScanResult) {
 	m := parser.NewMatcher(tm)
 	b := []byte(data)
-	return m, b, m.Scan(textio.NewLines(b))
+	return m, b, attachTrees(m, b, m.Scan(textio.NewLines(b)))
 }
 
 func TestBuildFlatTemplate(t *testing.T) {
@@ -327,7 +341,7 @@ func TestBuildFlatNestedArrayEqualReps(t *testing.T) {
 	m := parser.NewMatcher(outer)
 	data := []byte("a; b;\n")
 	lines := textio.NewLines(data)
-	scan := m.Scan(lines)
+	scan := attachTrees(m, data, m.Scan(lines))
 	if len(scan.Records) != 1 {
 		t.Fatalf("records = %d", len(scan.Records))
 	}

@@ -15,7 +15,6 @@ import (
 	"math"
 
 	"datamaran/internal/parser"
-	"datamaran/internal/template"
 	"datamaran/internal/textio"
 )
 
@@ -66,31 +65,64 @@ func (t FieldType) String() string {
 // still be typed as enumerated.
 const enumMaxDistinct = 64
 
-// colStats accumulates per-column statistics during the scan pass.
+// enumHashSlots sizes the open-addressed distinct-value set: a power of
+// two with at most 50% load at the enum cap, so probes stay short and the
+// table never fills.
+const enumHashSlots = 128
+
+// colStats accumulates per-column statistics during the scan pass. The
+// distinct-value set is a fixed open-addressed table of 64-bit FNV-1a
+// hashes — no per-value string allocation, no map — sized for the
+// enumMaxDistinct cap (a 2⁻⁶⁴-scale hash collision can at worst merge two
+// distinct values in a heuristic score).
 type colStats struct {
-	count      int
-	totalBytes int
-	allInt     bool
-	allReal    bool
-	minI, maxI int64
-	minR, maxR float64
-	maxExp     int
-	distinct   map[string]struct{}
-	overflow   bool // too many distinct values to be an enum
+	count         int
+	allInt        bool
+	allReal       bool
+	minI, maxI    int64
+	minR, maxR    float64
+	maxExp        int
+	distinct      int  // number of distinct values inserted
+	distinctBytes int  // total byte length of the distinct values
+	overflow      bool // too many distinct values to be an enum
+	hashes        [enumHashSlots]uint64
 }
 
-func newColStats() *colStats {
-	return &colStats{allInt: true, allReal: true, distinct: make(map[string]struct{})}
+func (c *colStats) init() {
+	c.allInt, c.allReal = true, true
+}
+
+func hashValue(b []byte) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, x := range b {
+		h ^= uint64(x)
+		h *= prime64
+	}
+	if h == 0 {
+		h = offset64 // reserve 0 as the empty-slot marker
+	}
+	return h
 }
 
 func (c *colStats) add(val []byte) {
 	c.count++
-	c.totalBytes += len(val)
 	if !c.overflow {
-		c.distinct[string(val)] = struct{}{}
-		if len(c.distinct) > enumMaxDistinct {
-			c.overflow = true
-			c.distinct = nil
+		h := hashValue(val)
+		i := h & (enumHashSlots - 1)
+		for c.hashes[i] != 0 && c.hashes[i] != h {
+			i = (i + 1) & (enumHashSlots - 1)
+		}
+		if c.hashes[i] == 0 {
+			c.hashes[i] = h
+			c.distinct++
+			c.distinctBytes += len(val)
+			if c.distinct > enumMaxDistinct {
+				c.overflow = true
+			}
 		}
 	}
 	if c.allInt {
@@ -134,14 +166,14 @@ func (c *colStats) resolve() FieldType {
 		return TInt
 	case c.allReal:
 		return TReal
-	case !c.overflow && len(c.distinct) <= enumMaxDistinct:
+	case !c.overflow:
 		return TEnum
 	default:
 		return TString
 	}
 }
 
-// bitsPerValue returns the per-value description cost for resolved type t,
+// bits returns the per-value description cost for resolved type t,
 // plus a one-time model cost (the enum dictionary).
 func (c *colStats) bits(t FieldType) (perValue float64, model float64) {
 	switch t {
@@ -151,12 +183,9 @@ func (c *colStats) bits(t FieldType) (perValue float64, model float64) {
 		span := (c.maxR - c.minR) * math.Pow(10, float64(c.maxExp))
 		return ceilLog2(span + 1), 0
 	case TEnum:
-		n := len(c.distinct)
-		var dict float64
-		for v := range c.distinct {
-			dict += float64(len(v)+1) * 8
-		}
-		return ceilLog2(float64(n)), dict
+		// Dictionary: each distinct value costs (len+1)·8 bits.
+		dict := float64(c.distinctBytes+c.distinct) * 8
+		return ceilLog2(float64(c.distinct)), dict
 	default: // TString: cost depends on each value's length.
 		return 0, 0
 	}
@@ -257,8 +286,52 @@ type Scorer interface {
 	Score(m *parser.Matcher, lines *textio.Lines) Result
 }
 
-// MDL is the default minimum-description-length Scorer (§9.2).
-type MDL struct{}
+// ScanCache memoizes full scan results by template key over one dataset,
+// so the many overlapping evaluation passes of a discovery round —
+// plain scoring, refinement variants, repetition statistics — each scan a
+// given template exactly once. Scan results are positional (byte offsets
+// and dense array indices), so a cached result is valid for any Matcher
+// whose template has the same key. A nil *ScanCache is valid and simply
+// scans every time.
+type ScanCache struct {
+	lines *textio.Lines
+	byKey map[string]*parser.ScanResult
+}
+
+// NewScanCache returns an empty cache.
+func NewScanCache() *ScanCache {
+	return &ScanCache{byKey: map[string]*parser.ScanResult{}}
+}
+
+// Scan returns the (possibly memoized) scan of m's template over lines.
+// Callers must treat the result as immutable. Changing datasets resets
+// the cache.
+func (c *ScanCache) Scan(m *parser.Matcher, lines *textio.Lines) *parser.ScanResult {
+	if c == nil {
+		return m.Scan(lines)
+	}
+	if c.lines != lines {
+		c.lines = lines
+		if len(c.byKey) > 0 {
+			c.byKey = map[string]*parser.ScanResult{}
+		}
+	}
+	key := m.Template().Key()
+	if r, ok := c.byKey[key]; ok {
+		return r
+	}
+	r := m.Scan(lines)
+	c.byKey[key] = r
+	return r
+}
+
+// MDL is the default minimum-description-length Scorer (§9.2). The zero
+// value scans directly; set Cache to share scan results across the
+// templates of one evaluation round.
+type MDL struct {
+	// Cache, when non-nil, memoizes scans by template key (see ScanCache).
+	Cache *ScanCache
+}
 
 // Score parses the dataset with the template and computes the total
 // description length:
@@ -268,31 +341,33 @@ type MDL struct{}
 //	+ Σ_records D(RT|ST) + D(record|RT)
 //
 // where D(RT|ST) describes array repetition counts and D(record|RT)
-// describes field values under per-column types.
-func (MDL) Score(m *parser.Matcher, lines *textio.Lines) Result {
-	scan := m.Scan(lines)
+// describes field values under per-column types. It consumes the scan's
+// flat occurrence arenas directly — no parse trees are walked.
+func (s MDL) Score(m *parser.Matcher, lines *textio.Lines) Result {
+	scan := s.Cache.Scan(m, lines)
 	data := lines.Data()
 	st := m.Template()
 
 	// Pass 1: per-column stats and per-array repetition stats.
-	cols := make([]*colStats, m.Columns())
+	cols := make([]colStats, m.Columns())
 	for i := range cols {
-		cols[i] = newColStats()
+		cols[i].init()
 	}
-	arrayMax := map[*template.Node]int{}
-	var arrayInstances []arrayInst
-	for _, rec := range scan.Records {
-		for _, f := range m.Flatten(rec.Value) {
-			cols[f.Col].add(data[f.Start:f.End])
+	for _, f := range scan.AllFields() {
+		cols[f.Col].add(data[f.Start:f.End])
+	}
+	arrayMax := make([]int, m.NumArrays())
+	for _, a := range scan.AllArrays() {
+		if a.Reps > arrayMax[a.Arr] {
+			arrayMax[a.Arr] = a.Reps
 		}
-		collectArrays(rec.Value, arrayMax, &arrayInstances)
 	}
 	types := make([]FieldType, len(cols))
 	perVal := make([]float64, len(cols))
 	var modelBits float64
-	for i, c := range cols {
-		types[i] = c.resolve()
-		pv, mb := c.bits(types[i])
+	for i := range cols {
+		types[i] = cols[i].resolve()
+		pv, mb := cols[i].bits(types[i])
 		perVal[i] = pv
 		modelBits += mb
 	}
@@ -304,18 +379,16 @@ func (MDL) Score(m *parser.Matcher, lines *textio.Lines) Result {
 		bits += float64(len(lines.Line(li))) * 8
 	}
 	// D(RT|ST): repetition counts per array instance.
-	for _, inst := range arrayInstances {
-		bits += ceilLog2(float64(arrayMax[inst.node]) + 1)
+	for _, a := range scan.AllArrays() {
+		bits += ceilLog2(float64(arrayMax[a.Arr]) + 1)
 	}
 	// D(record|RT): field values.
-	for _, rec := range scan.Records {
-		for _, f := range m.Flatten(rec.Value) {
-			switch types[f.Col] {
-			case TString:
-				bits += float64(f.End-f.Start+1) * 8
-			default:
-				bits += perVal[f.Col]
-			}
+	for _, f := range scan.AllFields() {
+		switch types[f.Col] {
+		case TString:
+			bits += float64(f.End-f.Start+1) * 8
+		default:
+			bits += perVal[f.Col]
 		}
 	}
 	return Result{
@@ -324,23 +397,5 @@ func (MDL) Score(m *parser.Matcher, lines *textio.Lines) Result {
 		Coverage:    scan.Coverage,
 		NoiseLines:  len(scan.NoiseLines),
 		ColumnTypes: types,
-	}
-}
-
-type arrayInst struct {
-	node *template.Node
-	reps int
-}
-
-func collectArrays(v *parser.Value, maxReps map[*template.Node]int, out *[]arrayInst) {
-	if v.Node.Kind == template.KArray {
-		reps := len(v.Children)
-		if reps > maxReps[v.Node] {
-			maxReps[v.Node] = reps
-		}
-		*out = append(*out, arrayInst{node: v.Node, reps: reps})
-	}
-	for _, c := range v.Children {
-		collectArrays(c, maxReps, out)
 	}
 }

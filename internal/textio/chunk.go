@@ -80,23 +80,3 @@ func (c *ChunkReader) Next() ([]byte, error) {
 func lastNewline(b []byte) int {
 	return bytes.LastIndexByte(b, '\n')
 }
-
-// AlignedLine returns the index of the line starting at byte offset off,
-// and whether off is a line boundary. Offset len(data) counts as the
-// boundary of the sentinel line N(). It is the binary-search form of the
-// offset→line maps the scanners previously built, usable concurrently.
-func (l *Lines) AlignedLine(off int) (int, bool) {
-	lo, hi := 0, len(l.starts)-1
-	for lo < hi {
-		mid := (lo + hi) / 2
-		if l.starts[mid] < off {
-			lo = mid + 1
-		} else {
-			hi = mid
-		}
-	}
-	if lo < len(l.starts) && l.starts[lo] == off {
-		return lo, true
-	}
-	return 0, false
-}

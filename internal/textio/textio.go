@@ -58,6 +58,27 @@ func (l *Lines) Slice(from, to int) []byte {
 	return l.data[l.starts[from]:l.starts[to]]
 }
 
+// AlignedLine returns the index of the line starting at byte offset off,
+// and whether off is a line boundary. Offset len(data) counts as the
+// boundary of the sentinel line N(). It is the shared offset→line index
+// of the scanners — a binary search over the sorted starts, so concurrent
+// matchers share one index instead of each building an offset map.
+func (l *Lines) AlignedLine(off int) (int, bool) {
+	lo, hi := 0, len(l.starts)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if l.starts[mid] < off {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(l.starts) && l.starts[lo] == off {
+		return lo, true
+	}
+	return 0, false
+}
+
 // Sampler extracts a bounded, cache-friendly sample of a dataset: a few
 // large contiguous chunks, concatenated at line boundaries. Per §9.1 this
 // caps Sdata so the generation and evaluation steps run in time

@@ -1,0 +1,7 @@
+//go:build race
+
+package datamaran_test
+
+// raceEnabled reports whether the race detector instruments this build;
+// the corpus property sweeps trim their input budget under it.
+const raceEnabled = true

@@ -1,0 +1,38 @@
+#!/bin/sh
+# Allocation gate over the parser hot path: runs the steady-state scan
+# benchmarks with -benchmem and fails when their allocs/op exceed the
+# pinned ceilings. The two-phase matcher's contract is that noise-line
+# rejection and arena-reuse scanning never touch the heap — a regression
+# here silently re-introduces the per-candidate allocation costs the
+# evaluation engine was rebuilt to remove.
+#
+# Usage: sh scripts/bench_allocs.sh
+set -e
+
+out=$(go test -run '^$' -bench 'BenchmarkScanNoiseReject|BenchmarkScanArenaReuse' \
+	-benchmem -benchtime 100x ./internal/parser)
+echo "$out"
+
+fail=0
+# check <benchmark-name> <max-allocs-per-op>
+check() {
+	line=$(echo "$out" | grep "^Benchmark$1\b" || true)
+	if [ -z "$line" ]; then
+		echo "bench-allocs: benchmark Benchmark$1 missing from output" >&2
+		fail=1
+		return
+	fi
+	# go test -benchmem line: name N ns/op [MB/s] B/op allocs/op
+	allocs=$(echo "$line" | awk '{print $(NF-1)}')
+	if [ "$allocs" -gt "$2" ]; then
+		echo "bench-allocs: Benchmark$1 = $allocs allocs/op, ceiling $2" >&2
+		fail=1
+	else
+		echo "bench-allocs: Benchmark$1 = $allocs allocs/op (ceiling $2): ok"
+	fi
+}
+
+check ScanNoiseReject 0
+check ScanArenaReuse 0
+
+exit $fail
