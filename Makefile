@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test test-short test-race bench lint fmt staticcheck bench-gate bench-allocs golden-lake golden-lake-update
+.PHONY: build test test-short test-race bench lint fmt staticcheck bench-gate bench-allocs golden-lake golden-lake-update serve-smoke serve-smoke-update
 
 build:
 	$(GO) build ./...
@@ -17,9 +17,9 @@ test-short:
 	$(GO) test -short ./...
 
 # Race job over the concurrent packages (parser fan-out, streaming
-# pipeline, chunk reader, lake crawl).
+# pipeline, chunk reader, lake crawl, incremental follow, serve daemon).
 test-race:
-	$(GO) test -race -short ./internal/parser ./internal/pipeline ./internal/textio ./internal/lake .
+	$(GO) test -race -short ./internal/parser ./internal/pipeline ./internal/textio ./internal/lake ./internal/follow ./internal/serve .
 
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$' .
@@ -54,6 +54,15 @@ golden-lake:
 
 golden-lake-update:
 	sh scripts/golden_lake.sh -update
+
+# Serve-daemon smoke: start `datamaran serve` on the fixture lake, hit
+# /formats, both extract paths and /reindex, and diff every response
+# against testdata/lake_golden (see scripts/serve_smoke.sh).
+serve-smoke:
+	sh scripts/serve_smoke.sh
+
+serve-smoke-update:
+	sh scripts/serve_smoke.sh -update
 
 lint:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi

@@ -33,6 +33,8 @@ func runIndex(args []string) {
 	threshold := fs.Float64("threshold", 0, "min sample coverage for a cached profile to claim a file (0 = 0.5)")
 	alpha := fs.Float64("alpha", 0.10, "minimum coverage threshold α for discovery (fraction)")
 	outDir := fs.String("o", "", "directory for per-file CSV output")
+	incremental := fs.Bool("incremental", false, "resume extraction from per-file checkpoints (requires -registry)")
+	checkpoints := fs.String("checkpoints", "", "checkpoint store path (default: checkpoints.json next to the registry)")
 	quiet := fs.Bool("q", false, "suppress the progress note on stderr")
 	fs.Usage = func() {
 		fmt.Fprintln(os.Stderr, "usage: datamaran index [flags] <dir>")
@@ -44,6 +46,20 @@ func runIndex(args []string) {
 		fs.Usage()
 		os.Exit(2)
 	}
+	cpPath := ""
+	if *incremental {
+		if *registry == "" {
+			fmt.Fprintln(os.Stderr, "datamaran index: -incremental requires -registry (checkpoints refer to registered profiles)")
+			os.Exit(2)
+		}
+		cpPath = *checkpoints
+		if cpPath == "" {
+			cpPath = filepath.Join(filepath.Dir(*registry), "checkpoints.json")
+		}
+	} else if *checkpoints != "" {
+		fmt.Fprintln(os.Stderr, "datamaran index: -checkpoints only applies with -incremental")
+		os.Exit(2)
+	}
 
 	t0 := time.Now()
 	res, err := datamaran.IndexDir(fs.Arg(0), datamaran.IndexOptions{
@@ -52,6 +68,7 @@ func runIndex(args []string) {
 		Workers:        *workers,
 		SampleBytes:    *sample,
 		MatchThreshold: *threshold,
+		CheckpointPath: cpPath,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "datamaran index: %v\n", err)
@@ -62,7 +79,7 @@ func runIndex(args []string) {
 			res.Summary.Files, time.Since(t0).Round(time.Millisecond))
 	}
 
-	printIndexReport(res)
+	printIndexReport(res, *incremental)
 
 	if *outDir != "" {
 		if err := writeIndexCSVs(res, *outDir); err != nil {
@@ -77,7 +94,9 @@ func runIndex(args []string) {
 
 // printIndexReport writes the deterministic crawl report: formats in
 // registry order, files in sorted path order, then the summary line.
-func printIndexReport(res *datamaran.IndexResult) {
+// The incremental form adds resume annotations and whole-file totals;
+// the plain form is byte-stable against the committed goldens.
+func printIndexReport(res *datamaran.IndexResult, incremental bool) {
 	fmt.Printf("formats (%d):\n", len(res.Formats))
 	for _, f := range res.Formats {
 		origin := "cached"
@@ -96,6 +115,12 @@ func printIndexReport(res *datamaran.IndexResult) {
 			fmt.Printf("  %s  failed: %v\n", f.Path, f.Err)
 		case f.Unstructured:
 			fmt.Printf("  %s  unstructured\n", f.Path)
+		case incremental:
+			// Totals span the whole file even when this run only
+			// extracted the grown tail (or, for unchanged files,
+			// nothing at all).
+			fmt.Printf("  %s  format=%s  records=%d  noise=%d  %s\n",
+				f.Path, f.Fingerprint, f.TotalRecords, f.TotalNoise, incVia(f))
 		default:
 			via := "cached"
 			if f.Discovered {
@@ -106,8 +131,29 @@ func printIndexReport(res *datamaran.IndexResult) {
 		}
 	}
 	s := res.Summary
-	fmt.Printf("summary: files=%d structured=%d unstructured=%d failed=%d formats=%d discovered=%d cache-hits=%d\n",
+	fmt.Printf("summary: files=%d structured=%d unstructured=%d failed=%d formats=%d discovered=%d cache-hits=%d",
 		s.Files, s.Structured, s.Unstructured, s.Failed, s.FormatsKnown, s.FormatsDiscovered, s.CacheHits)
+	if incremental {
+		fmt.Printf(" resumed=%d unchanged=%d", s.Resumed, s.Unchanged)
+	}
+	fmt.Println()
+}
+
+// incVia renders the incremental handling column: how the file was
+// classified plus how its bytes were (re)extracted.
+func incVia(f datamaran.IndexedFile) string {
+	switch f.Resume {
+	case "resumed", "unchanged":
+		return f.Resume
+	}
+	via := "cached"
+	if f.Discovered {
+		via = "discovered"
+	}
+	if f.Resume != "" {
+		via += " (" + f.Resume + ")"
+	}
+	return via
 }
 
 // writeIndexCSVs writes every structured file's tables under dir.

@@ -6,11 +6,14 @@
 //
 //	datamaran [flags] <logfile>
 //	datamaran index [flags] <dir>
+//	datamaran serve [flags] <dir>
 //
 // With -o DIR, one CSV file per extracted table is written there;
 // otherwise tables go to stdout. The index subcommand crawls a
 // directory tree (a data lake), discovering each log format once and
-// applying cached profiles to every other file — see index.go.
+// applying cached profiles to every other file — see index.go. The
+// serve subcommand runs the lake as a long-lived HTTP daemon with
+// checkpointed incremental re-crawls — see serve.go.
 package main
 
 import (
@@ -27,6 +30,10 @@ import (
 func main() {
 	if len(os.Args) > 1 && os.Args[1] == "index" {
 		runIndex(os.Args[2:])
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "serve" {
+		runServe(os.Args[2:])
 		return
 	}
 	alpha := flag.Float64("alpha", 0.10, "minimum coverage threshold α (fraction)")

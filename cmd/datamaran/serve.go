@@ -1,0 +1,126 @@
+// The serve subcommand: a long-running daemon over a data-lake
+// directory. It exposes the profile registry and the extraction engine
+// over HTTP and re-crawls the lake incrementally on demand, so the
+// structure discovered once keeps serving every later request.
+//
+// Usage:
+//
+//	datamaran serve [flags] <dir>
+//
+// Endpoints (see internal/serve):
+//
+//	GET  /healthz                  liveness
+//	GET  /formats                  registry listing
+//	GET  /formats/{fp}             one profile (feed it back via -profile)
+//	POST /extract?format={fp}      extract the request body (ndjson/csv)
+//	GET  /lake/extract?path=...    extract a lake file
+//	POST /reindex                  incremental crawl + persist
+//
+// Registry and checkpoints default to <dir>/.datamaran/ — a hidden
+// directory the crawler skips, so the daemon's state never indexes
+// itself.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"syscall"
+	"time"
+
+	"datamaran/internal/core"
+	"datamaran/internal/serve"
+)
+
+func runServe(args []string) {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:8473", "listen address (port 0 picks a free port)")
+	registry := fs.String("registry", "", "profile registry path (default <dir>/.datamaran/registry.json)")
+	checkpoints := fs.String("checkpoints", "", "checkpoint store path (default <dir>/.datamaran/checkpoints.json)")
+	workers := fs.Int("workers", 0, "extraction parallelism (0 = all cores; never changes output)")
+	alpha := fs.Float64("alpha", 0.10, "minimum coverage threshold α for discovery (fraction)")
+	reindex := fs.Bool("reindex", false, "run one incremental crawl before accepting requests")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: datamaran serve [flags] <dir>")
+		fs.PrintDefaults()
+	}
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		fs.Usage()
+		os.Exit(2)
+	}
+	dir := fs.Arg(0)
+
+	if *registry == "" || *checkpoints == "" {
+		state := filepath.Join(dir, ".datamaran")
+		if err := os.MkdirAll(state, 0o755); err != nil {
+			fatalf("serve: %v", err)
+		}
+		if *registry == "" {
+			*registry = filepath.Join(state, "registry.json")
+		}
+		if *checkpoints == "" {
+			*checkpoints = filepath.Join(state, "checkpoints.json")
+		}
+	}
+
+	srv, err := serve.New(serve.Config{
+		Root:           dir,
+		RegistryPath:   *registry,
+		CheckpointPath: *checkpoints,
+		Workers:        *workers,
+		Core:           core.Options{Alpha: *alpha},
+	})
+	if err != nil {
+		fatalf("serve: %v", err)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if *reindex {
+		t0 := time.Now()
+		res, err := srv.Reindex(ctx)
+		if err != nil {
+			fatalf("serve: initial reindex: %v", err)
+		}
+		s := res.Summary
+		fmt.Fprintf(os.Stderr, "indexed %d file(s) in %v (formats=%d resumed=%d unchanged=%d)\n",
+			s.Files, time.Since(t0).Round(time.Millisecond), s.FormatsKnown, s.Resumed, s.Unchanged)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatalf("serve: %v", err)
+	}
+	// The resolved address goes to stdout so scripts binding port 0 can
+	// read where we actually landed.
+	fmt.Printf("listening on http://%s\n", ln.Addr())
+
+	hs := &http.Server{Handler: srv.Handler()}
+	done := make(chan error, 1)
+	go func() { done <- hs.Serve(ln) }()
+	select {
+	case err := <-done:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fatalf("serve: %v", err)
+		}
+	case <-ctx.Done():
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := hs.Shutdown(shutdownCtx); err != nil {
+			hs.Close()
+		}
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "datamaran "+format+"\n", args...)
+	os.Exit(1)
+}

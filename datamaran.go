@@ -30,6 +30,7 @@
 package datamaran
 
 import (
+	"context"
 	"io"
 	"os"
 	"time"
@@ -257,7 +258,14 @@ func publicRecord(r core.RecordOut) Record {
 // For inputs no larger than the discovery budget the result's structures,
 // records and noise lines are identical to Extract's.
 func ExtractReader(r io.Reader, opts Options) (*Result, error) {
-	res, err := pipeline.Run(r, opts.pipelineConfig())
+	return ExtractReaderContext(context.Background(), r, opts)
+}
+
+// ExtractReaderContext is ExtractReader with cancellation: ctx is
+// checked between shards, so a long extraction aborts within one shard
+// of the cancel — the request-cancellation hook of the serve daemon.
+func ExtractReaderContext(ctx context.Context, r io.Reader, opts Options) (*Result, error) {
+	res, err := pipeline.RunContext(ctx, r, opts.pipelineConfig())
 	if err != nil {
 		return nil, err
 	}
@@ -274,14 +282,20 @@ func ExtractReader(r io.Reader, opts Options) (*Result, error) {
 // needed. Memory is bounded except for the noise line indices, which
 // still accumulate into Result.NoiseLines (8 bytes per unmatched line).
 func ExtractStream(r io.Reader, opts Options, fn func(Record) error) (*Result, error) {
+	return ExtractStreamContext(context.Background(), r, opts, fn)
+}
+
+// ExtractStreamContext is ExtractStream with cancellation (see
+// ExtractReaderContext).
+func ExtractStreamContext(ctx context.Context, r io.Reader, opts Options, fn func(Record) error) (*Result, error) {
 	cfg := opts.pipelineConfig()
-	return runStream(r, cfg, fn)
+	return runStream(ctx, r, cfg, fn)
 }
 
 // runStream executes the pipeline in callback mode, reconstructing the
 // per-structure MultiLine flag (normally derived from Result.Records)
 // from the records flowing past.
-func runStream(r io.Reader, cfg pipeline.Config, fn func(Record) error) (*Result, error) {
+func runStream(ctx context.Context, r io.Reader, cfg pipeline.Config, fn func(Record) error) (*Result, error) {
 	multi := map[int]bool{}
 	cfg.OnRecord = func(ro core.RecordOut) error {
 		if ro.EndLine-ro.StartLine > 1 {
@@ -289,7 +303,7 @@ func runStream(r io.Reader, cfg pipeline.Config, fn func(Record) error) (*Result
 		}
 		return fn(publicRecord(ro))
 	}
-	res, err := pipeline.Run(r, cfg)
+	res, err := pipeline.RunContext(ctx, r, cfg)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,181 @@
+package datamaran_test
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"datamaran/internal/core"
+	"datamaran/internal/datagen"
+	"datamaran/internal/follow"
+	"datamaran/internal/pipeline"
+	"datamaran/internal/relational"
+	"datamaran/internal/template"
+)
+
+// followInputs gathers the resume-equivalence corpus: one lake fixture
+// file per format (single-line, pipe-separated, and the multi-line jobs
+// stanzas) plus a generated 10-line-record dataset. The race build
+// trims to the multi-line cases, where resume boundaries are hardest.
+func followInputs(t *testing.T) map[string][]byte {
+	t.Helper()
+	out := map[string][]byte{
+		"blogxml": datagen.BlogXML(40, 21).Data,
+	}
+	lakeFiles := []string{
+		"testdata/lake/jobs/job-1.log",
+		"testdata/lake/metrics/metrics-1.log",
+		"testdata/lake/web/requests-1.log",
+	}
+	if raceEnabled {
+		lakeFiles = lakeFiles[:1]
+	}
+	for _, p := range lakeFiles {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[filepath.Base(p)] = data
+	}
+	return out
+}
+
+// followTemplates learns the profile of data once.
+func followTemplates(t *testing.T, data []byte) []*template.Node {
+	t.Helper()
+	disc, err := core.Extract(data, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(disc.Structures) == 0 {
+		t.Fatal("test is vacuous: no structure")
+	}
+	var tpls []*template.Node
+	for _, s := range disc.Structures {
+		tpls = append(tpls, s.Template)
+	}
+	return tpls
+}
+
+// tablesCSV renders a record stream as the indexer's CSV tables — the
+// byte-level artifact the golden lake pins.
+func tablesCSV(t *testing.T, tpls []*template.Node, records []core.RecordOut) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	for typeID, tpl := range tpls {
+		var recs [][]relational.FlatField
+		for _, r := range records {
+			if r.TypeID != typeID {
+				continue
+			}
+			fields := make([]relational.FlatField, 0, len(r.Fields))
+			for _, f := range r.Fields {
+				fields = append(fields, relational.FlatField{Col: f.Col, Rep: f.Rep, Value: f.Value})
+			}
+			recs = append(recs, fields)
+		}
+		db := relational.BuildFlat(tpl, recs, fmt.Sprintf("type%d", typeID))
+		for _, tbl := range db.Tables {
+			if err := tbl.WriteCSV(&buf); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return buf.Bytes()
+}
+
+// TestFollowResumeEquivalence is the subsystem's acceptance property at
+// the repository level: write ~55% of a file, index it, append the
+// rest, resume from the checkpoint — the stitched records and their CSV
+// tables must be byte-identical to one-shot extraction of the full
+// file, at every worker count.
+func TestFollowResumeEquivalence(t *testing.T) {
+	workerSets := []int{1, 2, 8}
+	if raceEnabled {
+		workerSets = []int{1, 8}
+	}
+	for name, data := range followInputs(t) {
+		t.Run(name, func(t *testing.T) {
+			tpls := followTemplates(t, data)
+			oracle, err := pipeline.Run(bytes.NewReader(data), pipeline.Config{Templates: tpls})
+			if err != nil {
+				t.Fatal(err)
+			}
+			oracleCSV := tablesCSV(t, tpls, oracle.Records)
+
+			// Cut mid-byte (not line-aligned) to force the resume
+			// machinery to cope with a dangling partial line.
+			cut := len(data) * 55 / 100
+			for _, workers := range workerSets {
+				path := filepath.Join(t.TempDir(), "grow.log")
+				cfg := follow.Config{ShardSize: 1 << 10, Workers: workers}
+
+				if err := os.WriteFile(path, data[:cut], 0o644); err != nil {
+					t.Fatal(err)
+				}
+				res1, cp1, err := follow.Extract(context.Background(), path, "grow.log", tpls, "fp", nil, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, data, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				plan, err := follow.PlanFile(path, cp1)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if plan.Action != follow.ActionResume {
+					t.Fatalf("plan after append = %v (%s), want resume", plan.Action, plan.Reason)
+				}
+				res2, cp2, err := follow.Extract(context.Background(), path, "grow.log", tpls, "fp", cp1, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+
+				// Stitch: run 1's output below the checkpoint is final;
+				// run 2 re-emits everything from the checkpoint on.
+				var stitched []core.RecordOut
+				for typeID := range tpls {
+					for _, r := range res1.Records {
+						if r.TypeID == typeID && r.StartLine < cp1.Line {
+							stitched = append(stitched, r)
+						}
+					}
+					for _, r := range res2.Records {
+						if r.TypeID == typeID {
+							stitched = append(stitched, r)
+						}
+					}
+				}
+				// The oracle groups records by type too, so direct
+				// comparison is exact — offsets, line numbers, values.
+				if !reflect.DeepEqual(stitched, oracle.Records) {
+					t.Fatalf("workers=%d: stitched records (%d) != one-shot (%d)",
+						workers, len(stitched), len(oracle.Records))
+				}
+				if got := tablesCSV(t, tpls, stitched); !bytes.Equal(got, oracleCSV) {
+					t.Fatalf("workers=%d: stitched CSV differs from one-shot CSV", workers)
+				}
+
+				var noise []int
+				for _, n := range res1.NoiseLines {
+					if n < cp1.Line {
+						noise = append(noise, n)
+					}
+				}
+				noise = append(noise, res2.NoiseLines...)
+				if !reflect.DeepEqual(noise, oracle.NoiseLines) {
+					t.Fatalf("workers=%d: stitched noise %v != one-shot %v", workers, noise, oracle.NoiseLines)
+				}
+				if cp2.TotalRecords != len(oracle.Records) {
+					t.Fatalf("workers=%d: checkpoint total %d, want %d",
+						workers, cp2.TotalRecords, len(oracle.Records))
+				}
+			}
+		})
+	}
+}

@@ -1,6 +1,9 @@
 package datamaran
 
 import (
+	"context"
+
+	"datamaran/internal/follow"
 	"datamaran/internal/lake"
 )
 
@@ -24,6 +27,14 @@ type IndexOptions struct {
 	// MatchThreshold is the minimum fraction of a file's sample a known
 	// profile must cover to claim the file (0 means 0.5).
 	MatchThreshold float64
+	// CheckpointPath names the persistent per-file checkpoint store
+	// (JSON) of the incremental crawl. When set, files already indexed
+	// under a still-valid checkpoint skip classification and resume
+	// extraction at the checkpointed offset (unchanged files skip
+	// extraction entirely); rotated or truncated files fall back to a
+	// full re-extraction. The store is loaded before the crawl and
+	// written back after, like the registry it lives next to.
+	CheckpointPath string
 }
 
 // IndexedFile is the indexing outcome of one crawled file.
@@ -45,10 +56,28 @@ type IndexedFile struct {
 	// Err is the per-file failure, nil otherwise. Indexing continues
 	// past failed files.
 	Err error
-	// Result is the full-file extraction (nil for unstructured or
-	// failed files). Records, noise lines and tables are exactly those
-	// of ExtractReaderWithProfile with the format's profile.
+	// Result is the extraction result (nil for unstructured or failed
+	// files). Records, noise lines and tables are exactly those of
+	// ExtractReaderWithProfile with the format's profile — except for a
+	// file resumed from a checkpoint (Resume == "resumed"), where it
+	// covers only the region beyond the checkpoint, in whole-file
+	// coordinates, and for an unchanged file (Resume == "unchanged"),
+	// where it is nil.
 	Result *Result
+	// Resume reports the incremental handling of the file: "" outside
+	// incremental crawls; otherwise "resumed", "unchanged", or — for
+	// files that took the full path — the reason ("new", "rotated",
+	// "truncated", "profile-gone", "grown").
+	Resume string
+	// PriorRecords and PriorNoise count the records and noise lines
+	// finalized before the region Result covers (only set for resumed
+	// files). PriorRecords + len(Result.Records) is the whole-file
+	// record count.
+	PriorRecords, PriorNoise int
+	// TotalRecords and TotalNoise are whole-file counts maintained by
+	// the incremental crawl, valid for every structured file in an
+	// incremental run — including unchanged files, whose Result is nil.
+	TotalRecords, TotalNoise int
 }
 
 // IndexedFormat is one format known to the registry after an IndexDir
@@ -90,6 +119,12 @@ type IndexSummary struct {
 	// CacheHits counts files claimed by an already-known profile —
 	// files that skipped discovery entirely.
 	CacheHits int
+	// Resumed counts files whose extraction resumed at a checkpoint
+	// (incremental crawls only).
+	Resumed int
+	// Unchanged counts checkpointed files skipped entirely because
+	// nothing changed (incremental crawls only).
+	Unchanged int
 }
 
 // IndexResult is a completed IndexDir crawl.
@@ -113,6 +148,14 @@ type IndexResult struct {
 //
 // Hidden files and directories (name starting with ".") are skipped.
 func IndexDir(dir string, opts IndexOptions) (*IndexResult, error) {
+	return IndexDirContext(context.Background(), dir, opts)
+}
+
+// IndexDirContext is IndexDir with cancellation: ctx aborts the crawl
+// between files and, within a file, between shards. On cancellation
+// nothing is written back — the registry and checkpoint store on disk
+// stay as the last completed run left them.
+func IndexDirContext(ctx context.Context, dir string, opts IndexOptions) (*IndexResult, error) {
 	reg := lake.NewRegistry()
 	if opts.RegistryPath != "" {
 		var err error
@@ -121,17 +164,31 @@ func IndexDir(dir string, opts IndexOptions) (*IndexResult, error) {
 			return nil, err
 		}
 	}
-	res, err := lake.Index(dir, reg, lake.Config{
+	var checkpoints *follow.Store
+	if opts.CheckpointPath != "" {
+		var err error
+		checkpoints, err = follow.LoadStore(opts.CheckpointPath)
+		if err != nil {
+			return nil, err
+		}
+	}
+	res, err := lake.IndexContext(ctx, dir, reg, lake.Config{
 		Core:           opts.Extract.internal(),
 		Workers:        opts.Workers,
 		SampleBytes:    opts.SampleBytes,
 		MatchThreshold: opts.MatchThreshold,
+		Checkpoints:    checkpoints,
 	})
 	if err != nil {
 		return nil, err
 	}
 	if opts.RegistryPath != "" {
 		if err := reg.Save(opts.RegistryPath); err != nil {
+			return nil, err
+		}
+	}
+	if opts.CheckpointPath != "" {
+		if err := checkpoints.Save(opts.CheckpointPath); err != nil {
 			return nil, err
 		}
 	}
@@ -152,6 +209,16 @@ func wrapIndexResult(res *lake.Result, reg *lake.Registry) *IndexResult {
 		}
 		if f.Res != nil {
 			pf.Result = wrapResult(nil, f.Res)
+		}
+		if f.Inc != nil {
+			pf.Resume = f.Inc.Action.String()
+			if f.Inc.Action == follow.ActionFull {
+				pf.Resume = f.Inc.Reason
+			}
+			pf.PriorRecords = f.Inc.BaseRecords
+			pf.PriorNoise = f.Inc.BaseNoise
+			pf.TotalRecords = f.Inc.TotalRecords
+			pf.TotalNoise = f.Inc.TotalNoise
 		}
 		out.Files = append(out.Files, pf)
 	}

@@ -1,0 +1,306 @@
+package follow
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"datamaran/internal/core"
+	"datamaran/internal/datagen"
+	"datamaran/internal/pipeline"
+	"datamaran/internal/template"
+)
+
+// learn discovers the template set of data.
+func learn(t *testing.T, data []byte) []*template.Node {
+	t.Helper()
+	disc, err := core.Extract(data, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(disc.Structures) == 0 {
+		t.Fatal("test is vacuous: no structures discovered")
+	}
+	var tpls []*template.Node
+	for _, s := range disc.Structures {
+		tpls = append(tpls, s.Template)
+	}
+	return tpls
+}
+
+// oneShot is the oracle: profile extraction of the whole file in one
+// pass.
+func oneShot(t *testing.T, data []byte, tpls []*template.Node) *core.Result {
+	t.Helper()
+	res, err := pipeline.Run(bytes.NewReader(data), pipeline.Config{Templates: tpls})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// incrementalRuns grows path through the given cut points and extracts
+// incrementally at each step, stitching the per-run deltas into the
+// whole-file record/noise streams the way a consumer of the subsystem
+// does: each run's output below its successor checkpoint is final; the
+// tail beyond it is replaced by the next run's re-emission.
+func incrementalRuns(t *testing.T, dir string, data []byte, cuts []int, tpls []*template.Node, cfg Config) ([]core.RecordOut, []int, *Checkpoint) {
+	t.Helper()
+	path := filepath.Join(dir, "grow.log")
+	var finalRecs, tailRecs []core.RecordOut
+	var finalNoise, tailNoise []int
+	var cp *Checkpoint
+	for _, cut := range append(cuts, len(data)) {
+		if err := os.WriteFile(path, data[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		plan, err := PlanFile(path, cp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if plan.Action == ActionUnchanged {
+			continue
+		}
+		if cp != nil && plan.Action != ActionResume {
+			t.Fatalf("cut %d: plan = %v (%s), want resume", cut, plan.Action, plan.Reason)
+		}
+		res, ncp, err := Extract(context.Background(), path, "grow.log", tpls, "fp", cp, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tailRecs, tailNoise = tailRecs[:0], tailNoise[:0]
+		for _, r := range res.Records {
+			if r.StartLine < ncp.Line {
+				finalRecs = append(finalRecs, r)
+			} else {
+				tailRecs = append(tailRecs, r)
+			}
+		}
+		for _, n := range res.NoiseLines {
+			if n < ncp.Line {
+				finalNoise = append(finalNoise, n)
+			} else {
+				tailNoise = append(tailNoise, n)
+			}
+		}
+		cp = ncp
+	}
+	return append(finalRecs, tailRecs...), append(finalNoise, tailNoise...), cp
+}
+
+// sortByStart orders stitched records the way the one-shot result lays
+// them out: grouped by type, in input order within a type.
+func sortByType(recs []core.RecordOut) []core.RecordOut {
+	out := make([]core.RecordOut, 0, len(recs))
+	maxType := 0
+	for _, r := range recs {
+		if r.TypeID > maxType {
+			maxType = r.TypeID
+		}
+	}
+	for ty := 0; ty <= maxType; ty++ {
+		for _, r := range recs {
+			if r.TypeID == ty {
+				out = append(out, r)
+			}
+		}
+	}
+	return out
+}
+
+func sortInts(ns []int) []int {
+	out := append([]int(nil), ns...)
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// TestResumeEquivalence is the subsystem's core property: growing a file
+// through arbitrary cut points (including mid-line and mid-record) and
+// extracting incrementally yields exactly the records and noise of a
+// one-shot extraction of the final file.
+func TestResumeEquivalence(t *testing.T) {
+	datasets := map[string][]byte{
+		"single-line": datagen.CommaSepRecords(300, 5).Data,
+		"multi-line":  datagen.BlogXML(60, 9).Data,
+		"interleaved": datagen.InterleavedTypes(2, 120, 4).Data,
+	}
+	for name, data := range datasets {
+		t.Run(name, func(t *testing.T) {
+			tpls := learn(t, data)
+			want := oneShot(t, data, tpls)
+			// Cut points stress every boundary kind: mid-line,
+			// mid-record, and whole-record growth.
+			cuts := []int{
+				len(data) / 7,
+				len(data)/7 + 3,
+				len(data) / 3,
+				len(data)/2 + 11,
+				len(data) - 5,
+			}
+			for _, workers := range []int{1, 2, 8} {
+				dir := t.TempDir()
+				gotRecs, gotNoise, cp := incrementalRuns(t, dir, data, cuts, tpls,
+					Config{ShardSize: 512, Workers: workers})
+				if !reflect.DeepEqual(sortByType(gotRecs), want.Records) {
+					t.Fatalf("workers=%d: stitched records (%d) != one-shot (%d)",
+						workers, len(gotRecs), len(want.Records))
+				}
+				if !reflect.DeepEqual(sortInts(gotNoise), want.NoiseLines) {
+					t.Fatalf("workers=%d: stitched noise %v != one-shot %v",
+						workers, gotNoise, want.NoiseLines)
+				}
+				if cp.TotalRecords != len(want.Records) || cp.TotalNoise != len(want.NoiseLines) {
+					t.Fatalf("workers=%d: checkpoint totals %d/%d, want %d/%d",
+						workers, cp.TotalRecords, cp.TotalNoise, len(want.Records), len(want.NoiseLines))
+				}
+			}
+		})
+	}
+}
+
+// TestPlanFile covers the rotation/truncation/unchanged heuristics.
+func TestPlanFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "f.log")
+	data := datagen.CommaSepRecords(100, 1).Data
+	tpls := learn(t, data)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	plan, err := PlanFile(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Action != ActionFull || plan.Reason != "new" {
+		t.Fatalf("no checkpoint: plan = %+v, want full/new", plan)
+	}
+
+	_, cp, err := Extract(context.Background(), path, "f.log", tpls, "fp", nil, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp.Offset <= 0 || cp.Line <= 0 {
+		t.Fatalf("checkpoint did not advance: %+v", cp)
+	}
+
+	// Unchanged.
+	if plan, err = PlanFile(path, cp); err != nil {
+		t.Fatal(err)
+	}
+	if plan.Action != ActionUnchanged {
+		t.Fatalf("unchanged file: plan = %+v", plan)
+	}
+
+	// Append → resume.
+	if err := os.WriteFile(path, append(append([]byte{}, data...), []byte("1,2,3\n")...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if plan, err = PlanFile(path, cp); err != nil {
+		t.Fatal(err)
+	}
+	if plan.Action != ActionResume {
+		t.Fatalf("grown file: plan = %+v, want resume", plan)
+	}
+
+	// Truncation → full.
+	if err := os.WriteFile(path, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if plan, err = PlanFile(path, cp); err != nil {
+		t.Fatal(err)
+	}
+	if plan.Action != ActionFull || plan.Reason != "truncated" {
+		t.Fatalf("truncated file: plan = %+v, want full/truncated", plan)
+	}
+
+	// Rotation (same or larger size, different content) → full.
+	rot := datagen.WebServerLog(400, 2).Data
+	for int64(len(rot)) < cp.Size {
+		rot = append(rot, rot...)
+	}
+	if err := os.WriteFile(path, rot, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if plan, err = PlanFile(path, cp); err != nil {
+		t.Fatal(err)
+	}
+	if plan.Action != ActionFull || plan.Reason != "rotated" {
+		t.Fatalf("rotated file: plan = %+v, want full/rotated", plan)
+	}
+}
+
+// TestStoreRoundTrip pins the persistence discipline: deterministic
+// bytes, atomic save, version validation.
+func TestStoreRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "checkpoints.json")
+	s := NewStore()
+	s.Put(&Checkpoint{Path: "b/two.log", Fingerprint: "beef", Offset: 10, Line: 2, Size: 20, PrefixLen: 20, PrefixSHA: "aa", Records: 3, Noise: 1, TotalRecords: 4, TotalNoise: 1})
+	s.Put(&Checkpoint{Path: "a/one.log", Fingerprint: "cafe", Offset: 5, Line: 1, Size: 9, PrefixLen: 9, PrefixSHA: "bb"})
+	if err := s.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	raw1, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	raw2, _ := os.ReadFile(path)
+	if !bytes.Equal(raw1, raw2) {
+		t.Fatal("save is not deterministic")
+	}
+	// Paths must serialize sorted regardless of insertion order.
+	if a, b := bytes.Index(raw1, []byte("a/one.log")), bytes.Index(raw1, []byte("b/two.log")); a < 0 || b < 0 || a > b {
+		t.Fatalf("paths not in sorted order: %s", raw1)
+	}
+
+	got, err := LoadStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 2 || !reflect.DeepEqual(got.Get("a/one.log"), s.Get("a/one.log")) ||
+		!reflect.DeepEqual(got.Get("b/two.log"), s.Get("b/two.log")) {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+
+	// Missing file → empty store.
+	empty, err := LoadStore(filepath.Join(dir, "nope.json"))
+	if err != nil || empty.Len() != 0 {
+		t.Fatalf("missing store: %v / %d", err, empty.Len())
+	}
+
+	// Version discipline.
+	for name, bad := range map[string]string{
+		"missing": `{"files":[]}`,
+		"wrong":   `{"version":99,"files":[]}`,
+		"type":    `{"version":"1","files":[]}`,
+	} {
+		if err := os.WriteFile(path, []byte(bad), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := LoadStore(path); err == nil {
+			t.Fatalf("%s version accepted", name)
+		}
+	}
+}
+
+// TestRetainPrunes checks the stale-checkpoint prune.
+func TestRetainPrunes(t *testing.T) {
+	s := NewStore()
+	s.Put(&Checkpoint{Path: "keep.log"})
+	s.Put(&Checkpoint{Path: "gone.log"})
+	s.Retain(func(p string) bool { return p == "keep.log" })
+	if s.Len() != 1 || s.Get("keep.log") == nil || s.Get("gone.log") != nil {
+		t.Fatalf("retain kept wrong set: %v", s.Paths())
+	}
+}

@@ -1,0 +1,305 @@
+package lake
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"datamaran/internal/core"
+	"datamaran/internal/follow"
+	"datamaran/internal/template"
+)
+
+// incrementalIndex runs one incremental crawl over root.
+func incrementalIndex(t *testing.T, root string, reg *Registry, cps *follow.Store) *Result {
+	t.Helper()
+	res, err := Index(root, reg, Config{Workers: 2, Checkpoints: cps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// fileByPath finds one file result.
+func fileByPath(t *testing.T, res *Result, rel string) *FileResult {
+	t.Helper()
+	for i := range res.Files {
+		if res.Files[i].Path == rel {
+			return &res.Files[i]
+		}
+	}
+	t.Fatalf("file %s not in result", rel)
+	return nil
+}
+
+// appendTo appends content to a lake file.
+func appendTo(t *testing.T, root, rel, content string) {
+	t.Helper()
+	f, err := os.OpenFile(filepath.Join(root, filepath.FromSlash(rel)),
+		os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(content); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestIncrementalCrawl walks the subsystem through its lifecycle on one
+// lake: initial index, no-op re-index, append, rotation, truncation and
+// file deletion — checking at every step that whole-file totals agree
+// with a from-scratch index of the same tree.
+func TestIncrementalCrawl(t *testing.T) {
+	root := buildLake(t)
+	reg := NewRegistry()
+	cps := follow.NewStore()
+
+	// Initial incremental run behaves like a fresh index, plus it
+	// checkpoints every file (structured and unstructured).
+	res1 := incrementalIndex(t, root, reg, cps)
+	if res1.Summary.Resumed != 0 || res1.Summary.Unchanged != 0 {
+		t.Fatalf("first run: summary %+v", res1.Summary)
+	}
+	if got, want := cps.Len(), res1.Summary.Structured+res1.Summary.Unstructured; got != want {
+		t.Fatalf("checkpoints = %d, want %d", got, want)
+	}
+	jobs1 := fileByPath(t, res1, "a/jobs-1.log")
+	if jobs1.Inc == nil || jobs1.Inc.Action != follow.ActionFull ||
+		jobs1.Inc.TotalRecords != len(jobs1.Res.Records) {
+		t.Fatalf("first run jobs-1: %+v", jobs1.Inc)
+	}
+
+	// Re-index with nothing changed: every file skips extraction.
+	res2 := incrementalIndex(t, root, reg, cps)
+	if res2.Summary.Unchanged != res2.Summary.Files || res2.Summary.Resumed != 0 {
+		t.Fatalf("no-op run: summary %+v", res2.Summary)
+	}
+	for i := range res2.Files {
+		f := &res2.Files[i]
+		if f.Res != nil {
+			t.Fatalf("no-op run extracted %s", f.Path)
+		}
+	}
+	if fileByPath(t, res2, "a/jobs-1.log").Inc.TotalRecords != jobs1.Inc.TotalRecords {
+		t.Fatal("no-op run lost the record totals")
+	}
+
+	// Append whole records plus a dangling partial stanza: the next
+	// run must resume, and totals must match a from-scratch index.
+	appendTo(t, root, "a/jobs-1.log", "JOB <123>\n  queue= q1;\n  state= DONE;\nJOB <77>\n  queue= q2;\n")
+	res3 := incrementalIndex(t, root, reg, cps)
+	if res3.Summary.Resumed != 1 || res3.Summary.Unchanged != res3.Summary.Files-1 {
+		t.Fatalf("append run: summary %+v", res3.Summary)
+	}
+	jobs3 := fileByPath(t, res3, "a/jobs-1.log")
+	if jobs3.Inc.Action != follow.ActionResume {
+		t.Fatalf("append run jobs-1: %+v", jobs3.Inc)
+	}
+	if jobs3.Inc.BaseRecords+len(jobs3.Res.Records) != jobs3.Inc.TotalRecords {
+		t.Fatalf("append run totals inconsistent: %+v (+%d)", jobs3.Inc, len(jobs3.Res.Records))
+	}
+	assertTotalsMatchScratch(t, root, reg, res3)
+
+	// Rotation: replace content wholesale at a size no smaller than
+	// the checkpointed size — caught by the prefix hash, reclassified.
+	webRel := "b/req-1.log"
+	info, err := os.Stat(filepath.Join(root, filepath.FromSlash(webRel)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rotated []byte
+	for int64(len(rotated)) <= info.Size() {
+		rotated = append(rotated, []byte("metric|cpu1|10.00|\n")...)
+	}
+	if err := os.WriteFile(filepath.Join(root, filepath.FromSlash(webRel)), rotated, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	res4 := incrementalIndex(t, root, reg, cps)
+	web4 := fileByPath(t, res4, webRel)
+	if web4.Inc.Action != follow.ActionFull || web4.Inc.Reason != "rotated" {
+		t.Fatalf("rotated file: %+v", web4.Inc)
+	}
+	if web4.Status != StatusMatched && web4.Status != StatusDiscovered {
+		t.Fatalf("rotated file not reclassified: %v", web4.Status)
+	}
+	assertTotalsMatchScratch(t, root, reg, res4)
+
+	// Truncation: shrink a file below its checkpoint.
+	metricsRel := "c/metrics-1.log"
+	mp := filepath.Join(root, filepath.FromSlash(metricsRel))
+	data, err := os.ReadFile(mp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(mp, data[:len(data)/3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	res5 := incrementalIndex(t, root, reg, cps)
+	m5 := fileByPath(t, res5, metricsRel)
+	if m5.Inc.Action != follow.ActionFull || m5.Inc.Reason != "truncated" {
+		t.Fatalf("truncated file: %+v", m5.Inc)
+	}
+	assertTotalsMatchScratch(t, root, reg, res5)
+
+	// Deletion: the stale checkpoint is pruned.
+	if err := os.Remove(filepath.Join(root, "empty.log")); err != nil {
+		t.Fatal(err)
+	}
+	incrementalIndex(t, root, reg, cps)
+	if cps.Get("empty.log") != nil {
+		t.Fatal("stale checkpoint for deleted file survived the prune")
+	}
+}
+
+// assertTotalsMatchScratch indexes the same tree from scratch (fresh
+// registry, no checkpoints) and checks every structured file's
+// whole-file totals agree with the incremental run's bookkeeping.
+func assertTotalsMatchScratch(t *testing.T, root string, reg *Registry, inc *Result) {
+	t.Helper()
+	scratch, err := Index(root, NewRegistry(), Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range scratch.Files {
+		sf := &scratch.Files[i]
+		if sf.Res == nil {
+			continue
+		}
+		f := fileByPath(t, inc, sf.Path)
+		if f.Inc == nil {
+			t.Fatalf("%s: no incremental info", sf.Path)
+		}
+		if f.Inc.TotalRecords != len(sf.Res.Records) || f.Inc.TotalNoise != len(sf.Res.NoiseLines) {
+			t.Errorf("%s: incremental totals %d/%d, from-scratch %d/%d",
+				sf.Path, f.Inc.TotalRecords, f.Inc.TotalNoise,
+				len(sf.Res.Records), len(sf.Res.NoiseLines))
+		}
+	}
+}
+
+// TestIncrementalWorkerEquivalence pins worker-count invariance of the
+// incremental path: the digests of a resumed crawl must be identical at
+// any worker count.
+func TestIncrementalWorkerEquivalence(t *testing.T) {
+	root := buildLake(t)
+	seedReg := NewRegistry()
+	seedCps := follow.NewStore()
+	incrementalIndex(t, root, seedReg, seedCps)
+	appendTo(t, root, "a/jobs-2.log", "JOB <5>\n  queue= q9;\n  state= DONE;\n")
+	appendTo(t, root, "c/metrics-2.log", "metric|cpu7|1.23|\n")
+
+	var want string
+	for _, workers := range []int{1, 2, 8} {
+		reg := cloneRegistry(t, seedReg)
+		cps := cloneStore(t, seedCps)
+		res, err := Index(root, reg, Config{Workers: workers, Checkpoints: cps})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Summary.Resumed != 2 {
+			t.Fatalf("workers=%d: resumed %d, want 2", workers, res.Summary.Resumed)
+		}
+		got := digest(t, res, reg) + storeDigest(t, cps)
+		if want == "" {
+			want = got
+		} else if got != want {
+			t.Fatalf("workers=%d: digest differs from workers=1", workers)
+		}
+	}
+}
+
+func cloneRegistry(t *testing.T, reg *Registry) *Registry {
+	t.Helper()
+	raw, err := reg.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := NewRegistry()
+	if err := out.UnmarshalJSON(raw); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func cloneStore(t *testing.T, s *follow.Store) *follow.Store {
+	t.Helper()
+	raw, err := s.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := follow.NewStore()
+	if err := out.UnmarshalJSON(raw); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func storeDigest(t *testing.T, s *follow.Store) string {
+	t.Helper()
+	raw, err := s.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(raw)
+}
+
+// TestIndexContextCancelled: a cancelled context aborts the crawl with
+// its error instead of producing a partial result.
+func TestIndexContextCancelled(t *testing.T) {
+	root := buildLake(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := IndexContext(ctx, root, NewRegistry(), Config{}); err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestRegistryConcurrentUse exercises the shared-handle contract under
+// the race detector: readers (Snapshot, Lookup, Entries, MarshalJSON)
+// race claim mutations and Adds without corruption.
+func TestRegistryConcurrentUse(t *testing.T) {
+	reg := NewRegistry()
+	tpl := template.Struct(template.Field(), template.Lit(",\n")).Normalize()
+	base, _ := reg.Add([]*template.Node{tpl})
+
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				switch i % 4 {
+				case 0:
+					reg.Claim(base)
+				case 1:
+					for _, fi := range reg.Snapshot() {
+						_ = fi.Files
+					}
+				case 2:
+					variant := template.Struct(template.Lit(fmt.Sprintf("w%d-%d ", w, i)),
+						template.Field(), template.Lit("\n")).Normalize()
+					if e, _ := reg.Add([]*template.Node{variant}); e != nil {
+						reg.Claim(e)
+					}
+				case 3:
+					if _, err := reg.MarshalJSON(); err != nil {
+						t.Error(err)
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if reg.FilesClaimed(base) != 4*50 {
+		t.Fatalf("claims = %d, want %d", reg.FilesClaimed(base), 4*50)
+	}
+	if _, err := core.ApplyTemplatesParallel([]byte("x,\n"), reg.Entries()[0].Templates, 1); err != nil {
+		t.Fatalf("entry unusable after concurrent churn: %v", err)
+	}
+}

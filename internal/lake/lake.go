@@ -2,6 +2,7 @@ package lake
 
 import (
 	"bytes"
+	"context"
 	"io"
 	"io/fs"
 	"os"
@@ -12,6 +13,7 @@ import (
 	"sync"
 
 	"datamaran/internal/core"
+	"datamaran/internal/follow"
 	"datamaran/internal/pipeline"
 	"datamaran/internal/template"
 )
@@ -38,6 +40,14 @@ type Config struct {
 	// MatchThreshold is the minimum sample coverage fraction for a
 	// known profile to claim a file (<= 0 means DefaultMatchThreshold).
 	MatchThreshold float64
+	// Checkpoints, when non-nil, enables the incremental crawl: files
+	// whose checkpoint still matches the registry and the on-disk
+	// identity heuristics skip classification entirely and resume
+	// extraction at the checkpointed offset (unchanged files skip
+	// extraction altogether). Rotated, truncated or reclassified files
+	// fall back to the full path. The store is updated in place;
+	// persisting it is the caller's concern.
+	Checkpoints *follow.Store
 }
 
 func (c Config) withDefaults() Config {
@@ -97,11 +107,33 @@ type FileResult struct {
 	Fingerprint string
 	// Status reports how the file was handled.
 	Status Status
-	// Res holds the full-file extraction result (nil for unstructured
-	// or failed files).
+	// Res holds the extraction result (nil for unstructured, failed and
+	// incrementally-unchanged files). In an incremental crawl of a
+	// resumed file it covers only [checkpoint, EOF) — whole-file
+	// coordinates, with Inc carrying the finalized-prefix counts.
 	Res *core.Result
 	// Err is the failure for StatusFailed files.
 	Err error
+	// Inc describes the incremental handling (nil outside incremental
+	// crawls; set for structured files and for unchanged-unstructured
+	// skips).
+	Inc *IncInfo
+}
+
+// IncInfo is the incremental-crawl bookkeeping of one structured file.
+type IncInfo struct {
+	// Action says how the file was extracted (full, resumed,
+	// unchanged).
+	Action follow.Action
+	// Reason explains a full extraction: "new", "rotated", "truncated",
+	// "profile-gone" (checkpointed fingerprint no longer registered).
+	Reason string
+	// BaseRecords and BaseNoise count records and noise lines finalized
+	// before the region Res covers (0 for full extractions).
+	BaseRecords, BaseNoise int
+	// TotalRecords and TotalNoise are whole-file counts: Base plus the
+	// emitted region (for unchanged files, the checkpointed totals).
+	TotalRecords, TotalNoise int
 }
 
 // Summary aggregates one Index run.
@@ -120,6 +152,12 @@ type Summary struct {
 	FormatsDiscovered int
 	// CacheHits counts files claimed by a profile without discovery.
 	CacheHits int
+	// Resumed counts files whose extraction resumed at a checkpoint
+	// (incremental crawls only).
+	Resumed int
+	// Unchanged counts checkpointed files skipped entirely because
+	// nothing changed (incremental crawls only).
+	Unchanged int
 }
 
 // Result is a completed Index run.
@@ -143,6 +181,14 @@ type Result struct {
 // The classification phase runs sequentially in sorted path order, so
 // reg and all results are independent of cfg.Workers.
 func Index(root string, reg *Registry, cfg Config) (*Result, error) {
+	return IndexContext(context.Background(), root, reg, cfg)
+}
+
+// IndexContext is Index with cancellation: ctx is checked between files
+// in the classification phase and between files (and between shards, in
+// the per-file pipeline) in the extraction phase, so the daemon can
+// abort a long crawl within one shard of the cancel.
+func IndexContext(ctx context.Context, root string, reg *Registry, cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults()
 	paths, walkFails, err := crawl(root)
 	if err != nil {
@@ -150,13 +196,27 @@ func Index(root string, reg *Registry, cfg Config) (*Result, error) {
 	}
 
 	// Phase 1 — sequential classify/discover on bounded samples.
+	// Checkpointed files that still pass the identity heuristics skip
+	// this entirely: their claim is the checkpointed fingerprint.
 	files := make([]FileResult, len(paths))
 	entries := make([]*Entry, len(paths))
+	resumes := make([]*follow.Checkpoint, len(paths))
 	newFPs := map[string]bool{}
 	for i, rel := range paths {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		files[i] = FileResult{Path: rel}
 		full := filepath.Join(root, filepath.FromSlash(rel))
-		sample, size, err := readSample(full, cfg.SampleBytes)
+		fullReason := ""
+		if cfg.Checkpoints != nil {
+			done, reason := classifyFromCheckpoint(full, rel, reg, cfg, &files[i], &entries[i], &resumes[i])
+			if done {
+				continue
+			}
+			fullReason = reason
+		}
+		sample, size, err := ReadSample(full, cfg.SampleBytes)
 		files[i].Size = size
 		if err != nil {
 			files[i].Status = StatusFailed
@@ -165,13 +225,15 @@ func Index(root string, reg *Registry, cfg Config) (*Result, error) {
 		}
 		if len(sample) == 0 {
 			files[i].Status = StatusUnstructured
+			observeUnstructured(cfg, full, rel)
 			continue
 		}
-		if e := matchSample(sample, reg, cfg.MatchThreshold); e != nil {
-			e.Files++
+		if e := MatchSample(sample, reg, cfg.MatchThreshold); e != nil {
+			reg.Claim(e)
 			entries[i] = e
 			files[i].Status = StatusMatched
 			files[i].Fingerprint = e.Fingerprint
+			markFull(cfg, &files[i], fullReason)
 			continue
 		}
 		e, isNew, err := discoverSample(sample, reg, cfg.Core)
@@ -182,12 +244,14 @@ func Index(root string, reg *Registry, cfg Config) (*Result, error) {
 		}
 		if e == nil {
 			files[i].Status = StatusUnstructured
+			observeUnstructured(cfg, full, rel)
 			continue
 		}
-		e.Files++
+		reg.Claim(e)
 		entries[i] = e
 		files[i].Status = StatusDiscovered
 		files[i].Fingerprint = e.Fingerprint
+		markFull(cfg, &files[i], fullReason)
 		if isNew {
 			newFPs[e.Fingerprint] = true
 		}
@@ -198,13 +262,17 @@ func Index(root string, reg *Registry, cfg Config) (*Result, error) {
 	for _, wf := range walkFails {
 		files = append(files, FileResult{Path: wf.rel, Status: StatusFailed, Err: wf.err})
 		entries = append(entries, nil)
+		resumes = append(resumes, nil)
 	}
-	sortByPath(files, entries)
+	sortByPath(files, entries, resumes)
 
 	// Phase 2 — parallel full-file extraction of every claimed file.
 	// Each file is independent and its in-file pipeline runs with
 	// Workers=1, so scheduling cannot reorder or change anything.
-	extractAll(root, files, entries, cfg)
+	extractAll(ctx, root, files, entries, resumes, cfg)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
 	// A file that classified in phase 1 but failed extraction in phase
 	// 2 (rotated away, truncated mid-read) holds no format claim:
@@ -212,14 +280,129 @@ func Index(root string, reg *Registry, cfg Config) (*Result, error) {
 	// no contention with the just-finished pool.
 	for i := range files {
 		if files[i].Status == StatusFailed && entries[i] != nil {
-			entries[i].Files--
+			reg.Unclaim(entries[i])
 			files[i].Fingerprint = ""
 		}
+	}
+
+	// Checkpoints of files that left the lake are stale: prune them so
+	// the store tracks the crawl (a failed file keeps its checkpoint —
+	// it may be back next run).
+	if cfg.Checkpoints != nil {
+		crawled := make(map[string]bool, len(files))
+		for i := range files {
+			crawled[files[i].Path] = true
+		}
+		cfg.Checkpoints.Retain(func(p string) bool { return crawled[p] })
 	}
 
 	res := &Result{Files: files, NewFormats: newFPs}
 	res.Summary = summarize(files, reg, len(newFPs))
 	return res, nil
+}
+
+// observeUnstructured checkpoints a file that classified unstructured,
+// so the next incremental crawl can skip re-discovering it when it has
+// not changed. Observation failures are ignored: the worst case is a
+// repeated discovery attempt next run.
+func observeUnstructured(cfg Config, full, rel string) {
+	if cfg.Checkpoints == nil {
+		return
+	}
+	if cp, err := follow.Observe(full, rel); err == nil {
+		cfg.Checkpoints.Put(cp)
+	}
+}
+
+// markFull annotates a structured file that went down the full
+// classify/extract path during an incremental crawl.
+func markFull(cfg Config, fr *FileResult, reason string) {
+	if cfg.Checkpoints == nil {
+		return
+	}
+	if reason == "" {
+		reason = "new"
+	}
+	fr.Inc = &IncInfo{Action: follow.ActionFull, Reason: reason}
+}
+
+// classifyFromCheckpoint tries to claim one file through its checkpoint.
+// It returns done=true when the file is fully classified (resumed,
+// unchanged, or failed planning); otherwise the file takes the normal
+// sample path and reason explains why ("new", "rotated", "truncated",
+// "profile-gone").
+func classifyFromCheckpoint(full, rel string, reg *Registry, cfg Config, fr *FileResult, entry **Entry, resume **follow.Checkpoint) (done bool, reason string) {
+	cp := cfg.Checkpoints.Get(rel)
+	if cp == nil {
+		return false, "new"
+	}
+	if cp.Fingerprint == "" {
+		// Identity-only checkpoint of an unstructured file: unchanged
+		// means the (already failed) discovery attempt can be skipped;
+		// any change means reclassifying from scratch.
+		plan, err := follow.PlanFile(full, cp)
+		if err != nil {
+			fr.Status = StatusFailed
+			fr.Err = err
+			return true, ""
+		}
+		if plan.Action == follow.ActionUnchanged {
+			fr.Size = plan.Size
+			fr.Status = StatusUnstructured
+			fr.Inc = &IncInfo{Action: follow.ActionUnchanged}
+			return true, ""
+		}
+		cfg.Checkpoints.Delete(rel)
+		if reason = plan.Reason; reason == "" {
+			reason = "grown"
+		}
+		return false, reason
+	}
+	e := reg.Lookup(cp.Fingerprint)
+	if e == nil {
+		// The registry no longer knows the format (edited or replaced):
+		// the checkpoint's coordinates mean nothing now.
+		cfg.Checkpoints.Delete(rel)
+		return false, "profile-gone"
+	}
+	plan, err := follow.PlanFile(full, cp)
+	if err != nil {
+		fr.Status = StatusFailed
+		fr.Err = err
+		return true, ""
+	}
+	fr.Size = plan.Size
+	switch plan.Action {
+	case follow.ActionUnchanged:
+		reg.Claim(e)
+		fr.Status = StatusMatched
+		fr.Fingerprint = e.Fingerprint
+		fr.Inc = &IncInfo{
+			Action:       follow.ActionUnchanged,
+			BaseRecords:  cp.Records,
+			BaseNoise:    cp.Noise,
+			TotalRecords: cp.TotalRecords,
+			TotalNoise:   cp.TotalNoise,
+		}
+		return true, ""
+	case follow.ActionResume:
+		reg.Claim(e)
+		*entry = e
+		*resume = cp
+		fr.Status = StatusMatched
+		fr.Fingerprint = e.Fingerprint
+		fr.Inc = &IncInfo{
+			Action:      follow.ActionResume,
+			BaseRecords: cp.Records,
+			BaseNoise:   cp.Noise,
+		}
+		return true, ""
+	default:
+		// Rotation/truncation: the checkpoint is invalid; reclassify
+		// from scratch (the content may even be a different format now).
+		cfg.Checkpoints.Delete(rel)
+		return false, plan.Reason
+	}
 }
 
 // walkFailure is a directory entry the crawl could not reach.
@@ -273,8 +456,9 @@ func crawl(root string) ([]string, []walkFailure, error) {
 	return paths, fails, nil
 }
 
-// sortByPath co-sorts the file results and their registry entries.
-func sortByPath(files []FileResult, entries []*Entry) {
+// sortByPath co-sorts the file results, their registry entries and their
+// resume checkpoints.
+func sortByPath(files []FileResult, entries []*Entry, resumes []*follow.Checkpoint) {
 	order := make([]int, len(files))
 	for i := range order {
 		order[i] = i
@@ -282,22 +466,25 @@ func sortByPath(files []FileResult, entries []*Entry) {
 	sort.Slice(order, func(a, b int) bool { return files[order[a]].Path < files[order[b]].Path })
 	sortedF := make([]FileResult, len(files))
 	sortedE := make([]*Entry, len(entries))
+	sortedR := make([]*follow.Checkpoint, len(resumes))
 	for dst, src := range order {
 		sortedF[dst] = files[src]
 		sortedE[dst] = entries[src]
+		sortedR[dst] = resumes[src]
 	}
 	copy(files, sortedF)
 	copy(entries, sortedE)
+	copy(resumes, sortedR)
 }
 
-// readSample reads up to limit bytes of the file, trimmed back to the
+// ReadSample reads up to limit bytes of the file, trimmed back to the
 // last complete line when the file continues past the sample (a partial
 // trailing line would distort both matching and discovery). A file
 // whose first line alone exceeds the limit yields an empty sample — the
 // file classifies as unstructured rather than a format being invented
 // from a truncated line. The returned size is the file size observed by
 // the same open handle that produced the sample.
-func readSample(path string, limit int) ([]byte, int64, error) {
+func ReadSample(path string, limit int) ([]byte, int64, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, 0, err
@@ -324,10 +511,12 @@ func readSample(path string, limit int) ([]byte, int64, error) {
 	return sample[:i+1], size, nil // i == -1: no complete line, empty sample
 }
 
-// matchSample returns the registered profile with the best sample
+// MatchSample returns the registered profile with the best sample
 // coverage at or above the threshold (ties keep the earlier entry), or
-// nil when no profile claims the sample.
-func matchSample(sample []byte, reg *Registry, threshold float64) *Entry {
+// nil when no profile claims the sample. It only reads the registry —
+// safe to call concurrently with a crawl (the serve daemon classifies
+// ad-hoc lake paths with it).
+func MatchSample(sample []byte, reg *Registry, threshold float64) *Entry {
 	var best *Entry
 	bestCov := 0.0
 	for _, e := range reg.Entries() {
@@ -370,9 +559,9 @@ func discoverSample(sample []byte, reg *Registry, opts core.Options) (*Entry, bo
 	return e, isNew, nil
 }
 
-// extractAll runs the full-file profile extraction of every claimed
-// file over the worker pool, writing results into files by index.
-func extractAll(root string, files []FileResult, entries []*Entry, cfg Config) {
+// extractAll runs the profile extraction of every claimed file over the
+// worker pool, writing results into files by index.
+func extractAll(ctx context.Context, root string, files []FileResult, entries []*Entry, resumes []*follow.Checkpoint, cfg Config) {
 	indices := make(chan int)
 	var wg sync.WaitGroup
 	for w := 0; w < cfg.Workers; w++ {
@@ -380,12 +569,15 @@ func extractAll(root string, files []FileResult, entries []*Entry, cfg Config) {
 		go func() {
 			defer wg.Done()
 			for i := range indices {
-				extractOne(root, &files[i], entries[i], cfg)
+				extractOne(ctx, root, &files[i], entries[i], resumes[i], cfg)
 			}
 		}()
 	}
 	for i := range files {
 		if entries[i] != nil {
+			if ctx.Err() != nil {
+				break
+			}
 			indices <- i
 		}
 	}
@@ -394,9 +586,25 @@ func extractAll(root string, files []FileResult, entries []*Entry, cfg Config) {
 }
 
 // extractOne streams one claimed file through the discovery-free
-// pipeline with its format's templates.
-func extractOne(root string, fr *FileResult, e *Entry, cfg Config) {
+// pipeline with its format's templates. In an incremental crawl the
+// extraction goes through the follow layer, which resumes at the
+// file's checkpoint (when one survived planning) and records the
+// successor checkpoint.
+func extractOne(ctx context.Context, root string, fr *FileResult, e *Entry, resume *follow.Checkpoint, cfg Config) {
 	full := filepath.Join(root, filepath.FromSlash(fr.Path))
+	if cfg.Checkpoints != nil {
+		res, ncp, err := follow.Extract(ctx, full, fr.Path, e.Templates, e.Fingerprint, resume, follow.Config{Workers: 1})
+		if err != nil {
+			fr.Status = StatusFailed
+			fr.Err = err
+			return
+		}
+		cfg.Checkpoints.Put(ncp)
+		fr.Res = res
+		fr.Inc.TotalRecords = fr.Inc.BaseRecords + len(res.Records)
+		fr.Inc.TotalNoise = fr.Inc.BaseNoise + len(res.NoiseLines)
+		return
+	}
 	f, err := os.Open(full)
 	if err != nil {
 		fr.Status = StatusFailed
@@ -404,7 +612,7 @@ func extractOne(root string, fr *FileResult, e *Entry, cfg Config) {
 		return
 	}
 	defer f.Close()
-	res, err := pipeline.Run(f, pipeline.Config{
+	res, err := pipeline.RunContext(ctx, f, pipeline.Config{
 		Core:      cfg.Core,
 		Templates: e.Templates,
 		Workers:   1, // parallelism lives at the file level
@@ -431,6 +639,14 @@ func summarize(files []FileResult, reg *Registry, discovered int) Summary {
 			s.Unstructured++
 		case StatusFailed:
 			s.Failed++
+		}
+		if f.Inc != nil && f.Status != StatusFailed {
+			switch f.Inc.Action {
+			case follow.ActionResume:
+				s.Resumed++
+			case follow.ActionUnchanged:
+				s.Unchanged++
+			}
 		}
 	}
 	return s

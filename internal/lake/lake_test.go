@@ -240,14 +240,14 @@ func TestReadSampleTrimsToLine(t *testing.T) {
 	if err := os.WriteFile(p, []byte("aaaa\nbbbb\ncccc\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	sample, _, err := readSample(p, 7) // cuts inside the second line
+	sample, _, err := ReadSample(p, 7) // cuts inside the second line
 	if err != nil {
 		t.Fatal(err)
 	}
 	if string(sample) != "aaaa\n" {
 		t.Fatalf("sample = %q, want first complete line only", sample)
 	}
-	whole, size, err := readSample(p, 1<<20)
+	whole, size, err := ReadSample(p, 1<<20)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -264,7 +264,7 @@ func TestReadSampleTrimsToLine(t *testing.T) {
 	if err := os.WriteFile(long, []byte(strings.Repeat("x", 64)+"\nshort\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	s, _, err := readSample(long, 16)
+	s, _, err := ReadSample(long, 16)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sync"
 
 	"datamaran/internal/template"
 )
@@ -15,6 +16,10 @@ import (
 const registryVersion = 1
 
 // Entry is one known format: an ordered template set plus bookkeeping.
+// Fingerprint and Templates are immutable once registered and safe to
+// read from any goroutine; the claim counter is owned by the registry —
+// use Claim/Unclaim to change it and Snapshot (or FilesClaimed) to read
+// it while a crawl may be running.
 type Entry struct {
 	// Fingerprint identifies the template set (see Fingerprint).
 	Fingerprint string
@@ -28,7 +33,12 @@ type Entry struct {
 // Registry is the persistent profile store: formats in first-registered
 // order, addressable by fingerprint. The zero value is not usable; call
 // NewRegistry or LoadRegistry.
+//
+// A Registry handle is safe for concurrent use: the serve daemon shares
+// one handle between request handlers and the background incremental
+// crawl, so every read and mutation goes through the registry's lock.
 type Registry struct {
+	mu      sync.RWMutex
 	entries []*Entry
 	byFP    map[string]*Entry
 }
@@ -39,19 +49,36 @@ func NewRegistry() *Registry {
 }
 
 // Entries lists the registry's formats in first-registered order. The
-// slice is shared; callers must not mutate it.
-func (r *Registry) Entries() []*Entry { return r.entries }
+// returned slice is a snapshot owned by the caller; the entries it points
+// at are shared (their template sets are immutable).
+func (r *Registry) Entries() []*Entry {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]*Entry, len(r.entries))
+	copy(out, r.entries)
+	return out
+}
 
 // Len reports the number of known formats.
-func (r *Registry) Len() int { return len(r.entries) }
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.entries)
+}
 
 // Lookup returns the entry with the given fingerprint, or nil.
-func (r *Registry) Lookup(fp string) *Entry { return r.byFP[fp] }
+func (r *Registry) Lookup(fp string) *Entry {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.byFP[fp]
+}
 
 // Add registers a template set, returning its entry and whether it was
 // new. An already-known fingerprint returns the existing entry.
 func (r *Registry) Add(templates []*template.Node) (*Entry, bool) {
 	fp := Fingerprint(templates)
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	if e, ok := r.byFP[fp]; ok {
 		return e, false
 	}
@@ -63,6 +90,51 @@ func (r *Registry) Add(templates []*template.Node) (*Entry, bool) {
 	r.entries = append(r.entries, e)
 	r.byFP[fp] = e
 	return e, true
+}
+
+// Claim counts one more file against e. Unclaim releases a claim (a file
+// that classified but failed extraction holds no claim).
+func (r *Registry) Claim(e *Entry) {
+	r.mu.Lock()
+	e.Files++
+	r.mu.Unlock()
+}
+
+// Unclaim undoes one Claim.
+func (r *Registry) Unclaim(e *Entry) {
+	r.mu.Lock()
+	e.Files--
+	r.mu.Unlock()
+}
+
+// FilesClaimed reads e's claim counter under the registry lock.
+func (r *Registry) FilesClaimed(e *Entry) int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return e.Files
+}
+
+// FormatInfo is a point-in-time copy of one registry entry, safe to use
+// without further locking.
+type FormatInfo struct {
+	// Fingerprint identifies the format.
+	Fingerprint string
+	// Files is the claim counter at snapshot time.
+	Files int
+	// Templates is the format's (immutable) template set.
+	Templates []*template.Node
+}
+
+// Snapshot copies the registry's current contents — the consistent read
+// used by the serve daemon while a crawl may be mutating claim counters.
+func (r *Registry) Snapshot() []FormatInfo {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]FormatInfo, 0, len(r.entries))
+	for _, e := range r.entries {
+		out = append(out, FormatInfo{Fingerprint: e.Fingerprint, Files: e.Files, Templates: e.Templates})
+	}
+	return out
 }
 
 // registryJSON is the serialized registry.
@@ -84,6 +156,8 @@ type registryProf struct {
 // reproducible across runs and worker counts. (Compact — encoding/json
 // re-compacts a Marshaler's output anyway; Save indents the file form.)
 func (r *Registry) MarshalJSON() ([]byte, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	rj := registryJSON{Version: registryVersion, Profiles: []registryProf{}}
 	for _, e := range r.entries {
 		p := registryProf{Fingerprint: e.Fingerprint, Files: e.Files}
@@ -103,6 +177,8 @@ func (r *Registry) MarshalJSON() ([]byte, error) {
 // missing, non-integer or unknown version values rather than guessing
 // at future formats.
 func (r *Registry) UnmarshalJSON(data []byte) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	var ver struct {
 		Version *int `json:"version"`
 	}

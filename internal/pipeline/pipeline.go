@@ -27,6 +27,7 @@ package pipeline
 
 import (
 	"bytes"
+	"context"
 	"io"
 	"runtime"
 	"sync"
@@ -77,6 +78,37 @@ type Config struct {
 	// workflow). No prefix is buffered: the input streams through in
 	// one pass from the first byte.
 	Templates []*template.Node
+	// BaseLine and BaseByte shift every output coordinate (record
+	// lines, field byte offsets, noise line indices) as if the stream
+	// had been preceded by BaseLine lines spanning BaseByte bytes. This
+	// is the resume-at-offset entry point of the incremental ingestion
+	// layer (internal/follow): re-extracting only the grown suffix of a
+	// file yields records in whole-file coordinates. The reader must
+	// start at a line boundary. Only meaningful with Templates set
+	// (discovery on a suffix would not see the file's structure).
+	BaseLine int
+	BaseByte int
+	// Boundary, when non-nil, receives the stable checkpoint boundary:
+	// the earliest original coordinate (line index and byte offset)
+	// whose final classification could still change if the input grew
+	// past its current end. Every record and noise line strictly below
+	// the boundary is final: re-running extraction on [Boundary.Byte,
+	// ∞) of a grown input reproduces, together with the already-final
+	// prefix, exactly the one-shot extraction of the whole input. The
+	// boundary always falls on a line start (or end of input) and never
+	// splits a record of any stage.
+	Boundary *Boundary
+}
+
+// Boundary is a stable resume point in original-stream coordinates (see
+// Config.Boundary).
+type Boundary struct {
+	// Line is the original index of the first line whose outcome is not
+	// yet stable (== the total line count when everything is stable).
+	Line int
+	// Byte is the original byte offset of that line's first byte (== the
+	// total byte count when everything is stable).
+	Byte int
 }
 
 func (c Config) withDefaults() Config {
@@ -132,6 +164,14 @@ type engine struct {
 // cfg.Templates set, discovery is skipped and the templates are applied
 // directly (the streaming core.ApplyTemplates).
 func Run(r io.Reader, cfg Config) (*core.Result, error) {
+	return RunContext(context.Background(), r, cfg)
+}
+
+// RunContext is Run with cancellation: ctx is checked between shards and
+// between per-stage batches, so a long crawl or a served extraction
+// aborts within one shard of the cancel. The discovery pass on the
+// bounded prefix is not interruptible mid-search.
+func RunContext(ctx context.Context, r io.Reader, cfg Config) (*core.Result, error) {
 	cfg = cfg.withDefaults()
 	cr := textio.NewChunkReader(r, cfg.ShardSize)
 
@@ -170,7 +210,7 @@ func Run(r io.Reader, cfg Config) (*core.Result, error) {
 	}
 
 	// Phase 3: staged streaming extraction over prefix + remainder.
-	e := &engine{cfg: cfg}
+	e := &engine{cfg: cfg, nextLine: cfg.BaseLine, nextByte: cfg.BaseByte}
 	for i, s := range structures {
 		e.stages = append(e.stages, &stage{m: parser.NewMatcher(s.Template), typeID: i})
 	}
@@ -182,6 +222,9 @@ func Run(r io.Reader, cfg Config) (*core.Result, error) {
 		}
 	}
 	for readErr == nil {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		chunk, err := cr.Next()
 		if err != nil {
 			readErr = err
@@ -195,8 +238,29 @@ func Run(r io.Reader, cfg Config) (*core.Result, error) {
 	if readErr != io.EOF {
 		return nil, readErr
 	}
-	if e.nextLine == 0 {
+	if e.nextLine == cfg.BaseLine {
 		return nil, core.ErrEmptyInput
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if cfg.Boundary != nil {
+		// Checkpoint snapshot: drain every stage's decidable prefix
+		// with non-final batches (in stage order, so cascaded residue
+		// lands before the downstream stage runs), then read off the
+		// earliest still-undecided coordinate. Everything the non-final
+		// batches defer — truncated match attempts, matches flushing
+		// against the window's end, the unterminated tail line — is
+		// exactly what more input could change, so the minimum window
+		// start over all stages is the stable resume point. The final
+		// flush below still emits those deferred decisions, so the
+		// result itself is unchanged by taking the snapshot.
+		for t := range e.stages {
+			if err := e.process(t, false); err != nil {
+				return nil, err
+			}
+		}
+		*cfg.Boundary = e.boundary()
 	}
 	// Final flush, in stage order so cascaded residue is complete.
 	for t := range e.stages {
@@ -215,6 +279,24 @@ func Run(r io.Reader, cfg Config) (*core.Result, error) {
 		res.Records = append(res.Records, st.recs...)
 	}
 	return res, nil
+}
+
+// boundary returns the earliest original coordinate still held in any
+// stage's residue window — the stable checkpoint boundary once every
+// stage has drained its decidable prefix. With every window empty, the
+// whole input is stable and the boundary is its end. A window's first
+// line is always the earliest undecided line of its stage, and no
+// finalized record of any stage spans across another stage's window
+// start (cascade order delivers lines to each stage strictly in
+// original order), so the minimum is a safe cut for all stages at once.
+func (e *engine) boundary() Boundary {
+	b := Boundary{Line: e.nextLine, Byte: e.nextByte}
+	for _, st := range e.stages {
+		if len(st.meta) > 0 && st.meta[0].orig < b.Line {
+			b = Boundary{Line: st.meta[0].orig, Byte: st.meta[0].start}
+		}
+	}
+	return b
 }
 
 // feed appends one line-aligned input block to stage 0 (or straight to

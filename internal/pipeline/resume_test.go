@@ -1,0 +1,159 @@
+package pipeline
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"datamaran/internal/core"
+	"datamaran/internal/datagen"
+	"datamaran/internal/template"
+	"datamaran/internal/textio"
+)
+
+// discoverTemplates learns the template set of data once for the resume
+// tests.
+func discoverTemplates(t *testing.T, data []byte) []*template.Node {
+	t.Helper()
+	disc, err := core.Extract(data, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(disc.Structures) == 0 {
+		t.Fatal("test is vacuous: no structures")
+	}
+	var tpls []*template.Node
+	for _, s := range disc.Structures {
+		tpls = append(tpls, s.Template)
+	}
+	return tpls
+}
+
+// TestRunContextCancelled verifies a cancelled context aborts the run
+// instead of extracting to EOF.
+func TestRunContextCancelled(t *testing.T) {
+	d := datagen.CommaSepRecords(500, 1)
+	tpls := discoverTemplates(t, d.Data)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := RunContext(ctx, bytes.NewReader(d.Data), Config{
+		ShardSize: 64,
+		Templates: tpls,
+	})
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestBaseOffsetsShiftCoordinates checks the resume-at-offset entry
+// point: extracting a suffix with BaseLine/BaseByte set reproduces the
+// whole-file run's records and noise for that suffix, in whole-file
+// coordinates.
+func TestBaseOffsetsShiftCoordinates(t *testing.T) {
+	d := datagen.CommaSepRecords(200, 7)
+	tpls := discoverTemplates(t, d.Data)
+	full, err := Run(bytes.NewReader(d.Data), Config{ShardSize: 256, Templates: tpls})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := textio.NewLines(d.Data)
+	cutLine := lines.N() / 3
+	cutByte := lines.Start(cutLine)
+	got, err := Run(bytes.NewReader(d.Data[cutByte:]), Config{
+		ShardSize: 256,
+		Templates: tpls,
+		BaseLine:  cutLine,
+		BaseByte:  cutByte,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wantRecs []core.RecordOut
+	for _, r := range full.Records {
+		if r.StartLine >= cutLine {
+			wantRecs = append(wantRecs, r)
+		}
+	}
+	if !reflect.DeepEqual(got.Records, wantRecs) {
+		t.Fatalf("resumed records = %d, want %d (first diff: %+v)",
+			len(got.Records), len(wantRecs), firstDiff(got.Records, wantRecs))
+	}
+	var wantNoise []int
+	for _, n := range full.NoiseLines {
+		if n >= cutLine {
+			wantNoise = append(wantNoise, n)
+		}
+	}
+	if !reflect.DeepEqual(got.NoiseLines, wantNoise) {
+		t.Fatalf("resumed noise = %v, want %v", got.NoiseLines, wantNoise)
+	}
+}
+
+func firstDiff(got, want []core.RecordOut) string {
+	for i := range want {
+		if i >= len(got) {
+			return fmt.Sprintf("missing record %d: %+v", i, want[i])
+		}
+		if !reflect.DeepEqual(got[i], want[i]) {
+			return fmt.Sprintf("record %d: got %+v want %+v", i, got[i], want[i])
+		}
+	}
+	return "extra records"
+}
+
+// TestBoundarySnapshotInvariance: requesting the stable boundary must not
+// change the extraction result, and the boundary must land on a line
+// start with no record of any type straddling it.
+func TestBoundarySnapshotInvariance(t *testing.T) {
+	inputs := map[string][]byte{
+		"interleaved": datagen.InterleavedTypes(2, 120, 3).Data,
+		"noisy":       noisyCommaData(300),
+		"unterminated": append(datagen.CommaSepRecords(50, 2).Data,
+			[]byte("7,8")...), // no trailing newline
+	}
+	for name, data := range inputs {
+		tpls := discoverTemplates(t, data)
+		want, err := Run(bytes.NewReader(data), Config{ShardSize: 512, Templates: tpls})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var b Boundary
+		got, err := Run(bytes.NewReader(data), Config{
+			ShardSize: 512,
+			Templates: tpls,
+			Boundary:  &b,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertEquivalent(t, name+"/with-boundary", want, got)
+
+		lines := textio.NewLines(data)
+		if b.Line < 0 || b.Line > lines.N() {
+			t.Fatalf("%s: boundary line %d out of range [0,%d]", name, b.Line, lines.N())
+		}
+		if lines.Start(b.Line) != b.Byte {
+			t.Fatalf("%s: boundary byte %d != start of line %d (%d)",
+				name, b.Byte, b.Line, lines.Start(b.Line))
+		}
+		for _, r := range got.Records {
+			if r.StartLine < b.Line && r.EndLine > b.Line {
+				t.Fatalf("%s: record %+v straddles boundary line %d", name, r, b.Line)
+			}
+		}
+	}
+}
+
+func noisyCommaData(rows int) []byte {
+	var sb strings.Builder
+	for i := 0; i < rows; i++ {
+		fmt.Fprintf(&sb, "%d,%d,%d\n", i, i*3, i*7)
+		if i%4 == 0 {
+			fmt.Fprintf(&sb, "### garbage %d\n", i)
+		}
+	}
+	return []byte(sb.String())
+}

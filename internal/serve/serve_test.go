@@ -1,0 +1,322 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"datamaran"
+)
+
+// buildLake writes a small two-format lake plus noise.
+func buildLake(t *testing.T) string {
+	t.Helper()
+	root := t.TempDir()
+	write := func(rel, content string) {
+		t.Helper()
+		p := filepath.Join(root, filepath.FromSlash(rel))
+		if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for f := 1; f <= 2; f++ {
+		rng := rand.New(rand.NewSource(int64(f)))
+		var b strings.Builder
+		for i := 0; i < 150; i++ {
+			fmt.Fprintf(&b, "metric|cpu%d|%d.%02d|\n", rng.Intn(8), rng.Intn(100), rng.Intn(100))
+		}
+		write(fmt.Sprintf("metrics/m-%d.log", f), b.String())
+	}
+	for f := 1; f <= 2; f++ {
+		rng := rand.New(rand.NewSource(int64(10 + f)))
+		var b strings.Builder
+		for i := 0; i < 150; i++ {
+			fmt.Fprintf(&b, "%s /api/v%d/item/%d %d\n",
+				[]string{"GET", "PUT"}[rng.Intn(2)], 1+rng.Intn(2), rng.Intn(9999),
+				[]int{200, 404}[rng.Intn(2)])
+		}
+		write(fmt.Sprintf("web/r-%d.log", f), b.String())
+	}
+	write("znotes.txt", `These logs were collected from the staging cluster.
+Rotate anything older than thirty days; ask Dana first!
+(The metrics tier moved to pull-based scraping in March.)
+metrics/ holds the gauge dumps, one reading per line
+web/ is the edge tier; latency units are milliseconds
+TODO: fold the db01 host metrics into their own directory?
+`)
+	return root
+}
+
+// newServer builds a Server over a fresh lake and runs the initial
+// reindex through the HTTP surface.
+func newServer(t *testing.T) (*Server, string) {
+	t.Helper()
+	root := buildLake(t)
+	state := t.TempDir()
+	s, err := New(Config{
+		Root:           root,
+		RegistryPath:   filepath.Join(state, "registry.json"),
+		CheckpointPath: filepath.Join(state, "checkpoints.json"),
+		Workers:        2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := do(t, s, "POST", "/reindex", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("initial reindex: %d %s", rec.Code, rec.Body)
+	}
+	return s, root
+}
+
+// do runs one request through the handler.
+func do(t *testing.T, s *Server, method, target string, body []byte) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(method, target, bytes.NewReader(body))
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, req)
+	return rec
+}
+
+// formats fetches and parses /formats.
+func formats(t *testing.T, s *Server) []formatJSON {
+	t.Helper()
+	rec := do(t, s, "GET", "/formats", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/formats: %d %s", rec.Code, rec.Body)
+	}
+	var out struct {
+		Formats []formatJSON `json:"formats"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	return out.Formats
+}
+
+// TestReindexAndFormats drives the daemon lifecycle: crawl, list,
+// no-op recrawl (all unchanged), state persisted to disk.
+func TestReindexAndFormats(t *testing.T) {
+	s, _ := newServer(t)
+	fs := formats(t, s)
+	if len(fs) != 2 {
+		t.Fatalf("formats = %d, want 2", len(fs))
+	}
+	for _, f := range fs {
+		if f.Files != 2 || len(f.Templates) == 0 || len(f.Fingerprint) != 16 {
+			t.Fatalf("bad format entry: %+v", f)
+		}
+	}
+
+	rec := do(t, s, "POST", "/reindex", nil)
+	var sum reindexJSON
+	if err := json.Unmarshal(rec.Body.Bytes(), &sum); err != nil {
+		t.Fatal(err)
+	}
+	if sum.Files != 5 || sum.Unchanged != 5 || sum.Resumed != 0 || sum.Failed != 0 {
+		t.Fatalf("no-op reindex summary: %+v", sum)
+	}
+
+	// Both stores must exist on disk after a reindex.
+	for _, p := range []string{s.cfg.RegistryPath, s.cfg.CheckpointPath} {
+		if _, err := os.Stat(p); err != nil {
+			t.Fatalf("state not persisted: %v", err)
+		}
+	}
+}
+
+// TestServedExtractionMatchesPublicAPI is the served-vs-CLI oracle: the
+// profile fetched from /formats/{fp} must load as a datamaran.Profile,
+// and the served CSV and NDJSON of a lake file must agree byte-for-byte
+// (CSV) and record-for-record (NDJSON) with the public API applying
+// that same profile.
+func TestServedExtractionMatchesPublicAPI(t *testing.T) {
+	s, root := newServer(t)
+	var metricsFP string
+	for _, f := range formats(t, s) {
+		if strings.Contains(f.Templates[0], "|") {
+			metricsFP = f.Fingerprint
+		}
+	}
+	if metricsFP == "" {
+		t.Fatal("metrics format not registered")
+	}
+
+	rec := do(t, s, "GET", "/formats/"+metricsFP, nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/formats/{fp}: %d %s", rec.Code, rec.Body)
+	}
+	var p datamaran.Profile
+	if err := json.Unmarshal(rec.Body.Bytes(), &p); err != nil {
+		t.Fatalf("served profile does not load as datamaran.Profile: %v", err)
+	}
+	if p.Fingerprint() != metricsFP {
+		t.Fatalf("served profile fingerprint %s, want %s", p.Fingerprint(), metricsFP)
+	}
+
+	data, err := os.ReadFile(filepath.Join(root, "metrics/m-1.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := datamaran.ExtractWithProfile(data, &p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wantCSV bytes.Buffer
+	if err := want.Tables()[0].WriteCSV(&wantCSV); err != nil {
+		t.Fatal(err)
+	}
+
+	// CSV via uploaded body and via lake path must both match the
+	// public API bytes.
+	for _, target := range []string{
+		"/extract?format=" + metricsFP + "&output=csv&table=type0",
+		"/lake/extract?path=metrics/m-1.log&output=csv&table=type0",
+	} {
+		method, body := "GET", []byte(nil)
+		if strings.HasPrefix(target, "/extract") {
+			method, body = "POST", data
+		}
+		rec := do(t, s, method, target, body)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("%s: %d %s", target, rec.Code, rec.Body)
+		}
+		if !bytes.Equal(rec.Body.Bytes(), wantCSV.Bytes()) {
+			t.Fatalf("%s: served CSV differs from public API CSV", target)
+		}
+	}
+
+	// NDJSON record stream must carry the same records.
+	rec = do(t, s, "POST", "/extract?format="+metricsFP+"&output=ndjson", data)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("ndjson: %d %s", rec.Code, rec.Body)
+	}
+	lines := strings.Split(strings.TrimSuffix(rec.Body.String(), "\n"), "\n")
+	if len(lines) != len(want.Records) {
+		t.Fatalf("ndjson records = %d, want %d", len(lines), len(want.Records))
+	}
+	for i, line := range lines {
+		var rj recordJSON
+		if err := json.Unmarshal([]byte(line), &rj); err != nil {
+			t.Fatalf("ndjson line %d: %v", i, err)
+		}
+		w := want.Records[i]
+		if rj.StartLine != w.StartLine || rj.EndLine != w.EndLine || len(rj.Fields) != len(w.Fields) {
+			t.Fatalf("ndjson record %d = %+v, want %+v", i, rj, w)
+		}
+		for j, f := range rj.Fields {
+			if f.Value != w.Fields[j].Value || f.Start != w.Fields[j].Start {
+				t.Fatalf("ndjson record %d field %d = %+v, want %+v", i, j, f, w.Fields[j])
+			}
+		}
+	}
+}
+
+// TestLakeExtractGuards covers path traversal, hidden entries, missing
+// files and unknown formats.
+func TestLakeExtractGuards(t *testing.T) {
+	s, _ := newServer(t)
+	cases := map[string]int{
+		"/lake/extract?path=../secret":                               http.StatusBadRequest,
+		"/lake/extract?path=/etc/passwd":                             http.StatusBadRequest,
+		"/lake/extract?path=.hidden/x.log":                           http.StatusBadRequest,
+		"/lake/extract?path=":                                        http.StatusBadRequest,
+		"/lake/extract?path=metrics/nope.log":                        http.StatusNotFound,
+		"/lake/extract?path=znotes.txt":                              http.StatusUnprocessableEntity,
+		"/extract?format=0123456789abcdef":                           http.StatusNotFound,
+		"/formats/ffffffffffffffff":                                  http.StatusNotFound,
+		"/lake/extract?path=metrics/m-1.log&format=ffffffffffffffff": http.StatusNotFound,
+	}
+	for target, want := range cases {
+		method := "GET"
+		var body []byte
+		if strings.HasPrefix(target, "/extract") {
+			method, body = "POST", []byte("x\n")
+		}
+		if rec := do(t, s, method, target, body); rec.Code != want {
+			t.Errorf("%s: status %d, want %d", target, rec.Code, want)
+		}
+	}
+}
+
+// TestReindexCancellation: a cancelled request context aborts the crawl
+// and reports it, and the aborted crawl leaves the served state exactly
+// as the last completed run left it (crawls mutate clones, not the
+// shared handles).
+func TestReindexCancellation(t *testing.T) {
+	s, _ := newServer(t)
+	before := do(t, s, "GET", "/formats", nil).Body.String()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	req := httptest.NewRequest("POST", "/reindex", nil).WithContext(ctx)
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, req)
+	if rec.Code != 499 {
+		t.Fatalf("cancelled reindex: %d %s", rec.Code, rec.Body)
+	}
+
+	if after := do(t, s, "GET", "/formats", nil).Body.String(); after != before {
+		t.Fatalf("aborted reindex mutated served state:\nbefore: %s\nafter: %s", before, after)
+	}
+	// A clean reindex afterwards must still report every file unchanged
+	// — no orphaned claims, no lost checkpoints.
+	var sum reindexJSON
+	if err := json.Unmarshal(do(t, s, "POST", "/reindex", nil).Body.Bytes(), &sum); err != nil {
+		t.Fatal(err)
+	}
+	if sum.Unchanged != sum.Files || sum.Failed != 0 {
+		t.Fatalf("reindex after abort: %+v", sum)
+	}
+}
+
+// TestEmptyBodyExtract reports cleanly instead of hanging or panicking.
+func TestEmptyBodyExtract(t *testing.T) {
+	s, _ := newServer(t)
+	fp := formats(t, s)[0].Fingerprint
+	if rec := do(t, s, "POST", "/extract?format="+fp, nil); rec.Code != http.StatusBadRequest {
+		t.Fatalf("empty body: %d %s", rec.Code, rec.Body)
+	}
+}
+
+// TestReindexSeesGrowth: append to a lake file, reindex through the
+// daemon, and the response reports one resumed file; the lake extract
+// of that file then reflects the appended records.
+func TestReindexSeesGrowth(t *testing.T) {
+	s, root := newServer(t)
+	path := filepath.Join(root, "metrics/m-1.log")
+	before := do(t, s, "GET", "/lake/extract?path=metrics/m-1.log", nil)
+	nBefore := strings.Count(before.Body.String(), "\n")
+
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Fprintf(f, "metric|cpu9|99.99|\nmetric|cpu8|11.11|\n")
+	f.Close()
+
+	rec := do(t, s, "POST", "/reindex", nil)
+	var sum reindexJSON
+	if err := json.Unmarshal(rec.Body.Bytes(), &sum); err != nil {
+		t.Fatal(err)
+	}
+	if sum.Resumed != 1 || sum.Unchanged != sum.Files-1 {
+		t.Fatalf("growth reindex summary: %+v", sum)
+	}
+
+	after := do(t, s, "GET", "/lake/extract?path=metrics/m-1.log", nil)
+	if nAfter := strings.Count(after.Body.String(), "\n"); nAfter != nBefore+2 {
+		t.Fatalf("records after growth = %d, want %d", nAfter, nBefore+2)
+	}
+}

@@ -1,0 +1,568 @@
+// Package serve exposes a data lake's profile registry and extraction
+// engine over HTTP — the query half of the incremental ingestion
+// subsystem (internal/follow provides the write half). A Server owns a
+// lake directory plus one shared registry/checkpoint handle; request
+// handlers stream extraction output (NDJSON or CSV) while POST /reindex
+// runs the incremental crawl on the same handles, so discovery keeps
+// amortizing across requests the way the paper's learn-once,
+// apply-many workflow intends.
+//
+// Endpoints:
+//
+//	GET  /healthz                 liveness probe
+//	GET  /formats                 registry listing (JSON)
+//	GET  /formats/{fp}            one profile (JSON, loadable by the CLI's -profile)
+//	POST /extract?format={fp}     extract the request body with a profile
+//	GET  /lake/extract?path=...   extract a lake file (format inferred)
+//	POST /reindex                 run the incremental crawl, persist, report
+//
+// Extraction responses are deterministic: worker counts never change
+// output, so served bytes are byte-identical to the CLI's for the same
+// input and profile.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path"
+	"path/filepath"
+	"strings"
+	"sync"
+
+	"datamaran/internal/core"
+	"datamaran/internal/follow"
+	"datamaran/internal/lake"
+	"datamaran/internal/pipeline"
+	"datamaran/internal/relational"
+	"datamaran/internal/template"
+)
+
+// Config parameterizes a Server.
+type Config struct {
+	// Root is the lake directory served and crawled.
+	Root string
+	// RegistryPath is the persistent profile registry. Empty keeps the
+	// registry in memory only (lost on restart).
+	RegistryPath string
+	// CheckpointPath is the persistent checkpoint store of the
+	// incremental crawl. Empty keeps checkpoints in memory only.
+	CheckpointPath string
+	// Workers is the extraction parallelism for requests and crawls
+	// (0 means all cores). Worker count never changes any output.
+	Workers int
+	// Core holds the discovery options used when /reindex meets a new
+	// format.
+	Core core.Options
+	// SampleBytes and MatchThreshold parameterize classification, as in
+	// lake.Config.
+	SampleBytes    int
+	MatchThreshold float64
+}
+
+// Server is the long-running daemon state: the shared registry and
+// checkpoint handles, guarded for concurrent use by request handlers
+// and the crawl.
+type Server struct {
+	cfg Config
+	// mu guards the handle pointers: a crawl runs on clones and swaps
+	// them in only on success, so an aborted /reindex (client
+	// disconnect mid-crawl) can never leave the served state partially
+	// mutated. Handlers snapshot a handle once per request; an
+	// in-flight request keeps reading its (internally consistent) old
+	// handle across a swap.
+	mu  sync.RWMutex
+	reg *lake.Registry
+	cps *follow.Store
+	// reindexMu serializes crawls; persistMu serializes saves of the
+	// registry/checkpoint files.
+	reindexMu sync.Mutex
+	persistMu sync.Mutex
+}
+
+// New loads the registry and checkpoint store and returns a Server.
+func New(cfg Config) (*Server, error) {
+	info, err := os.Stat(cfg.Root)
+	if err != nil {
+		return nil, err
+	}
+	if !info.IsDir() {
+		return nil, fmt.Errorf("serve: root %s is not a directory", cfg.Root)
+	}
+	reg := lake.NewRegistry()
+	if cfg.RegistryPath != "" {
+		if reg, err = lake.LoadRegistry(cfg.RegistryPath); err != nil {
+			return nil, err
+		}
+	}
+	cps := follow.NewStore()
+	if cfg.CheckpointPath != "" {
+		if cps, err = follow.LoadStore(cfg.CheckpointPath); err != nil {
+			return nil, err
+		}
+	}
+	return &Server{cfg: cfg, reg: reg, cps: cps}, nil
+}
+
+// Registry exposes the shared registry handle (for tests and embedding).
+func (s *Server) Registry() *lake.Registry { return s.registry() }
+
+// registry and checkpoints snapshot the current handles.
+func (s *Server) registry() *lake.Registry {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.reg
+}
+
+func (s *Server) checkpoints() *follow.Store {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.cps
+}
+
+// Handler returns the daemon's HTTP handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		io.WriteString(w, "ok\n")
+	})
+	mux.HandleFunc("GET /formats", s.handleFormats)
+	mux.HandleFunc("GET /formats/{fp}", s.handleFormat)
+	mux.HandleFunc("POST /extract", s.handleExtractBody)
+	mux.HandleFunc("GET /lake/extract", s.handleExtractLake)
+	mux.HandleFunc("POST /reindex", s.handleReindex)
+	return mux
+}
+
+// formatJSON is one /formats entry.
+type formatJSON struct {
+	Fingerprint string   `json:"fingerprint"`
+	Files       int      `json:"files"`
+	Templates   []string `json:"templates"`
+}
+
+// handleFormats lists the registry: fingerprints in first-registered
+// order with claim counts and templates in the paper's notation. The
+// output is deterministic (no timestamps, stable order), so it diffs
+// cleanly against goldens.
+func (s *Server) handleFormats(w http.ResponseWriter, r *http.Request) {
+	out := struct {
+		Formats []formatJSON `json:"formats"`
+	}{Formats: []formatJSON{}}
+	for _, fi := range s.registry().Snapshot() {
+		fj := formatJSON{Fingerprint: fi.Fingerprint, Files: fi.Files, Templates: []string{}}
+		for _, t := range fi.Templates {
+			fj.Templates = append(fj.Templates, t.String())
+		}
+		out.Formats = append(out.Formats, fj)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// profileJSON mirrors the public datamaran.Profile serialization
+// (version 1), so a fetched profile feeds straight into
+// `datamaran -profile`.
+type profileJSON struct {
+	Version   int               `json:"version"`
+	Templates []json.RawMessage `json:"templates"`
+}
+
+// handleFormat serves one profile by fingerprint.
+func (s *Server) handleFormat(w http.ResponseWriter, r *http.Request) {
+	e := s.registry().Lookup(r.PathValue("fp"))
+	if e == nil {
+		httpError(w, http.StatusNotFound, "unknown format %s", r.PathValue("fp"))
+		return
+	}
+	pj := profileJSON{Version: 1}
+	for _, t := range e.Templates {
+		raw, err := json.Marshal(t)
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, "marshal profile: %v", err)
+			return
+		}
+		pj.Templates = append(pj.Templates, raw)
+	}
+	writeJSON(w, http.StatusOK, pj)
+}
+
+// handleExtractBody extracts the request body with the named profile.
+func (s *Server) handleExtractBody(w http.ResponseWriter, r *http.Request) {
+	fp := r.URL.Query().Get("format")
+	if fp == "" {
+		httpError(w, http.StatusBadRequest, "missing format parameter")
+		return
+	}
+	e := s.registry().Lookup(fp)
+	if e == nil {
+		httpError(w, http.StatusNotFound, "unknown format %s", fp)
+		return
+	}
+	s.extract(w, r, e.Templates, r.Body)
+}
+
+// handleExtractLake extracts one lake file. The format comes from (in
+// order) the explicit format parameter, the file's checkpoint, or
+// sample classification against the registry.
+func (s *Server) handleExtractLake(w http.ResponseWriter, r *http.Request) {
+	rel, ok := cleanLakePath(r.URL.Query().Get("path"))
+	if !ok {
+		httpError(w, http.StatusBadRequest, "bad path parameter")
+		return
+	}
+	full := filepath.Join(s.cfg.Root, filepath.FromSlash(rel))
+	f, err := os.Open(full)
+	if err != nil {
+		if os.IsNotExist(err) {
+			httpError(w, http.StatusNotFound, "no such lake file %s", rel)
+		} else {
+			httpError(w, http.StatusInternalServerError, "open %s: %v", rel, err)
+		}
+		return
+	}
+	defer f.Close()
+
+	reg := s.registry()
+	var e *lake.Entry
+	if fp := r.URL.Query().Get("format"); fp != "" {
+		if e = reg.Lookup(fp); e == nil {
+			httpError(w, http.StatusNotFound, "unknown format %s", fp)
+			return
+		}
+	} else if cp := s.checkpoints().Get(rel); cp != nil && cp.Fingerprint != "" {
+		e = reg.Lookup(cp.Fingerprint)
+	}
+	if e == nil {
+		sampleBytes := s.cfg.SampleBytes
+		if sampleBytes <= 0 {
+			sampleBytes = lake.DefaultSampleBytes
+		}
+		threshold := s.cfg.MatchThreshold
+		if threshold <= 0 {
+			threshold = lake.DefaultMatchThreshold
+		}
+		sample, _, err := lake.ReadSample(full, sampleBytes)
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, "sample %s: %v", rel, err)
+			return
+		}
+		if e = lake.MatchSample(sample, reg, threshold); e == nil {
+			httpError(w, http.StatusUnprocessableEntity,
+				"no registered format claims %s (reindex first, or pass format=)", rel)
+			return
+		}
+	}
+	s.extract(w, r, e.Templates, f)
+}
+
+// extract streams src through the profile pipeline in the requested
+// output form. NDJSON streams record by record; CSV buffers the result
+// to build relational tables.
+func (s *Server) extract(w http.ResponseWriter, r *http.Request, templates []*template.Node, src io.Reader) {
+	output := r.URL.Query().Get("output")
+	if output == "" {
+		output = "ndjson"
+	}
+	cfg := pipeline.Config{
+		Templates: templates,
+		Workers:   s.cfg.Workers,
+	}
+	switch output {
+	case "ndjson":
+		s.extractNDJSON(w, r, cfg, src)
+	case "csv":
+		s.extractCSV(w, r, cfg, src)
+	default:
+		httpError(w, http.StatusBadRequest, "unknown output %q (want ndjson or csv)", output)
+	}
+}
+
+// recordJSON is the NDJSON wire form of one record.
+type recordJSON struct {
+	Type      int         `json:"type"`
+	StartLine int         `json:"startLine"`
+	EndLine   int         `json:"endLine"`
+	Fields    []fieldJSON `json:"fields"`
+}
+
+// fieldJSON is one field value with whole-file coordinates.
+type fieldJSON struct {
+	Col   int    `json:"col"`
+	Rep   int    `json:"rep"`
+	Start int    `json:"start"`
+	End   int    `json:"end"`
+	Value string `json:"value"`
+}
+
+// extractNDJSON streams one JSON object per record as shards finalize —
+// bounded memory end to end. Records of one type arrive in input order;
+// types interleave at shard granularity (deterministically).
+func (s *Server) extractNDJSON(w http.ResponseWriter, r *http.Request, cfg pipeline.Config, src io.Reader) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	n := 0
+	var writeErr error
+	cfg.OnRecord = func(ro core.RecordOut) error {
+		rj := recordJSON{Type: ro.TypeID, StartLine: ro.StartLine, EndLine: ro.EndLine, Fields: []fieldJSON{}}
+		for _, f := range ro.Fields {
+			rj.Fields = append(rj.Fields, fieldJSON{Col: f.Col, Rep: f.Rep, Start: f.Start, End: f.End, Value: f.Value})
+		}
+		if err := enc.Encode(&rj); err != nil {
+			writeErr = err
+			return err
+		}
+		if n++; n%64 == 0 && flusher != nil {
+			flusher.Flush()
+		}
+		return nil
+	}
+	cfg.OnNoise = func(int) error { return nil }
+	if _, err := pipeline.RunContext(r.Context(), src, cfg); err != nil && writeErr == nil {
+		// Headers are gone once records streamed; all we can do for a
+		// mid-stream failure is cut the connection. An upfront failure
+		// (empty input) still reports cleanly.
+		if n == 0 {
+			httpError(w, statusFor(err), "extract: %v", err)
+			return
+		}
+		panic(http.ErrAbortHandler)
+	}
+}
+
+// extractCSV runs the extraction to completion and writes the
+// relational tables as CSV: all tables (each preceded by a "# table"
+// line), or exactly one bare table with table=NAME — the form that is
+// byte-identical to the CLI's per-table CSV files.
+func (s *Server) extractCSV(w http.ResponseWriter, r *http.Request, cfg pipeline.Config, src io.Reader) {
+	res, err := pipeline.RunContext(r.Context(), src, cfg)
+	if err != nil {
+		httpError(w, statusFor(err), "extract: %v", err)
+		return
+	}
+	// This mirrors the flat-record table path of datamaran.Result.Tables
+	// (tables.go), which serve cannot call: datamaran.Result is built
+	// only by the root package's own entry points. Byte-equality of the
+	// two paths is pinned by TestServedExtractionMatchesPublicAPI and
+	// the serve-smoke golden diff against the CLI's CSVs.
+	var tables []*relational.Table
+	for typeID, st := range res.Structures {
+		var records [][]relational.FlatField
+		for _, rec := range res.Records {
+			if rec.TypeID != typeID {
+				continue
+			}
+			fields := make([]relational.FlatField, 0, len(rec.Fields))
+			for _, f := range rec.Fields {
+				fields = append(fields, relational.FlatField{Col: f.Col, Rep: f.Rep, Value: f.Value})
+			}
+			records = append(records, fields)
+		}
+		db := relational.BuildFlat(st.Template, records, fmt.Sprintf("type%d", typeID))
+		tables = append(tables, db.Tables...)
+	}
+	want := r.URL.Query().Get("table")
+	w.Header().Set("Content-Type", "text/csv; charset=utf-8")
+	if want != "" {
+		for _, t := range tables {
+			if t.Name == want {
+				t.WriteCSV(w)
+				return
+			}
+		}
+		httpError(w, http.StatusNotFound, "no table %q in extraction (have %s)", want, tableNames(tables))
+		return
+	}
+	for _, t := range tables {
+		fmt.Fprintf(w, "# table %s\n", t.Name)
+		t.WriteCSV(w)
+	}
+}
+
+func tableNames(tables []*relational.Table) string {
+	names := make([]string, 0, len(tables))
+	for _, t := range tables {
+		names = append(names, t.Name)
+	}
+	return strings.Join(names, ", ")
+}
+
+// reindexJSON is the /reindex response.
+type reindexJSON struct {
+	Files             int `json:"files"`
+	Structured        int `json:"structured"`
+	Unstructured      int `json:"unstructured"`
+	Failed            int `json:"failed"`
+	FormatsKnown      int `json:"formatsKnown"`
+	FormatsDiscovered int `json:"formatsDiscovered"`
+	CacheHits         int `json:"cacheHits"`
+	Resumed           int `json:"resumed"`
+	Unchanged         int `json:"unchanged"`
+}
+
+// ErrBusy reports that a crawl is already running.
+var ErrBusy = errors.New("serve: a reindex is already running")
+
+// Reindex runs one incremental crawl over the lake and persists the
+// outcome. The crawl works on clones of the registry and checkpoint
+// store; only a completed crawl swaps them in, so a cancelled or
+// failed crawl leaves both the served state and the on-disk state
+// exactly as the last completed run left them. Crawls are serialized;
+// a concurrent call returns ErrBusy rather than queueing unbounded
+// work.
+func (s *Server) Reindex(ctx context.Context) (*lake.Result, error) {
+	if !s.reindexMu.TryLock() {
+		return nil, ErrBusy
+	}
+	defer s.reindexMu.Unlock()
+	reg, err := cloneRegistry(s.registry())
+	if err != nil {
+		return nil, err
+	}
+	cps, err := cloneStore(s.checkpoints())
+	if err != nil {
+		return nil, err
+	}
+	res, err := lake.IndexContext(ctx, s.cfg.Root, reg, lake.Config{
+		Core:           s.cfg.Core,
+		Workers:        s.cfg.Workers,
+		SampleBytes:    s.cfg.SampleBytes,
+		MatchThreshold: s.cfg.MatchThreshold,
+		Checkpoints:    cps,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.reg, s.cps = reg, cps
+	s.mu.Unlock()
+	if err := s.Persist(); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// cloneRegistry deep-copies a registry through its canonical
+// serialization.
+func cloneRegistry(reg *lake.Registry) (*lake.Registry, error) {
+	raw, err := json.Marshal(reg)
+	if err != nil {
+		return nil, err
+	}
+	out := lake.NewRegistry()
+	if err := json.Unmarshal(raw, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// cloneStore deep-copies a checkpoint store.
+func cloneStore(cps *follow.Store) (*follow.Store, error) {
+	raw, err := json.Marshal(cps)
+	if err != nil {
+		return nil, err
+	}
+	out := follow.NewStore()
+	if err := json.Unmarshal(raw, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// handleReindex is Reindex over HTTP, reporting the run summary.
+func (s *Server) handleReindex(w http.ResponseWriter, r *http.Request) {
+	res, err := s.Reindex(r.Context())
+	if errors.Is(err, ErrBusy) {
+		httpError(w, http.StatusConflict, "%v", err)
+		return
+	}
+	if err != nil {
+		httpError(w, statusFor(err), "reindex: %v", err)
+		return
+	}
+	sum := res.Summary
+	writeJSON(w, http.StatusOK, reindexJSON{
+		Files:             sum.Files,
+		Structured:        sum.Structured,
+		Unstructured:      sum.Unstructured,
+		Failed:            sum.Failed,
+		FormatsKnown:      sum.FormatsKnown,
+		FormatsDiscovered: sum.FormatsDiscovered,
+		CacheHits:         sum.CacheHits,
+		Resumed:           sum.Resumed,
+		Unchanged:         sum.Unchanged,
+	})
+}
+
+// Persist writes the registry and checkpoint store back to their
+// configured paths (no-ops for in-memory handles).
+func (s *Server) Persist() error {
+	s.persistMu.Lock()
+	defer s.persistMu.Unlock()
+	if s.cfg.RegistryPath != "" {
+		if err := s.registry().Save(s.cfg.RegistryPath); err != nil {
+			return err
+		}
+	}
+	if s.cfg.CheckpointPath != "" {
+		if err := s.checkpoints().Save(s.cfg.CheckpointPath); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// cleanLakePath normalizes a client-supplied relative path and rejects
+// anything escaping the lake root (absolute paths, ".." traversal) or
+// reaching into hidden entries the crawler skips.
+func cleanLakePath(p string) (string, bool) {
+	if p == "" || strings.Contains(p, "\x00") || strings.HasPrefix(p, "/") {
+		return "", false
+	}
+	cleaned := path.Clean(p)
+	if cleaned == "" || cleaned == "." {
+		return "", false
+	}
+	for _, seg := range strings.Split(cleaned, "/") {
+		// "." segments cover both hidden entries and "..".
+		if strings.HasPrefix(seg, ".") {
+			return "", false
+		}
+	}
+	return cleaned, true
+}
+
+// statusFor maps extraction errors onto HTTP statuses.
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, core.ErrEmptyInput):
+		return http.StatusBadRequest
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		return 499 // client closed request (nginx convention)
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// writeJSON writes v indented with a trailing newline — stable bytes
+// for goldens and shell pipelines.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	raw, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "marshal: %v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(append(raw, '\n'))
+}
+
+// httpError writes a plain-text error.
+func httpError(w http.ResponseWriter, status int, format string, args ...any) {
+	http.Error(w, fmt.Sprintf(format, args...), status)
+}

@@ -1,6 +1,7 @@
 package datamaran
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -134,12 +135,19 @@ func ExtractWithProfileParallel(data []byte, p *Profile, workers int) (*Result, 
 // parallelized across Options.Workers. Structures, records and noise
 // lines are identical to ExtractWithProfile on the same bytes.
 func ExtractReaderWithProfile(r io.Reader, p *Profile, opts Options) (*Result, error) {
+	return ExtractReaderWithProfileContext(context.Background(), r, p, opts)
+}
+
+// ExtractReaderWithProfileContext is ExtractReaderWithProfile with
+// cancellation: ctx is checked between shards, so a served extraction
+// aborts within one shard of the client disconnecting.
+func ExtractReaderWithProfileContext(ctx context.Context, r io.Reader, p *Profile, opts Options) (*Result, error) {
 	if p == nil || len(p.templates) == 0 {
 		return nil, fmt.Errorf("datamaran: empty profile")
 	}
 	cfg := opts.pipelineConfig()
 	cfg.Templates = p.templates
-	res, err := pipeline.Run(r, cfg)
+	res, err := pipeline.RunContext(ctx, r, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -150,10 +158,16 @@ func ExtractReaderWithProfile(r io.Reader, p *Profile, opts Options) (*Result, e
 // constant memory, yielding each record as its shard is finalized — the
 // highest-throughput path for data-lake files sharing one format.
 func ExtractStreamWithProfile(r io.Reader, p *Profile, opts Options, fn func(Record) error) (*Result, error) {
+	return ExtractStreamWithProfileContext(context.Background(), r, p, opts, fn)
+}
+
+// ExtractStreamWithProfileContext is ExtractStreamWithProfile with
+// cancellation (see ExtractReaderWithProfileContext).
+func ExtractStreamWithProfileContext(ctx context.Context, r io.Reader, p *Profile, opts Options, fn func(Record) error) (*Result, error) {
 	if p == nil || len(p.templates) == 0 {
 		return nil, fmt.Errorf("datamaran: empty profile")
 	}
 	cfg := opts.pipelineConfig()
 	cfg.Templates = p.templates
-	return runStream(r, cfg, fn)
+	return runStream(ctx, r, cfg, fn)
 }

@@ -1,0 +1,65 @@
+#!/bin/sh
+# Serve-daemon smoke check: start `datamaran serve` over the fixture
+# lake (testdata/lake) with fresh state, crawl it once, and verify the
+# HTTP surface against the committed goldens:
+#
+#   GET /formats                    == testdata/lake_golden/serve/formats.json
+#   GET /lake/extract (csv)         == the indexer's committed per-file CSV
+#   POST /extract (uploaded body)   == the same committed CSV
+#   POST /reindex (all unchanged)   == testdata/lake_golden/serve/reindex.json
+#
+# Run with -update to regenerate the serve goldens after an intentional
+# change (the CSV goldens belong to scripts/golden_lake.sh).
+set -eu
+cd "$(dirname "$0")/.."
+command -v curl >/dev/null 2>&1 || { echo "serve-smoke: curl is required" >&2; exit 1; }
+
+golden=testdata/lake_golden/serve
+tmp=$(mktemp -d)
+pid=""
+cleanup() {
+    [ -n "$pid" ] && kill "$pid" 2>/dev/null || true
+    rm -rf "$tmp"
+}
+trap cleanup EXIT
+
+go build -o "$tmp/datamaran" ./cmd/datamaran
+
+# Fresh state in the temp dir: the fixture lake itself stays pristine.
+"$tmp/datamaran" serve -addr 127.0.0.1:0 -workers 1 \
+    -registry "$tmp/registry.json" -checkpoints "$tmp/checkpoints.json" \
+    -reindex testdata/lake > "$tmp/serve.out" 2> "$tmp/serve.err" &
+pid=$!
+
+url=""
+i=0
+while [ $i -lt 120 ]; do
+    url=$(sed -n 's/^listening on //p' "$tmp/serve.out")
+    [ -n "$url" ] && break
+    kill -0 "$pid" 2>/dev/null || { echo "daemon exited early:"; cat "$tmp/serve.err"; exit 1; }
+    sleep 0.25
+    i=$((i + 1))
+done
+[ -n "$url" ] || { echo "daemon did not start listening:"; cat "$tmp/serve.err"; exit 1; }
+
+curl -fsS "$url/healthz" > /dev/null
+curl -fsS "$url/formats" > "$tmp/formats.json"
+curl -fsS "$url/lake/extract?path=web/requests-1.log&output=csv&table=type0" > "$tmp/lake_extract.csv"
+curl -fsS -X POST --data-binary @testdata/lake/jobs/job-1.log \
+    "$url/extract?format=42f99400cddeb649&output=csv&table=type0" > "$tmp/body_extract.csv"
+# The second crawl sees nothing new: every file must report unchanged.
+curl -fsS -X POST "$url/reindex" > "$tmp/reindex.json"
+
+if [ "${1:-}" = "-update" ]; then
+    mkdir -p "$golden"
+    cp "$tmp/formats.json" "$golden/formats.json"
+    cp "$tmp/reindex.json" "$golden/reindex.json"
+    echo "serve goldens regenerated under $golden"
+    exit 0
+fi
+
+diff -u "$golden/formats.json" "$tmp/formats.json"
+diff -u "$golden/reindex.json" "$tmp/reindex.json"
+diff -u testdata/lake_golden/csv/web__requests-1.log.type0.csv "$tmp/lake_extract.csv"
+diff -u testdata/lake_golden/csv/jobs__job-1.log.type0.csv "$tmp/body_extract.csv"
+echo "serve smoke passed: /formats, /reindex and both extract paths are byte-identical to the goldens"
