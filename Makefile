@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test test-short test-race bench lint fmt staticcheck bench-gate bench-allocs golden-lake golden-lake-update serve-smoke serve-smoke-update
+.PHONY: build test test-short test-race bench lint fmt staticcheck bench-gate bench-allocs fuzz-smoke golden-lake golden-lake-update serve-smoke serve-smoke-update
 
 build:
 	$(GO) build ./...
@@ -17,9 +17,12 @@ test-short:
 	$(GO) test -short ./...
 
 # Race job over the concurrent packages (parser fan-out, streaming
-# pipeline, chunk reader, lake crawl, incremental follow, serve daemon).
+# pipeline, chunk reader, lake crawl, incremental follow, serve daemon)
+# plus the generation/template hot path (single-goroutine, but its oracle
+# equivalence suite must also hold under the race runtime's different
+# allocation and scheduling behavior).
 test-race:
-	$(GO) test -race -short ./internal/parser ./internal/pipeline ./internal/textio ./internal/lake ./internal/follow ./internal/serve .
+	$(GO) test -race -short ./internal/parser ./internal/pipeline ./internal/textio ./internal/lake ./internal/follow ./internal/serve ./internal/generation ./internal/template .
 
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$' .
@@ -27,7 +30,7 @@ bench:
 # BENCH_extract.json: the streaming-engine benchmark report. The
 # committed baseline was measured at 16 MiB; bench-gate re-measures at
 # the same size and fails on a >20% workers=1 throughput regression of
-# the extract-mem, stream-discover or apply-profile modes, on an
+# the extract-mem, gen, stream-discover or apply-profile modes, on an
 # apply/extract ratio under 5x, or on any baseline mode missing from
 # the fresh report. The absolute comparison is MiB/s, so keep the
 # baseline's hardware matched to wherever the gate runs: refresh it
@@ -46,6 +49,14 @@ bench-gate:
 # heap — see scripts/bench_allocs.sh).
 bench-allocs:
 	sh scripts/bench_allocs.sh
+
+# Fuzz smoke: run each native fuzz target briefly so CI exercises the
+# generation-engine oracle (FuzzGenerate pins the shape-interned engine
+# to the reference) and the reduction invariants (FuzzReduce) on
+# fuzzer-mutated inputs, not just the committed corpora.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz '^FuzzGenerate$$' -fuzztime 10s ./internal/generation
+	$(GO) test -run '^$$' -fuzz '^FuzzReduce$$' -fuzztime 10s ./internal/template
 
 # Golden-corpus check: the fixture lake must index byte-identically to
 # the committed outputs (see scripts/golden_lake.sh).

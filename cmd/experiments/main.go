@@ -17,6 +17,8 @@ import (
 	"datamaran"
 	"datamaran/internal/datagen"
 	"datamaran/internal/experiments"
+	"datamaran/internal/generation"
+	"datamaran/internal/textio"
 )
 
 func main() {
@@ -196,6 +198,22 @@ func runBenchExtract(path string, mb int) error {
 	}); err != nil {
 		return err
 	}
+	// gen isolates the generation step — the dominant discovery cost —
+	// on the 512 KiB sample the discovery pipeline draws from this
+	// corpus (core's default SampleBudget), repeated to cover the full
+	// input size so MiB/s reads as generation throughput over the
+	// benchmark corpus.
+	sample := textio.Sampler{Budget: 512 << 10, Seed: 7}.Sample(data)
+	genLines := textio.NewLines(sample)
+	genReps := (len(data) + len(sample) - 1) / len(sample)
+	if err := record("gen", 1, func() error {
+		for r := 0; r < genReps; r++ {
+			generation.Generate(genLines, generation.Config{})
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
 	discard := func(datamaran.Record) error { return nil }
 	for _, w := range []int{1, 2, 4} {
 		w := w
@@ -237,9 +255,10 @@ const gateRegression = 0.20
 const gateMinSpeedRatio = 5.0
 
 // gatedModes are the benchmark modes the gate protects with the absolute
-// throughput floor: the in-memory discovery+extraction path, the
-// streaming discovery path, and the registry fast path.
-var gatedModes = []string{"extract-mem", "stream-discover", "apply-profile"}
+// throughput floor: the in-memory discovery+extraction path, the isolated
+// generation step, the streaming discovery path, and the registry fast
+// path.
+var gatedModes = []string{"extract-mem", "gen", "stream-discover", "apply-profile"}
 
 // gateBench compares a fresh benchmark report against the committed
 // baseline, failing when a gated mode's workers=1 throughput regressed

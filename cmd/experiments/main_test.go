@@ -31,6 +31,7 @@ func writeReport(t *testing.T, dir, name string, runs []benchRun) string {
 func fullRuns(extract, stream, apply float64) []benchRun {
 	return []benchRun{
 		{Mode: "extract-mem", Workers: 1, MBPerSec: extract},
+		{Mode: "gen", Workers: 1, MBPerSec: extract},
 		{Mode: "stream-discover", Workers: 1, MBPerSec: stream},
 		{Mode: "apply-profile", Workers: 1, MBPerSec: apply},
 	}
@@ -80,5 +81,20 @@ func TestGateBenchFailsOnMissingMode(t *testing.T) {
 	}
 	if !strings.Contains(err.Error(), "stream-discover") {
 		t.Fatalf("error must name the missing mode: %v", err)
+	}
+}
+
+// TestGateBenchFailsOnGenRegression pins the generation-throughput gate
+// added with the shape-interned engine: a >20% drop of the isolated
+// generation mode fails the gate even when the end-to-end modes hold.
+func TestGateBenchFailsOnGenRegression(t *testing.T) {
+	dir := t.TempDir()
+	base := writeReport(t, dir, "base.json", fullRuns(10, 10, 100))
+	runs := fullRuns(10, 10, 100)
+	runs[1].MBPerSec = 1 // gen regressed 10x
+	cand := writeReport(t, dir, "cand.json", runs)
+	err := gateBench(base, cand)
+	if err == nil {
+		t.Fatal("gen-mode regression must fail the gate")
 	}
 }

@@ -185,3 +185,44 @@ func Subsets(set Set, fn func(Set) bool) {
 // distinct present candidates, 2^c enumeration is intractable and callers
 // should fall back to greedy search.
 const MaxExhaustiveChars = 16
+
+// LineIndex is a per-line character presence index: for every line of a
+// dataset it records the set of candidate characters the line contains,
+// and for every candidate character the ascending list of lines containing
+// it (a postings list). The generation step uses it two ways: a line whose
+// candidate-set intersection with an RT-CharSet is unchanged tokenizes to
+// the same shape (so the tokenization can be skipped), and growing a
+// greedy charset by one character only re-tokenizes that character's
+// postings.
+type LineIndex struct {
+	sets     []Set
+	postings [256][]int32
+}
+
+// BuildLineIndex indexes n lines, fetching each line's bytes through
+// line(i) (the textio.Lines access pattern, kept as a callback so this
+// package stays independent of the text layer). Only characters in
+// candidates are indexed.
+func BuildLineIndex(n int, line func(int) []byte, candidates Set) *LineIndex {
+	ix := &LineIndex{sets: make([]Set, n)}
+	for i := 0; i < n; i++ {
+		var s Set
+		for _, b := range line(i) {
+			if candidates.Contains(b) {
+				s.Add(b)
+			}
+		}
+		ix.sets[i] = s
+		for _, b := range s.Bytes() {
+			ix.postings[b] = append(ix.postings[b], int32(i))
+		}
+	}
+	return ix
+}
+
+// LineSet returns the candidate characters present in line i.
+func (ix *LineIndex) LineSet(i int) Set { return ix.sets[i] }
+
+// Lines returns the ascending indices of lines containing c. The returned
+// slice is shared; callers must not modify it.
+func (ix *LineIndex) Lines(c byte) []int32 { return ix.postings[c] }

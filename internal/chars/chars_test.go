@@ -255,3 +255,49 @@ func TestSubsetsEnumeratesDistinct(t *testing.T) {
 		t.Fatalf("enumerated %d distinct subsets, want %d", len(seen), 1<<set.Len())
 	}
 }
+
+func TestLineIndexSetsAndPostings(t *testing.T) {
+	lines := [][]byte{[]byte("a,b\n"), []byte("c|d\n"), []byte("e,f|g\n"), []byte("plain\n")}
+	ix := BuildLineIndex(len(lines), func(i int) []byte { return lines[i] }, DefaultCandidates())
+	if got, want := ix.LineSet(0), NewSet(","); !got.Equal(want) {
+		t.Fatalf("line 0 set = %v, want %v", got, want)
+	}
+	if got, want := ix.LineSet(2), NewSet(",|"); !got.Equal(want) {
+		t.Fatalf("line 2 set = %v, want %v", got, want)
+	}
+	if got := ix.LineSet(3); !got.Empty() {
+		t.Fatalf("line 3 set = %v, want empty", got)
+	}
+	if got := ix.Lines(','); len(got) != 2 || got[0] != 0 || got[1] != 2 {
+		t.Fatalf("postings for ',' = %v, want [0 2]", got)
+	}
+	if got := ix.Lines('|'); len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("postings for '|' = %v, want [1 2]", got)
+	}
+	if got := ix.Lines('x'); len(got) != 0 {
+		t.Fatalf("postings for absent char = %v, want empty", got)
+	}
+}
+
+func TestLineIndexIgnoresNonCandidates(t *testing.T) {
+	// '\n' is never a candidate; characters outside the candidate set
+	// must not be indexed even when present.
+	lines := [][]byte{[]byte("a,b\n")}
+	ix := BuildLineIndex(1, func(i int) []byte { return lines[i] }, NewSet(","))
+	if got, want := ix.LineSet(0), NewSet(","); !got.Equal(want) {
+		t.Fatalf("line set = %v, want %v", got, want)
+	}
+	if got := ix.Lines('a'); len(got) != 0 {
+		t.Fatalf("postings for non-candidate = %v, want empty", got)
+	}
+	if got := ix.Lines('\n'); len(got) != 0 {
+		t.Fatalf("postings for newline = %v, want empty", got)
+	}
+}
+
+func TestLineIndexEmpty(t *testing.T) {
+	ix := BuildLineIndex(0, func(i int) []byte { panic("no lines") }, DefaultCandidates())
+	if got := ix.Lines(','); len(got) != 0 {
+		t.Fatalf("empty index has postings: %v", got)
+	}
+}

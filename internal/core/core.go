@@ -47,6 +47,10 @@ type Options struct {
 	// MaxExhaustive caps exhaustive charset enumeration (see
 	// generation.Config).
 	MaxExhaustive int
+	// MaxRecordBytes skips potential records longer than this many
+	// bytes during generation (guards pathological spans; see
+	// generation.Config). 0 means the generation default (16 KiB).
+	MaxRecordBytes int
 	// DisableRefinement turns off array unfolding and structure
 	// shifting (for ablation experiments).
 	DisableRefinement bool
@@ -302,11 +306,12 @@ func discoverOne(residData []byte, opts Options, effAlpha float64, res *Result) 
 
 	t0 := time.Now()
 	cands := generation.Generate(sampleLines, generation.Config{
-		Alpha:         effAlpha,
-		MaxSpan:       opts.MaxSpan,
-		Search:        opts.Search,
-		Candidates:    opts.Candidates,
-		MaxExhaustive: opts.MaxExhaustive,
+		Alpha:          effAlpha,
+		MaxSpan:        opts.MaxSpan,
+		Search:         opts.Search,
+		Candidates:     opts.Candidates,
+		MaxExhaustive:  opts.MaxExhaustive,
+		MaxRecordBytes: opts.MaxRecordBytes,
 	})
 	res.Timing.Generation += time.Since(t0)
 	cands = filterTrivial(cands)

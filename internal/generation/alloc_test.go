@@ -1,0 +1,68 @@
+package generation
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"datamaran/internal/chars"
+	"datamaran/internal/textio"
+)
+
+// TestGenSTSteadyStateAllocs pins the arena contract of the
+// shape-interned engine: once a charset's shapes, window identities and
+// reduced templates are interned (the first trial pays for them), a
+// repeated genST over the same input touches only the interned state and
+// the reused per-trial bins — zero heap allocations. This is the
+// generation-step counterpart of the parser's ScanArenaReuse pin, and
+// what keeps the O(c²) greedy trials off the allocator on repeated
+// shapes.
+func TestGenSTSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under the race detector")
+	}
+	var b strings.Builder
+	for i := 0; i < 400; i++ {
+		fmt.Fprintf(&b, "%d,%d,%d\nstatus=%d ok\n", i, i*2, i*3, i%7)
+	}
+	lines := textio.NewLines([]byte(b.String()))
+	g := newGenerator(lines, Config{})
+	rtset := chars.NewSet(",= ")
+
+	g.genST(rtset) // warm: interns shapes/windows/templates, sizes the bins
+
+	allocs := testing.AllocsPerRun(20, func() {
+		g.genST(rtset)
+	})
+	if allocs > 0 {
+		t.Fatalf("steady-state genST allocated %.1f objects per run, want 0", allocs)
+	}
+}
+
+// TestGenSTSteadyStateAllocsAcrossCharsets extends the pin to the greedy
+// search's access pattern: alternating between charsets whose shapes are
+// all interned must also stay allocation-free — the cross-trial sharing
+// is the point of the generator-lifetime caches.
+func TestGenSTSteadyStateAllocsAcrossCharsets(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under the race detector")
+	}
+	var b strings.Builder
+	for i := 0; i < 300; i++ {
+		fmt.Fprintf(&b, "%d,%d|%d\n", i, i*2, i*3)
+	}
+	lines := textio.NewLines([]byte(b.String()))
+	g := newGenerator(lines, Config{})
+	sets := []chars.Set{chars.NewSet(","), chars.NewSet("|"), chars.NewSet(",|")}
+	for _, s := range sets {
+		g.genST(s) // warm every charset once
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		for _, s := range sets {
+			g.genST(s)
+		}
+	})
+	if allocs > 0 {
+		t.Fatalf("steady-state charset alternation allocated %.1f objects per run, want 0", allocs)
+	}
+}

@@ -1,0 +1,57 @@
+package generation_test
+
+import (
+	"testing"
+
+	"datamaran/internal/datagen"
+	"datamaran/internal/generation"
+	"datamaran/internal/textio"
+)
+
+// benchLines is the generation benchmark input: the 16 MiB web-server-log
+// corpus of BENCH_extract.json, cut down to the 512 KiB sample the
+// discovery pipeline actually hands the generation step (core's
+// SampleBudget). Throughput numbers are MiB/s over the sample.
+func benchLines(b *testing.B) *textio.Lines {
+	b.Helper()
+	block := datagen.WebServerLog(4000, 7).Data
+	data := make([]byte, 0, 16<<20)
+	for len(data) < 16<<20 {
+		data = append(data, block...)
+	}
+	sampler := textio.Sampler{Budget: 512 << 10, Seed: 7}
+	return textio.NewLines(sampler.Sample(data))
+}
+
+func BenchmarkGeneration(b *testing.B) {
+	lines := benchLines(b)
+	b.SetBytes(int64(len(lines.Data())))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		generation.Generate(lines, generation.Config{})
+	}
+}
+
+func BenchmarkGenerationGreedy(b *testing.B) {
+	lines := benchLines(b)
+	b.SetBytes(int64(len(lines.Data())))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		generation.Generate(lines, generation.Config{Search: generation.Greedy})
+	}
+}
+
+// BenchmarkGenerationReference measures the frozen pre-interning engine
+// on the same input, so the speedup of the rewrite stays visible in one
+// `go test -bench Generation` run.
+func BenchmarkGenerationReference(b *testing.B) {
+	lines := benchLines(b)
+	b.SetBytes(int64(len(lines.Data())))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		generation.GenerateReference(lines, generation.Config{})
+	}
+}

@@ -1,0 +1,10 @@
+package generation
+
+// Test-only bridges: the oracle equivalence and fuzz suites live in the
+// external generation_test package (the datagen corpus transitively
+// imports this package, so an internal test would be an import cycle),
+// but the reference engine stays unexported.
+var GenerateReference = generateReference
+
+// RaceEnabled mirrors the build-tagged raceEnabled for external tests.
+const RaceEnabled = raceEnabled

@@ -9,13 +9,35 @@
 // structure template, and accumulates per-template coverage in a hash
 // table.
 //
+// The engine is shape-interned and arena-backed, sharing work across
+// charset trials (not just within one):
+//
+//   - Every distinct tokenized line form ("shape") gets a small integer
+//     id; its tokens live in one flat uint16 arena (template.TokField /
+//     literal byte), with no per-token heap nodes. Shapes are interned for
+//     the generator's lifetime, so a greedy trial that re-derives a shape
+//     seen under a previous charset pays a map hit.
+//   - A window of lines is identified by its shape sequence, interned
+//     incrementally as (previous window id, added shape id) pairs; the
+//     reduction of each distinct window identity to a minimal structure
+//     template is memoized across all charset trials.
+//   - Tokenization is incremental: a line whose intersection with the
+//     trial charset is unchanged keeps its shape id, and the greedy
+//     search re-tokenizes only the postings of the one character it adds
+//     (chars.LineIndex).
+//   - Per-trial accumulators (bins, kept candidates) are flat slices
+//     reused across genST calls, pre-sized by the first trial, so the
+//     steady state allocates nothing.
+//
+// Output — candidate set, order, Coverage, FieldBytes — is identical to
+// the reference engine in reference.go, pinned by equivalence tests.
+//
 // The pruning step orders the surviving candidates by the assimilation
 // score G(T,S) = Cov × NonFieldCov and keeps the top M.
 package generation
 
 import (
 	"sort"
-	"strings"
 
 	"datamaran/internal/chars"
 	"datamaran/internal/score"
@@ -87,6 +109,12 @@ func (c Config) withDefaults() Config {
 	if c.MaxRecordBytes == 0 {
 		c.MaxRecordBytes = 1 << 14
 	}
+	// shapeFieldMark (0x01) stands for a field run in interned shape
+	// keys and can never be a formatting character: strip it so a
+	// pathological candidate set cannot make a literal token collide
+	// with the mark (DefaultCandidates holds only printable ASCII and
+	// whitespace; both engines share this normalization).
+	c.Candidates.Remove(shapeFieldMark)
 	return c
 }
 
@@ -114,16 +142,19 @@ func (c Candidate) Assimilation() float64 {
 // with at least α% coverage, ordered by assimilation score (best first)
 // and capped at MaxCandidates.
 func Generate(lines *textio.Lines, cfg Config) []Candidate {
-	cfg = cfg.withDefaults()
-	present := chars.Present(cfg.Candidates, lines.Data())
-	g := &generator{lines: lines, cfg: cfg, bins: map[string]*Candidate{}}
-	switch cfg.Search {
-	case Greedy:
-		g.greedySearch(present)
-	default:
-		g.exhaustiveSearch(present)
-	}
+	g := newGenerator(lines, cfg)
+	g.search()
 	return g.results()
+}
+
+// CharsetsTried runs a generation and reports how many RT-CharSet values
+// were enumerated — the step-complexity experiment of Table 3. It drives
+// the same generator and search code as Generate, so the complexity the
+// experiment reports is by construction that of the real path.
+func CharsetsTried(lines *textio.Lines, cfg Config) int {
+	g := newGenerator(lines, cfg)
+	g.search()
+	return g.charsetsTried
 }
 
 // Prune is the pruning step: it keeps the topM candidates by assimilation
@@ -137,19 +168,134 @@ func Prune(cands []Candidate, topM int) []Candidate {
 	return cands
 }
 
+// shapeFieldMark is the byte standing for a field run in shape keys (it
+// cannot collide with literal tokens: RT-CharSet candidates are printable
+// ASCII and whitespace, never 0x01).
+const shapeFieldMark = 0x01
+
+// winExt names a window of lines by extension: the window [i, j) is the
+// window [i, j-1) (its id) plus the shape of line j-1. Chains of
+// extensions intern whole shape sequences without materializing them.
+type winExt struct {
+	prev  int32 // window id of the s-1 prefix (-1 for s=1)
+	shape int32 // shape id of the added line
+}
+
+// binAcc accumulates one coverage bin for the current charset trial.
+// Coverage counts greedily non-overlapping windows only (windows arrive
+// in ascending start order), approximating Assumption 1's definition —
+// the total length of instantiated records — rather than the
+// overlap-inflated sum, which would let stacked multi-line repetitions of
+// a one-line template dominate every true multi-line template.
+type binAcc struct {
+	tpl     int32 // interned template id
+	cov     int
+	fb      int
+	lastEnd int
+}
+
+// generator holds the engine state. Everything below the per-trial
+// section lives for the generator's lifetime: shapes, window identities
+// and reduced templates discovered under one charset are reused by every
+// later trial.
 type generator struct {
-	lines *textio.Lines
-	cfg   Config
-	bins  map[string]*Candidate
-	// charsetsTried counts GenST invocations (for complexity tests).
+	lines     *textio.Lines
+	data      []byte
+	n         int
+	cfg       Config
+	present   chars.Set
+	threshold int
+
+	// charsetsTried counts genST invocations (for complexity tests).
 	charsetsTried int
+
+	// Shape interner: shapeIDs maps a shape key (line bytes with field
+	// runs collapsed to shapeFieldMark) to a shape id; the id's flat
+	// tokens are toks[shapeOff[id]:shapeOff[id+1]].
+	shapeIDs map[string]int32
+	toks     []uint16
+	shapeOff []int32
+	keyBuf   []byte
+
+	// Per-line tokenization state. tokSet[i] is the rtset∩line-chars
+	// intersection under which lineShape[i]/lineFB[i] were computed; a
+	// trial with the same intersection reuses them without touching the
+	// line's bytes.
+	lineIdx   *chars.LineIndex
+	tokSet    []chars.Set
+	lineShape []int32
+	lineFB    []int
+	tokBuf    []uint16
+
+	// Window-identity chain and the per-identity reduced template
+	// (winTpl, -1 = not a valid record template), memoized across all
+	// charset trials.
+	winIDs map[winExt]int32
+	winTpl []int32
+	winBuf []uint16
+	red    template.FlatReducer
+
+	// Interned reduced templates (tplIDs owns the canonical keys).
+	tplIDs map[string]int32
+	tpls   []*template.Node
+
+	// Per-trial accumulators, reused across genST calls (binOf is reset
+	// to -1 for the touched templates at the end of each trial; bins and
+	// kept keep their capacity — after the first trial sizes them, the
+	// steady state allocates nothing).
+	binOf []int32
+	bins  []binAcc
+	kept  []Candidate
+
+	// Best candidate per template across charsets (the global hash
+	// table of Algorithm 1): same template from different charsets keeps
+	// the higher-coverage estimate.
+	globalSet []bool
+	global    []Candidate
+}
+
+func newGenerator(lines *textio.Lines, cfg Config) *generator {
+	cfg = cfg.withDefaults()
+	n := lines.N()
+	g := &generator{
+		lines:     lines,
+		data:      lines.Data(),
+		n:         n,
+		cfg:       cfg,
+		threshold: int(cfg.Alpha * float64(len(lines.Data()))),
+		shapeIDs:  make(map[string]int32, 64),
+		shapeOff:  make([]int32, 1, 65),
+		lineIdx:   chars.BuildLineIndex(n, lines.Line, cfg.Candidates),
+		tokSet:    make([]chars.Set, n),
+		lineShape: make([]int32, n),
+		lineFB:    make([]int, n),
+		winIDs:    make(map[winExt]int32, 2*n),
+		tplIDs:    make(map[string]int32, 64),
+	}
+	g.present = chars.Present(cfg.Candidates, g.data)
+	for i := range g.lineShape {
+		g.lineShape[i] = -1 // not yet tokenized under any charset
+	}
+	return g
+}
+
+// search dispatches on the configured search mode. Generate and
+// CharsetsTried share this one driver.
+func (g *generator) search() {
+	switch g.cfg.Search {
+	case Greedy:
+		g.greedySearch()
+	default:
+		g.exhaustiveSearch()
+	}
 }
 
 // exhaustiveSearch enumerates all subsets of the present candidates
 // (restricted to the MaxExhaustive most frequent characters when there are
-// too many).
-func (g *generator) exhaustiveSearch(present chars.Set) {
-	present = g.capCharset(present)
+// too many). Consecutive subsets usually differ in few characters, so the
+// per-line intersection memo in shapeLine skips most re-tokenization.
+func (g *generator) exhaustiveSearch() {
+	present := capCharset(g.lines, g.cfg, g.present)
 	chars.Subsets(present, func(s chars.Set) bool {
 		g.genST(s)
 		return true
@@ -159,41 +305,65 @@ func (g *generator) exhaustiveSearch(present chars.Set) {
 // greedySearch implements Algorithm 1's GreedySearch: starting from the
 // empty charset, repeatedly add the character whose charset yields the
 // best assimilation score, until a round produces no template with α%
-// coverage.
-func (g *generator) greedySearch(present chars.Set) {
+// coverage. Each trial charset is the current charset plus one character,
+// so only that character's postings are re-tokenized; every other line
+// keeps its shape id from the current-charset snapshot.
+func (g *generator) greedySearch() {
 	var cur chars.Set
 	g.genST(cur) // the empty charset still yields line templates F\n etc.
-	remaining := present.Bytes()
+
+	// Snapshot the tokenization under cur; trials restore it.
+	baseSet := append([]chars.Set(nil), g.tokSet...)
+	baseShape := append([]int32(nil), g.lineShape...)
+	baseFB := append([]int(nil), g.lineFB...)
+
+	remaining := g.present.Bytes()
 	for len(remaining) > 0 {
 		bestScore := -1.0
 		bestIdx := -1
 		for i, c := range remaining {
 			trial := cur
 			trial.Add(c)
-			found := g.genST(trial)
+			posted := g.lineIdx.Lines(c)
+			for _, li := range posted {
+				g.shapeLine(int(li), trial)
+			}
+			found := g.accumulate(trial)
 			for _, cand := range found {
 				if a := cand.Assimilation(); a > bestScore {
 					bestScore = a
 					bestIdx = i
 				}
 			}
+			for _, li := range posted {
+				g.tokSet[li] = baseSet[li]
+				g.lineShape[li] = baseShape[li]
+				g.lineFB[li] = baseFB[li]
+			}
 		}
 		if bestIdx < 0 {
 			break // no charset this round produced an α%-coverage template
 		}
-		cur.Add(remaining[bestIdx])
+		c := remaining[bestIdx]
+		cur.Add(c)
+		for _, li := range g.lineIdx.Lines(c) {
+			g.shapeLine(int(li), cur)
+			baseSet[li] = g.tokSet[li]
+			baseShape[li] = g.lineShape[li]
+			baseFB[li] = g.lineFB[li]
+		}
 		remaining = append(remaining[:bestIdx], remaining[bestIdx+1:]...)
 	}
 }
 
 // capCharset restricts an oversized charset to the most frequent
 // MaxExhaustive characters in the data.
-func (g *generator) capCharset(present chars.Set) chars.Set {
-	if present.Len() <= g.cfg.MaxExhaustive {
+func capCharset(lines *textio.Lines, cfg Config, present chars.Set) chars.Set {
+	if present.Len() <= cfg.MaxExhaustive {
 		return present
 	}
 	var freq [256]int
-	for _, b := range g.lines.Data() {
+	for _, b := range lines.Data() {
 		if present.Contains(b) {
 			freq[b]++
 		}
@@ -201,156 +371,170 @@ func (g *generator) capCharset(present chars.Set) chars.Set {
 	members := present.Bytes()
 	sort.Slice(members, func(i, j int) bool { return freq[members[i]] > freq[members[j]] })
 	var capped chars.Set
-	for _, b := range members[:g.cfg.MaxExhaustive] {
+	for _, b := range members[:cfg.MaxExhaustive] {
 		capped.Add(b)
 	}
 	return capped
 }
 
-// genST is Algorithm 1's GenST: for one RT-CharSet value, enumerate all
-// potential records (line-boundary pairs at most L apart), reduce each to
-// its minimal structure template, and accumulate coverage in the shared
-// hash table. It returns the candidates from this charset that meet the
-// coverage threshold.
+// shapeLine tokenizes line i under rtset (template.AppendFlatTokens is
+// the one flat tokenizer), interning the resulting shape. When rtset's
+// intersection with the line's candidate characters is unchanged from the
+// last tokenization, the line's shape id and field bytes are already
+// correct and the line's bytes are never touched.
+func (g *generator) shapeLine(i int, rtset chars.Set) {
+	inter := rtset.Intersect(g.lineIdx.LineSet(i))
+	if g.lineShape[i] >= 0 && g.tokSet[i] == inter {
+		return
+	}
+	g.tokSet[i] = inter
+	var fb int
+	g.tokBuf, fb = template.AppendFlatTokens(g.tokBuf[:0], g.lines.Line(i), inter)
+	key := g.keyBuf[:0]
+	for _, tok := range g.tokBuf {
+		if tok == template.TokField {
+			key = append(key, shapeFieldMark)
+		} else {
+			key = append(key, byte(tok))
+		}
+	}
+	g.keyBuf = key
+	id, ok := g.shapeIDs[string(key)]
+	if !ok {
+		id = int32(len(g.shapeOff) - 1)
+		g.shapeIDs[string(key)] = id
+		g.toks = append(g.toks, g.tokBuf...)
+		g.shapeOff = append(g.shapeOff, int32(len(g.toks)))
+	}
+	g.lineShape[i] = id
+	g.lineFB[i] = fb
+}
+
+// genST is Algorithm 1's GenST for one RT-CharSet value: tokenize every
+// line (shape-memoized), then run the window accumulation.
 func (g *generator) genST(rtset chars.Set) []Candidate {
+	for i := 0; i < g.n; i++ {
+		g.shapeLine(i, rtset)
+	}
+	return g.accumulate(rtset)
+}
+
+// accumulate enumerates all potential records (line-boundary pairs at
+// most L apart) over the current per-line shapes and accumulates coverage
+// per reduced template. It returns the candidates from this charset that
+// meet the coverage threshold. Expensive work — reducing a window to its
+// minimal template — happens once per distinct window identity across ALL
+// trials; the 10·n loop below touches only integer-keyed maps and flat
+// slices.
+func (g *generator) accumulate(rtset chars.Set) []Candidate {
 	g.charsetsTried++
-	lines := g.lines
-	n := lines.N()
-	data := lines.Data()
-	total := len(data)
-	if total == 0 {
+	if len(g.data) == 0 {
 		return nil
 	}
-	threshold := int(g.cfg.Alpha * float64(total))
-
-	// Tokenize each line once under this charset, interning line shapes
-	// to small integers. Expensive work (building raw keys, reducing to
-	// minimal templates) happens once per DISTINCT shape; the 10·n
-	// window loop below touches only integer-keyed maps.
-	lineToks := make([][]*template.Node, n)
-	lineFB := make([]int, n)
-	lineShape := make([]int32, n)
-	shapeIDs := map[string]int32{}
-	for i := 0; i < n; i++ {
-		toks, fb := template.ExtractRecordTemplate(lines.Line(i), rtset)
-		lineToks[i] = toks
-		lineFB[i] = fb
-		raw := rawKey(toks)
-		id, ok := shapeIDs[raw]
-		if !ok {
-			id = int32(len(shapeIDs))
-			shapeIDs[raw] = id
-		}
-		lineShape[i] = id
-	}
-
-	// Window identities are interned incrementally: the window of lines
-	// [i, i+s) extends the window [i, i+s-1) by one line shape.
-	type winExt struct {
-		prev  int32 // window id of the s-1 prefix (-1 for s=1)
-		shape int32 // shape of the added line
-	}
-	winIDs := map[winExt]int32{}
-	// winBin[w] is the bin index for window id w (-1 = invalid window).
-	var winBin []int32
-
-	// binAcc accumulates one hash bin. Coverage counts greedily
-	// non-overlapping windows only (windows arrive in ascending start
-	// order), approximating Assumption 1's definition — the total
-	// length of instantiated records — rather than the overlap-inflated
-	// sum, which would let stacked multi-line repetitions of a one-line
-	// template dominate every true multi-line template.
-	type binAcc struct {
-		cand    Candidate
-		lastEnd int
-	}
-	var binList []*binAcc
-	binIdx := map[string]int32{}
-
-	resolveWindow := func(i, j int) int32 {
-		// Build the window's template and map it to a bin, once per
-		// distinct window identity.
-		tokCount := 0
-		for k := i; k < j; k++ {
-			tokCount += len(lineToks[k])
-		}
-		toks := make([]*template.Node, 0, tokCount)
-		for k := i; k < j; k++ {
-			toks = append(toks, lineToks[k]...)
-		}
-		tpl := template.Reduce(toks)
-		if tpl.NumFields() == 0 || !endsWithNewline(tpl) {
-			return -1
-		}
-		key := tpl.Key()
-		bi, ok := binIdx[key]
-		if !ok {
-			bi = int32(len(binList))
-			binIdx[key] = bi
-			binList = append(binList, &binAcc{cand: Candidate{Template: tpl, CharSet: rtset}})
-		}
-		return bi
-	}
-
+	n := g.n
+	maxSpan := g.cfg.MaxSpan
+	maxBytes := g.cfg.MaxRecordBytes
 	for i := 0; i < n; i++ {
 		prev := int32(-1)
 		fb := 0
-		for s := 1; s <= g.cfg.MaxSpan && i+s <= n; s++ {
+		for s := 1; s <= maxSpan && i+s <= n; s++ {
 			j := i + s
-			fb += lineFB[j-1]
-			blockLen := lines.Start(j) - lines.Start(i)
-			if blockLen > g.cfg.MaxRecordBytes {
+			fb += g.lineFB[j-1]
+			blockLen := g.lines.Start(j) - g.lines.Start(i)
+			if blockLen > maxBytes {
 				break
 			}
-			ext := winExt{prev: prev, shape: lineShape[j-1]}
-			wid, ok := winIDs[ext]
+			ext := winExt{prev: prev, shape: g.lineShape[j-1]}
+			wid, ok := g.winIDs[ext]
 			if !ok {
-				wid = int32(len(winBin))
-				winIDs[ext] = wid
-				if data[lines.Start(j)-1] != '\n' {
-					winBin = append(winBin, -1)
-				} else {
-					winBin = append(winBin, resolveWindow(i, j))
-				}
+				wid = int32(len(g.winTpl))
+				g.winIDs[ext] = wid
+				g.winTpl = append(g.winTpl, g.resolveWindow(i, j))
 			}
 			prev = wid
-			bi := winBin[wid]
-			if bi < 0 {
+			ti := g.winTpl[wid]
+			if ti < 0 {
 				continue
 			}
-			b := binList[bi]
+			bi := g.binOf[ti]
+			if bi < 0 {
+				bi = int32(len(g.bins))
+				g.binOf[ti] = bi
+				g.bins = append(g.bins, binAcc{tpl: ti})
+			}
+			b := &g.bins[bi]
 			if i >= b.lastEnd {
-				b.cand.Coverage += blockLen
-				b.cand.FieldBytes += fb
+				b.cov += blockLen
+				b.fb += fb
 				b.lastEnd = j
 			}
 		}
 	}
-	local := map[string]*binAcc{}
-	for key, bi := range binIdx {
-		local[key] = binList[bi]
-	}
 
 	// Keep templates meeting the coverage threshold; merge into the
-	// global bins (same template from different charsets keeps the
-	// higher-coverage estimate).
-	var kept []Candidate
-	for key, b := range local {
-		if b.cand.Coverage < threshold {
+	// global bins, then reset the per-trial state for the next charset.
+	kept := g.kept[:0]
+	for bi := range g.bins {
+		b := &g.bins[bi]
+		g.binOf[b.tpl] = -1
+		if b.cov < g.threshold {
 			continue
 		}
-		kept = append(kept, b.cand)
-		if prev, ok := g.bins[key]; !ok || b.cand.Coverage > prev.Coverage {
-			cc := b.cand
-			g.bins[key] = &cc
+		cand := Candidate{
+			Template:   g.tpls[b.tpl],
+			CharSet:    rtset,
+			Coverage:   b.cov,
+			FieldBytes: b.fb,
+		}
+		kept = append(kept, cand)
+		if !g.globalSet[b.tpl] || cand.Coverage > g.global[b.tpl].Coverage {
+			g.globalSet[b.tpl] = true
+			g.global[b.tpl] = cand
 		}
 	}
+	g.bins = g.bins[:0]
+	g.kept = kept
 	return kept
 }
 
+// resolveWindow reduces the window of lines [i, j) to its minimal
+// structure template and interns it, returning the template id or -1 when
+// the window is not a valid record template (no fields, or not
+// newline-terminated). Called once per distinct window identity.
+func (g *generator) resolveWindow(i, j int) int32 {
+	if g.data[g.lines.Start(j)-1] != '\n' {
+		return -1 // final line without a trailing newline
+	}
+	w := g.winBuf[:0]
+	for k := i; k < j; k++ {
+		sid := g.lineShape[k]
+		w = append(w, g.toks[g.shapeOff[sid]:g.shapeOff[sid+1]]...)
+	}
+	g.winBuf = w
+	tpl := g.red.Reduce(w)
+	if tpl.NumFields() == 0 || !endsWithNewline(tpl) {
+		return -1
+	}
+	key := tpl.Key()
+	id, ok := g.tplIDs[key]
+	if !ok {
+		id = int32(len(g.tpls))
+		g.tplIDs[key] = id
+		g.tpls = append(g.tpls, tpl)
+		g.binOf = append(g.binOf, -1)
+		g.globalSet = append(g.globalSet, false)
+		g.global = append(g.global, Candidate{})
+	}
+	return id
+}
+
 func (g *generator) results() []Candidate {
-	out := make([]Candidate, 0, len(g.bins))
-	for _, c := range g.bins {
+	out := make([]Candidate, 0, len(g.tpls))
+	for ti := range g.tpls {
+		if !g.globalSet[ti] {
+			continue
+		}
+		c := g.global[ti]
 		if template.IsPeriodicStack(c.Template) {
 			// A k-fold stack of a shorter template (its 1-period
 			// form is a separate bin with at least the same
@@ -358,7 +542,7 @@ func (g *generator) results() []Candidate {
 			// near-duplicates of every popular one-record shape.
 			continue
 		}
-		out = append(out, *c)
+		out = append(out, c)
 	}
 	sortCandidates(out)
 	if len(out) > g.cfg.MaxCandidates {
@@ -384,21 +568,6 @@ func sortCandidates(cands []Candidate) {
 	})
 }
 
-// rawKey builds a cheap pre-reduction key for a token run: 'F' for fields,
-// the character for literals.
-func rawKey(toks []*template.Node) string {
-	var b strings.Builder
-	b.Grow(len(toks))
-	for _, t := range toks {
-		if t.Kind == template.KField {
-			b.WriteByte(0x01)
-		} else {
-			b.WriteString(t.Lit)
-		}
-	}
-	return b.String()
-}
-
 func endsWithNewline(st *template.Node) bool {
 	switch st.Kind {
 	case template.KLiteral:
@@ -412,20 +581,4 @@ func endsWithNewline(st *template.Node) bool {
 		return endsWithNewline(st.Children[len(st.Children)-1])
 	}
 	return false
-}
-
-// CharsetsTried is exposed for the step-complexity experiment (Table 3):
-// it runs a generation and reports how many RT-CharSet values were
-// enumerated.
-func CharsetsTried(lines *textio.Lines, cfg Config) int {
-	cfg = cfg.withDefaults()
-	present := chars.Present(cfg.Candidates, lines.Data())
-	g := &generator{lines: lines, cfg: cfg, bins: map[string]*Candidate{}}
-	switch cfg.Search {
-	case Greedy:
-		g.greedySearch(present)
-	default:
-		g.exhaustiveSearch(present)
-	}
-	return g.charsetsTried
 }

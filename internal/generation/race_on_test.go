@@ -1,0 +1,7 @@
+//go:build race
+
+package generation
+
+// raceEnabled reports whether the race detector instruments this build;
+// allocation-count tests skip and equivalence sweeps trim under it.
+const raceEnabled = true

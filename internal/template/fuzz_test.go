@@ -1,0 +1,62 @@
+package template
+
+import (
+	"testing"
+
+	"datamaran/internal/chars"
+)
+
+// FuzzReduce cross-checks the two reduction entry points — the tree-token
+// Reduce over ExtractRecordTemplate and the flat-token FlatReducer over
+// AppendFlatTokens — on arbitrary records and charsets, and asserts the
+// reduction invariants: the result is normalized (idempotent under
+// Normalize), canonical keys agree with structural equality, and field
+// byte counts agree between the extraction paths.
+func FuzzReduce(f *testing.F) {
+	f.Add([]byte("a,b,c,d\n"), ",")
+	f.Add([]byte("k=v k=v k=v\n"), "= ")
+	f.Add([]byte("BEGIN 1\nv=7\nEND\n"), "= ")
+	f.Add([]byte("[12:08] (a,b) x\n[12:09] (c,d) y\n"), "[]:(), ")
+	f.Add([]byte("no specials at all"), "")
+	f.Add([]byte(""), ",;")
+
+	f.Fuzz(func(t *testing.T, record []byte, charset string) {
+		if len(record) > 4096 {
+			t.Skip("bounded so the quadratic repeat search stays fast")
+		}
+		// Restrict the charset to the candidate alphabet real charsets
+		// are drawn from (rtsets are always subsets of it).
+		rtset := chars.NewSet(charset).Intersect(chars.DefaultCandidates())
+
+		toks, fb := ExtractRecordTemplate(record, rtset)
+		tree := Reduce(toks)
+
+		flat, flatFB := AppendFlatTokens(nil, record, rtset)
+		if fb != flatFB {
+			t.Fatalf("field bytes diverge: tree %d, flat %d", fb, flatFB)
+		}
+		if len(flat) != len(toks) {
+			t.Fatalf("token counts diverge: tree %d, flat %d", len(toks), len(flat))
+		}
+		var fr FlatReducer
+		viaFlat := fr.Reduce(flat)
+		if !tree.Equal(viaFlat) {
+			t.Fatalf("reductions diverge:\n tree: %v\n flat: %v", tree, viaFlat)
+		}
+		// A second reduction through the same FlatReducer (warm interner)
+		// must not change the result.
+		if again := fr.Reduce(flat); !tree.Equal(again) {
+			t.Fatalf("warm FlatReducer diverges: %v vs %v", tree, again)
+		}
+
+		if norm := tree.Normalize(); norm != nil && !tree.Equal(norm) {
+			t.Fatalf("Reduce result not normalized: %v vs %v", tree, norm)
+		}
+		if tree.Key() != viaFlat.Key() {
+			t.Fatalf("equal trees with different keys: %q vs %q", tree.Key(), viaFlat.Key())
+		}
+		if nf := tree.NumFields(); nf < 0 || (fb > 0 && nf == 0) {
+			t.Fatalf("field bytes %d but %d fields in %v", fb, nf, tree)
+		}
+	})
+}

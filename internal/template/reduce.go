@@ -39,6 +39,39 @@ func ExtractRecordTemplate(record []byte, rtset chars.Set) (tokens []*Node, fiel
 // for them is quadratic.
 const maxUnitTokens = 160
 
+// TokField is the flat-token encoding of the field placeholder. Flat
+// tokens are uint16 values: 0..255 is a one-byte literal, TokField is 'F'.
+// The flat form carries exactly the information ExtractRecordTemplate
+// produces (fields and single-character literals) without a heap node per
+// token, so the generation step can keep whole tokenized datasets in one
+// arena slice.
+const TokField uint16 = 256
+
+// AppendFlatTokens is ExtractRecordTemplate in flat-token form: it appends
+// the record template of record under rtset to dst (one uint16 per token)
+// and returns the extended slice plus the field byte count. The token
+// sequence is identical, token for token, to ExtractRecordTemplate's.
+func AppendFlatTokens(dst []uint16, record []byte, rtset chars.Set) ([]uint16, int) {
+	fieldBytes := 0
+	i := 0
+	for i < len(record) {
+		b := record[i]
+		if b == '\n' || rtset.Contains(b) {
+			dst = append(dst, uint16(b))
+			i++
+			continue
+		}
+		j := i
+		for j < len(record) && record[j] != '\n' && !rtset.Contains(record[j]) {
+			j++
+		}
+		dst = append(dst, TokField)
+		fieldBytes += j - i
+		i = j
+	}
+	return dst, fieldBytes
+}
+
 // Reduce reduces a token sequence to its minimal structure template
 // (step 4 of the generation step): repeated patterns of the form
 // U sep U sep ... U term (sep != term, at least two occurrences of U) are
@@ -58,6 +91,11 @@ func Reduce(tokens []*Node) *Node {
 	for i, t := range tokens {
 		seq[i] = r.intern(t)
 	}
+	return r.reduceSeq(seq)
+}
+
+// reduceSeq runs the fold loop to fixpoint and builds the normalized tree.
+func (r *reducer) reduceSeq(seq []int32) *Node {
 	for {
 		next, ok := r.reduceOnce(seq)
 		if !ok {
@@ -70,6 +108,40 @@ func Reduce(tokens []*Node) *Node {
 		nodes[i] = r.nodes[id]
 	}
 	return Struct(nodes...).Normalize()
+}
+
+// FlatReducer reduces flat token sequences (see TokField) to minimal
+// structure templates, keeping its token-interning tables alive across
+// calls. Interned nodes are immutable and ids are compared only for
+// equality, so reusing the tables across windows changes no result — it
+// only makes the per-window cost proportional to the window, not to the
+// interner. The zero value is ready to use. Not safe for concurrent use.
+type FlatReducer struct {
+	r   reducer
+	seq []int32
+}
+
+// Reduce reduces a flat token sequence to its minimal structure template.
+// The result is identical to Reduce over the equivalent []*Node tokens.
+func (fr *FlatReducer) Reduce(toks []uint16) *Node {
+	if fr.r.byKey == nil {
+		fr.r.byKey = map[string]int32{}
+	}
+	if cap(fr.seq) < len(toks) {
+		fr.seq = make([]int32, 0, len(toks)*2)
+	}
+	seq := fr.seq[:len(toks)]
+	for i, t := range toks {
+		seq[i] = fr.r.internTok(t)
+	}
+	return fr.r.reduceSeq(seq)
+}
+
+// ReduceFlat reduces a flat token sequence with a throwaway reducer; use a
+// FlatReducer to amortize interning across many sequences.
+func ReduceFlat(toks []uint16) *Node {
+	var fr FlatReducer
+	return fr.Reduce(toks)
 }
 
 // reducer interns template tokens: equal tokens (deep equality) share one
@@ -111,6 +183,21 @@ func (r *reducer) intern(n *Node) int32 {
 	}
 	r.charOf = append(r.charOf, c)
 	return id
+}
+
+// internTok interns a flat token, building the backing Node only the
+// first time a token value is seen.
+func (r *reducer) internTok(t uint16) int32 {
+	if t == TokField {
+		if r.fieldID != 0 {
+			return r.fieldID - 1
+		}
+		return r.intern(Field())
+	}
+	if id := r.charIDs[byte(t)]; id != 0 {
+		return id - 1
+	}
+	return r.intern(Lit(string([]byte{byte(t)})))
 }
 
 // reduceOnce applies the first applicable fold and reports whether one was

@@ -541,3 +541,73 @@ func TestUnmarshalNodeRejectsBadInput(t *testing.T) {
 		}
 	}
 }
+
+func TestAppendFlatTokensMatchesExtract(t *testing.T) {
+	cases := []struct {
+		rec string
+		set string
+	}{
+		{"192.168.0.1, 200\n", ". ,"},
+		{"a,,b\n", ","},
+		{"hello world", ""},
+		{"ab\ncd\n", ""},
+		{"", ",."},
+	}
+	for _, c := range cases {
+		toks, fb := ExtractRecordTemplate([]byte(c.rec), chars.NewSet(c.set))
+		flat, flatFB := AppendFlatTokens(nil, []byte(c.rec), chars.NewSet(c.set))
+		if fb != flatFB {
+			t.Fatalf("%q: field bytes %d vs flat %d", c.rec, fb, flatFB)
+		}
+		if len(toks) != len(flat) {
+			t.Fatalf("%q: %d tokens vs flat %d", c.rec, len(toks), len(flat))
+		}
+		for i, tok := range toks {
+			if tok.Kind == KField {
+				if flat[i] != TokField {
+					t.Fatalf("%q token %d: want field, got %d", c.rec, i, flat[i])
+				}
+			} else if flat[i] != uint16(tok.Lit[0]) {
+				t.Fatalf("%q token %d: want %q, got %d", c.rec, i, tok.Lit, flat[i])
+			}
+		}
+	}
+}
+
+func TestFlatReducerMatchesReduce(t *testing.T) {
+	records := []string{
+		"a,b,c,d\n",
+		"k=v k=v k=v\n",
+		"x\n",
+		"1;2;3\n4;5;6\n",
+		"--\n",
+	}
+	var fr FlatReducer
+	for _, rec := range records {
+		set := chars.NewSet(",=; ")
+		toks, _ := ExtractRecordTemplate([]byte(rec), set)
+		want := Reduce(toks)
+		flat, _ := AppendFlatTokens(nil, []byte(rec), set)
+		// The same warm reducer across all records: interner reuse must
+		// not leak state between reductions.
+		if got := fr.Reduce(flat); !got.Equal(want) {
+			t.Fatalf("%q: FlatReducer %v, Reduce %v", rec, got, want)
+		}
+		if got := ReduceFlat(flat); !got.Equal(want) {
+			t.Fatalf("%q: ReduceFlat %v, Reduce %v", rec, got, want)
+		}
+	}
+}
+
+func TestAppendFlatTokensAppends(t *testing.T) {
+	set := chars.NewSet(",")
+	dst, _ := AppendFlatTokens(nil, []byte("a,b\n"), set)
+	n := len(dst)
+	dst, _ = AppendFlatTokens(dst, []byte("c,d\n"), set)
+	if len(dst) != 2*n {
+		t.Fatalf("append grew %d -> %d, want %d", n, len(dst), 2*n)
+	}
+	if dst[0] != TokField || dst[n] != TokField {
+		t.Fatalf("windows not concatenated: %v", dst)
+	}
+}
