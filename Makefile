@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test test-short test-race bench lint fmt staticcheck bench-gate bench-allocs fuzz-smoke golden-lake golden-lake-update serve-smoke serve-smoke-update
+.PHONY: build test test-short test-race bench lint fmt staticcheck bench-gate bench-allocs fuzz-smoke golden-lake golden-lake-update golden-query golden-query-update serve-smoke serve-smoke-update
 
 build:
 	$(GO) build ./...
@@ -20,9 +20,10 @@ test-short:
 # pipeline, chunk reader, lake crawl, incremental follow, serve daemon)
 # plus the generation/template hot path (single-goroutine, but its oracle
 # equivalence suite must also hold under the race runtime's different
-# allocation and scheduling behavior).
+# allocation and scheduling behavior) and the query engine (its
+# join-order property suite must hold under the race runtime too).
 test-race:
-	$(GO) test -race -short ./internal/parser ./internal/pipeline ./internal/textio ./internal/lake ./internal/follow ./internal/serve ./internal/generation ./internal/template .
+	$(GO) test -race -short ./internal/parser ./internal/pipeline ./internal/textio ./internal/lake ./internal/follow ./internal/serve ./internal/query ./internal/generation ./internal/template .
 
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$' .
@@ -66,8 +67,20 @@ golden-lake:
 golden-lake-update:
 	sh scripts/golden_lake.sh -update
 
+# Golden-query check: the query suite over the fixture lake's record
+# store must reproduce the committed results byte-for-byte through the
+# CLI at two crawl worker counts (see scripts/golden_query.sh; the
+# in-process engine and the served /v1/query are pinned to the same
+# goldens by TestQueryGoldens and serve-smoke).
+golden-query:
+	sh scripts/golden_query.sh
+
+golden-query-update:
+	sh scripts/golden_query.sh -update
+
 # Serve-daemon smoke: start `datamaran serve` on the fixture lake, hit
-# /formats, both extract paths and /reindex, and diff every response
+# the /v1 routes (formats, both extract paths, reindex, one query) plus
+# a deprecated alias and a failing route, and diff every response
 # against testdata/lake_golden (see scripts/serve_smoke.sh).
 serve-smoke:
 	sh scripts/serve_smoke.sh

@@ -35,6 +35,7 @@ func runIndex(args []string) {
 	outDir := fs.String("o", "", "directory for per-file CSV output")
 	incremental := fs.Bool("incremental", false, "resume extraction from per-file checkpoints (requires -registry)")
 	checkpoints := fs.String("checkpoints", "", "checkpoint store path (default: checkpoints.json next to the registry)")
+	store := fs.String("store", "", "record store directory for later `datamaran query` runs")
 	quiet := fs.Bool("q", false, "suppress the progress note on stderr")
 	fs.Usage = func() {
 		fmt.Fprintln(os.Stderr, "usage: datamaran index [flags] <dir>")
@@ -69,6 +70,7 @@ func runIndex(args []string) {
 		SampleBytes:    *sample,
 		MatchThreshold: *threshold,
 		CheckpointPath: cpPath,
+		StorePath:      *store,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "datamaran index: %v\n", err)
@@ -173,7 +175,7 @@ func writeIndexCSVs(res *datamaran.IndexResult, dir string) error {
 			base += "-" + fmt.Sprintf("%x", sha256.Sum256([]byte(f.Path)))[:8]
 		}
 		used[base] = true
-		for _, t := range f.Result.Tables() {
+		for _, t := range f.Result.TablesWith(datamaran.TablesOptions{}) {
 			path := filepath.Join(dir, base+"."+t.Name+".csv")
 			out, err := os.Create(path)
 			if err != nil {

@@ -7,13 +7,16 @@
 //	datamaran [flags] <logfile>
 //	datamaran index [flags] <dir>
 //	datamaran serve [flags] <dir>
+//	datamaran query [flags] <query>
 //
 // With -o DIR, one CSV file per extracted table is written there;
 // otherwise tables go to stdout. The index subcommand crawls a
 // directory tree (a data lake), discovering each log format once and
 // applying cached profiles to every other file — see index.go. The
 // serve subcommand runs the lake as a long-lived HTTP daemon with
-// checkpointed incremental re-crawls — see serve.go.
+// checkpointed incremental re-crawls — see serve.go. The query
+// subcommand runs relational queries over the record store those
+// crawls populate — see query.go.
 package main
 
 import (
@@ -34,6 +37,10 @@ func main() {
 	}
 	if len(os.Args) > 1 && os.Args[1] == "serve" {
 		runServe(os.Args[2:])
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "query" {
+		runQuery(os.Args[2:])
 		return
 	}
 	alpha := flag.Float64("alpha", 0.10, "minimum coverage threshold α (fraction)")
@@ -110,15 +117,7 @@ func main() {
 		}
 	}
 
-	var tables []*datamaran.Table
-	switch {
-	case *typed:
-		tables = res.TypedTables()
-	case *denorm:
-		tables = res.DenormalizedTables()
-	default:
-		tables = res.Tables()
-	}
+	tables := res.TablesWith(datamaran.TablesOptions{Denormalized: *denorm, Typed: *typed})
 	for _, t := range tables {
 		if *outDir == "" {
 			fmt.Printf("-- table %s --\n", t.Name)

@@ -7,18 +7,20 @@
 //
 //	datamaran serve [flags] <dir>
 //
-// Endpoints (see internal/serve):
+// Endpoints (see internal/serve; unversioned aliases remain for one
+// release):
 //
-//	GET  /healthz                  liveness
-//	GET  /formats                  registry listing
-//	GET  /formats/{fp}             one profile (feed it back via -profile)
-//	POST /extract?format={fp}      extract the request body (ndjson/csv)
-//	GET  /lake/extract?path=...    extract a lake file
-//	POST /reindex                  incremental crawl + persist
+//	GET  /healthz                     liveness
+//	GET  /v1/formats                  registry listing
+//	GET  /v1/formats/{fp}             one profile (feed it back via -profile)
+//	POST /v1/extract?format={fp}      extract the request body (ndjson/csv)
+//	GET  /v1/lake/extract?path=...    extract a lake file
+//	POST /v1/reindex                  incremental crawl + persist
+//	GET  /v1/query?q=...              relational query over the record store
 //
-// Registry and checkpoints default to <dir>/.datamaran/ — a hidden
-// directory the crawler skips, so the daemon's state never indexes
-// itself.
+// Registry, checkpoints and the record store default to
+// <dir>/.datamaran/ — a hidden directory the crawler skips, so the
+// daemon's state never indexes itself.
 package main
 
 import (
@@ -43,6 +45,7 @@ func runServe(args []string) {
 	addr := fs.String("addr", "127.0.0.1:8473", "listen address (port 0 picks a free port)")
 	registry := fs.String("registry", "", "profile registry path (default <dir>/.datamaran/registry.json)")
 	checkpoints := fs.String("checkpoints", "", "checkpoint store path (default <dir>/.datamaran/checkpoints.json)")
+	store := fs.String("store", "", "record store directory for /v1/query (default <dir>/.datamaran/store)")
 	workers := fs.Int("workers", 0, "extraction parallelism (0 = all cores; never changes output)")
 	alpha := fs.Float64("alpha", 0.10, "minimum coverage threshold α for discovery (fraction)")
 	reindex := fs.Bool("reindex", false, "run one incremental crawl before accepting requests")
@@ -57,7 +60,7 @@ func runServe(args []string) {
 	}
 	dir := fs.Arg(0)
 
-	if *registry == "" || *checkpoints == "" {
+	if *registry == "" || *checkpoints == "" || *store == "" {
 		state := filepath.Join(dir, ".datamaran")
 		if err := os.MkdirAll(state, 0o755); err != nil {
 			fatalf("serve: %v", err)
@@ -68,12 +71,16 @@ func runServe(args []string) {
 		if *checkpoints == "" {
 			*checkpoints = filepath.Join(state, "checkpoints.json")
 		}
+		if *store == "" {
+			*store = filepath.Join(state, "store")
+		}
 	}
 
 	srv, err := serve.New(serve.Config{
 		Root:           dir,
 		RegistryPath:   *registry,
 		CheckpointPath: *checkpoints,
+		StorePath:      *store,
 		Workers:        *workers,
 		Core:           core.Options{Alpha: *alpha},
 	})

@@ -191,7 +191,7 @@ func extractionFingerprint(t *testing.T, r *datamaran.Result) []byte {
 		}
 		b.WriteByte('\n')
 	}
-	for _, tab := range r.Tables() {
+	for _, tab := range r.TablesWith(datamaran.TablesOptions{}) {
 		fmt.Fprintf(&b, "table %s\n", tab.Name)
 		if err := tab.WriteCSV(&b); err != nil {
 			t.Fatalf("WriteCSV: %v", err)

@@ -29,8 +29,8 @@ func main() {
 	}
 	fmt.Printf("template: %s\n", res.Structures[0].Template)
 
-	raw := res.DenormalizedTables()[0]
-	typed := res.TypedTables()[0]
+	raw := res.TablesWith(datamaran.TablesOptions{Denormalized: true})[0]
+	typed := res.TablesWith(datamaran.TablesOptions{Typed: true})[0]
 	fmt.Printf("raw columns:   %d %v\n", len(raw.Columns), raw.Columns)
 	fmt.Printf("typed columns: %d %v\n", len(typed.Columns), typed.Columns)
 	fmt.Printf("first typed row: %v\n", typed.Rows[0])

@@ -35,6 +35,12 @@ type IndexOptions struct {
 	// full re-extraction. The store is loaded before the crawl and
 	// written back after, like the registry it lives next to.
 	CheckpointPath string
+	// StorePath names the record-store directory where the crawl writes
+	// per-format columnar segments — the tables Query reads. Segments
+	// are staged during the crawl and committed only when it completes;
+	// an incremental crawl extends a grown file's segments in place.
+	// Empty disables the store.
+	StorePath string
 }
 
 // IndexedFile is the indexing outcome of one crawled file.
@@ -172,15 +178,32 @@ func IndexDirContext(ctx context.Context, dir string, opts IndexOptions) (*Index
 			return nil, err
 		}
 	}
+	var txn *lake.StoreTxn
+	if opts.StorePath != "" {
+		store, err := lake.OpenSegmentStore(opts.StorePath)
+		if err != nil {
+			return nil, err
+		}
+		txn = store.Begin()
+	}
 	res, err := lake.IndexContext(ctx, dir, reg, lake.Config{
 		Core:           opts.Extract.internal(),
 		Workers:        opts.Workers,
 		SampleBytes:    opts.SampleBytes,
 		MatchThreshold: opts.MatchThreshold,
 		Checkpoints:    checkpoints,
+		Segments:       txn,
 	})
 	if err != nil {
+		if txn != nil {
+			txn.Abort()
+		}
 		return nil, err
+	}
+	if txn != nil {
+		if err := txn.Commit(); err != nil {
+			return nil, err
+		}
 	}
 	if opts.RegistryPath != "" {
 		if err := reg.Save(opts.RegistryPath); err != nil {

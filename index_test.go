@@ -17,10 +17,10 @@ func TestIndexDirFixtureLake(t *testing.T) {
 		t.Fatal(err)
 	}
 	s := res.Summary
-	if s.FormatsKnown != 3 || s.FormatsDiscovered != 3 {
+	if s.FormatsKnown != 4 || s.FormatsDiscovered != 4 {
 		t.Fatalf("fixture lake formats: %+v", s)
 	}
-	if s.Files != 11 || s.Structured != 10 || s.Unstructured != 1 || s.Failed != 0 {
+	if s.Files != 12 || s.Structured != 11 || s.Unstructured != 1 || s.Failed != 0 {
 		t.Fatalf("fixture lake files: %+v", s)
 	}
 	if s.CacheHits != 7 {
@@ -33,7 +33,7 @@ func TestIndexDirFixtureLake(t *testing.T) {
 			perFP[f.Fingerprint]++
 		}
 	}
-	if len(perFP) != 3 {
+	if len(perFP) != 4 {
 		t.Fatalf("discoveries per format: %v", perFP)
 	}
 	for fp, n := range perFP {
@@ -49,7 +49,7 @@ func TestIndexDirFixtureLake(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res2.Summary.FormatsDiscovered != 0 || res2.Summary.CacheHits != 10 {
+	if res2.Summary.FormatsDiscovered != 0 || res2.Summary.CacheHits != 11 {
 		t.Fatalf("second run should skip all discovery: %+v", res2.Summary)
 	}
 	for _, f := range res2.Formats {

@@ -48,6 +48,13 @@ type Config struct {
 	// fall back to the full path. The store is updated in place;
 	// persisting it is the caller's concern.
 	Checkpoints *follow.Store
+	// Segments, when non-nil, records every structured file's extracted
+	// rows into the columnar record store: full extractions rewrite the
+	// file's segments, incremental resumes append, unchanged files are
+	// untouched, and files that left the lake (or lost their structure)
+	// are pruned. The transaction is staged — committing (or aborting)
+	// it is the caller's concern, mirroring registry persistence.
+	Segments *StoreTxn
 }
 
 func (c Config) withDefaults() Config {
@@ -296,6 +303,20 @@ func IndexContext(ctx context.Context, root string, reg *Registry, cfg Config) (
 		cfg.Checkpoints.Retain(func(p string) bool { return crawled[p] })
 	}
 
+	// The record store tracks the crawl the same way: files that lost
+	// their structure lose their rows, departed files are pruned, and
+	// failed files keep theirs (mirroring their kept checkpoints).
+	if cfg.Segments != nil {
+		crawled := make(map[string]bool, len(files))
+		for i := range files {
+			crawled[files[i].Path] = true
+			if files[i].Status == StatusUnstructured {
+				cfg.Segments.Drop(files[i].Path)
+			}
+		}
+		cfg.Segments.Retain(func(p string) bool { return crawled[p] })
+	}
+
 	res := &Result{Files: files, NewFormats: newFPs}
 	res.Summary = summarize(files, reg, len(newFPs))
 	return res, nil
@@ -372,6 +393,14 @@ func classifyFromCheckpoint(full, rel string, reg *Registry, cfg Config, fr *Fil
 		return true, ""
 	}
 	fr.Size = plan.Size
+	// A checkpointed skip or resume is only sound when the record store
+	// already holds the file's finalized rows; a store enabled after the
+	// checkpoint was taken has none, so take the full path once to
+	// populate it.
+	if cfg.Segments != nil && plan.Action != follow.ActionFull &&
+		!cfg.Segments.Covers(rel, e.Fingerprint, len(e.Templates)) {
+		return false, "store-new"
+	}
 	switch plan.Action {
 	case follow.ActionUnchanged:
 		reg.Claim(e)
@@ -599,6 +628,15 @@ func extractOne(ctx context.Context, root string, fr *FileResult, e *Entry, resu
 			fr.Err = err
 			return
 		}
+		// Rows past the new checkpoint's finalized boundary are
+		// provisional: the next resume re-emits them, so the store
+		// remembers how many to truncate before appending.
+		prov := fr.Inc.BaseRecords + len(res.Records) - ncp.Records
+		if err := storeRecords(cfg, fr, e, res, resume != nil, prov); err != nil {
+			fr.Status = StatusFailed
+			fr.Err = err
+			return
+		}
 		cfg.Checkpoints.Put(ncp)
 		fr.Res = res
 		fr.Inc.TotalRecords = fr.Inc.BaseRecords + len(res.Records)
@@ -622,7 +660,26 @@ func extractOne(ctx context.Context, root string, fr *FileResult, e *Entry, resu
 		fr.Err = err
 		return
 	}
+	if err := storeRecords(cfg, fr, e, res, false, 0); err != nil {
+		fr.Status = StatusFailed
+		fr.Err = err
+		return
+	}
 	fr.Res = res
+}
+
+// storeRecords stages one extracted file's rows into the record store:
+// resumed extractions (which cover only [checkpoint, EOF)) append to
+// the file's segments, full ones rewrite them. provisional counts the
+// trailing records the new checkpoint did not finalize.
+func storeRecords(cfg Config, fr *FileResult, e *Entry, res *core.Result, resumed bool, provisional int) error {
+	if cfg.Segments == nil {
+		return nil
+	}
+	if resumed {
+		return cfg.Segments.Append(fr.Path, e.Fingerprint, e.Templates, res.Records, provisional)
+	}
+	return cfg.Segments.Rewrite(fr.Path, e.Fingerprint, e.Templates, res.Records, provisional)
 }
 
 // summarize aggregates the per-file outcomes.

@@ -1,0 +1,925 @@
+package lake
+
+import (
+	"bufio"
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"datamaran/internal/core"
+	"datamaran/internal/relational"
+	"datamaran/internal/semtype"
+	"datamaran/internal/template"
+)
+
+// The record store: per-format columnar segments written next to the
+// registry by the crawl, so the query engine can scan the lake's
+// extracted records without re-extracting anything.
+//
+// Layout under the store directory:
+//
+//	manifest.json          table directory (versioned, atomic, deterministic)
+//	<hash>.t<k>.seg        one segment per (source file, record type)
+//
+// A table is one (format fingerprint, record type) pair; its rows are
+// the denormalized records (one row per record, columns f0..fN, array
+// repetitions joined with the array separator) of every claimed file,
+// concatenated in sorted path order. Segments are block-structured and
+// column-major inside each block, so an incremental crawl extends a
+// grown file's segment by appending blocks — the follow layer's resume
+// never rewrites bytes that are already on disk.
+//
+// Mutations go through a StoreTxn: the crawl stages new segment bytes
+// in the store directory and nothing becomes visible until Commit
+// renames them in and swaps the manifest — the same
+// only-completed-crawls-publish discipline the serve daemon applies to
+// the registry and checkpoint store.
+
+// manifestVersion is the on-disk manifest format this package reads and
+// writes.
+const manifestVersion = 1
+
+// segMagic opens every segment file.
+var segMagic = []byte("dmseg1\n")
+
+// segBlockRows caps the rows per segment block: the unit of buffering
+// for both the writer and the streaming reader.
+const segBlockRows = 1024
+
+// TableInfo describes one queryable table of the record store.
+type TableInfo struct {
+	// Name is the table's query name: the format fingerprint, with a
+	// "_<k>" suffix for record types beyond the first.
+	Name string
+	// Fingerprint is the owning format.
+	Fingerprint string
+	// Type is the record type index within the format.
+	Type int
+	// Columns are the column names (f0..fN, the denormalized schema).
+	Columns []string
+	// Kinds are the per-column scalar kinds (semtype classification,
+	// folded across segments).
+	Kinds []semtype.Kind
+	// Rows is the total row count across segments.
+	Rows int
+	// Segments counts the contributing source files.
+	Segments int
+}
+
+// tableName renders the query name of a (fingerprint, type) pair.
+func tableName(fp string, typeID int) string {
+	if typeID == 0 {
+		return fp
+	}
+	return fmt.Sprintf("%s_%d", fp, typeID)
+}
+
+// manSeg is one source file's contribution to a table.
+type manSeg struct {
+	// Path is the source file, slash-separated relative to the lake root.
+	Path string `json:"path"`
+	// File is the segment filename inside the store directory.
+	File string `json:"file"`
+	// Rows is the segment's row count.
+	Rows int `json:"rows"`
+	// Provisional counts the trailing rows whose records were not yet
+	// finalized at the last crawl — an incremental resume re-emits
+	// them, so Append truncates them before appending.
+	Provisional int `json:"provisional,omitempty"`
+	// Kinds are the column kinds observed over this segment's values.
+	Kinds []semtype.Kind `json:"kinds"`
+}
+
+// manTable is one table of the manifest.
+type manTable struct {
+	Fingerprint string   `json:"fingerprint"`
+	Type        int      `json:"type"`
+	Columns     []string `json:"columns"`
+	Segments    []manSeg `json:"segments"`
+}
+
+// manifest is the store directory's table index.
+type manifest struct {
+	Tables []manTable
+}
+
+type manifestJSON struct {
+	Version int        `json:"version"`
+	Tables  []manTable `json:"tables"`
+}
+
+// clone deep-copies the manifest so a transaction can mutate freely.
+func (m *manifest) clone() *manifest {
+	out := &manifest{Tables: make([]manTable, len(m.Tables))}
+	for i, t := range m.Tables {
+		ct := t
+		ct.Columns = append([]string(nil), t.Columns...)
+		ct.Segments = make([]manSeg, len(t.Segments))
+		for j, s := range t.Segments {
+			cs := s
+			cs.Kinds = append([]semtype.Kind(nil), s.Kinds...)
+			ct.Segments[j] = cs
+		}
+		out.Tables[i] = ct
+	}
+	return out
+}
+
+// normalize sorts tables by (fingerprint, type) and segments by path,
+// and drops tables with no segments — the canonical (deterministic)
+// form both Commit and MarshalJSON rely on.
+func (m *manifest) normalize() {
+	tables := m.Tables[:0]
+	for _, t := range m.Tables {
+		if len(t.Segments) > 0 {
+			sort.Slice(t.Segments, func(a, b int) bool { return t.Segments[a].Path < t.Segments[b].Path })
+			tables = append(tables, t)
+		}
+	}
+	m.Tables = tables
+	sort.Slice(m.Tables, func(a, b int) bool {
+		if m.Tables[a].Fingerprint != m.Tables[b].Fingerprint {
+			return m.Tables[a].Fingerprint < m.Tables[b].Fingerprint
+		}
+		return m.Tables[a].Type < m.Tables[b].Type
+	})
+}
+
+// table finds the (fingerprint, type) table, or nil.
+func (m *manifest) table(fp string, typeID int) *manTable {
+	for i := range m.Tables {
+		if m.Tables[i].Fingerprint == fp && m.Tables[i].Type == typeID {
+			return &m.Tables[i]
+		}
+	}
+	return nil
+}
+
+// SegmentStore is the on-disk record store handle. It is safe for
+// concurrent use: scans snapshot the manifest, and commits swap it
+// whole.
+type SegmentStore struct {
+	dir string
+	mu  sync.RWMutex
+	man *manifest
+}
+
+// OpenSegmentStore opens (creating if needed) the record store rooted
+// at dir. A missing manifest yields an empty store, so first runs need
+// no setup.
+func OpenSegmentStore(dir string) (*SegmentStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	man := &manifest{}
+	raw, err := os.ReadFile(filepath.Join(dir, "manifest.json"))
+	switch {
+	case os.IsNotExist(err):
+	case err != nil:
+		return nil, err
+	default:
+		var mj manifestJSON
+		if err := json.Unmarshal(raw, &mj); err != nil {
+			return nil, fmt.Errorf("lake: bad store manifest: %w", err)
+		}
+		if mj.Version != manifestVersion {
+			return nil, fmt.Errorf("lake: unsupported store manifest version %d (supported: %d)", mj.Version, manifestVersion)
+		}
+		man.Tables = mj.Tables
+		man.normalize()
+	}
+	return &SegmentStore{dir: dir, man: man}, nil
+}
+
+// Dir returns the store directory.
+func (s *SegmentStore) Dir() string { return s.dir }
+
+// snapshot returns the current manifest pointer (immutable once
+// published).
+func (s *SegmentStore) snapshot() *manifest {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.man
+}
+
+// info converts a manifest table into its public form, folding segment
+// kinds into table kinds.
+func info(t *manTable) TableInfo {
+	ti := TableInfo{
+		Name:        tableName(t.Fingerprint, t.Type),
+		Fingerprint: t.Fingerprint,
+		Type:        t.Type,
+		Columns:     append([]string(nil), t.Columns...),
+		Segments:    len(t.Segments),
+	}
+	for i, seg := range t.Segments {
+		ti.Rows += seg.Rows
+		if i == 0 {
+			ti.Kinds = append([]semtype.Kind(nil), seg.Kinds...)
+			continue
+		}
+		for c := range ti.Kinds {
+			if c < len(seg.Kinds) {
+				ti.Kinds[c] = semtype.MergeKinds(ti.Kinds[c], seg.Kinds[c])
+			}
+		}
+	}
+	if ti.Kinds == nil {
+		ti.Kinds = make([]semtype.Kind, len(ti.Columns))
+		for i := range ti.Kinds {
+			ti.Kinds[i] = semtype.KindString
+		}
+	}
+	return ti
+}
+
+// Tables lists the store's tables in manifest (fingerprint, type)
+// order.
+func (s *SegmentStore) Tables() []TableInfo {
+	man := s.snapshot()
+	out := make([]TableInfo, 0, len(man.Tables))
+	for i := range man.Tables {
+		out = append(out, info(&man.Tables[i]))
+	}
+	return out
+}
+
+// Resolve finds a table by query name: an exact name, or a unique
+// fingerprint prefix (with optional "_<k>" type suffix) — the
+// git-style shorthand the query surfaces accept.
+func (s *SegmentStore) Resolve(name string) (TableInfo, error) {
+	man := s.snapshot()
+	base, typeID := name, 0
+	if i := strings.LastIndexByte(name, '_'); i > 0 {
+		if _, err := fmt.Sscanf(name[i+1:], "%d", &typeID); err == nil {
+			base = name[:i]
+		} else {
+			typeID = 0
+		}
+	}
+	var hits []*manTable
+	for i := range man.Tables {
+		t := &man.Tables[i]
+		if tableName(t.Fingerprint, t.Type) == name {
+			hits = []*manTable{t}
+			break
+		}
+		if t.Type == typeID && strings.HasPrefix(t.Fingerprint, base) {
+			hits = append(hits, t)
+		}
+	}
+	switch len(hits) {
+	case 1:
+		return info(hits[0]), nil
+	case 0:
+		return TableInfo{}, fmt.Errorf("lake: no table %q in store (have %s)", name, s.tableNames(man))
+	default:
+		return TableInfo{}, fmt.Errorf("lake: table prefix %q is ambiguous", name)
+	}
+}
+
+func (s *SegmentStore) tableNames(man *manifest) string {
+	if len(man.Tables) == 0 {
+		return "none"
+	}
+	names := make([]string, 0, len(man.Tables))
+	for _, t := range man.Tables {
+		names = append(names, tableName(t.Fingerprint, t.Type))
+	}
+	return strings.Join(names, ", ")
+}
+
+// SegmentScan streams one table's rows across its segments in sorted
+// path order. Memory is bounded by one block (segBlockRows rows).
+type SegmentScan struct {
+	dir     string
+	columns []string
+	segs    []manSeg
+	segIdx  int
+	f       *os.File
+	r       *bufio.Reader
+	block   [][]string
+	blockAt int
+}
+
+// Scan opens a streaming scan of the named table (exact name or unique
+// fingerprint prefix). Segments are opened lazily in order; each open
+// file keeps its bytes across a concurrent store commit (the commit
+// renames new files in, it never truncates old ones in place).
+func (s *SegmentStore) Scan(name string) (*SegmentScan, error) {
+	ti, err := s.Resolve(name)
+	if err != nil {
+		return nil, err
+	}
+	man := s.snapshot()
+	t := man.table(ti.Fingerprint, ti.Type)
+	if t == nil {
+		return nil, fmt.Errorf("lake: no table %q in store", name)
+	}
+	return &SegmentScan{
+		dir:     s.dir,
+		columns: append([]string(nil), t.Columns...),
+		segs:    append([]manSeg(nil), t.Segments...),
+	}, nil
+}
+
+// Columns returns the scan's column names.
+func (sc *SegmentScan) Columns() []string { return sc.columns }
+
+// Next returns the next row, or io.EOF after the last. The returned
+// slice is owned by the caller (rows are materialized per block).
+func (sc *SegmentScan) Next() ([]string, error) {
+	for {
+		if sc.blockAt < len(sc.block) {
+			row := sc.block[sc.blockAt]
+			sc.blockAt++
+			return row, nil
+		}
+		if sc.f == nil {
+			if sc.segIdx >= len(sc.segs) {
+				return nil, io.EOF
+			}
+			f, err := os.Open(filepath.Join(sc.dir, sc.segs[sc.segIdx].File))
+			if err != nil {
+				return nil, err
+			}
+			sc.f = f
+			sc.r = bufio.NewReader(f)
+			magic := make([]byte, len(segMagic))
+			if _, err := io.ReadFull(sc.r, magic); err != nil || !bytes.Equal(magic, segMagic) {
+				f.Close()
+				return nil, fmt.Errorf("lake: segment %s: bad magic", sc.segs[sc.segIdx].File)
+			}
+		}
+		block, err := readBlock(sc.r, len(sc.columns))
+		if err == io.EOF {
+			sc.f.Close()
+			sc.f, sc.r = nil, nil
+			sc.segIdx++
+			continue
+		}
+		if err != nil {
+			return nil, fmt.Errorf("lake: segment %s: %w", sc.segs[sc.segIdx].File, err)
+		}
+		sc.block, sc.blockAt = block, 0
+	}
+}
+
+// Close releases the scan's open segment file.
+func (sc *SegmentScan) Close() error {
+	if sc.f != nil {
+		err := sc.f.Close()
+		sc.f, sc.r = nil, nil
+		return err
+	}
+	return nil
+}
+
+// readBlock reads one column-major block: uvarint row count, then per
+// column, per row, a uvarint-length-prefixed value. io.EOF (clean) at
+// end of file.
+func readBlock(r *bufio.Reader, ncols int) ([][]string, error) {
+	nrows, err := binary.ReadUvarint(r)
+	if err == io.EOF {
+		return nil, io.EOF
+	}
+	if err != nil {
+		return nil, err
+	}
+	if nrows == 0 || nrows > segBlockRows {
+		return nil, fmt.Errorf("bad block row count %d", nrows)
+	}
+	rows := make([][]string, nrows)
+	cells := make([]string, int(nrows)*ncols)
+	for i := range rows {
+		rows[i] = cells[i*ncols : (i+1)*ncols : (i+1)*ncols]
+	}
+	var buf []byte
+	for c := 0; c < ncols; c++ {
+		for i := 0; i < int(nrows); i++ {
+			n, err := binary.ReadUvarint(r)
+			if err != nil {
+				return nil, unexpectedEOF(err)
+			}
+			if n > 1<<30 {
+				return nil, fmt.Errorf("bad cell length %d", n)
+			}
+			if int(n) > cap(buf) {
+				buf = make([]byte, n)
+			}
+			b := buf[:n]
+			if _, err := io.ReadFull(r, b); err != nil {
+				return nil, unexpectedEOF(err)
+			}
+			rows[i][c] = string(b)
+		}
+	}
+	return rows, nil
+}
+
+func unexpectedEOF(err error) error {
+	if err == io.EOF {
+		return io.ErrUnexpectedEOF
+	}
+	return err
+}
+
+// segWriter streams denormalized rows into column-major blocks,
+// folding semtype classification over each block as it flushes — the
+// derived kinds depend only on the row sequence, not on how callers
+// batch their writes, so an incremental append that replays the kept
+// rows re-derives exactly the kinds a from-scratch write would.
+type segWriter struct {
+	w     *bufio.Writer
+	ncols int
+	cols  [][]string
+	kinds []semtype.Kind
+	rows  int
+}
+
+func newSegWriter(w *bufio.Writer, ncols int) *segWriter {
+	return &segWriter{w: w, ncols: ncols, cols: make([][]string, ncols)}
+}
+
+func (sw *segWriter) putUvarint(v uint64) error {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], v)
+	_, err := sw.w.Write(buf[:n])
+	return err
+}
+
+// add buffers one row, flushing a block when full.
+func (sw *segWriter) add(row []string) error {
+	for c := 0; c < sw.ncols; c++ {
+		sw.cols[c] = append(sw.cols[c], row[c])
+	}
+	sw.rows++
+	if sw.ncols > 0 && len(sw.cols[0]) >= segBlockRows {
+		return sw.flushBlock()
+	}
+	return nil
+}
+
+func (sw *segWriter) flushBlock() error {
+	n := 0
+	if sw.ncols > 0 {
+		n = len(sw.cols[0])
+	}
+	if n == 0 {
+		return nil
+	}
+	sw.kinds = foldKinds(sw.kinds, sw.cols)
+	if err := sw.putUvarint(uint64(n)); err != nil {
+		return err
+	}
+	for c := 0; c < sw.ncols; c++ {
+		for _, v := range sw.cols[c] {
+			if err := sw.putUvarint(uint64(len(v))); err != nil {
+				return err
+			}
+			if _, err := sw.w.WriteString(v); err != nil {
+				return err
+			}
+		}
+		sw.cols[c] = sw.cols[c][:0]
+	}
+	return nil
+}
+
+// finish flushes the residual block and returns the folded kinds plus
+// the total row count.
+func (sw *segWriter) finish() ([]semtype.Kind, int, error) {
+	if err := sw.flushBlock(); err != nil {
+		return nil, 0, err
+	}
+	if err := sw.w.Flush(); err != nil {
+		return nil, 0, err
+	}
+	kinds := sw.kinds
+	if kinds == nil {
+		kinds = make([]semtype.Kind, sw.ncols)
+		for i := range kinds {
+			kinds[i] = semtype.KindString
+		}
+	}
+	return kinds, sw.rows, nil
+}
+
+// addRecords feeds recs' rows of one record type through the writer.
+func addRecords(sw *segWriter, st *template.Node, recs []core.RecordOut, typeID int) error {
+	seps := relational.ArraySeps(st)
+	var fields []relational.FlatField
+	var row []string
+	for _, rec := range recs {
+		if rec.TypeID != typeID {
+			continue
+		}
+		fields = fields[:0]
+		for _, f := range rec.Fields {
+			fields = append(fields, relational.FlatField{Col: f.Col, Rep: f.Rep, Value: f.Value})
+		}
+		row = relational.DenormRow(st, seps, fields, row)
+		if err := sw.add(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// provisionalByType counts, per record type, how many of the trailing
+// k records each type contributes — the not-yet-finalized rows the
+// next resume will re-emit, which Append truncates before appending.
+func provisionalByType(recs []core.RecordOut, ntypes, k int) []int {
+	counts := make([]int, ntypes)
+	for i := len(recs) - k; i < len(recs); i++ {
+		if i >= 0 && recs[i].TypeID >= 0 && recs[i].TypeID < ntypes {
+			counts[recs[i].TypeID]++
+		}
+	}
+	return counts
+}
+
+// foldKinds classifies the buffered column values and merges them into
+// the running kinds.
+func foldKinds(kinds []semtype.Kind, colVals [][]string) []semtype.Kind {
+	if len(colVals) == 0 || len(colVals[0]) == 0 {
+		return kinds
+	}
+	fresh := make([]semtype.Kind, len(colVals))
+	for c, vals := range colVals {
+		fresh[c] = semtype.ClassifyValues(vals)
+	}
+	if kinds == nil {
+		return fresh
+	}
+	for c := range kinds {
+		kinds[c] = semtype.MergeKinds(kinds[c], fresh[c])
+	}
+	return kinds
+}
+
+// segFileName derives the segment filename of one (source file, type)
+// pair — a hash, so arbitrary lake paths map onto flat store names.
+func segFileName(relPath string, typeID int) string {
+	sum := sha256.Sum256([]byte(relPath))
+	return fmt.Sprintf("%x.t%d.seg", sum[:12], typeID)
+}
+
+// StoreTxn stages one crawl's record-store mutations. Methods are safe
+// to call from the crawl's worker pool; nothing is visible to readers
+// (or survives a crash) until Commit.
+type StoreTxn struct {
+	s   *SegmentStore
+	mu  sync.Mutex
+	man *manifest
+	// staged maps final segment filenames to their staged temp paths;
+	// doomed lists segment files to delete at commit.
+	staged map[string]string
+	doomed map[string]bool
+	done   bool
+}
+
+// Begin opens a transaction over the store's current state.
+func (s *SegmentStore) Begin() *StoreTxn {
+	return &StoreTxn{
+		s:      s,
+		man:    s.snapshot().clone(),
+		staged: map[string]string{},
+		doomed: map[string]bool{},
+	}
+}
+
+// Rewrite replaces relPath's contribution with recs: one staged segment
+// per record type of the format (empty segments included, so later
+// appends and truncations have a base). provisional is the count of
+// trailing records not yet finalized by the extraction's checkpoint (0
+// outside incremental crawls).
+func (t *StoreTxn) Rewrite(relPath, fp string, templates []*template.Node, recs []core.RecordOut, provisional int) error {
+	t.mu.Lock()
+	t.dropLocked(relPath)
+	t.mu.Unlock()
+	prov := provisionalByType(recs, len(templates), provisional)
+	for typeID, st := range templates {
+		name := segFileName(relPath, typeID)
+		tmp, err := os.CreateTemp(t.s.dir, ".stage-*")
+		if err != nil {
+			return err
+		}
+		var kinds []semtype.Kind
+		rows := 0
+		if _, err = tmp.Write(segMagic); err == nil {
+			sw := newSegWriter(bufio.NewWriter(tmp), st.NumFields())
+			if err = addRecords(sw, st, recs, typeID); err == nil {
+				kinds, rows, err = sw.finish()
+			}
+		}
+		if cerr := tmp.Close(); err == nil {
+			err = cerr
+		}
+		if err == nil {
+			err = os.Chmod(tmp.Name(), 0o644)
+		}
+		if err != nil {
+			os.Remove(tmp.Name())
+			return err
+		}
+		t.mu.Lock()
+		t.staged[name] = tmp.Name()
+		delete(t.doomed, name)
+		tbl := t.man.table(fp, typeID)
+		if tbl == nil {
+			t.man.Tables = append(t.man.Tables, manTable{
+				Fingerprint: fp,
+				Type:        typeID,
+				Columns:     columnNames(st.NumFields()),
+			})
+			tbl = &t.man.Tables[len(t.man.Tables)-1]
+		}
+		tbl.Segments = append(tbl.Segments, manSeg{
+			Path: relPath, File: name, Rows: rows, Provisional: prov[typeID], Kinds: kinds,
+		})
+		t.mu.Unlock()
+	}
+	return nil
+}
+
+// Append extends relPath's existing segments with recs — the resume
+// path of the incremental crawl, which extracts [checkpoint, EOF): the
+// previously-provisional tail rows are truncated (the resume re-emits
+// them) and the new rows appended, replaying the kept rows so the
+// result is byte-identical to a from-scratch rewrite of the whole
+// file. provisional is the trailing-record count not finalized by the
+// new checkpoint. The crawl only plans a resume when Covers is true,
+// so a missing base segment is an invariant violation, not a fallback.
+func (t *StoreTxn) Append(relPath, fp string, templates []*template.Node, recs []core.RecordOut, provisional int) error {
+	prov := provisionalByType(recs, len(templates), provisional)
+	for typeID, st := range templates {
+		name := segFileName(relPath, typeID)
+		t.mu.Lock()
+		seg := segOf(t.man.table(fp, typeID), relPath)
+		if seg == nil {
+			t.mu.Unlock()
+			return fmt.Errorf("lake: append to %s type %d: no base segment for %s", fp, typeID, relPath)
+		}
+		keep := seg.Rows - seg.Provisional
+		src, isStaged := t.staged[name]
+		t.mu.Unlock()
+		if !isStaged {
+			src = filepath.Join(t.s.dir, name)
+		}
+		tmp, err := os.CreateTemp(t.s.dir, ".stage-*")
+		if err != nil {
+			return err
+		}
+		var kinds []semtype.Kind
+		rows := 0
+		err = func() error {
+			in, err := os.Open(src)
+			if err != nil {
+				return err
+			}
+			defer in.Close()
+			if _, err := tmp.Write(segMagic); err != nil {
+				return err
+			}
+			sw := newSegWriter(bufio.NewWriter(tmp), st.NumFields())
+			if err := copyRows(sw, in, st.NumFields(), keep); err != nil {
+				return err
+			}
+			if err := addRecords(sw, st, recs, typeID); err != nil {
+				return err
+			}
+			kinds, rows, err = sw.finish()
+			return err
+		}()
+		if cerr := tmp.Close(); err == nil {
+			err = cerr
+		}
+		if err == nil {
+			err = os.Chmod(tmp.Name(), 0o644)
+		}
+		if err != nil {
+			os.Remove(tmp.Name())
+			return err
+		}
+		t.mu.Lock()
+		if old, ok := t.staged[name]; ok {
+			os.Remove(old)
+		}
+		t.staged[name] = tmp.Name()
+		seg = segOf(t.man.table(fp, typeID), relPath)
+		seg.Rows = rows
+		seg.Provisional = prov[typeID]
+		seg.Kinds = kinds
+		t.mu.Unlock()
+	}
+	return nil
+}
+
+// copyRows replays up to limit rows of a segment file into the writer.
+func copyRows(sw *segWriter, in *os.File, ncols, limit int) error {
+	r := bufio.NewReader(in)
+	magic := make([]byte, len(segMagic))
+	if _, err := io.ReadFull(r, magic); err != nil || !bytes.Equal(magic, segMagic) {
+		return fmt.Errorf("bad segment magic in %s", in.Name())
+	}
+	copied := 0
+	for copied < limit {
+		block, err := readBlock(r, ncols)
+		if err == io.EOF {
+			return fmt.Errorf("segment %s: %d rows, expected at least %d", in.Name(), copied, limit)
+		}
+		if err != nil {
+			return err
+		}
+		for _, row := range block {
+			if copied >= limit {
+				break
+			}
+			if err := sw.add(row); err != nil {
+				return err
+			}
+			copied++
+		}
+	}
+	return nil
+}
+
+// Covers reports whether the transaction's view holds a segment of
+// relPath for each of the format's ntypes record types — i.e. the
+// store already has this file's rows, so a checkpointed skip or resume
+// is sound.
+func (t *StoreTxn) Covers(relPath, fp string, ntypes int) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for typeID := 0; typeID < ntypes; typeID++ {
+		if segOf(t.man.table(fp, typeID), relPath) == nil {
+			return false
+		}
+	}
+	return true
+}
+
+// Drop removes relPath's contribution from every table (the file is
+// gone, unstructured, or reclassified).
+func (t *StoreTxn) Drop(relPath string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.dropLocked(relPath)
+}
+
+func (t *StoreTxn) dropLocked(relPath string) {
+	for i := range t.man.Tables {
+		tbl := &t.man.Tables[i]
+		kept := tbl.Segments[:0]
+		for _, seg := range tbl.Segments {
+			if seg.Path == relPath {
+				if tmp, ok := t.staged[seg.File]; ok {
+					os.Remove(tmp)
+					delete(t.staged, seg.File)
+				}
+				t.doomed[seg.File] = true
+				continue
+			}
+			kept = append(kept, seg)
+		}
+		tbl.Segments = kept
+	}
+}
+
+// Retain drops every source file the predicate rejects — the
+// departed-file pruning mirror of follow.Store.Retain.
+func (t *StoreTxn) Retain(keep func(path string) bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var gone []string
+	seen := map[string]bool{}
+	for i := range t.man.Tables {
+		for _, seg := range t.man.Tables[i].Segments {
+			if !seen[seg.Path] && !keep(seg.Path) {
+				gone = append(gone, seg.Path)
+			}
+			seen[seg.Path] = true
+		}
+	}
+	for _, p := range gone {
+		t.dropLocked(p)
+	}
+}
+
+// Commit publishes the transaction: staged segments rename over their
+// final names, doomed segments are deleted, the manifest is saved
+// atomically, and the in-memory store swaps to the new state. A failed
+// commit leaves staged temp files cleaned up and the store unchanged
+// (a torn rename set can leave orphan segment bytes on disk, but the
+// manifest — the source of truth — still names only complete files).
+func (t *StoreTxn) Commit() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.done {
+		return errors.New("lake: store transaction already finished")
+	}
+	t.done = true
+	t.man.normalize()
+	for name, tmp := range t.staged {
+		if err := os.Rename(tmp, filepath.Join(t.s.dir, name)); err != nil {
+			t.abortLocked()
+			return err
+		}
+		delete(t.staged, name)
+	}
+	if err := t.saveManifest(); err != nil {
+		return err
+	}
+	for name := range t.doomed {
+		os.Remove(filepath.Join(t.s.dir, name))
+	}
+	t.s.mu.Lock()
+	t.s.man = t.man
+	t.s.mu.Unlock()
+	return nil
+}
+
+// Abort discards the transaction's staged files; the store is
+// untouched.
+func (t *StoreTxn) Abort() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.done {
+		return
+	}
+	t.done = true
+	t.abortLocked()
+}
+
+func (t *StoreTxn) abortLocked() {
+	for _, tmp := range t.staged {
+		os.Remove(tmp)
+	}
+	t.staged = map[string]string{}
+}
+
+// saveManifest writes the manifest atomically (temp + rename),
+// indented, 0644 — the same discipline as the registry.
+func (t *StoreTxn) saveManifest() error {
+	mj := manifestJSON{Version: manifestVersion, Tables: t.man.Tables}
+	if mj.Tables == nil {
+		mj.Tables = []manTable{}
+	}
+	raw, err := json.MarshalIndent(mj, "", "  ")
+	if err != nil {
+		return err
+	}
+	raw = append(raw, '\n')
+	path := filepath.Join(t.s.dir, "manifest.json")
+	tmp, err := os.CreateTemp(t.s.dir, ".manifest-*")
+	if err != nil {
+		return err
+	}
+	if err := tmp.Chmod(0o644); err == nil {
+		_, err = tmp.Write(raw)
+	}
+	if cerr := tmp.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
+}
+
+// segOf finds relPath's segment in a table, or nil.
+func segOf(tbl *manTable, relPath string) *manSeg {
+	if tbl == nil {
+		return nil
+	}
+	for i := range tbl.Segments {
+		if tbl.Segments[i].Path == relPath {
+			return &tbl.Segments[i]
+		}
+	}
+	return nil
+}
+
+// columnNames renders the denormalized header f0..fN.
+func columnNames(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("f%d", i)
+	}
+	return out
+}

@@ -1,0 +1,335 @@
+package lake
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"datamaran/internal/follow"
+	"datamaran/internal/semtype"
+)
+
+// storeRows renders every table of the store — schema line plus each
+// row — into one canonical string.
+func storeRows(t *testing.T, s *SegmentStore) string {
+	t.Helper()
+	var b strings.Builder
+	for _, ti := range s.Tables() {
+		fmt.Fprintf(&b, "table %s cols=%v rows=%d segs=%d\n", ti.Name, ti.Columns, ti.Rows, ti.Segments)
+		sc, err := s.Scan(ti.Name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := 0
+		for {
+			row, err := sc.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			fmt.Fprintf(&b, "  %q\n", row)
+			n++
+		}
+		sc.Close()
+		if n != ti.Rows {
+			t.Fatalf("table %s: scanned %d rows, manifest says %d", ti.Name, n, ti.Rows)
+		}
+	}
+	return b.String()
+}
+
+// crawlWithStore runs one crawl with a store transaction and commits
+// it.
+func crawlWithStore(t *testing.T, root string, reg *Registry, cps *follow.Store, s *SegmentStore) *Result {
+	t.Helper()
+	txn := s.Begin()
+	res, err := Index(root, reg, Config{Workers: 2, Checkpoints: cps, Segments: txn})
+	if err != nil {
+		txn.Abort()
+		t.Fatal(err)
+	}
+	if err := txn.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestSegmentStoreRoundTrip(t *testing.T) {
+	root := buildLake(t)
+	reg := NewRegistry()
+	dir := t.TempDir()
+	s, err := OpenSegmentStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := crawlWithStore(t, root, reg, follow.NewStore(), s)
+
+	tables := s.Tables()
+	if len(tables) == 0 {
+		t.Fatal("no tables after crawl")
+	}
+	// Every structured file contributes a segment; rows equal the
+	// extracted record counts.
+	wantRows := map[string]int{}
+	for _, f := range res.Files {
+		if f.Res == nil {
+			continue
+		}
+		for _, rec := range f.Res.Records {
+			wantRows[tableName(f.Fingerprint, rec.TypeID)]++
+		}
+	}
+	gotRows := map[string]int{}
+	for _, ti := range tables {
+		gotRows[ti.Name] = ti.Rows
+		if len(ti.Columns) == 0 {
+			t.Fatalf("table %s has no columns", ti.Name)
+		}
+		if len(ti.Kinds) != len(ti.Columns) {
+			t.Fatalf("table %s: %d kinds for %d columns", ti.Name, len(ti.Kinds), len(ti.Columns))
+		}
+	}
+	for name, want := range wantRows {
+		if gotRows[name] != want {
+			t.Fatalf("table %s: %d rows, want %d (all: %v)", name, gotRows[name], want, gotRows)
+		}
+	}
+
+	// A fresh handle over the same directory sees identical bytes.
+	dump := storeRows(t, s)
+	s2, err := OpenSegmentStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dump2 := storeRows(t, s2); dump2 != dump {
+		t.Fatalf("reopened store differs:\n%s\n--- vs ---\n%s", dump2, dump)
+	}
+
+	// The metrics format (metric|cpuN|X.YY|) must classify its numeric
+	// column as numeric.
+	numeric := false
+	for _, ti := range tables {
+		for _, k := range ti.Kinds {
+			if k.Numeric() {
+				numeric = true
+			}
+		}
+	}
+	if !numeric {
+		t.Fatalf("no numeric column classified across %v", tables)
+	}
+}
+
+func TestSegmentStoreIncrementalMatchesScratch(t *testing.T) {
+	root := buildLake(t)
+
+	// Grow the store incrementally: crawl, append to one file, crawl
+	// again (resume path), delete another file, crawl again (prune).
+	reg := NewRegistry()
+	cps := follow.NewStore()
+	s, err := OpenSegmentStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	crawlWithStore(t, root, reg, cps, s)
+	appendTo(t, root, "a/jobs-1.log", "JOB <123>\n  queue= q1;\n  state= DONE;\n")
+	res := crawlWithStore(t, root, reg, cps, s)
+	if res.Summary.Resumed != 1 {
+		t.Fatalf("append run: %+v", res.Summary)
+	}
+	if err := os.Remove(filepath.Join(root, "b", "req-2.log")); err != nil {
+		t.Fatal(err)
+	}
+	crawlWithStore(t, root, reg, cps, s)
+
+	// A from-scratch crawl of the same tree must yield identical rows.
+	scratch, err := OpenSegmentStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	crawlWithStore(t, root, NewRegistry(), follow.NewStore(), scratch)
+	got, want := storeRows(t, s), storeRows(t, scratch)
+	if got != want {
+		t.Fatalf("incremental store differs from scratch:\n%s\n--- vs ---\n%s", got, want)
+	}
+}
+
+func TestSegmentStoreStoreEnabledAfterCheckpoints(t *testing.T) {
+	// A lake checkpointed before the store existed: the next crawl must
+	// take the full path once so every file's rows land in the store.
+	root := buildLake(t)
+	reg := NewRegistry()
+	cps := follow.NewStore()
+	if _, err := Index(root, reg, Config{Workers: 2, Checkpoints: cps}); err != nil {
+		t.Fatal(err)
+	}
+	s, err := OpenSegmentStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := crawlWithStore(t, root, reg, cps, s)
+	// Unstructured files have no rows, so their checkpointed skip is
+	// still sound; every structured file must take the full path.
+	for _, f := range res.Files {
+		if f.Fingerprint != "" && f.Inc != nil && f.Inc.Action == follow.ActionUnchanged {
+			t.Fatalf("structured %s skipped despite empty store: %+v", f.Path, res.Summary)
+		}
+	}
+
+	scratch, err := OpenSegmentStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	crawlWithStore(t, root, NewRegistry(), follow.NewStore(), scratch)
+	if got, want := storeRows(t, s), storeRows(t, scratch); got != want {
+		t.Fatalf("migrated store differs from scratch:\n%s\n--- vs ---\n%s", got, want)
+	}
+}
+
+func TestSegmentStoreAbortLeavesStoreUntouched(t *testing.T) {
+	root := buildLake(t)
+	reg := NewRegistry()
+	s, err := OpenSegmentStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	crawlWithStore(t, root, reg, follow.NewStore(), s)
+	before := storeRows(t, s)
+
+	// A second crawl whose transaction aborts must leave both the
+	// directory contents and the open handle's view unchanged.
+	txn := s.Begin()
+	if _, err := Index(root, reg, Config{Workers: 2, Segments: txn}); err != nil {
+		t.Fatal(err)
+	}
+	txn.Abort()
+	if got := storeRows(t, s); got != before {
+		t.Fatalf("abort changed the store:\n%s\n--- vs ---\n%s", got, before)
+	}
+	entries, err := os.ReadDir(s.Dir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), ".stage-") {
+			t.Fatalf("stage file %s survived abort", e.Name())
+		}
+	}
+	reopened, err := OpenSegmentStore(s.Dir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := storeRows(t, reopened); got != before {
+		t.Fatal("abort changed the on-disk store")
+	}
+}
+
+func TestSegmentStoreResolve(t *testing.T) {
+	root := buildLake(t)
+	s, err := OpenSegmentStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	crawlWithStore(t, root, NewRegistry(), follow.NewStore(), s)
+	tables := s.Tables()
+	for _, ti := range tables {
+		got, err := s.Resolve(ti.Name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Name != ti.Name {
+			t.Fatalf("Resolve(%s) = %s", ti.Name, got.Name)
+		}
+		// A short unique prefix of the fingerprint also resolves.
+		prefix := ti.Fingerprint[:6]
+		unique := true
+		for _, other := range tables {
+			if other.Name != ti.Name && other.Type == ti.Type && strings.HasPrefix(other.Fingerprint, prefix) {
+				unique = false
+			}
+		}
+		if unique && ti.Type == 0 {
+			got, err := s.Resolve(prefix)
+			if err != nil {
+				t.Fatalf("Resolve(%s): %v", prefix, err)
+			}
+			if got.Name != ti.Name {
+				t.Fatalf("Resolve(%s) = %s, want %s", prefix, got.Name, ti.Name)
+			}
+		}
+	}
+	if _, err := s.Resolve("nope"); err == nil {
+		t.Fatal("Resolve of unknown table succeeded")
+	}
+}
+
+func TestSegmentStoreUnstructuredFileDropped(t *testing.T) {
+	// A file that loses its structure (rewritten as prose) loses its
+	// rows on the next crawl.
+	root := buildLake(t)
+	reg := NewRegistry()
+	cps := follow.NewStore()
+	s, err := OpenSegmentStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	crawlWithStore(t, root, reg, cps, s)
+	hasSeg := func(rel string) bool {
+		for _, ti := range s.Tables() {
+			sc, err := s.Scan(ti.Name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sc.Close()
+		}
+		man := s.snapshot()
+		for _, tbl := range man.Tables {
+			for _, seg := range tbl.Segments {
+				if seg.Path == rel {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	if !hasSeg("c/metrics-1.log") {
+		t.Fatal("metrics-1 has no segment after first crawl")
+	}
+	prose := `These logs were collected from the staging cluster.
+Rotate anything older than thirty days; ask Dana first!
+(The metrics tier moved to pull-based scraping in March.)
+jobs/ holds the scheduler dumps -- multi-line, one stanza per job
+web/ is the edge tier; latency units are milliseconds
+TODO: fold the db01 host metrics into their own directory?
+`
+	if err := os.WriteFile(filepath.Join(root, "c", "metrics-1.log"), []byte(prose), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	crawlWithStore(t, root, reg, cps, s)
+	if hasSeg("c/metrics-1.log") {
+		t.Fatal("unstructured rewrite kept its rows")
+	}
+}
+
+func TestMergeKindsAndClassify(t *testing.T) {
+	if k := semtype.ClassifyValues([]string{"1", "2", "300"}); k != semtype.KindInt {
+		t.Fatalf("ints classified as %s", k)
+	}
+	if k := semtype.ClassifyValues([]string{"1.5", "2", "3"}); k != semtype.KindFloat {
+		t.Fatalf("mixed numbers classified as %s", k)
+	}
+	if k := semtype.ClassifyValues([]string{"a", "2"}); k != semtype.KindString {
+		t.Fatalf("mixed text classified as %s", k)
+	}
+	if k := semtype.MergeKinds(semtype.KindInt, semtype.KindFloat); k != semtype.KindFloat {
+		t.Fatalf("int+float merged to %s", k)
+	}
+	if k := semtype.MergeKinds(semtype.KindInt, semtype.KindString); k != semtype.KindString {
+		t.Fatalf("int+string merged to %s", k)
+	}
+}

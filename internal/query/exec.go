@@ -1,0 +1,1004 @@
+package query
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"datamaran/internal/semtype"
+)
+
+// The executor. Plans are trees of pull iterators over a "wide row":
+// one cell slot per column of every FROM table (block per table, in
+// FROM order), so predicate and projection offsets are stable no matter
+// which join order the planner picks. Scans fill their table's block;
+// hash joins merge a streamed probe row with the matching build rows.
+//
+// Comparison semantics: equality is exact string match (hash-join
+// compatible); ordering operators compare numerically when the column's
+// kind is numeric and both values parse, lexicographically otherwise.
+
+// iter is the internal pull iterator: Next returns io.EOF after the
+// last row.
+type iter interface {
+	Next() ([]string, error)
+	Close() error
+}
+
+// Rows is an open query result stream.
+type Rows struct {
+	columns []string
+	kinds   []semtype.Kind
+	it      iter
+}
+
+// Columns returns the output column names (the SELECT list as
+// written).
+func (r *Rows) Columns() []string { return r.columns }
+
+// Kinds returns the output columns' scalar kinds.
+func (r *Rows) Kinds() []semtype.Kind { return r.kinds }
+
+// Next returns the next result row, or io.EOF after the last.
+func (r *Rows) Next() ([]string, error) { return r.it.Next() }
+
+// Close releases the underlying scans.
+func (r *Rows) Close() error { return r.it.Close() }
+
+// plannedTable is one FROM table with its selectivity score.
+type plannedTable struct {
+	item   FromItem
+	meta   TableMeta
+	offset int // block start in the wide row
+	// eqLit and otherLit count the table's literal predicates — the
+	// visible-selectivity signal the greedy planner orders by.
+	eqLit, otherLit int
+}
+
+// compiledPred is a resolved predicate: absolute wide-row offsets plus
+// comparison semantics.
+type compiledPred struct {
+	src     Predicate
+	lOff    int
+	isLit   bool
+	lit     string
+	rOff    int
+	op      string
+	numeric bool
+	lTab    int
+	rTab    int // -1 for literals
+	applied bool
+}
+
+type planner struct {
+	cat    Catalog
+	q      *Query
+	tables []plannedTable
+	width  int
+	preds  []compiledPred
+}
+
+// Run plans q against the catalog and opens its result stream. The
+// stream is pull-based — selection, projection and join probing are
+// row-at-a-time (hash-join build sides, group-by and order-by
+// materialize only what they must) — and ctx cancels it mid-stream.
+func Run(ctx context.Context, cat Catalog, q *Query) (*Rows, error) {
+	if len(q.From) == 0 {
+		return nil, fmt.Errorf("query: no FROM tables")
+	}
+	pl := &planner{cat: cat, q: q}
+	for _, item := range q.From {
+		meta, err := cat.Resolve(item.Table)
+		if err != nil {
+			return nil, err
+		}
+		pl.tables = append(pl.tables, plannedTable{item: item, meta: meta, offset: pl.width})
+		pl.width += len(meta.Columns)
+	}
+	for _, p := range q.Where {
+		cp, err := pl.compilePred(p)
+		if err != nil {
+			return nil, err
+		}
+		pl.preds = append(pl.preds, cp)
+	}
+	for i := range pl.preds {
+		cp := &pl.preds[i]
+		if cp.isLit {
+			if cp.op == "=" {
+				pl.tables[cp.lTab].eqLit++
+			} else {
+				pl.tables[cp.lTab].otherLit++
+			}
+		}
+	}
+
+	order := pl.greedyOrder()
+	it, err := pl.buildJoinTree(ctx, order)
+	if err != nil {
+		return nil, err
+	}
+	return pl.buildHead(it)
+}
+
+// compilePred resolves one predicate's references.
+func (pl *planner) compilePred(p Predicate) (compiledPred, error) {
+	lt, lc, err := pl.resolveRef(p.Left)
+	if err != nil {
+		return compiledPred{}, err
+	}
+	cp := compiledPred{
+		src:  p,
+		lOff: pl.tables[lt].offset + lc,
+		op:   p.Op,
+		lTab: lt,
+		rTab: -1,
+	}
+	lKind := pl.tables[lt].meta.Kinds[lc]
+	if p.IsLit {
+		cp.isLit = true
+		cp.lit = p.Lit
+		cp.numeric = lKind.Numeric()
+		return cp, nil
+	}
+	rt, rc, err := pl.resolveRef(p.Right)
+	if err != nil {
+		return compiledPred{}, err
+	}
+	cp.rOff = pl.tables[rt].offset + rc
+	cp.rTab = rt
+	cp.numeric = lKind.Numeric() && pl.tables[rt].meta.Kinds[rc].Numeric()
+	return cp, nil
+}
+
+// resolveRef maps a column reference to (table index, column index).
+// Unqualified names must be unique across the FROM tables.
+func (pl *planner) resolveRef(ref ColRef) (int, int, error) {
+	ti := -1
+	if ref.Table != "" {
+		for i := range pl.tables {
+			if pl.tables[i].item.Alias == ref.Table {
+				ti = i
+				break
+			}
+		}
+		if ti < 0 {
+			return 0, 0, fmt.Errorf("query: unknown table alias %q in %s", ref.Table, ref)
+		}
+		for ci, name := range pl.tables[ti].meta.Columns {
+			if name == ref.Col {
+				return ti, ci, nil
+			}
+		}
+		return 0, 0, fmt.Errorf("query: table %s has no column %q (columns: %s)",
+			pl.tables[ti].item.Alias, ref.Col, strings.Join(pl.tables[ti].meta.Columns, ", "))
+	}
+	found := -1
+	foundCol := -1
+	for i := range pl.tables {
+		for ci, name := range pl.tables[i].meta.Columns {
+			if name == ref.Col {
+				if found >= 0 {
+					return 0, 0, fmt.Errorf("query: column %q is ambiguous (in %s and %s) — qualify it",
+						ref.Col, pl.tables[found].item.Alias, pl.tables[i].item.Alias)
+				}
+				found, foundCol = i, ci
+			}
+		}
+	}
+	if found < 0 {
+		return 0, 0, fmt.Errorf("query: no table has column %q", ref.Col)
+	}
+	return found, foundCol, nil
+}
+
+// greedyOrder picks the join order: start at the table with the most
+// equality-literal predicates (then other literal predicates, then FROM
+// order), and repeatedly extend along join-connected tables, preferring
+// more connections and better own scores. Disconnected tables join last
+// as cross products.
+func (pl *planner) greedyOrder() []int {
+	n := len(pl.tables)
+	order := make([]int, 0, n)
+	used := make([]bool, n)
+	better := func(a, b int) bool { // a strictly more selective than b
+		ta, tb := &pl.tables[a], &pl.tables[b]
+		if ta.eqLit != tb.eqLit {
+			return ta.eqLit > tb.eqLit
+		}
+		if ta.otherLit != tb.otherLit {
+			return ta.otherLit > tb.otherLit
+		}
+		return a < b // FROM order
+	}
+	first := 0
+	for i := 1; i < n; i++ {
+		if better(i, first) {
+			first = i
+		}
+	}
+	order = append(order, first)
+	used[first] = true
+	inSet := func(t int) bool { return t >= 0 && used[t] }
+	for len(order) < n {
+		best, bestConn := -1, -1
+		for cand := 0; cand < n; cand++ {
+			if used[cand] {
+				continue
+			}
+			conn := 0
+			for _, cp := range pl.preds {
+				if cp.op != "=" || cp.isLit {
+					continue
+				}
+				if (cp.lTab == cand && inSet(cp.rTab)) || (cp.rTab == cand && inSet(cp.lTab)) {
+					conn++
+				}
+			}
+			if best < 0 || conn > bestConn || (conn == bestConn && better(cand, best)) {
+				best, bestConn = cand, conn
+			}
+		}
+		order = append(order, best)
+		used[best] = true
+	}
+	return order
+}
+
+// buildJoinTree assembles scans and hash joins along the chosen order,
+// applying each predicate at the earliest point all its tables are
+// present.
+func (pl *planner) buildJoinTree(ctx context.Context, order []int) (iter, error) {
+	joined := make([]bool, len(pl.tables))
+	covered := func(cp *compiledPred) bool {
+		return joined[cp.lTab] && (cp.rTab < 0 || joined[cp.rTab])
+	}
+	takePreds := func() []*compiledPred {
+		var out []*compiledPred
+		for i := range pl.preds {
+			if !pl.preds[i].applied && covered(&pl.preds[i]) {
+				pl.preds[i].applied = true
+				out = append(out, &pl.preds[i])
+			}
+		}
+		return out
+	}
+
+	joined[order[0]] = true
+	var cur iter
+	cur, err := pl.scan(ctx, order[0])
+	if err != nil {
+		return nil, err
+	}
+	if preds := takePreds(); len(preds) > 0 {
+		cur = &filterIter{src: cur, preds: preds}
+	}
+	for _, next := range order[1:] {
+		// Equality predicates connecting next to the joined set become
+		// the composite hash key; everything else newly covered is a
+		// residual filter on the join output.
+		var keys []*compiledPred
+		for i := range pl.preds {
+			cp := &pl.preds[i]
+			if cp.applied || cp.op != "=" || cp.isLit || cp.rTab < 0 {
+				continue
+			}
+			if (cp.lTab == next && joined[cp.rTab]) || (cp.rTab == next && joined[cp.lTab]) {
+				cp.applied = true
+				keys = append(keys, cp)
+			}
+		}
+		joined[next] = true
+		build, err := pl.scan(ctx, next)
+		if err != nil {
+			cur.Close()
+			return nil, err
+		}
+		// Single-table predicates on the build side filter before the
+		// hash table is built.
+		var buildPreds []*compiledPred
+		var residual []*compiledPred
+		for _, cp := range takePreds() {
+			if cp.lTab == next && (cp.rTab < 0 || cp.rTab == next) {
+				buildPreds = append(buildPreds, cp)
+			} else {
+				residual = append(residual, cp)
+			}
+		}
+		if len(buildPreds) > 0 {
+			build = &filterIter{src: build, preds: buildPreds}
+		}
+		var probeOffs, buildOffs []int
+		for _, k := range keys {
+			if k.lTab == next {
+				buildOffs = append(buildOffs, k.lOff)
+				probeOffs = append(probeOffs, k.rOff)
+			} else {
+				buildOffs = append(buildOffs, k.rOff)
+				probeOffs = append(probeOffs, k.lOff)
+			}
+		}
+		cur = &hashJoinIter{
+			probe:      cur,
+			build:      build,
+			probeOffs:  probeOffs,
+			buildOffs:  buildOffs,
+			buildBlock: [2]int{pl.tables[next].offset, pl.tables[next].offset + len(pl.tables[next].meta.Columns)},
+			width:      pl.width,
+		}
+		if len(residual) > 0 {
+			cur = &filterIter{src: cur, preds: residual}
+		}
+	}
+	return cur, nil
+}
+
+// scan opens one table's scan, widened to the plan's row layout, with
+// cancellation checks.
+func (pl *planner) scan(ctx context.Context, ti int) (iter, error) {
+	rows, err := pl.cat.Scan(pl.tables[ti].meta.Name)
+	if err != nil {
+		return nil, err
+	}
+	return &scanIter{
+		ctx:    ctx,
+		rows:   rows,
+		offset: pl.tables[ti].offset,
+		ncols:  len(pl.tables[ti].meta.Columns),
+		width:  pl.width,
+	}, nil
+}
+
+// buildHead attaches projection/aggregation, ordering and limit.
+func (pl *planner) buildHead(it iter) (*Rows, error) {
+	q := pl.q
+	hasAgg := false
+	for _, e := range q.Select {
+		if e.Agg != "" {
+			hasAgg = true
+		}
+	}
+
+	var columns []string
+	var kinds []semtype.Kind
+	if hasAgg || len(q.GroupBy) > 0 {
+		g := &groupIter{src: it}
+		for _, ref := range q.GroupBy {
+			ti, ci, err := pl.resolveRef(ref)
+			if err != nil {
+				it.Close()
+				return nil, err
+			}
+			g.groupOffs = append(g.groupOffs, pl.tables[ti].offset+ci)
+			g.groupKinds = append(g.groupKinds, pl.tables[ti].meta.Kinds[ci])
+		}
+		for _, e := range q.Select {
+			columns = append(columns, e.String())
+			if e.Agg == "" {
+				// Validated: a grouping column. Locate its key slot.
+				ti, ci, err := pl.resolveRef(e.Col)
+				if err != nil {
+					it.Close()
+					return nil, err
+				}
+				off := pl.tables[ti].offset + ci
+				slot := -1
+				for k, goff := range g.groupOffs {
+					if goff == off {
+						slot = k
+					}
+				}
+				if slot < 0 {
+					it.Close()
+					return nil, fmt.Errorf("query: column %s must appear in GROUP BY", e.Col)
+				}
+				g.outs = append(g.outs, groupOut{slot: slot})
+				kinds = append(kinds, pl.tables[ti].meta.Kinds[ci])
+				continue
+			}
+			spec := aggSpec{agg: e.Agg, off: -1}
+			kind := semtype.KindInt // count
+			if !e.Star {
+				ti, ci, err := pl.resolveRef(e.Col)
+				if err != nil {
+					it.Close()
+					return nil, err
+				}
+				spec.off = pl.tables[ti].offset + ci
+				colKind := pl.tables[ti].meta.Kinds[ci]
+				spec.numeric = colKind.Numeric()
+				spec.isInt = colKind == semtype.KindInt
+				switch e.Agg {
+				case "count":
+					kind = semtype.KindInt
+				case "sum":
+					kind = colKind
+					if !colKind.Numeric() {
+						it.Close()
+						return nil, fmt.Errorf("query: sum(%s) needs a numeric column (kind %s)", e.Col, colKind)
+					}
+				case "avg":
+					kind = semtype.KindFloat
+					if !colKind.Numeric() {
+						it.Close()
+						return nil, fmt.Errorf("query: avg(%s) needs a numeric column (kind %s)", e.Col, colKind)
+					}
+				case "min", "max":
+					kind = colKind
+				}
+			}
+			g.outs = append(g.outs, groupOut{isAgg: true, slot: len(g.aggSpecs)})
+			g.aggSpecs = append(g.aggSpecs, spec)
+			kinds = append(kinds, kind)
+		}
+		it = g
+	} else {
+		var offs []int
+		if q.Star {
+			multi := len(pl.tables) > 1
+			for i := range pl.tables {
+				for ci, name := range pl.tables[i].meta.Columns {
+					if multi {
+						columns = append(columns, pl.tables[i].item.Alias+"."+name)
+					} else {
+						columns = append(columns, name)
+					}
+					kinds = append(kinds, pl.tables[i].meta.Kinds[ci])
+					offs = append(offs, pl.tables[i].offset+ci)
+				}
+			}
+		} else {
+			for _, e := range q.Select {
+				ti, ci, err := pl.resolveRef(e.Col)
+				if err != nil {
+					it.Close()
+					return nil, err
+				}
+				columns = append(columns, e.String())
+				kinds = append(kinds, pl.tables[ti].meta.Kinds[ci])
+				offs = append(offs, pl.tables[ti].offset+ci)
+			}
+		}
+		it = &projectIter{src: it, offs: offs}
+	}
+
+	if len(q.OrderBy) > 0 {
+		s := &sortIter{src: it}
+		for _, key := range q.OrderBy {
+			col, err := findOutputCol(columns, key.Expr)
+			if err != nil {
+				it.Close()
+				return nil, err
+			}
+			s.keys = append(s.keys, sortKey{col: col, desc: key.Desc, numeric: kinds[col].Numeric()})
+		}
+		it = s
+	}
+	if q.Limit >= 0 {
+		it = &limitIter{src: it, left: q.Limit}
+	}
+	return &Rows{columns: columns, kinds: kinds, it: it}, nil
+}
+
+// findOutputCol matches an ORDER BY expression to an output column: the
+// rendered name exactly, or — for a plain unqualified column — the
+// unique output whose unqualified name matches.
+func findOutputCol(columns []string, e SelectExpr) (int, error) {
+	name := e.String()
+	for i, c := range columns {
+		if c == name {
+			return i, nil
+		}
+	}
+	if e.Agg == "" && e.Col.Table == "" {
+		found := -1
+		for i, c := range columns {
+			if c == e.Col.Col || strings.HasSuffix(c, "."+e.Col.Col) {
+				if found >= 0 {
+					return 0, fmt.Errorf("query: ORDER BY %s is ambiguous among output columns %s",
+						name, strings.Join(columns, ", "))
+				}
+				found = i
+			}
+		}
+		if found >= 0 {
+			return found, nil
+		}
+	}
+	return 0, fmt.Errorf("query: ORDER BY %s does not name an output column (have %s)",
+		name, strings.Join(columns, ", "))
+}
+
+// compareVals orders two cell values: numerically when asked and both
+// parse, lexicographically otherwise.
+func compareVals(l, r string, numeric bool) int {
+	if numeric {
+		lf, lerr := strconv.ParseFloat(l, 64)
+		rf, rerr := strconv.ParseFloat(r, 64)
+		if lerr == nil && rerr == nil {
+			switch {
+			case lf < rf:
+				return -1
+			case lf > rf:
+				return 1
+			default:
+				return 0
+			}
+		}
+	}
+	return strings.Compare(l, r)
+}
+
+// eval applies one compiled predicate to a wide row.
+func (cp *compiledPred) eval(row []string) bool {
+	l := row[cp.lOff]
+	r := cp.lit
+	if !cp.isLit {
+		r = row[cp.rOff]
+	}
+	switch cp.op {
+	case "=":
+		return l == r
+	case "!=":
+		return l != r
+	}
+	c := compareVals(l, r, cp.numeric)
+	switch cp.op {
+	case "<":
+		return c < 0
+	case "<=":
+		return c <= 0
+	case ">":
+		return c > 0
+	default: // ">="
+		return c >= 0
+	}
+}
+
+// scanIter adapts a catalog RowIter into the wide-row layout, checking
+// cancellation between rows.
+type scanIter struct {
+	ctx    context.Context
+	rows   RowIter
+	offset int
+	ncols  int
+	width  int
+	n      int
+}
+
+func (s *scanIter) Next() ([]string, error) {
+	if s.n++; s.n&63 == 0 {
+		if err := s.ctx.Err(); err != nil {
+			return nil, err
+		}
+	}
+	row, err := s.rows.Next()
+	if err != nil {
+		return nil, err
+	}
+	wide := make([]string, s.width)
+	copy(wide[s.offset:s.offset+s.ncols], row)
+	return wide, nil
+}
+
+func (s *scanIter) Close() error { return s.rows.Close() }
+
+// filterIter drops rows failing any predicate.
+type filterIter struct {
+	src   iter
+	preds []*compiledPred
+}
+
+func (f *filterIter) Next() ([]string, error) {
+	for {
+		row, err := f.src.Next()
+		if err != nil {
+			return nil, err
+		}
+		ok := true
+		for _, cp := range f.preds {
+			if !cp.eval(row) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return row, nil
+		}
+	}
+}
+
+func (f *filterIter) Close() error { return f.src.Close() }
+
+// hashJoinIter materializes the (filtered) build side into a hash table
+// and streams the probe side through it. With no keys it degenerates to
+// a cross product. Empty intermediates terminate early on both sides:
+// the build runs only after the first probe row arrives (an empty probe
+// never scans the build table), and an empty build stops the probe
+// after that one row.
+type hashJoinIter struct {
+	probe      iter
+	build      iter
+	probeOffs  []int
+	buildOffs  []int
+	buildBlock [2]int // [start, end) of the build table's cells
+	width      int
+
+	started bool
+	built   bool
+	ht      map[string][][]string // key → build blocks
+	all     [][]string            // cross product: every build block
+	cur     []string              // current probe row
+	matches [][]string
+	mi      int
+	done    bool
+}
+
+// joinKey renders the composite key (length-prefixed, so ("a","bc") and
+// ("ab","c") differ).
+func joinKey(row []string, offs []int) string {
+	var b strings.Builder
+	for _, off := range offs {
+		fmt.Fprintf(&b, "%d:", len(row[off]))
+		b.WriteString(row[off])
+	}
+	return b.String()
+}
+
+func (h *hashJoinIter) buildTable() error {
+	h.built = true
+	h.ht = map[string][][]string{}
+	for {
+		row, err := h.build.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		block := make([]string, h.buildBlock[1]-h.buildBlock[0])
+		copy(block, row[h.buildBlock[0]:h.buildBlock[1]])
+		if len(h.buildOffs) == 0 {
+			h.all = append(h.all, block)
+			continue
+		}
+		key := joinKey(row, h.buildOffs)
+		h.ht[key] = append(h.ht[key], block)
+	}
+	h.build.Close()
+	if len(h.ht) == 0 && len(h.all) == 0 {
+		// Empty intermediate: the whole join is empty, skip the probe.
+		h.done = true
+	}
+	return nil
+}
+
+// lookup sets the match list for the current probe row.
+func (h *hashJoinIter) lookup() {
+	if len(h.buildOffs) == 0 {
+		h.matches = h.all
+	} else {
+		h.matches = h.ht[joinKey(h.cur, h.probeOffs)]
+	}
+	h.mi = 0
+}
+
+func (h *hashJoinIter) Next() ([]string, error) {
+	if !h.started {
+		h.started = true
+		row, err := h.probe.Next()
+		if err == io.EOF {
+			// Empty intermediate: never scan the build table.
+			h.done = true
+			h.built = true
+			h.build.Close()
+			return nil, io.EOF
+		}
+		if err != nil {
+			return nil, err
+		}
+		h.cur = row
+		if err := h.buildTable(); err != nil {
+			return nil, err
+		}
+		h.lookup()
+	}
+	for {
+		if h.done {
+			return nil, io.EOF
+		}
+		if h.mi < len(h.matches) {
+			block := h.matches[h.mi]
+			h.mi++
+			out := make([]string, h.width)
+			copy(out, h.cur)
+			copy(out[h.buildBlock[0]:h.buildBlock[1]], block)
+			return out, nil
+		}
+		row, err := h.probe.Next()
+		if err == io.EOF {
+			h.done = true
+			return nil, io.EOF
+		}
+		if err != nil {
+			return nil, err
+		}
+		h.cur = row
+		h.lookup()
+	}
+}
+
+func (h *hashJoinIter) Close() error {
+	err := h.probe.Close()
+	if !h.built {
+		h.build.Close()
+	}
+	return err
+}
+
+// projectIter narrows wide rows to the selected offsets.
+type projectIter struct {
+	src  iter
+	offs []int
+}
+
+func (p *projectIter) Next() ([]string, error) {
+	row, err := p.src.Next()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, len(p.offs))
+	for i, off := range p.offs {
+		out[i] = row[off]
+	}
+	return out, nil
+}
+
+func (p *projectIter) Close() error { return p.src.Close() }
+
+// aggSpec is one aggregate output.
+type aggSpec struct {
+	agg     string // count, sum, avg, min, max
+	off     int    // source offset (-1 for count(*))
+	numeric bool
+	isInt   bool
+}
+
+// groupOut maps one output column to a group-key slot or an aggregate.
+type groupOut struct {
+	isAgg bool
+	slot  int // index into keyVals or aggSpecs
+}
+
+// groupAcc accumulates one group.
+type groupAcc struct {
+	keyVals []string
+	count   []int64
+	sumI    []int64
+	sumF    []float64
+	minMax  []string
+	seen    []bool
+}
+
+// groupIter hash-aggregates the input, emitting groups in first-seen
+// order (deterministic: the input order is deterministic). A query with
+// aggregates but no GROUP BY emits exactly one row, even over empty
+// input.
+type groupIter struct {
+	src        iter
+	groupOffs  []int
+	groupKinds []semtype.Kind
+	aggSpecs   []aggSpec
+	outs       []groupOut
+
+	built  bool
+	groups []*groupAcc
+	pos    int
+}
+
+func (g *groupIter) run() error {
+	g.built = true
+	index := map[string]*groupAcc{}
+	for {
+		row, err := g.src.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		key := joinKey(row, g.groupOffs)
+		acc := index[key]
+		if acc == nil {
+			acc = &groupAcc{
+				keyVals: make([]string, len(g.groupOffs)),
+				count:   make([]int64, len(g.aggSpecs)),
+				sumI:    make([]int64, len(g.aggSpecs)),
+				sumF:    make([]float64, len(g.aggSpecs)),
+				minMax:  make([]string, len(g.aggSpecs)),
+				seen:    make([]bool, len(g.aggSpecs)),
+			}
+			for i, off := range g.groupOffs {
+				acc.keyVals[i] = row[off]
+			}
+			index[key] = acc
+			g.groups = append(g.groups, acc)
+		}
+		for i, spec := range g.aggSpecs {
+			g.accumulate(acc, i, spec, row)
+		}
+	}
+	if len(g.groupOffs) == 0 && len(g.groups) == 0 {
+		// Global aggregate over empty input: one all-defaults group.
+		g.groups = append(g.groups, &groupAcc{
+			count:  make([]int64, len(g.aggSpecs)),
+			sumI:   make([]int64, len(g.aggSpecs)),
+			sumF:   make([]float64, len(g.aggSpecs)),
+			minMax: make([]string, len(g.aggSpecs)),
+			seen:   make([]bool, len(g.aggSpecs)),
+		})
+	}
+	return nil
+}
+
+func (g *groupIter) accumulate(acc *groupAcc, i int, spec aggSpec, row []string) {
+	if spec.agg == "count" && spec.off < 0 { // count(*)
+		acc.count[i]++
+		return
+	}
+	v := row[spec.off]
+	if v == "" {
+		return // empty cells don't feed aggregates
+	}
+	switch spec.agg {
+	case "count":
+		acc.count[i]++
+	case "sum", "avg":
+		if spec.isInt {
+			if n, err := strconv.ParseInt(v, 10, 64); err == nil {
+				acc.sumI[i] += n
+				acc.count[i]++
+			}
+		} else if f, err := strconv.ParseFloat(v, 64); err == nil {
+			acc.sumF[i] += f
+			acc.count[i]++
+		}
+	case "min":
+		if !acc.seen[i] || compareVals(v, acc.minMax[i], spec.numeric) < 0 {
+			acc.minMax[i] = v
+		}
+		acc.seen[i] = true
+	case "max":
+		if !acc.seen[i] || compareVals(v, acc.minMax[i], spec.numeric) > 0 {
+			acc.minMax[i] = v
+		}
+		acc.seen[i] = true
+	}
+}
+
+// render formats one aggregate's final value.
+func (g *groupIter) render(acc *groupAcc, i int) string {
+	spec := g.aggSpecs[i]
+	switch spec.agg {
+	case "count":
+		return strconv.FormatInt(acc.count[i], 10)
+	case "sum":
+		if acc.count[i] == 0 {
+			return ""
+		}
+		if spec.isInt {
+			return strconv.FormatInt(acc.sumI[i], 10)
+		}
+		return strconv.FormatFloat(acc.sumF[i], 'g', -1, 64)
+	case "avg":
+		if acc.count[i] == 0 {
+			return ""
+		}
+		total := acc.sumF[i]
+		if spec.isInt {
+			total = float64(acc.sumI[i])
+		}
+		return strconv.FormatFloat(total/float64(acc.count[i]), 'g', -1, 64)
+	default: // min, max
+		return acc.minMax[i]
+	}
+}
+
+func (g *groupIter) Next() ([]string, error) {
+	if !g.built {
+		if err := g.run(); err != nil {
+			return nil, err
+		}
+	}
+	if g.pos >= len(g.groups) {
+		return nil, io.EOF
+	}
+	acc := g.groups[g.pos]
+	g.pos++
+	out := make([]string, len(g.outs))
+	for i, o := range g.outs {
+		if o.isAgg {
+			out[i] = g.render(acc, o.slot)
+		} else {
+			out[i] = acc.keyVals[o.slot]
+		}
+	}
+	return out, nil
+}
+
+func (g *groupIter) Close() error { return g.src.Close() }
+
+// sortKey is one ORDER BY key over output columns.
+type sortKey struct {
+	col     int
+	desc    bool
+	numeric bool
+}
+
+// sortIter materializes and stably sorts the input.
+type sortIter struct {
+	src   iter
+	keys  []sortKey
+	built bool
+	rows  [][]string
+	pos   int
+}
+
+func (s *sortIter) Next() ([]string, error) {
+	if !s.built {
+		s.built = true
+		for {
+			row, err := s.src.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				return nil, err
+			}
+			s.rows = append(s.rows, row)
+		}
+		sort.SliceStable(s.rows, func(a, b int) bool {
+			for _, k := range s.keys {
+				c := compareVals(s.rows[a][k.col], s.rows[b][k.col], k.numeric)
+				if k.desc {
+					c = -c
+				}
+				if c != 0 {
+					return c < 0
+				}
+			}
+			return false
+		})
+	}
+	if s.pos >= len(s.rows) {
+		return nil, io.EOF
+	}
+	row := s.rows[s.pos]
+	s.pos++
+	return row, nil
+}
+
+func (s *sortIter) Close() error { return s.src.Close() }
+
+// limitIter stops after n rows.
+type limitIter struct {
+	src  iter
+	left int
+}
+
+func (l *limitIter) Next() ([]string, error) {
+	if l.left <= 0 {
+		return nil, io.EOF
+	}
+	row, err := l.src.Next()
+	if err != nil {
+		return nil, err
+	}
+	l.left--
+	return row, nil
+}
+
+func (l *limitIter) Close() error { return l.src.Close() }

@@ -1,0 +1,101 @@
+package query
+
+import (
+	"encoding/json"
+	"io"
+
+	"datamaran/internal/lake"
+	"datamaran/internal/relational"
+	"datamaran/internal/semtype"
+)
+
+// The output writers. Every query surface — the in-process API, the
+// CLI, the daemon's /v1/query — streams results through these, so the
+// three are byte-identical by construction.
+
+// WriteCSV streams the result as CSV: header line, then one line per
+// row, quoted exactly like the relational package's table dumps. flush
+// (optional) runs after the header and then periodically, so a daemon
+// can push partial results.
+func WriteCSV(w io.Writer, rows *Rows, flush func()) error {
+	if err := relational.WriteCSVRow(w, rows.Columns()); err != nil {
+		return err
+	}
+	n := 0
+	for {
+		row, err := rows.Next()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		if err := relational.WriteCSVRow(w, row); err != nil {
+			return err
+		}
+		if n++; flush != nil && n&63 == 0 {
+			flush()
+		}
+	}
+}
+
+// ndjsonHeader is the first NDJSON line: the column schema.
+type ndjsonHeader struct {
+	Columns []string       `json:"columns"`
+	Kinds   []semtype.Kind `json:"kinds"`
+}
+
+// ndjsonRow is one result row.
+type ndjsonRow struct {
+	Values []string `json:"values"`
+}
+
+// WriteNDJSON streams the result as NDJSON: a {"columns":…,"kinds":…}
+// schema line, then one {"values":…} object per row.
+func WriteNDJSON(w io.Writer, rows *Rows, flush func()) error {
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(ndjsonHeader{Columns: rows.Columns(), Kinds: rows.Kinds()}); err != nil {
+		return err
+	}
+	if flush != nil {
+		flush()
+	}
+	n := 0
+	for {
+		row, err := rows.Next()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		if err := enc.Encode(ndjsonRow{Values: row}); err != nil {
+			return err
+		}
+		if n++; flush != nil && n&63 == 0 {
+			flush()
+		}
+	}
+}
+
+// storeCatalog adapts the lake's segment store to the engine's Catalog.
+type storeCatalog struct {
+	s *lake.SegmentStore
+}
+
+// StoreCatalog makes the record store queryable.
+func StoreCatalog(s *lake.SegmentStore) Catalog {
+	return storeCatalog{s: s}
+}
+
+func (c storeCatalog) Resolve(name string) (TableMeta, error) {
+	ti, err := c.s.Resolve(name)
+	if err != nil {
+		return TableMeta{}, err
+	}
+	return TableMeta{Name: ti.Name, Columns: ti.Columns, Kinds: ti.Kinds, Rows: ti.Rows}, nil
+}
+
+func (c storeCatalog) Scan(name string) (RowIter, error) {
+	return c.s.Scan(name)
+}

@@ -123,6 +123,40 @@ func (fs *flatSchema) addFlatRecord(fields []FlatField) {
 	}
 }
 
+// ArraySeps maps each field column of st to its enclosing array's
+// separator — the join character DenormRow uses when a column repeats.
+// Exported for the record store, whose segment rows are denormalized
+// one record at a time instead of through a Table.
+func ArraySeps(st *template.Node) []byte { return arraySepByCol(st) }
+
+// DenormRow converts one flattened record into its denormalized row:
+// one cell per template field column, repetitions joined with the
+// column's array separator (seps from ArraySeps). row is reused when it
+// has the right length, so a streaming writer can avoid per-record
+// allocation; the returned slice is row (or a fresh one).
+func DenormRow(st *template.Node, seps []byte, fields []FlatField, row []string) []string {
+	cols := st.NumFields()
+	if len(row) != cols {
+		row = make([]string, cols)
+	}
+	joined := make([]bool, cols)
+	for i := range row {
+		row[i] = ""
+	}
+	for _, f := range fields {
+		if f.Col < 0 || f.Col >= cols {
+			continue
+		}
+		if row[f.Col] == "" && !joined[f.Col] {
+			row[f.Col] = f.Value
+			joined[f.Col] = true
+		} else {
+			row[f.Col] += string(seps[f.Col]) + f.Value
+		}
+	}
+	return row
+}
+
 // BuildDenormalizedFlat converts flattened records into the single-table
 // form, mirroring BuildDenormalized without the original buffer.
 func BuildDenormalizedFlat(st *template.Node, records [][]FlatField, name string) *Table {
@@ -136,20 +170,7 @@ func BuildDenormalizedFlat(st *template.Node, records [][]FlatField, name string
 	}
 	sep := arraySepByCol(st)
 	for _, fields := range records {
-		row := make([]string, cols)
-		joined := make([]bool, cols)
-		for _, f := range fields {
-			if f.Col < 0 || f.Col >= cols {
-				continue
-			}
-			if row[f.Col] == "" && !joined[f.Col] {
-				row[f.Col] = f.Value
-				joined[f.Col] = true
-			} else {
-				row[f.Col] += string(sep[f.Col]) + f.Value
-			}
-		}
-		t.Rows = append(t.Rows, row)
+		t.Rows = append(t.Rows, DenormRow(st, sep, fields, nil))
 	}
 	return t
 }

@@ -47,32 +47,36 @@ func (t *Table) Col(name string) int {
 // WriteCSV writes the table in a minimal CSV form (quoting cells that
 // contain commas, quotes or newlines).
 func (t *Table) WriteCSV(w io.Writer) error {
-	writeRow := func(cells []string) error {
-		for i, c := range cells {
-			if i > 0 {
-				if _, err := io.WriteString(w, ","); err != nil {
-					return err
-				}
-			}
-			if strings.ContainsAny(c, ",\"\n") {
-				c = `"` + strings.ReplaceAll(c, `"`, `""`) + `"`
-			}
-			if _, err := io.WriteString(w, c); err != nil {
-				return err
-			}
-		}
-		_, err := io.WriteString(w, "\n")
-		return err
-	}
-	if err := writeRow(t.Columns); err != nil {
+	if err := WriteCSVRow(w, t.Columns); err != nil {
 		return err
 	}
 	for _, r := range t.Rows {
-		if err := writeRow(r); err != nil {
+		if err := WriteCSVRow(w, r); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// WriteCSVRow writes one CSV line with the package's quoting rules —
+// shared with the query engine's CSV output so table dumps and query
+// results quote identically.
+func WriteCSVRow(w io.Writer, cells []string) error {
+	for i, c := range cells {
+		if i > 0 {
+			if _, err := io.WriteString(w, ","); err != nil {
+				return err
+			}
+		}
+		if strings.ContainsAny(c, ",\"\n") {
+			c = `"` + strings.ReplaceAll(c, `"`, `""`) + `"`
+		}
+		if _, err := io.WriteString(w, c); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "\n")
+	return err
 }
 
 // Database is a set of tables; Tables[0] is the root.

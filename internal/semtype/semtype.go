@@ -34,7 +34,106 @@ const (
 	KindEmail Kind = "email"
 	// KindUUID is 8-4-4-4-12 hex.
 	KindUUID Kind = "uuid"
+	// KindInt is a column of decimal integers (scalar classification).
+	KindInt Kind = "int"
+	// KindFloat is a column of decimal numbers, at least one fractional.
+	KindFloat Kind = "float"
+	// KindString is the scalar fallback: free text.
+	KindString Kind = "string"
 )
+
+// Numeric reports whether values of this kind compare as numbers.
+func (k Kind) Numeric() bool { return k == KindInt || k == KindFloat }
+
+// ClassifyValues assigns one scalar kind to a column from its values —
+// the per-column type surfaced into the record store's table schemas
+// and used by the query engine to pick numeric vs lexicographic
+// comparison. Unlike Detect (which reassembles runs of adjacent
+// columns), this looks at a single column in isolation: int and float
+// need every non-empty value to parse; the named single-column kinds
+// (ip, time, date, uuid, ...) apply at the same ≥95% confidence bar as
+// Detect; anything else is a string.
+func ClassifyValues(values []string) Kind {
+	nonEmpty := 0
+	ints, floats := 0, 0
+	for _, v := range values {
+		if v == "" {
+			continue
+		}
+		nonEmpty++
+		switch classifyNumber(v) {
+		case KindInt:
+			ints++
+		case KindFloat:
+			floats++
+		}
+	}
+	if nonEmpty == 0 {
+		return KindString
+	}
+	if ints == nonEmpty {
+		return KindInt
+	}
+	if ints+floats == nonEmpty {
+		return KindFloat
+	}
+	for _, p := range []struct {
+		kind  Kind
+		valid func(string) bool
+	}{
+		{KindIP, validIPWhole},
+		{KindUUID, validUUID},
+		{KindTime, validTime},
+		{KindDate, func(s string) bool { return validDateDash(s) || validDateSlash(s) }},
+		{KindEmail, validEmail},
+		{KindURLPath, validURLPath},
+	} {
+		if frac(values, p.valid) >= minConfidence {
+			return p.kind
+		}
+	}
+	return KindString
+}
+
+// MergeKinds combines the kinds of two value sets of one column (e.g.
+// the segments of a table): equal kinds keep, int widens to float, and
+// any other mix degrades to string.
+func MergeKinds(a, b Kind) Kind {
+	switch {
+	case a == b:
+		return a
+	case a == KindInt && b == KindFloat, a == KindFloat && b == KindInt:
+		return KindFloat
+	default:
+		return KindString
+	}
+}
+
+// classifyNumber reports KindInt, KindFloat or KindString for one value.
+func classifyNumber(s string) Kind {
+	if len(s) > 0 && (s[0] == '-' || s[0] == '+') {
+		s = s[1:]
+	}
+	if s == "" {
+		return KindString
+	}
+	dot := strings.IndexByte(s, '.')
+	if dot < 0 {
+		if allDigits(s) && len(s) <= 18 {
+			return KindInt
+		}
+		return KindString
+	}
+	intPart, fracPart := s[:dot], s[dot+1:]
+	if intPart == "" && fracPart == "" {
+		return KindString
+	}
+	if (intPart == "" || allDigits(intPart)) && (fracPart == "" || allDigits(fracPart)) &&
+		len(intPart)+len(fracPart) <= 18 {
+		return KindFloat
+	}
+	return KindString
+}
 
 // Column is one column's values as seen by the detector.
 type Column struct {

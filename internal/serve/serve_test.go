@@ -8,12 +8,15 @@ import (
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
+	"net/url"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 
 	"datamaran"
+	"datamaran/internal/lake"
+	"datamaran/internal/query"
 )
 
 // buildLake writes a small two-format lake plus noise.
@@ -68,6 +71,7 @@ func newServer(t *testing.T) (*Server, string) {
 		Root:           root,
 		RegistryPath:   filepath.Join(state, "registry.json"),
 		CheckpointPath: filepath.Join(state, "checkpoints.json"),
+		StorePath:      filepath.Join(state, "store"),
 		Workers:        2,
 	})
 	if err != nil {
@@ -174,7 +178,7 @@ func TestServedExtractionMatchesPublicAPI(t *testing.T) {
 		t.Fatal(err)
 	}
 	var wantCSV bytes.Buffer
-	if err := want.Tables()[0].WriteCSV(&wantCSV); err != nil {
+	if err := want.TablesWith(datamaran.TablesOptions{})[0].WriteCSV(&wantCSV); err != nil {
 		t.Fatal(err)
 	}
 
@@ -223,31 +227,168 @@ func TestServedExtractionMatchesPublicAPI(t *testing.T) {
 	}
 }
 
+// envelope asserts an error response carries the v1 JSON envelope and
+// returns its code.
+func envelope(t *testing.T, target string, rec *httptest.ResponseRecorder) string {
+	t.Helper()
+	var ej struct {
+		Error struct {
+			Code    string `json:"code"`
+			Message string `json:"message"`
+		} `json:"error"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &ej); err != nil {
+		t.Errorf("%s: error body is not the JSON envelope: %v (%s)", target, err, rec.Body)
+		return ""
+	}
+	if ej.Error.Code == "" || ej.Error.Message == "" {
+		t.Errorf("%s: incomplete error envelope: %s", target, rec.Body)
+	}
+	return ej.Error.Code
+}
+
 // TestLakeExtractGuards covers path traversal, hidden entries, missing
-// files and unknown formats.
+// files, unknown formats and malformed queries — on both the /v1 and
+// the deprecated unversioned routes — and asserts every failure body is
+// the JSON error envelope.
 func TestLakeExtractGuards(t *testing.T) {
 	s, _ := newServer(t)
 	cases := map[string]int{
-		"/lake/extract?path=../secret":                               http.StatusBadRequest,
-		"/lake/extract?path=/etc/passwd":                             http.StatusBadRequest,
-		"/lake/extract?path=.hidden/x.log":                           http.StatusBadRequest,
-		"/lake/extract?path=":                                        http.StatusBadRequest,
-		"/lake/extract?path=metrics/nope.log":                        http.StatusNotFound,
-		"/lake/extract?path=znotes.txt":                              http.StatusUnprocessableEntity,
-		"/extract?format=0123456789abcdef":                           http.StatusNotFound,
-		"/formats/ffffffffffffffff":                                  http.StatusNotFound,
-		"/lake/extract?path=metrics/m-1.log&format=ffffffffffffffff": http.StatusNotFound,
+		"/lake/extract?path=../secret":                                      http.StatusBadRequest,
+		"/lake/extract?path=/etc/passwd":                                    http.StatusBadRequest,
+		"/lake/extract?path=.hidden/x.log":                                  http.StatusBadRequest,
+		"/lake/extract?path=":                                               http.StatusBadRequest,
+		"/lake/extract?path=metrics/nope.log":                               http.StatusNotFound,
+		"/lake/extract?path=znotes.txt":                                     http.StatusUnprocessableEntity,
+		"/extract?format=0123456789abcdef":                                  http.StatusNotFound,
+		"/formats/ffffffffffffffff":                                         http.StatusNotFound,
+		"/lake/extract?path=metrics/m-1.log&format=ffffffffffffffff":        http.StatusNotFound,
+		"/v1/lake/extract?path=../secret":                                   http.StatusBadRequest,
+		"/v1/formats/ffffffffffffffff":                                      http.StatusNotFound,
+		"/v1/extract?format=0123456789abcdef":                               http.StatusNotFound,
+		"/v1/query":                                                         http.StatusBadRequest,
+		"/v1/query?q=not+a+query":                                           http.StatusBadRequest,
+		"/v1/query?q=" + url.QueryEscape("SELECT * FROM nope"):              http.StatusBadRequest,
+		"/v1/query?q=" + url.QueryEscape("SELECT * FROM t") + "&output=xml": http.StatusBadRequest,
+	}
+	codes := map[int]string{
+		http.StatusBadRequest:          "bad_request",
+		http.StatusNotFound:            "not_found",
+		http.StatusUnprocessableEntity: "unclaimed",
 	}
 	for target, want := range cases {
 		method := "GET"
 		var body []byte
-		if strings.HasPrefix(target, "/extract") {
+		if strings.HasPrefix(strings.TrimPrefix(target, "/v1"), "/extract") {
 			method, body = "POST", []byte("x\n")
 		}
-		if rec := do(t, s, method, target, body); rec.Code != want {
+		rec := do(t, s, method, target, body)
+		if rec.Code != want {
 			t.Errorf("%s: status %d, want %d", target, rec.Code, want)
+			continue
+		}
+		if code := envelope(t, target, rec); code != codes[want] {
+			t.Errorf("%s: error code %q, want %q", target, code, codes[want])
 		}
 	}
+}
+
+// TestV1Aliases: the unversioned routes are aliases — same handlers,
+// byte-identical bodies.
+func TestV1Aliases(t *testing.T) {
+	s, _ := newServer(t)
+	fp := formats(t, s)[0].Fingerprint
+	for _, pair := range [][2]string{
+		{"/formats", "/v1/formats"},
+		{"/formats/" + fp, "/v1/formats/" + fp},
+		{"/lake/extract?path=metrics/m-1.log", "/v1/lake/extract?path=metrics/m-1.log"},
+	} {
+		old := do(t, s, "GET", pair[0], nil)
+		v1 := do(t, s, "GET", pair[1], nil)
+		if old.Code != http.StatusOK || v1.Code != http.StatusOK {
+			t.Fatalf("%v: status %d / %d", pair, old.Code, v1.Code)
+		}
+		if !bytes.Equal(old.Body.Bytes(), v1.Body.Bytes()) {
+			t.Errorf("%v: alias bodies differ", pair)
+		}
+	}
+}
+
+// TestServedQueryMatchesEngine: /v1/query output (both forms) is
+// byte-identical to the in-process engine reading the same store — the
+// served surface adds transport, never bytes.
+func TestServedQueryMatchesEngine(t *testing.T) {
+	s, _ := newServer(t)
+	var metricsFP string
+	for _, f := range formats(t, s) {
+		if strings.Contains(f.Templates[0], "|") {
+			metricsFP = f.Fingerprint
+		}
+	}
+	qtext := "SELECT f1, count(*) FROM " + metricsFP + " GROUP BY f1 ORDER BY count(*) DESC, f1 LIMIT 5"
+
+	store, err := lake.OpenSegmentStore(s.cfg.StorePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]*bytes.Buffer{"ndjson": {}, "csv": {}}
+	for output, buf := range want {
+		q, err := query.Parse(qtext)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rows, err := query.Run(context.Background(), query.StoreCatalog(store), q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if output == "csv" {
+			err = query.WriteCSV(buf, rows, nil)
+		} else {
+			err = query.WriteNDJSON(buf, rows, nil)
+		}
+		rows.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	for output, buf := range want {
+		rec := do(t, s, "GET", "/v1/query?q="+url.QueryEscape(qtext)+"&output="+output, nil)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("/v1/query (%s): %d %s", output, rec.Code, rec.Body)
+		}
+		if buf.Len() == 0 {
+			t.Fatalf("engine produced no %s output", output)
+		}
+		if !bytes.Equal(rec.Body.Bytes(), buf.Bytes()) {
+			t.Errorf("served %s differs from engine:\nserved: %s\nengine: %s", output, rec.Body, buf)
+		}
+	}
+
+	// A two-table self-join through the store exercises the join path
+	// end to end over HTTP.
+	joinQ := "SELECT count(*) FROM " + metricsFP + " AS a, " + metricsFP + " AS b WHERE a.f0 = b.f0 AND a.f1 = '7'"
+	rec := do(t, s, "GET", "/v1/query?q="+url.QueryEscape(joinQ)+"&output=csv", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("join query: %d %s", rec.Code, rec.Body)
+	}
+	if !strings.HasPrefix(rec.Body.String(), "count(*)\n") {
+		t.Errorf("join query output: %s", rec.Body)
+	}
+}
+
+// TestQueryWithoutStore: a daemon with no record store reports cleanly.
+func TestQueryWithoutStore(t *testing.T) {
+	root := buildLake(t)
+	s, err := New(Config{Root: root})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := do(t, s, "GET", "/v1/query?q=SELECT+*+FROM+x", nil)
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("query without store: %d %s", rec.Code, rec.Body)
+	}
+	envelope(t, "/v1/query (no store)", rec)
 }
 
 // TestReindexCancellation: a cancelled request context aborts the crawl

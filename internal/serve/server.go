@@ -7,18 +7,22 @@
 // amortizing across requests the way the paper's learn-once,
 // apply-many workflow intends.
 //
-// Endpoints:
+// Endpoints (the /v1/ prefix is the canonical surface; the unversioned
+// paths predate it and remain as deprecated aliases for one release):
 //
-//	GET  /healthz                 liveness probe
-//	GET  /formats                 registry listing (JSON)
-//	GET  /formats/{fp}            one profile (JSON, loadable by the CLI's -profile)
-//	POST /extract?format={fp}     extract the request body with a profile
-//	GET  /lake/extract?path=...   extract a lake file (format inferred)
-//	POST /reindex                 run the incremental crawl, persist, report
+//	GET  /healthz                    liveness probe
+//	GET  /v1/formats                 registry listing (JSON)
+//	GET  /v1/formats/{fp}            one profile (JSON, loadable by the CLI's -profile)
+//	POST /v1/extract?format={fp}     extract the request body with a profile
+//	GET  /v1/lake/extract?path=...   extract a lake file (format inferred)
+//	POST /v1/reindex                 run the incremental crawl, persist, report
+//	GET  /v1/query?q=...             run a relational query over the record store
 //
-// Extraction responses are deterministic: worker counts never change
-// output, so served bytes are byte-identical to the CLI's for the same
-// input and profile.
+// Every failure body is the JSON envelope {"error": {"code", "message"}}.
+//
+// Extraction and query responses are deterministic: worker counts never
+// change output, so served bytes are byte-identical to the CLI's for
+// the same input and profile.
 package serve
 
 import (
@@ -38,6 +42,7 @@ import (
 	"datamaran/internal/follow"
 	"datamaran/internal/lake"
 	"datamaran/internal/pipeline"
+	"datamaran/internal/query"
 	"datamaran/internal/relational"
 	"datamaran/internal/template"
 )
@@ -62,6 +67,10 @@ type Config struct {
 	// lake.Config.
 	SampleBytes    int
 	MatchThreshold float64
+	// StorePath is the record-store directory: the per-format columnar
+	// segments /reindex writes and /v1/query reads. Empty disables the
+	// store (and with it /v1/query).
+	StorePath string
 }
 
 // Server is the long-running daemon state: the shared registry and
@@ -78,6 +87,10 @@ type Server struct {
 	mu  sync.RWMutex
 	reg *lake.Registry
 	cps *follow.Store
+	// store is the record store handle (nil without a StorePath). It
+	// needs no guarding here: scans snapshot its manifest and commits
+	// swap it whole.
+	store *lake.SegmentStore
 	// reindexMu serializes crawls; persistMu serializes saves of the
 	// registry/checkpoint files.
 	reindexMu sync.Mutex
@@ -105,7 +118,13 @@ func New(cfg Config) (*Server, error) {
 			return nil, err
 		}
 	}
-	return &Server{cfg: cfg, reg: reg, cps: cps}, nil
+	var store *lake.SegmentStore
+	if cfg.StorePath != "" {
+		if store, err = lake.OpenSegmentStore(cfg.StorePath); err != nil {
+			return nil, err
+		}
+	}
+	return &Server{cfg: cfg, reg: reg, cps: cps, store: store}, nil
 }
 
 // Registry exposes the shared registry handle (for tests and embedding).
@@ -131,12 +150,80 @@ func (s *Server) Handler() http.Handler {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		io.WriteString(w, "ok\n")
 	})
-	mux.HandleFunc("GET /formats", s.handleFormats)
-	mux.HandleFunc("GET /formats/{fp}", s.handleFormat)
-	mux.HandleFunc("POST /extract", s.handleExtractBody)
-	mux.HandleFunc("GET /lake/extract", s.handleExtractLake)
-	mux.HandleFunc("POST /reindex", s.handleReindex)
+	// /v1/ is the canonical surface; the unversioned routes are
+	// deprecated aliases kept for one release.
+	for _, p := range []string{"/v1", ""} {
+		mux.HandleFunc("GET "+p+"/formats", s.handleFormats)
+		mux.HandleFunc("GET "+p+"/formats/{fp}", s.handleFormat)
+		mux.HandleFunc("POST "+p+"/extract", s.handleExtractBody)
+		mux.HandleFunc("GET "+p+"/lake/extract", s.handleExtractLake)
+		mux.HandleFunc("POST "+p+"/reindex", s.handleReindex)
+	}
+	mux.HandleFunc("GET /v1/query", s.handleQuery)
 	return mux
+}
+
+// handleQuery runs one relational query over the record store and
+// streams the result — NDJSON (schema line, then one object per row) or
+// CSV, the same writers the CLI uses, so served bytes match the CLI's
+// for the same store and query.
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if s.store == nil {
+		httpError(w, http.StatusNotFound, "no record store configured (restart serve with a store path)")
+		return
+	}
+	text := r.URL.Query().Get("q")
+	if text == "" {
+		httpError(w, http.StatusBadRequest, "missing q parameter")
+		return
+	}
+	output := r.URL.Query().Get("output")
+	if output == "" {
+		output = "ndjson"
+	}
+	if output != "ndjson" && output != "csv" {
+		httpError(w, http.StatusBadRequest, "unknown output %q (want ndjson or csv)", output)
+		return
+	}
+	q, err := query.Parse(text)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	rows, err := query.Run(r.Context(), query.StoreCatalog(s.store), q)
+	if err != nil {
+		// Planning failures (unknown tables, unresolved columns) are
+		// client errors; nothing has streamed yet.
+		httpError(w, queryStatus(err), "%v", err)
+		return
+	}
+	defer rows.Close()
+	flusher, _ := w.(http.Flusher)
+	flush := func() {
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	if output == "csv" {
+		w.Header().Set("Content-Type", "text/csv; charset=utf-8")
+		err = query.WriteCSV(w, rows, flush)
+	} else {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		err = query.WriteNDJSON(w, rows, flush)
+	}
+	if err != nil {
+		// Headers are gone once results streamed; a mid-stream failure
+		// (or client cancellation) can only cut the connection.
+		panic(http.ErrAbortHandler)
+	}
+}
+
+// queryStatus maps query execution errors onto HTTP statuses.
+func queryStatus(err error) int {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return 499
+	}
+	return http.StatusBadRequest
 }
 
 // formatJSON is one /formats entry.
@@ -428,15 +515,31 @@ func (s *Server) Reindex(ctx context.Context) (*lake.Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	// The record store follows the same discipline as the handles: the
+	// crawl stages segments in a transaction, and only a completed crawl
+	// commits them.
+	var txn *lake.StoreTxn
+	if s.store != nil {
+		txn = s.store.Begin()
+	}
 	res, err := lake.IndexContext(ctx, s.cfg.Root, reg, lake.Config{
 		Core:           s.cfg.Core,
 		Workers:        s.cfg.Workers,
 		SampleBytes:    s.cfg.SampleBytes,
 		MatchThreshold: s.cfg.MatchThreshold,
 		Checkpoints:    cps,
+		Segments:       txn,
 	})
 	if err != nil {
+		if txn != nil {
+			txn.Abort()
+		}
 		return nil, err
+	}
+	if txn != nil {
+		if err := txn.Commit(); err != nil {
+			return nil, err
+		}
 	}
 	s.mu.Lock()
 	s.reg, s.cps = reg, cps
@@ -562,7 +665,45 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Write(append(raw, '\n'))
 }
 
-// httpError writes a plain-text error.
+// errorJSON is the error envelope every failure body carries.
+type errorJSON struct {
+	Error errorBody `json:"error"`
+}
+
+type errorBody struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// errorCode names a status class for programmatic handling.
+func errorCode(status int) string {
+	switch status {
+	case http.StatusBadRequest:
+		return "bad_request"
+	case http.StatusNotFound:
+		return "not_found"
+	case http.StatusConflict:
+		return "busy"
+	case http.StatusUnprocessableEntity:
+		return "unclaimed"
+	case 499:
+		return "canceled"
+	default:
+		return "internal"
+	}
+}
+
+// httpError writes the JSON error envelope.
 func httpError(w http.ResponseWriter, status int, format string, args ...any) {
-	http.Error(w, fmt.Sprintf(format, args...), status)
+	raw, err := json.Marshal(errorJSON{Error: errorBody{
+		Code:    errorCode(status),
+		Message: fmt.Sprintf(format, args...),
+	}})
+	if err != nil { // unreachable: the envelope always marshals
+		http.Error(w, fmt.Sprintf(format, args...), status)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(append(raw, '\n'))
 }

@@ -1,0 +1,86 @@
+package datamaran
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// goldenQueries is the committed query suite over the fixture lake —
+// the same queries scripts/golden_query.sh runs through the CLI and
+// scripts/serve_smoke.sh runs through /v1/query, so the three surfaces
+// are pinned byte-identical to one set of goldens. File extension picks
+// the output form.
+var goldenQueries = map[string]string{
+	"selection.csv":     "SELECT f1, f2, f3 FROM 570eebfb5b600688 WHERE f2 > 99",
+	"projection.ndjson": "SELECT f1, f6 FROM 94d88dc2a33387cc WHERE f5 = '500' LIMIT 15",
+	"join.csv":          "SELECT m.f1, m.f2, h.f3, h.f5 FROM 570eebfb5b600688 AS m, 3065c6f04a84699c AS h WHERE m.f3 = h.f1 AND m.f2 > 99 ORDER BY m.f2 DESC, m.f1",
+	"groupby.csv":       "SELECT f3, count(*), avg(f2) FROM 570eebfb5b600688 GROUP BY f3 ORDER BY f3",
+	"joingroup.ndjson":  "SELECT h.f5, count(*) FROM 570eebfb5b600688 AS m, 3065c6f04a84699c AS h WHERE m.f3 = h.f1 GROUP BY h.f5 ORDER BY h.f5",
+}
+
+// TestQueryGoldens: the in-process engine (the public Query entry
+// point) reproduces the committed golden query results over a store
+// built fresh from the fixture lake.
+func TestQueryGoldens(t *testing.T) {
+	state := t.TempDir()
+	storePath := filepath.Join(state, "store")
+	if _, err := IndexDir(fixtureLake, IndexOptions{
+		RegistryPath: filepath.Join(state, "registry.json"),
+		StorePath:    storePath,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for file, text := range goldenQueries {
+		want, err := os.ReadFile(filepath.Join("testdata/lake_golden/query", file))
+		if err != nil {
+			t.Fatalf("missing golden (run scripts/golden_query.sh -update): %v", err)
+		}
+		rows, err := Query(context.Background(), text, QueryOptions{StorePath: storePath})
+		if err != nil {
+			t.Fatalf("%s: %v", file, err)
+		}
+		var got bytes.Buffer
+		if strings.HasSuffix(file, ".csv") {
+			err = rows.WriteCSV(&got)
+		} else {
+			err = rows.WriteNDJSON(&got)
+		}
+		rows.Close()
+		if err != nil {
+			t.Fatalf("%s: %v", file, err)
+		}
+		if !bytes.Equal(got.Bytes(), want) {
+			t.Errorf("%s: engine output differs from golden\ngot:\n%s\nwant:\n%s", file, &got, want)
+		}
+	}
+}
+
+// TestQueryCancellation: a cancelled context stops a streaming query.
+func TestQueryCancellation(t *testing.T) {
+	state := t.TempDir()
+	storePath := filepath.Join(state, "store")
+	if _, err := IndexDir(fixtureLake, IndexOptions{StorePath: storePath}); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	rows, err := Query(ctx, "SELECT * FROM 570eebfb5b600688", QueryOptions{StorePath: storePath})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rows.Close()
+	for i := 0; i < 1000; i++ {
+		if _, err := rows.Next(); err != nil {
+			if errors.Is(err, context.Canceled) {
+				return
+			}
+			t.Fatalf("unexpected error: %v", err)
+		}
+	}
+	t.Fatal("cancelled query kept producing rows")
+}

@@ -13,7 +13,9 @@ trap 'rm -rf "$tmp"' EXIT
 go build -o "$tmp/datamaran" ./cmd/datamaran
 
 if [ "${1:-}" = "-update" ]; then
-    rm -rf "$golden"
+    # Only this script's outputs: serve/ and query/ goldens belong to
+    # serve_smoke.sh and golden_query.sh.
+    rm -rf "$golden/csv" "$golden/report.txt" "$golden/registry.json"
     mkdir -p "$golden/csv"
     "$tmp/datamaran" index -q -workers 1 -registry "$golden/registry.json" \
         -o "$golden/csv" testdata/lake > "$golden/report.txt"

@@ -1,0 +1,58 @@
+#!/bin/sh
+# Golden-query check for the lake query engine: build the record store
+# fresh from the checked-in fixture lake (testdata/lake), run the query
+# suite (selection, projection, a two-format equi-join, group-by) with
+# `datamaran query`, and diff every result against the committed
+# goldens — at two worker counts, since neither the store bytes nor any
+# query result may depend on crawl parallelism. The same goldens are
+# checked by TestQueryGoldens (in-process engine) and serve_smoke.sh
+# (served /v1/query), so all three surfaces stay byte-identical. Run
+# with -update to regenerate after an intentional change.
+set -eu
+cd "$(dirname "$0")/.."
+golden=testdata/lake_golden/query
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+go build -o "$tmp/datamaran" ./cmd/datamaran
+
+# The query suite. Keep in sync with query_golden_test.go and the
+# serve-smoke query check. Fields: <name>.<output form>|<query>.
+suite() {
+    cat <<'EOF'
+selection.csv|SELECT f1, f2, f3 FROM 570eebfb5b600688 WHERE f2 > 99
+projection.ndjson|SELECT f1, f6 FROM 94d88dc2a33387cc WHERE f5 = '500' LIMIT 15
+join.csv|SELECT m.f1, m.f2, h.f3, h.f5 FROM 570eebfb5b600688 AS m, 3065c6f04a84699c AS h WHERE m.f3 = h.f1 AND m.f2 > 99 ORDER BY m.f2 DESC, m.f1
+groupby.csv|SELECT f3, count(*), avg(f2) FROM 570eebfb5b600688 GROUP BY f3 ORDER BY f3
+joingroup.ndjson|SELECT h.f5, count(*) FROM 570eebfb5b600688 AS m, 3065c6f04a84699c AS h WHERE m.f3 = h.f1 GROUP BY h.f5 ORDER BY h.f5
+EOF
+}
+
+run_suite() {
+    workers=$1 out=$2
+    mkdir -p "$out"
+    "$tmp/datamaran" index -q -workers "$workers" -registry "$out/registry.json" \
+        -store "$out/store" testdata/lake > /dev/null
+    suite | while IFS='|' read -r file q; do
+        "$tmp/datamaran" query -store "$out/store" -output "${file##*.}" \
+            -o "$out/${file}" "$q"
+    done
+}
+
+if [ "${1:-}" = "-update" ]; then
+    run_suite 1 "$tmp/w1"
+    rm -rf "$golden"
+    mkdir -p "$golden"
+    suite | while IFS='|' read -r file q; do
+        cp "$tmp/w1/$file" "$golden/$file"
+    done
+    echo "golden query results regenerated under $golden"
+    exit 0
+fi
+
+for w in 1 8; do
+    run_suite "$w" "$tmp/w$w"
+    suite | while IFS='|' read -r file q; do
+        diff -u "$golden/$file" "$tmp/w$w/$file"
+    done
+done
+echo "golden query suite reproduced byte-for-byte (workers 1 and 8)"

@@ -3,13 +3,17 @@
 # lake (testdata/lake) with fresh state, crawl it once, and verify the
 # HTTP surface against the committed goldens:
 #
-#   GET /formats                    == testdata/lake_golden/serve/formats.json
-#   GET /lake/extract (csv)         == the indexer's committed per-file CSV
-#   POST /extract (uploaded body)   == the same committed CSV
-#   POST /reindex (all unchanged)   == testdata/lake_golden/serve/reindex.json
+#   GET /v1/formats                    == testdata/lake_golden/serve/formats.json
+#   GET /formats (deprecated alias)    == the same bytes
+#   GET /v1/lake/extract (csv)         == the indexer's committed per-file CSV
+#   POST /v1/extract (uploaded body)   == the same committed CSV
+#   POST /v1/reindex (all unchanged)   == testdata/lake_golden/serve/reindex.json
+#   GET /v1/query (group-by, csv)      == testdata/lake_golden/query/groupby.csv
+#   a failing route                    == the {"error":{code,message}} envelope
 #
 # Run with -update to regenerate the serve goldens after an intentional
-# change (the CSV goldens belong to scripts/golden_lake.sh).
+# change (the CSV goldens belong to scripts/golden_lake.sh, the query
+# goldens to scripts/golden_query.sh).
 set -eu
 cd "$(dirname "$0")/.."
 command -v curl >/dev/null 2>&1 || { echo "serve-smoke: curl is required" >&2; exit 1; }
@@ -28,6 +32,7 @@ go build -o "$tmp/datamaran" ./cmd/datamaran
 # Fresh state in the temp dir: the fixture lake itself stays pristine.
 "$tmp/datamaran" serve -addr 127.0.0.1:0 -workers 1 \
     -registry "$tmp/registry.json" -checkpoints "$tmp/checkpoints.json" \
+    -store "$tmp/store" \
     -reindex testdata/lake > "$tmp/serve.out" 2> "$tmp/serve.err" &
 pid=$!
 
@@ -43,12 +48,20 @@ done
 [ -n "$url" ] || { echo "daemon did not start listening:"; cat "$tmp/serve.err"; exit 1; }
 
 curl -fsS "$url/healthz" > /dev/null
-curl -fsS "$url/formats" > "$tmp/formats.json"
-curl -fsS "$url/lake/extract?path=web/requests-1.log&output=csv&table=type0" > "$tmp/lake_extract.csv"
+curl -fsS "$url/v1/formats" > "$tmp/formats.json"
+curl -fsS "$url/formats" > "$tmp/formats_alias.json"
+curl -fsS "$url/v1/lake/extract?path=web/requests-1.log&output=csv&table=type0" > "$tmp/lake_extract.csv"
 curl -fsS -X POST --data-binary @testdata/lake/jobs/job-1.log \
-    "$url/extract?format=42f99400cddeb649&output=csv&table=type0" > "$tmp/body_extract.csv"
+    "$url/v1/extract?format=42f99400cddeb649&output=csv&table=type0" > "$tmp/body_extract.csv"
+# The record store is populated; a group-by query must reproduce the
+# committed golden (the same bytes the CLI and in-process engine emit).
+curl -fsS --get --data-urlencode \
+    "q=SELECT f3, count(*), avg(f2) FROM 570eebfb5b600688 GROUP BY f3 ORDER BY f3" \
+    --data-urlencode "output=csv" "$url/v1/query" > "$tmp/query_groupby.csv"
 # The second crawl sees nothing new: every file must report unchanged.
-curl -fsS -X POST "$url/reindex" > "$tmp/reindex.json"
+curl -fsS -X POST "$url/v1/reindex" > "$tmp/reindex.json"
+# Failures carry the JSON error envelope.
+curl -sS "$url/v1/lake/extract?path=../escape" > "$tmp/error.json"
 
 if [ "${1:-}" = "-update" ]; then
     mkdir -p "$golden"
@@ -59,7 +72,11 @@ if [ "${1:-}" = "-update" ]; then
 fi
 
 diff -u "$golden/formats.json" "$tmp/formats.json"
+diff -u "$tmp/formats.json" "$tmp/formats_alias.json"
 diff -u "$golden/reindex.json" "$tmp/reindex.json"
 diff -u testdata/lake_golden/csv/web__requests-1.log.type0.csv "$tmp/lake_extract.csv"
 diff -u testdata/lake_golden/csv/jobs__job-1.log.type0.csv "$tmp/body_extract.csv"
-echo "serve smoke passed: /formats, /reindex and both extract paths are byte-identical to the goldens"
+diff -u testdata/lake_golden/query/groupby.csv "$tmp/query_groupby.csv"
+grep -q '"error"' "$tmp/error.json" && grep -q '"code":"bad_request"' "$tmp/error.json" \
+    || { echo "error envelope missing:"; cat "$tmp/error.json"; exit 1; }
+echo "serve smoke passed: /v1 routes, the deprecated alias, /v1/query and the error envelope all match the goldens"

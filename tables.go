@@ -79,10 +79,42 @@ func (r *Result) rebuildScan(typeID int) (*parser.Matcher, *parser.ScanResult, b
 	return m, scan, true
 }
 
+// TablesOptions selects a relational form of an extraction —
+// the unified face of the Tables/DenormalizedTables/TypedTables trio.
+type TablesOptions struct {
+	// Denormalized selects the single-table-per-type form: one row per
+	// record, list repetitions folded into one cell per column. The
+	// default is the normalized form — per record type, a root table
+	// plus one child table per list, linked by foreign keys.
+	Denormalized bool
+	// Typed applies semantic-type post-processing to the denormalized
+	// form (implies Denormalized): runs of adjacent fine-grained columns
+	// that reassemble into IPs, times, dates, versions, emails or UUIDs
+	// are merged into one named column.
+	Typed bool
+}
+
+// TablesWith returns the extraction's relational tables in the
+// requested form.
+func (r *Result) TablesWith(opts TablesOptions) []*Table {
+	switch {
+	case opts.Typed:
+		return r.typedTables()
+	case opts.Denormalized:
+		return r.denormalizedTables()
+	default:
+		return r.normalizedTables()
+	}
+}
+
 // Tables returns the normalized relational form of the extraction: per
 // record type, a root table plus one child table per list, linked by
 // foreign keys.
-func (r *Result) Tables() []*Table {
+//
+// Deprecated: use TablesWith(TablesOptions{}).
+func (r *Result) Tables() []*Table { return r.normalizedTables() }
+
+func (r *Result) normalizedTables() []*Table {
 	var out []*Table
 	for typeID := range r.res.Structures {
 		var db *relational.Database
@@ -103,7 +135,11 @@ func (r *Result) Tables() []*Table {
 
 // DenormalizedTables returns the single-table-per-type form: one row per
 // record, list repetitions folded into one cell per column.
-func (r *Result) DenormalizedTables() []*Table {
+//
+// Deprecated: use TablesWith(TablesOptions{Denormalized: true}).
+func (r *Result) DenormalizedTables() []*Table { return r.denormalizedTables() }
+
+func (r *Result) denormalizedTables() []*Table {
 	var out []*Table
 	for typeID := range r.res.Structures {
 		t := r.denormalized(typeID)
@@ -134,7 +170,11 @@ func (r *Result) denormalized(typeID int) *relational.Table {
 // §6.3): runs of adjacent fine-grained columns that reassemble into IPs,
 // times, dates, versions, emails or UUIDs — using the constant template
 // literals between them — are merged into one named column.
-func (r *Result) TypedTables() []*Table {
+//
+// Deprecated: use TablesWith(TablesOptions{Typed: true}).
+func (r *Result) TypedTables() []*Table { return r.typedTables() }
+
+func (r *Result) typedTables() []*Table {
 	var out []*Table
 	for typeID := range r.res.Structures {
 		t := r.denormalized(typeID)
