@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test test-short test-race bench lint fmt staticcheck bench-gate bench-allocs fuzz-smoke golden-lake golden-lake-update golden-query golden-query-update serve-smoke serve-smoke-update
+.PHONY: build test test-short test-race bench lint fmt staticcheck bench-gate bench-allocs bench-serve serve-gate fuzz-smoke golden-lake golden-lake-update golden-query golden-query-update serve-smoke serve-smoke-update
 
 build:
 	$(GO) build ./...
@@ -44,6 +44,21 @@ bench-extract:
 bench-gate:
 	$(GO) run ./cmd/experiments -bench-extract /tmp/BENCH_extract_new.json -bench-mb 16 \
 		-bench-baseline BENCH_extract.json
+
+# BENCH_serve.json: the serving-path load benchmark (daemon over
+# loopback HTTP; extract + query QPS and latency percentiles at 1/4/16
+# in-flight clients). serve-gate re-measures and fails on a >20% QPS
+# drop or a >50% p99 growth in any (mode, in-flight) cell, or on any
+# baseline cell missing from the fresh report. Like the extract gate,
+# the comparison is absolute — refresh the baseline from the CI job's
+# bench-serve-report artifact (or rerun `make bench-serve` on the same
+# machine) in the same PR whenever a change is intentional.
+bench-serve:
+	$(GO) run ./cmd/experiments -bench-serve BENCH_serve.json
+
+serve-gate:
+	$(GO) run ./cmd/experiments -bench-serve /tmp/BENCH_serve_new.json \
+		-bench-serve-baseline BENCH_serve.json
 
 # Allocation gate: the parser's steady-state scan benchmarks must stay at
 # 0 allocs/op (noise rejection and arena-reuse scanning never touch the

@@ -11,11 +11,14 @@
 // release):
 //
 //	GET  /healthz                     liveness
+//	GET  /v1/status                   serving stats
 //	GET  /v1/formats                  registry listing
 //	GET  /v1/formats/{fp}             one profile (feed it back via -profile)
 //	POST /v1/extract?format={fp}      extract the request body (ndjson/csv)
 //	GET  /v1/lake/extract?path=...    extract a lake file
-//	POST /v1/reindex                  incremental crawl + persist
+//	POST /v1/reindex[?format={fp}]    incremental crawl + persist (optionally
+//	                                  scoped to one format; scoped crawls of
+//	                                  different formats run concurrently)
 //	GET  /v1/query?q=...              relational query over the record store
 //
 // Registry, checkpoints and the record store default to
@@ -49,6 +52,10 @@ func runServe(args []string) {
 	workers := fs.Int("workers", 0, "extraction parallelism (0 = all cores; never changes output)")
 	alpha := fs.Float64("alpha", 0.10, "minimum coverage threshold α for discovery (fraction)")
 	reindex := fs.Bool("reindex", false, "run one incremental crawl before accepting requests")
+	maxBodyMB := fs.Int("max-body-mb", 0, "request body cap in MiB (0 = unlimited; overruns get 413)")
+	requestTimeout := fs.Duration("request-timeout", 0, "per-request deadline (0 = unlimited; overruns get 504)")
+	maxInFlight := fs.Int("max-inflight", 0, "in-flight request bound (0 = unlimited; excess load gets 429 + Retry-After)")
+	profileCache := fs.Int("profile-cache", 0, "hot compiled-profile LRU capacity (0 = default, negative disables)")
 	fs.Usage = func() {
 		fmt.Fprintln(os.Stderr, "usage: datamaran serve [flags] <dir>")
 		fs.PrintDefaults()
@@ -77,12 +84,16 @@ func runServe(args []string) {
 	}
 
 	srv, err := serve.New(serve.Config{
-		Root:           dir,
-		RegistryPath:   *registry,
-		CheckpointPath: *checkpoints,
-		StorePath:      *store,
-		Workers:        *workers,
-		Core:           core.Options{Alpha: *alpha},
+		Root:             dir,
+		RegistryPath:     *registry,
+		CheckpointPath:   *checkpoints,
+		StorePath:        *store,
+		Workers:          *workers,
+		Core:             core.Options{Alpha: *alpha},
+		MaxBodyBytes:     int64(*maxBodyMB) << 20,
+		RequestTimeout:   *requestTimeout,
+		MaxInFlight:      *maxInFlight,
+		ProfileCacheSize: *profileCache,
 	})
 	if err != nil {
 		fatalf("serve: %v", err)
@@ -93,7 +104,7 @@ func runServe(args []string) {
 
 	if *reindex {
 		t0 := time.Now()
-		res, err := srv.Reindex(ctx)
+		res, err := srv.Reindex(ctx, "")
 		if err != nil {
 			fatalf("serve: initial reindex: %v", err)
 		}

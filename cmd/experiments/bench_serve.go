@@ -1,0 +1,313 @@
+// The serving-path load benchmark behind -bench-serve: an in-process
+// `datamaran serve` daemon over a synthetic lake, driven with extract
+// and query load at increasing client concurrency over real loopback
+// HTTP. The report (BENCH_serve.json) carries QPS and latency
+// percentiles per (mode, in-flight) cell; gateServeBench compares a
+// fresh report against the committed baseline the same way the extract
+// gate does.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"datamaran/internal/datagen"
+	"datamaran/internal/serve"
+)
+
+// serveRun is one timed (mode, in-flight) cell of the serving bench.
+type serveRun struct {
+	Mode     string  `json:"mode"`
+	InFlight int     `json:"in_flight"`
+	Requests int     `json:"requests"`
+	Seconds  float64 `json:"seconds"`
+	QPS      float64 `json:"qps"`
+	P50Ms    float64 `json:"p50_ms"`
+	P99Ms    float64 `json:"p99_ms"`
+}
+
+// serveReport is the BENCH_serve.json schema.
+type serveReport struct {
+	BodyBytes  int        `json:"body_bytes"`
+	NumCPU     int        `json:"num_cpu"`
+	GoMaxProcs int        `json:"gomaxprocs"`
+	Note       string     `json:"note"`
+	Runs       []serveRun `json:"runs"`
+}
+
+// serveInFlights are the client concurrency levels each mode is
+// measured at.
+var serveInFlights = []int{1, 4, 16}
+
+// runBenchServe stands up the daemon over a generated lake and measures
+// the two serving paths — POST /v1/extract (per-request extraction
+// through the hot-profile cache) and GET /v1/query (relational scans
+// over the record store) — at each concurrency level for secs seconds.
+func runBenchServe(path string, secs float64) error {
+	root, err := os.MkdirTemp("", "datamaran-bench-serve-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(root)
+
+	// Two lake files of one web-log format: enough rows that a query
+	// does real scan work, small enough that a cell turns over many
+	// requests.
+	block := datagen.WebServerLog(4000, 7).Data
+	for i := 1; i <= 2; i++ {
+		if err := os.WriteFile(filepath.Join(root, fmt.Sprintf("web-%d.log", i)), block, 0o644); err != nil {
+			return err
+		}
+	}
+	srv, err := serve.New(serve.Config{
+		Root:      root,
+		StorePath: filepath.Join(root, ".store"),
+		// One extraction worker per request: the bench varies client
+		// concurrency, so per-request parallelism would only oversubscribe
+		// the host and blur the cells.
+		Workers: 1,
+	})
+	if err != nil {
+		return err
+	}
+	if _, err := srv.Reindex(context.Background(), ""); err != nil {
+		return err
+	}
+	entries := srv.Registry().Entries()
+	if len(entries) != 1 {
+		return fmt.Errorf("bench-serve lake discovered %d formats, want 1", len(entries))
+	}
+	fp := entries[0].Fingerprint
+
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 32}}
+
+	// A ~64 KiB extract body: large enough that the pipeline dominates
+	// the HTTP round trip, small enough for high request turnover.
+	body := block
+	for len(body) < 64<<10 {
+		body = append(body, block...)
+	}
+	body = body[:64<<10]
+	// Trim to whole lines so every request extracts identical records.
+	if i := bytes.LastIndexByte(body, '\n'); i >= 0 {
+		body = body[:i+1]
+	}
+
+	queryURL := hs.URL + "/v1/query?q=" + url.QueryEscape(
+		"SELECT f0, count(*) FROM "+fp+" GROUP BY f0 ORDER BY count(*) DESC, f0 LIMIT 5") + "&output=csv"
+	modes := []struct {
+		name string
+		do   func() error
+	}{
+		{"extract", func() error {
+			return drainRequest(client, "POST", hs.URL+"/v1/extract?format="+fp+"&output=csv", body)
+		}},
+		{"query", func() error {
+			return drainRequest(client, "GET", queryURL, nil)
+		}},
+	}
+
+	rep := serveReport{
+		BodyBytes:  len(body),
+		NumCPU:     runtime.NumCPU(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Note: "in-process daemon over loopback HTTP; extraction workers=1 per request. " +
+			"QPS scaling with in_flight requires NumCPU > 1; on a single-core host higher " +
+			"concurrency holds QPS roughly flat while p99 grows with queue depth.",
+	}
+	for _, mode := range modes {
+		for _, inFlight := range serveInFlights {
+			run, err := measureServe(mode.name, inFlight, secs, mode.do)
+			if err != nil {
+				return err
+			}
+			rep.Runs = append(rep.Runs, run)
+			fmt.Fprintf(os.Stderr, "%-8s in_flight=%-2d: %6.1f qps, p50 %6.2fms, p99 %6.2fms (%d reqs)\n",
+				run.Mode, run.InFlight, run.QPS, run.P50Ms, run.P99Ms, run.Requests)
+		}
+	}
+
+	raw, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(raw, '\n'), 0o644)
+}
+
+// measureServe drives one request kind with inFlight concurrent clients
+// for secs seconds and reduces the per-request latencies.
+func measureServe(mode string, inFlight int, secs float64, do func() error) (serveRun, error) {
+	var (
+		mu        sync.Mutex
+		latencies []float64
+		firstErr  error
+		wg        sync.WaitGroup
+	)
+	t0 := time.Now()
+	deadline := t0.Add(time.Duration(secs * float64(time.Second)))
+	for w := 0; w < inFlight; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for time.Now().Before(deadline) {
+				r0 := time.Now()
+				err := do()
+				lat := time.Since(r0).Seconds() * 1000
+				mu.Lock()
+				if err != nil && firstErr == nil {
+					firstErr = err
+				}
+				latencies = append(latencies, lat)
+				mu.Unlock()
+				if err != nil {
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(t0).Seconds()
+	if firstErr != nil {
+		return serveRun{}, fmt.Errorf("bench-serve %s in_flight=%d: %w", mode, inFlight, firstErr)
+	}
+	if len(latencies) == 0 {
+		return serveRun{}, fmt.Errorf("bench-serve %s in_flight=%d: no requests completed", mode, inFlight)
+	}
+	sort.Float64s(latencies)
+	return serveRun{
+		Mode:     mode,
+		InFlight: inFlight,
+		Requests: len(latencies),
+		Seconds:  elapsed,
+		QPS:      float64(len(latencies)) / elapsed,
+		P50Ms:    percentile(latencies, 0.50),
+		P99Ms:    percentile(latencies, 0.99),
+	}, nil
+}
+
+// percentile reads the q-quantile from sorted latencies (nearest rank).
+func percentile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+// drainRequest issues one request and fully consumes the response —
+// streamed bodies count toward latency, exactly as a client sees it.
+func drainRequest(client *http.Client, method, target string, body []byte) error {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequest(method, target, rd)
+	if err != nil {
+		return err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s %s: status %d", method, target, resp.StatusCode)
+	}
+	return nil
+}
+
+// serveGateRegression mirrors gateRegression for the serving bench: the
+// QPS drop tolerated before the gate fails.
+const serveGateRegression = 0.20
+
+// serveGateP99Regression is the p99 growth tolerated. Tail percentiles
+// at deep queues are a handful of worst samples per cell and jitter
+// run-to-run far more than throughput on a shared CI runner, so the
+// margin is wider: a real tail regression (a lock serializing the
+// serving path multiplies p99 at in_flight=16) still lands far past it.
+const serveGateP99Regression = 0.50
+
+// gateServeBench compares a fresh serving report against the committed
+// baseline: every (mode, in_flight) cell the baseline measured must be
+// present (a silently dropped cell is a hard failure, like the extract
+// gate), QPS must hold within serveGateRegression, and p99 latency must
+// not grow past serveGateP99Regression. Absolute comparisons assume the
+// baseline's hardware class — refresh BENCH_serve.json from the CI
+// artifact in the same PR when a change is intentional.
+func gateServeBench(baselinePath, candidatePath string) error {
+	baseline, err := loadServeReport(baselinePath)
+	if err != nil {
+		return err
+	}
+	candidate, err := loadServeReport(candidatePath)
+	if err != nil {
+		return err
+	}
+	type cell struct {
+		mode     string
+		inFlight int
+	}
+	cand := map[cell]serveRun{}
+	for _, r := range candidate.Runs {
+		cand[cell{r.Mode, r.InFlight}] = r
+	}
+	var missing []string
+	failed := false
+	for _, b := range baseline.Runs {
+		c, ok := cand[cell{b.Mode, b.InFlight}]
+		if !ok {
+			missing = append(missing, fmt.Sprintf("%s/in_flight=%d", b.Mode, b.InFlight))
+			continue
+		}
+		qpsRatio := c.QPS / b.QPS
+		p99Ratio := c.P99Ms / b.P99Ms
+		verdict := "ok"
+		if qpsRatio < 1-serveGateRegression || p99Ratio > 1+serveGateP99Regression {
+			verdict = "REGRESSED"
+			failed = true
+		}
+		fmt.Fprintf(os.Stderr, "serve-gate %-8s in_flight=%-2d qps %6.1f -> %6.1f (%.0f%%), p99 %6.2fms -> %6.2fms (%.0f%%): %s\n",
+			b.Mode, b.InFlight, b.QPS, c.QPS, qpsRatio*100, b.P99Ms, c.P99Ms, p99Ratio*100, verdict)
+	}
+	if len(missing) > 0 {
+		sort.Strings(missing)
+		return fmt.Errorf("baseline cells %s missing from candidate %s — the benchmark no longer measures them",
+			strings.Join(missing, ", "), candidatePath)
+	}
+	if failed {
+		return fmt.Errorf("serving QPS regressed >%.0f%% or p99 grew >%.0f%% vs %s (regenerate the baseline if intentional: make bench-serve)",
+			serveGateRegression*100, serveGateP99Regression*100, baselinePath)
+	}
+	return nil
+}
+
+// loadServeReport reads a BENCH_serve.json report.
+func loadServeReport(path string) (*serveReport, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep serveReport
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &rep, nil
+}

@@ -1,0 +1,128 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeServeReport(t *testing.T, dir, name string, runs []serveRun) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	raw, err := json.Marshal(serveReport{BodyBytes: 1, NumCPU: 1, GoMaxProcs: 1, Runs: runs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func serveRuns(qps, p99 float64) []serveRun {
+	var runs []serveRun
+	for _, mode := range []string{"extract", "query"} {
+		for _, inFlight := range serveInFlights {
+			runs = append(runs, serveRun{Mode: mode, InFlight: inFlight,
+				Requests: 100, Seconds: 1, QPS: qps, P50Ms: p99 / 2, P99Ms: p99})
+		}
+	}
+	return runs
+}
+
+func TestGateServeBenchPasses(t *testing.T) {
+	dir := t.TempDir()
+	base := writeServeReport(t, dir, "base.json", serveRuns(100, 10))
+	cand := writeServeReport(t, dir, "cand.json", serveRuns(100, 10))
+	if err := gateServeBench(base, cand); err != nil {
+		t.Fatalf("identical reports must pass: %v", err)
+	}
+	// Improvements pass too.
+	cand = writeServeReport(t, dir, "cand2.json", serveRuns(200, 5))
+	if err := gateServeBench(base, cand); err != nil {
+		t.Fatalf("improved report must pass: %v", err)
+	}
+}
+
+func TestGateServeBenchFailsOnQPSRegression(t *testing.T) {
+	dir := t.TempDir()
+	base := writeServeReport(t, dir, "base.json", serveRuns(100, 10))
+	cand := writeServeReport(t, dir, "cand.json", serveRuns(50, 10))
+	if err := gateServeBench(base, cand); err == nil {
+		t.Fatal("2x QPS regression must fail the gate")
+	}
+}
+
+func TestGateServeBenchFailsOnP99Regression(t *testing.T) {
+	dir := t.TempDir()
+	base := writeServeReport(t, dir, "base.json", serveRuns(100, 10))
+	// QPS holds, but tail latency doubled.
+	cand := writeServeReport(t, dir, "cand.json", serveRuns(100, 20))
+	if err := gateServeBench(base, cand); err == nil {
+		t.Fatal("2x p99 regression must fail the gate")
+	}
+}
+
+// TestGateServeBenchFailsOnMissingCell: a (mode, in_flight) cell present
+// in the committed baseline but absent from the fresh report is a hard
+// failure, not a silent pass — same policy as the extract gate.
+func TestGateServeBenchFailsOnMissingCell(t *testing.T) {
+	dir := t.TempDir()
+	base := writeServeReport(t, dir, "base.json", serveRuns(100, 10))
+	var truncated []serveRun
+	for _, r := range serveRuns(100, 10) {
+		if r.Mode == "query" && r.InFlight == 16 {
+			continue
+		}
+		truncated = append(truncated, r)
+	}
+	cand := writeServeReport(t, dir, "cand.json", truncated)
+	err := gateServeBench(base, cand)
+	if err == nil {
+		t.Fatal("baseline cell missing from candidate must fail the gate")
+	}
+	if !strings.Contains(err.Error(), "query/in_flight=16") {
+		t.Fatalf("error must name the missing cell: %v", err)
+	}
+}
+
+// TestGateServeBenchWithinTolerance: a drop inside the 20% margin passes
+// — CI hosts are noisy; the gate is for real regressions.
+func TestGateServeBenchWithinTolerance(t *testing.T) {
+	dir := t.TempDir()
+	base := writeServeReport(t, dir, "base.json", serveRuns(100, 10))
+	cand := writeServeReport(t, dir, "cand.json", serveRuns(85, 11.5))
+	if err := gateServeBench(base, cand); err != nil {
+		t.Fatalf("15%% drops must stay inside the tolerance: %v", err)
+	}
+}
+
+// TestBenchServeSmoke runs the real benchmark briefly end to end: the
+// report must carry every (mode, in_flight) cell with sane numbers, and
+// must gate cleanly against itself.
+func TestBenchServeSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("load benchmark")
+	}
+	path := filepath.Join(t.TempDir(), "serve.json")
+	if err := runBenchServe(path, 0.2); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := loadServeReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Runs) != 2*len(serveInFlights) {
+		t.Fatalf("report has %d runs, want %d", len(rep.Runs), 2*len(serveInFlights))
+	}
+	for _, r := range rep.Runs {
+		if r.Requests <= 0 || r.QPS <= 0 || r.P50Ms <= 0 || r.P99Ms < r.P50Ms {
+			t.Fatalf("implausible run: %+v", r)
+		}
+	}
+	if err := gateServeBench(path, path); err != nil {
+		t.Fatalf("report must gate against itself: %v", err)
+	}
+}

@@ -33,6 +33,9 @@ func run() int {
 	benchExtract := flag.String("bench-extract", "", "run the streaming-engine benchmark and write the JSON report to this file")
 	benchMB := flag.Int("bench-mb", 0, "input size in MiB for -bench-extract (0 = 32, or 8 with -quick)")
 	benchBaseline := flag.String("bench-baseline", "", "with -bench-extract: compare against this baseline report and fail on a >20% throughput regression")
+	benchServe := flag.String("bench-serve", "", "run the serving-path load benchmark and write the JSON report to this file")
+	benchServeSecs := flag.Float64("bench-serve-seconds", 0, "seconds per (mode, in-flight) cell for -bench-serve (0 = 2, or 0.5 with -quick)")
+	benchServeBaseline := flag.String("bench-serve-baseline", "", "with -bench-serve: compare against this baseline report and fail on a >20% QPS or p99 regression")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the selected run (experiments or benchmark) to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile taken at the end of the run to this file")
 	flag.Parse()
@@ -82,6 +85,26 @@ func run() int {
 		if *benchBaseline != "" {
 			if err := gateBench(*benchBaseline, *benchExtract); err != nil {
 				fmt.Fprintf(os.Stderr, "experiments: bench gate: %v\n", err)
+				return 1
+			}
+		}
+		return 0
+	}
+
+	if *benchServe != "" {
+		if *benchServeSecs <= 0 {
+			*benchServeSecs = 2
+			if *quick {
+				*benchServeSecs = 0.5
+			}
+		}
+		if err := runBenchServe(*benchServe, *benchServeSecs); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			return 1
+		}
+		if *benchServeBaseline != "" {
+			if err := gateServeBench(*benchServeBaseline, *benchServe); err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: serve gate: %v\n", err)
 				return 1
 			}
 		}

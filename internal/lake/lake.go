@@ -55,6 +55,13 @@ type Config struct {
 	// are pruned. The transaction is staged — committing (or aborting)
 	// it is the caller's concern, mirroring registry persistence.
 	Segments *StoreTxn
+	// Filter, when non-nil, restricts the crawl to the files it accepts
+	// (slash-separated paths relative to root). Rejected files are not
+	// classified, extracted or counted, and their checkpoints and
+	// record-store segments are left exactly as they are — departed-file
+	// pruning applies only to accepted paths. This is the scoped-crawl
+	// hook of the serve daemon's per-format reindex.
+	Filter func(rel string) bool
 }
 
 func (c Config) withDefaults() Config {
@@ -202,6 +209,26 @@ func IndexContext(ctx context.Context, root string, reg *Registry, cfg Config) (
 		return nil, err
 	}
 
+	// A scoped crawl sees only the files its filter accepts; everything
+	// else is invisible — untouched checkpoints, untouched segments,
+	// absent from the result.
+	if cfg.Filter != nil {
+		kept := paths[:0]
+		for _, rel := range paths {
+			if cfg.Filter(rel) {
+				kept = append(kept, rel)
+			}
+		}
+		paths = kept
+		keptFails := walkFails[:0]
+		for _, wf := range walkFails {
+			if cfg.Filter(wf.rel) {
+				keptFails = append(keptFails, wf)
+			}
+		}
+		walkFails = keptFails
+	}
+
 	// Phase 1 — sequential classify/discover on bounded samples.
 	// Checkpointed files that still pass the identity heuristics skip
 	// this entirely: their claim is the checkpointed fingerprint.
@@ -294,13 +321,16 @@ func IndexContext(ctx context.Context, root string, reg *Registry, cfg Config) (
 
 	// Checkpoints of files that left the lake are stale: prune them so
 	// the store tracks the crawl (a failed file keeps its checkpoint —
-	// it may be back next run).
+	// it may be back next run). A scoped crawl prunes only within its
+	// scope: paths its filter rejects were never examined, so their
+	// checkpoints stay.
+	keep := func(p string) bool { return cfg.Filter != nil && !cfg.Filter(p) }
 	if cfg.Checkpoints != nil {
 		crawled := make(map[string]bool, len(files))
 		for i := range files {
 			crawled[files[i].Path] = true
 		}
-		cfg.Checkpoints.Retain(func(p string) bool { return crawled[p] })
+		cfg.Checkpoints.Retain(func(p string) bool { return crawled[p] || keep(p) })
 	}
 
 	// The record store tracks the crawl the same way: files that lost
@@ -314,7 +344,7 @@ func IndexContext(ctx context.Context, root string, reg *Registry, cfg Config) (
 				cfg.Segments.Drop(files[i].Path)
 			}
 		}
-		cfg.Segments.Retain(func(p string) bool { return crawled[p] })
+		cfg.Segments.Retain(func(p string) bool { return crawled[p] || keep(p) })
 	}
 
 	res := &Result{Files: files, NewFormats: newFPs}

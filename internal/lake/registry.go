@@ -107,6 +107,21 @@ func (r *Registry) Unclaim(e *Entry) {
 	r.mu.Unlock()
 }
 
+// Adjust adds delta to the claim counter of the fingerprint's entry (a
+// no-op for unknown fingerprints). This is the commit hook of the serve
+// daemon's scoped reindex: a crawl restricted to one format runs on a
+// cloned registry, and its claim deltas are rebased onto the latest
+// served registry at swap time — claims over disjoint file sets compose
+// additively, so concurrent per-format crawls never lose each other's
+// counts.
+func (r *Registry) Adjust(fp string, delta int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e := r.byFP[fp]; e != nil {
+		e.Files += delta
+	}
+}
+
 // FilesClaimed reads e's claim counter under the registry lock.
 func (r *Registry) FilesClaimed(e *Entry) int {
 	r.mu.RLock()

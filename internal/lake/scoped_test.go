@@ -1,0 +1,325 @@
+package lake
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"datamaran/internal/follow"
+)
+
+// scopeFor builds the Filter of a per-format scoped crawl: accept
+// exactly the checkpointed paths claimed by fp — the same scope the
+// serve daemon computes for a scoped /reindex.
+func scopeFor(cps *follow.Store, fp string) func(string) bool {
+	in := map[string]bool{}
+	for _, p := range cps.Paths() {
+		if cp := cps.Get(p); cp != nil && cp.Fingerprint == fp {
+			in[p] = true
+		}
+	}
+	return func(rel string) bool { return in[rel] }
+}
+
+func TestScopedCrawlLeavesOutOfScopeStateUntouched(t *testing.T) {
+	root := buildLake(t)
+	reg := NewRegistry()
+	cps := follow.NewStore()
+	s, err := OpenSegmentStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	crawlWithStore(t, root, reg, cps, s)
+	before := storeRows(t, s)
+	beforeCps := map[string]*follow.Checkpoint{}
+	for _, p := range cps.Paths() {
+		beforeCps[p] = cps.Get(p)
+	}
+
+	// Scope to the metrics format, grow one of its files, and mutate an
+	// out-of-scope file too: the scoped crawl must pick up the former
+	// and be blind to the latter.
+	metricsFP := ""
+	for _, e := range reg.Entries() {
+		if cp := cps.Get("c/metrics-1.log"); cp != nil && cp.Fingerprint == e.Fingerprint {
+			metricsFP = e.Fingerprint
+		}
+	}
+	if metricsFP == "" {
+		t.Fatal("no fingerprint claims c/metrics-1.log")
+	}
+	appendTo(t, root, "c/metrics-1.log", "metric|cpu7|99.99|\n")
+	appendTo(t, root, "a/jobs-1.log", "JOB <777>\n  queue= q9;\n  state= DONE;\n")
+	if err := os.Remove(filepath.Join(root, "b", "req-3.log")); err != nil {
+		t.Fatal(err)
+	}
+
+	txn := s.Begin()
+	res, err := Index(root, reg, Config{
+		Workers: 2, Checkpoints: cps, Segments: txn,
+		Filter: scopeFor(cps, metricsFP),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := txn.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Only the two metrics files were visible.
+	if res.Summary.Files != 2 {
+		t.Fatalf("scoped crawl saw %d files, want 2: %+v", res.Summary.Files, res.Summary)
+	}
+	for _, f := range res.Files {
+		if !strings.HasPrefix(f.Path, "c/metrics-") {
+			t.Fatalf("scoped crawl touched out-of-scope %s", f.Path)
+		}
+	}
+	if res.Summary.Resumed != 1 {
+		t.Fatalf("grown metrics file did not resume: %+v", res.Summary)
+	}
+
+	// Out-of-scope checkpoints are byte-for-byte what they were — the
+	// grown jobs file and the deleted req file included (no pruning
+	// outside the scope).
+	for p, cp := range beforeCps {
+		if strings.HasPrefix(p, "c/metrics-") {
+			continue
+		}
+		got := cps.Get(p)
+		if got == nil {
+			t.Fatalf("out-of-scope checkpoint %s pruned by scoped crawl", p)
+		}
+		if *got != *cp {
+			t.Fatalf("out-of-scope checkpoint %s changed: %+v -> %+v", p, cp, got)
+		}
+	}
+
+	// The store gained exactly the new metrics row; every other table's
+	// rows (including the deleted req-3's) are unchanged.
+	after := storeRows(t, s)
+	if after == before {
+		t.Fatal("scoped crawl did not pick up the grown metrics file")
+	}
+	for _, line := range strings.Split(before, "\n") {
+		if strings.Contains(line, "req") || strings.Contains(line, "JOB") {
+			if !strings.Contains(after, line) {
+				t.Fatalf("out-of-scope store line lost: %s", line)
+			}
+		}
+	}
+	if !strings.Contains(after, `"99.99"`) {
+		t.Fatal("appended metrics row missing from scoped store")
+	}
+
+	// A follow-up unscoped crawl converges on the from-scratch state.
+	crawlWithStore(t, root, reg, cps, s)
+	scratch, err := OpenSegmentStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	crawlWithStore(t, root, NewRegistry(), follow.NewStore(), scratch)
+	if got, want := storeRows(t, s), storeRows(t, scratch); got != want {
+		t.Fatalf("post-scoped store differs from scratch:\n%s\n--- vs ---\n%s", got, want)
+	}
+}
+
+func TestStoreTxnDisjointCommitsCompose(t *testing.T) {
+	root := buildLake(t)
+	reg := NewRegistry()
+	cps := follow.NewStore()
+	s, err := OpenSegmentStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	crawlWithStore(t, root, reg, cps, s)
+	before := storeRows(t, s)
+
+	// Two transactions over disjoint scopes, opened before either
+	// commits: the second commit must not clobber the first's work.
+	metricsFP := cps.Get("c/metrics-1.log").Fingerprint
+	jobsFP := cps.Get("a/jobs-1.log").Fingerprint
+	if metricsFP == jobsFP {
+		t.Fatal("fixture formats collapsed")
+	}
+	appendTo(t, root, "c/metrics-2.log", "metric|cpu3|11.11|\n")
+	appendTo(t, root, "a/jobs-2.log", "JOB <42>\n  queue= q0;\n  state= FAILED;\n")
+
+	txnA := s.Begin()
+	txnB := s.Begin()
+	if _, err := Index(root, reg, Config{Workers: 2, Checkpoints: cps, Segments: txnA, Filter: scopeFor(cps, metricsFP)}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Index(root, reg, Config{Workers: 2, Checkpoints: cps, Segments: txnB, Filter: scopeFor(cps, jobsFP)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := txnA.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := txnB.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	after := storeRows(t, s)
+	if !strings.Contains(after, `"11.11"`) {
+		t.Fatal("first commit's rows lost after second commit")
+	}
+	if !strings.Contains(after, `"42"`) {
+		t.Fatal("second commit's rows missing")
+	}
+	if after == before {
+		t.Fatal("store unchanged after two commits")
+	}
+
+	// The reopened (on-disk) store agrees with the live handle.
+	reopened, err := OpenSegmentStore(s.Dir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := storeRows(t, reopened); got != after {
+		t.Fatalf("on-disk manifest diverged from live handle:\n%s\n--- vs ---\n%s", got, after)
+	}
+}
+
+func TestScanPinnedAcrossCommit(t *testing.T) {
+	root := buildLake(t)
+	reg := NewRegistry()
+	cps := follow.NewStore()
+	s, err := OpenSegmentStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	crawlWithStore(t, root, reg, cps, s)
+
+	var metricsTable string
+	for _, ti := range s.Tables() {
+		if ti.Fingerprint == cps.Get("c/metrics-1.log").Fingerprint {
+			metricsTable = ti.Name
+		}
+	}
+	wantRows := dumpScan(t, s, metricsTable)
+
+	// Open the scan, then rewrite the table's files twice via full
+	// crawls before reading a single row: the scan must stream exactly
+	// the snapshot it resolved, not the new bytes, and never error on a
+	// vanished file.
+	sc, err := s.Scan(metricsTable)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendTo(t, root, "c/metrics-1.log", "metric|cpu0|1.23|\n")
+	crawlWithStore(t, root, reg, cps, s)
+	appendTo(t, root, "c/metrics-1.log", "metric|cpu0|4.56|\n")
+	crawlWithStore(t, root, reg, cps, s)
+
+	var got []string
+	for {
+		row, err := sc.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatalf("pinned scan errored after commits: %v", err)
+		}
+		got = append(got, strings.Join(row, "|"))
+	}
+	sc.Close()
+	if strings.Join(got, "\n") != strings.Join(wantRows, "\n") {
+		t.Fatalf("pinned scan drifted: %d rows vs %d at open time", len(got), len(wantRows))
+	}
+
+	// A fresh scan sees both appended rows.
+	fresh := dumpScan(t, s, metricsTable)
+	if len(fresh) != len(wantRows)+2 {
+		t.Fatalf("fresh scan has %d rows, want %d", len(fresh), len(wantRows)+2)
+	}
+}
+
+// dumpScan reads a whole table into joined-row strings.
+func dumpScan(t *testing.T, s *SegmentStore, name string) []string {
+	t.Helper()
+	sc, err := s.Scan(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sc.Close()
+	var out []string
+	for {
+		row, err := sc.Next()
+		if err == io.EOF {
+			return out
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, strings.Join(row, "|"))
+	}
+}
+
+func TestRewriteRevisionsNeverReuseFilenames(t *testing.T) {
+	// Every rewrite of one path publishes a fresh segment filename, so
+	// a manifest snapshot's files are immutable for its lifetime.
+	if a, b := segFileName("x.log", 0, 0), segFileName("x.log", 0, 1); a == b {
+		t.Fatalf("rev 0 and rev 1 share filename %s", a)
+	}
+	root := buildLake(t)
+	reg := NewRegistry()
+	cps := follow.NewStore()
+	s, err := OpenSegmentStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	crawlWithStore(t, root, reg, cps, s)
+	fileOf := func(rel string) string {
+		t.Helper()
+		for _, tbl := range s.snapshot().Tables {
+			for _, seg := range tbl.Segments {
+				if seg.Path == rel {
+					return seg.File
+				}
+			}
+		}
+		t.Fatalf("no segment for %s", rel)
+		return ""
+	}
+	first := fileOf("b/req-1.log")
+
+	// Rotate the file (same length class, new inode content) to force a
+	// full rewrite rather than an append.
+	p := filepath.Join(root, "b", "req-1.log")
+	if err := os.Remove(p); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(p, []byte("GET /api/v1/item/1 200\nPUT /api/v2/item/2 404\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	crawlWithStore(t, root, reg, cps, s)
+	second := fileOf("b/req-1.log")
+	if first == second {
+		t.Fatalf("rewrite reused segment filename %s", first)
+	}
+	if _, err := os.Stat(filepath.Join(s.Dir(), first)); !os.IsNotExist(err) {
+		t.Fatalf("superseded segment %s not deleted (err=%v)", first, err)
+	}
+}
+
+func TestRegistryAdjust(t *testing.T) {
+	reg := NewRegistry()
+	root := buildLake(t)
+	if _, err := Index(root, reg, Config{Workers: 1}); err != nil {
+		t.Fatal(err)
+	}
+	e := reg.Entries()[0]
+	before := reg.FilesClaimed(e)
+	reg.Adjust(e.Fingerprint, 3)
+	if got := reg.FilesClaimed(e); got != before+3 {
+		t.Fatalf("Adjust(+3): %d -> %d", before, got)
+	}
+	reg.Adjust(e.Fingerprint, -3)
+	if got := reg.FilesClaimed(e); got != before {
+		t.Fatalf("Adjust(-3): want %d, got %d", before, got)
+	}
+	reg.Adjust("no-such-fingerprint", 100) // no-op, no panic
+}

@@ -89,6 +89,12 @@ type manSeg struct {
 	Path string `json:"path"`
 	// File is the segment filename inside the store directory.
 	File string `json:"file"`
+	// Rev is the write revision behind File. Every rewrite or append
+	// publishes a fresh filename (rev+1), never mutating bytes a live
+	// manifest can reference — a scan that opened its segments keeps
+	// reading exactly the snapshot it resolved, across any number of
+	// commits.
+	Rev int `json:"rev,omitempty"`
 	// Rows is the segment's row count.
 	Rows int `json:"rows"`
 	// Provisional counts the trailing rows whose records were not yet
@@ -245,7 +251,10 @@ func info(t *manTable) TableInfo {
 // Tables lists the store's tables in manifest (fingerprint, type)
 // order.
 func (s *SegmentStore) Tables() []TableInfo {
-	man := s.snapshot()
+	return tablesIn(s.snapshot())
+}
+
+func tablesIn(man *manifest) []TableInfo {
 	out := make([]TableInfo, 0, len(man.Tables))
 	for i := range man.Tables {
 		out = append(out, info(&man.Tables[i]))
@@ -257,7 +266,10 @@ func (s *SegmentStore) Tables() []TableInfo {
 // fingerprint prefix (with optional "_<k>" type suffix) — the
 // git-style shorthand the query surfaces accept.
 func (s *SegmentStore) Resolve(name string) (TableInfo, error) {
-	man := s.snapshot()
+	return resolveIn(s.snapshot(), name)
+}
+
+func resolveIn(man *manifest, name string) (TableInfo, error) {
 	base, typeID := name, 0
 	if i := strings.LastIndexByte(name, '_'); i > 0 {
 		if _, err := fmt.Sscanf(name[i+1:], "%d", &typeID); err == nil {
@@ -281,13 +293,13 @@ func (s *SegmentStore) Resolve(name string) (TableInfo, error) {
 	case 1:
 		return info(hits[0]), nil
 	case 0:
-		return TableInfo{}, fmt.Errorf("lake: no table %q in store (have %s)", name, s.tableNames(man))
+		return TableInfo{}, fmt.Errorf("lake: no table %q in store (have %s)", name, storeTableNames(man))
 	default:
 		return TableInfo{}, fmt.Errorf("lake: table prefix %q is ambiguous", name)
 	}
 }
 
-func (s *SegmentStore) tableNames(man *manifest) string {
+func storeTableNames(man *manifest) string {
 	if len(man.Tables) == 0 {
 		return "none"
 	}
@@ -299,37 +311,112 @@ func (s *SegmentStore) tableNames(man *manifest) string {
 }
 
 // SegmentScan streams one table's rows across its segments in sorted
-// path order. Memory is bounded by one block (segBlockRows rows).
+// path order. Memory is bounded by one block (segBlockRows rows) plus
+// one open descriptor per segment: Scan opens every segment eagerly,
+// so the scan owns its bytes for its whole lifetime — a concurrent
+// commit that unlinks a superseded segment file cannot pull data out
+// from under a reader that already resolved it.
 type SegmentScan struct {
-	dir     string
 	columns []string
 	segs    []manSeg
+	files   []*os.File
 	segIdx  int
-	f       *os.File
 	r       *bufio.Reader
 	block   [][]string
 	blockAt int
 }
 
+// scanOpenRetries bounds how many times Scan re-resolves a table whose
+// segment files vanished between snapshotting the manifest and opening
+// them (a commit won the race); each retry sees a strictly newer
+// manifest, so in practice one suffices.
+const scanOpenRetries = 8
+
 // Scan opens a streaming scan of the named table (exact name or unique
-// fingerprint prefix). Segments are opened lazily in order; each open
-// file keeps its bytes across a concurrent store commit (the commit
-// renames new files in, it never truncates old ones in place).
+// fingerprint prefix). All segment files open up front: once Scan
+// returns, the rows it will yield are pinned — commits publish new
+// revisions under new filenames and only unlink old ones, and an open
+// descriptor keeps its bytes past the unlink. If a commit lands in the
+// narrow window between reading the manifest and opening the files,
+// Scan retries against the fresh manifest.
 func (s *SegmentStore) Scan(name string) (*SegmentScan, error) {
-	ti, err := s.Resolve(name)
+	var lastErr error
+	for attempt := 0; attempt < scanOpenRetries; attempt++ {
+		sc, err := openScan(s.dir, s.snapshot(), name)
+		if err != nil && errors.Is(err, os.ErrNotExist) {
+			lastErr = err
+			continue
+		}
+		return sc, err
+	}
+	return nil, fmt.Errorf("lake: table %q: segments kept vanishing across %d manifest snapshots: %w", name, scanOpenRetries, lastErr)
+}
+
+// openScan resolves name in man and opens every segment file. An
+// os.ErrNotExist from a vanished segment propagates to the caller,
+// which owns the retry policy (fresh snapshot for the store, stale-view
+// error for a pinned view).
+func openScan(dir string, man *manifest, name string) (*SegmentScan, error) {
+	ti, err := resolveIn(man, name)
 	if err != nil {
 		return nil, err
 	}
-	man := s.snapshot()
 	t := man.table(ti.Fingerprint, ti.Type)
 	if t == nil {
 		return nil, fmt.Errorf("lake: no table %q in store", name)
 	}
-	return &SegmentScan{
-		dir:     s.dir,
+	sc := &SegmentScan{
 		columns: append([]string(nil), t.Columns...),
 		segs:    append([]manSeg(nil), t.Segments...),
-	}, nil
+		files:   make([]*os.File, len(t.Segments)),
+	}
+	for i, seg := range sc.segs {
+		f, err := os.Open(filepath.Join(dir, seg.File))
+		if err != nil {
+			sc.Close()
+			return nil, err
+		}
+		sc.files[i] = f
+	}
+	return sc, nil
+}
+
+// ErrStaleView marks a StoreView whose manifest snapshot was superseded
+// before all of its segments could be opened — the caller should take a
+// fresh view and retry.
+var ErrStaleView = errors.New("lake: store view superseded before its segments opened")
+
+// StoreView is a pinned point-in-time view of the store: Tables,
+// Resolve and Scan all answer from the one manifest snapshot taken by
+// View, so a multi-table consumer (a relational query joining tables)
+// sees a single consistent store state even while commits land. Each
+// successful Scan pins its segment bytes via open descriptors; the only
+// race left is a commit deleting a superseded segment between View and
+// Scan, which surfaces as ErrStaleView (retry with a fresh view).
+type StoreView struct {
+	dir string
+	man *manifest
+}
+
+// View pins the store's current state.
+func (s *SegmentStore) View() *StoreView {
+	return &StoreView{dir: s.dir, man: s.snapshot()}
+}
+
+// Tables lists the view's tables.
+func (v *StoreView) Tables() []TableInfo { return tablesIn(v.man) }
+
+// Resolve finds a table in the view by query name.
+func (v *StoreView) Resolve(name string) (TableInfo, error) { return resolveIn(v.man, name) }
+
+// Scan streams one of the view's tables. A vanished segment yields
+// ErrStaleView.
+func (v *StoreView) Scan(name string) (*SegmentScan, error) {
+	sc, err := openScan(v.dir, v.man, name)
+	if err != nil && errors.Is(err, os.ErrNotExist) {
+		return nil, fmt.Errorf("%w: %v", ErrStaleView, err)
+	}
+	return sc, err
 }
 
 // Columns returns the scan's column names.
@@ -344,26 +431,21 @@ func (sc *SegmentScan) Next() ([]string, error) {
 			sc.blockAt++
 			return row, nil
 		}
-		if sc.f == nil {
+		if sc.r == nil {
 			if sc.segIdx >= len(sc.segs) {
 				return nil, io.EOF
 			}
-			f, err := os.Open(filepath.Join(sc.dir, sc.segs[sc.segIdx].File))
-			if err != nil {
-				return nil, err
-			}
-			sc.f = f
-			sc.r = bufio.NewReader(f)
+			sc.r = bufio.NewReader(sc.files[sc.segIdx])
 			magic := make([]byte, len(segMagic))
 			if _, err := io.ReadFull(sc.r, magic); err != nil || !bytes.Equal(magic, segMagic) {
-				f.Close()
 				return nil, fmt.Errorf("lake: segment %s: bad magic", sc.segs[sc.segIdx].File)
 			}
 		}
 		block, err := readBlock(sc.r, len(sc.columns))
 		if err == io.EOF {
-			sc.f.Close()
-			sc.f, sc.r = nil, nil
+			sc.files[sc.segIdx].Close()
+			sc.files[sc.segIdx] = nil
+			sc.r = nil
 			sc.segIdx++
 			continue
 		}
@@ -374,14 +456,20 @@ func (sc *SegmentScan) Next() ([]string, error) {
 	}
 }
 
-// Close releases the scan's open segment file.
+// Close releases the scan's open segment files.
 func (sc *SegmentScan) Close() error {
-	if sc.f != nil {
-		err := sc.f.Close()
-		sc.f, sc.r = nil, nil
-		return err
+	var first error
+	for i, f := range sc.files {
+		if f == nil {
+			continue
+		}
+		if err := f.Close(); err != nil && first == nil {
+			first = err
+		}
+		sc.files[i] = nil
 	}
-	return nil
+	sc.r = nil
+	return first
 }
 
 // readBlock reads one column-major block: uvarint row count, then per
@@ -567,34 +655,47 @@ func foldKinds(kinds []semtype.Kind, colVals [][]string) []semtype.Kind {
 	return kinds
 }
 
-// segFileName derives the segment filename of one (source file, type)
-// pair — a hash, so arbitrary lake paths map onto flat store names.
-func segFileName(relPath string, typeID int) string {
+// segFileName derives the segment filename of one (source file, type,
+// revision) triple — a hash, so arbitrary lake paths map onto flat
+// store names. Revision 0 (the fresh-crawl case) keeps the historical
+// unsuffixed name; later revisions are distinct files, so concurrent
+// readers pinned to an older manifest never observe mutated bytes.
+func segFileName(relPath string, typeID, rev int) string {
 	sum := sha256.Sum256([]byte(relPath))
-	return fmt.Sprintf("%x.t%d.seg", sum[:12], typeID)
+	if rev == 0 {
+		return fmt.Sprintf("%x.t%d.seg", sum[:12], typeID)
+	}
+	return fmt.Sprintf("%x.t%d.r%d.seg", sum[:12], typeID, rev)
 }
 
 // StoreTxn stages one crawl's record-store mutations. Methods are safe
 // to call from the crawl's worker pool; nothing is visible to readers
-// (or survives a crash) until Commit.
+// (or survives a crash) until Commit. Commit rebases: the transaction
+// is authoritative only for the source files it touched, so concurrent
+// transactions over disjoint file sets (the serve daemon's per-format
+// scoped reindexes) compose instead of clobbering each other.
 type StoreTxn struct {
 	s   *SegmentStore
 	mu  sync.Mutex
 	man *manifest
 	// staged maps final segment filenames to their staged temp paths;
-	// doomed lists segment files to delete at commit.
-	staged map[string]string
-	doomed map[string]bool
-	done   bool
+	// doomed lists segment files to delete at commit; touched records
+	// the source paths this transaction rewrote, appended or dropped —
+	// the paths its Commit is authoritative for.
+	staged  map[string]string
+	doomed  map[string]bool
+	touched map[string]bool
+	done    bool
 }
 
 // Begin opens a transaction over the store's current state.
 func (s *SegmentStore) Begin() *StoreTxn {
 	return &StoreTxn{
-		s:      s,
-		man:    s.snapshot().clone(),
-		staged: map[string]string{},
-		doomed: map[string]bool{},
+		s:       s,
+		man:     s.snapshot().clone(),
+		staged:  map[string]string{},
+		doomed:  map[string]bool{},
+		touched: map[string]bool{},
 	}
 }
 
@@ -605,11 +706,12 @@ func (s *SegmentStore) Begin() *StoreTxn {
 // outside incremental crawls).
 func (t *StoreTxn) Rewrite(relPath, fp string, templates []*template.Node, recs []core.RecordOut, provisional int) error {
 	t.mu.Lock()
+	rev := t.nextRevLocked(relPath)
 	t.dropLocked(relPath)
 	t.mu.Unlock()
 	prov := provisionalByType(recs, len(templates), provisional)
 	for typeID, st := range templates {
-		name := segFileName(relPath, typeID)
+		name := segFileName(relPath, typeID, rev)
 		tmp, err := os.CreateTemp(t.s.dir, ".stage-*")
 		if err != nil {
 			return err
@@ -645,11 +747,28 @@ func (t *StoreTxn) Rewrite(relPath, fp string, templates []*template.Node, recs 
 			tbl = &t.man.Tables[len(t.man.Tables)-1]
 		}
 		tbl.Segments = append(tbl.Segments, manSeg{
-			Path: relPath, File: name, Rows: rows, Provisional: prov[typeID], Kinds: kinds,
+			Path: relPath, File: name, Rev: rev, Rows: rows, Provisional: prov[typeID], Kinds: kinds,
 		})
+		t.touched[relPath] = true
 		t.mu.Unlock()
 	}
 	return nil
+}
+
+// nextRevLocked picks the write revision for relPath's next segment
+// files: one past the highest revision any table holds for the path (0
+// for a first write). Revisions are monotonic within the transaction,
+// so repeated rewrites of one path never reuse a published filename.
+func (t *StoreTxn) nextRevLocked(relPath string) int {
+	rev := 0
+	for i := range t.man.Tables {
+		for _, seg := range t.man.Tables[i].Segments {
+			if seg.Path == relPath && seg.Rev >= rev {
+				rev = seg.Rev + 1
+			}
+		}
+	}
+	return rev
 }
 
 // Append extends relPath's existing segments with recs — the resume
@@ -662,8 +781,11 @@ func (t *StoreTxn) Rewrite(relPath, fp string, templates []*template.Node, recs 
 // so a missing base segment is an invariant violation, not a fallback.
 func (t *StoreTxn) Append(relPath, fp string, templates []*template.Node, recs []core.RecordOut, provisional int) error {
 	prov := provisionalByType(recs, len(templates), provisional)
+	t.mu.Lock()
+	rev := t.nextRevLocked(relPath)
+	t.mu.Unlock()
 	for typeID, st := range templates {
-		name := segFileName(relPath, typeID)
+		name := segFileName(relPath, typeID, rev)
 		t.mu.Lock()
 		seg := segOf(t.man.table(fp, typeID), relPath)
 		if seg == nil {
@@ -671,10 +793,11 @@ func (t *StoreTxn) Append(relPath, fp string, templates []*template.Node, recs [
 			return fmt.Errorf("lake: append to %s type %d: no base segment for %s", fp, typeID, relPath)
 		}
 		keep := seg.Rows - seg.Provisional
-		src, isStaged := t.staged[name]
+		oldName := seg.File
+		src, isStaged := t.staged[oldName]
 		t.mu.Unlock()
 		if !isStaged {
-			src = filepath.Join(t.s.dir, name)
+			src = filepath.Join(t.s.dir, oldName)
 		}
 		tmp, err := os.CreateTemp(t.s.dir, ".stage-*")
 		if err != nil {
@@ -712,14 +835,24 @@ func (t *StoreTxn) Append(relPath, fp string, templates []*template.Node, recs [
 			return err
 		}
 		t.mu.Lock()
-		if old, ok := t.staged[name]; ok {
+		// The appended result publishes under a fresh revision; the base
+		// file is doomed (or its staged bytes discarded) — never
+		// mutated, so pinned readers keep their snapshot.
+		if old, ok := t.staged[oldName]; ok {
 			os.Remove(old)
+			delete(t.staged, oldName)
+		} else {
+			t.doomed[oldName] = true
 		}
 		t.staged[name] = tmp.Name()
+		delete(t.doomed, name)
 		seg = segOf(t.man.table(fp, typeID), relPath)
+		seg.File = name
+		seg.Rev = rev
 		seg.Rows = rows
 		seg.Provisional = prov[typeID]
 		seg.Kinds = kinds
+		t.touched[relPath] = true
 		t.mu.Unlock()
 	}
 	return nil
@@ -778,6 +911,7 @@ func (t *StoreTxn) Drop(relPath string) {
 }
 
 func (t *StoreTxn) dropLocked(relPath string) {
+	t.touched[relPath] = true
 	for i := range t.man.Tables {
 		tbl := &t.man.Tables[i]
 		kept := tbl.Segments[:0]
@@ -816,12 +950,17 @@ func (t *StoreTxn) Retain(keep func(path string) bool) {
 	}
 }
 
-// Commit publishes the transaction: staged segments rename over their
-// final names, doomed segments are deleted, the manifest is saved
-// atomically, and the in-memory store swaps to the new state. A failed
-// commit leaves staged temp files cleaned up and the store unchanged
-// (a torn rename set can leave orphan segment bytes on disk, but the
-// manifest — the source of truth — still names only complete files).
+// Commit publishes the transaction: staged segments rename to their
+// final names, the transaction's outcome is rebased onto the store's
+// current manifest (see mergeManifest) and saved atomically, the
+// in-memory store swaps to the merged state, and doomed segment files
+// are deleted only after the swap — readers that opened their segments
+// keep their bytes (open descriptors survive the unlink), and every
+// rewrite publishes fresh filenames, so a concurrent scan always reads
+// exactly the manifest snapshot it resolved. A failed commit leaves
+// staged temp files cleaned up and the store unchanged (a torn rename
+// set can leave orphan segment bytes on disk, but the manifest — the
+// source of truth — still names only complete files).
 func (t *StoreTxn) Commit() error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
@@ -837,16 +976,63 @@ func (t *StoreTxn) Commit() error {
 		}
 		delete(t.staged, name)
 	}
-	if err := t.saveManifest(); err != nil {
+	// Merge and publish under the store lock: concurrent commits
+	// serialize here, each rebasing its touched paths onto whatever the
+	// other already published.
+	t.s.mu.Lock()
+	merged := mergeManifest(t.s.man, t.man, t.touched)
+	err := saveManifest(t.s.dir, merged)
+	if err == nil {
+		t.s.man = merged
+	}
+	t.s.mu.Unlock()
+	if err != nil {
 		return err
 	}
 	for name := range t.doomed {
 		os.Remove(filepath.Join(t.s.dir, name))
 	}
-	t.s.mu.Lock()
-	t.s.man = t.man
-	t.s.mu.Unlock()
 	return nil
+}
+
+// mergeManifest rebases a transaction's outcome onto the store's
+// current manifest: for every source path the transaction touched, the
+// transaction is authoritative (its segments replace whatever the
+// current manifest holds — including absence, for drops); untouched
+// paths keep their current segments. Transactions over disjoint path
+// sets therefore compose — a per-format scoped reindex committing
+// mid-flight of another never loses its work.
+func mergeManifest(cur, txn *manifest, touched map[string]bool) *manifest {
+	out := cur.clone()
+	for i := range out.Tables {
+		tbl := &out.Tables[i]
+		kept := tbl.Segments[:0]
+		for _, seg := range tbl.Segments {
+			if !touched[seg.Path] {
+				kept = append(kept, seg)
+			}
+		}
+		tbl.Segments = kept
+	}
+	for _, tt := range txn.Tables {
+		for _, seg := range tt.Segments {
+			if !touched[seg.Path] {
+				continue
+			}
+			tbl := out.table(tt.Fingerprint, tt.Type)
+			if tbl == nil {
+				out.Tables = append(out.Tables, manTable{
+					Fingerprint: tt.Fingerprint,
+					Type:        tt.Type,
+					Columns:     append([]string(nil), tt.Columns...),
+				})
+				tbl = &out.Tables[len(out.Tables)-1]
+			}
+			tbl.Segments = append(tbl.Segments, seg)
+		}
+	}
+	out.normalize()
+	return out
 }
 
 // Abort discards the transaction's staged files; the store is
@@ -870,8 +1056,8 @@ func (t *StoreTxn) abortLocked() {
 
 // saveManifest writes the manifest atomically (temp + rename),
 // indented, 0644 — the same discipline as the registry.
-func (t *StoreTxn) saveManifest() error {
-	mj := manifestJSON{Version: manifestVersion, Tables: t.man.Tables}
+func saveManifest(dir string, man *manifest) error {
+	mj := manifestJSON{Version: manifestVersion, Tables: man.Tables}
 	if mj.Tables == nil {
 		mj.Tables = []manTable{}
 	}
@@ -880,8 +1066,8 @@ func (t *StoreTxn) saveManifest() error {
 		return err
 	}
 	raw = append(raw, '\n')
-	path := filepath.Join(t.s.dir, "manifest.json")
-	tmp, err := os.CreateTemp(t.s.dir, ".manifest-*")
+	path := filepath.Join(dir, "manifest.json")
+	tmp, err := os.CreateTemp(dir, ".manifest-*")
 	if err != nil {
 		return err
 	}

@@ -28,6 +28,7 @@ package pipeline
 import (
 	"bytes"
 	"context"
+	"fmt"
 	"io"
 	"runtime"
 	"sync"
@@ -78,6 +79,13 @@ type Config struct {
 	// workflow). No prefix is buffered: the input streams through in
 	// one pass from the first byte.
 	Templates []*template.Node
+	// Matchers, when non-empty, supplies precompiled matchers for
+	// Templates (Matchers[i] compiled from Templates[i]) so a serving
+	// hot path can reuse one compiled set across many runs instead of
+	// recompiling per request. A parser.Matcher is safe for concurrent
+	// use, so one set may back any number of simultaneous runs. Length
+	// must equal len(Templates); only meaningful with Templates set.
+	Matchers []*parser.Matcher
 	// BaseLine and BaseByte shift every output coordinate (record
 	// lines, field byte offsets, noise line indices) as if the stream
 	// had been preceded by BaseLine lines spanning BaseByte bytes. This
@@ -180,6 +188,9 @@ func RunContext(ctx context.Context, r io.Reader, cfg Config) (*core.Result, err
 	var prefix []byte
 	readErr := error(nil)
 	if len(cfg.Templates) > 0 {
+		if len(cfg.Matchers) > 0 && len(cfg.Matchers) != len(cfg.Templates) {
+			return nil, fmt.Errorf("pipeline: %d precompiled matchers for %d templates", len(cfg.Matchers), len(cfg.Templates))
+		}
 		for i, tpl := range cfg.Templates {
 			structures = append(structures, core.Structure{TypeID: i, Template: tpl})
 		}
@@ -212,7 +223,14 @@ func RunContext(ctx context.Context, r io.Reader, cfg Config) (*core.Result, err
 	// Phase 3: staged streaming extraction over prefix + remainder.
 	e := &engine{cfg: cfg, nextLine: cfg.BaseLine, nextByte: cfg.BaseByte}
 	for i, s := range structures {
-		e.stages = append(e.stages, &stage{m: parser.NewMatcher(s.Template), typeID: i})
+		m := (*parser.Matcher)(nil)
+		if i < len(cfg.Matchers) && len(cfg.Templates) > 0 {
+			m = cfg.Matchers[i]
+		}
+		if m == nil {
+			m = parser.NewMatcher(s.Template)
+		}
+		e.stages = append(e.stages, &stage{m: m, typeID: i})
 	}
 
 	t0 := time.Now()

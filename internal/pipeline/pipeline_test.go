@@ -7,10 +7,12 @@ import (
 	"reflect"
 	"runtime"
 	"strings"
+	"sync"
 	"testing"
 
 	"datamaran/internal/core"
 	"datamaran/internal/datagen"
+	"datamaran/internal/parser"
 	"datamaran/internal/template"
 )
 
@@ -295,6 +297,58 @@ func TestTemplatesModeMatchesApplyTemplates(t *testing.T) {
 			t.Fatal(err)
 		}
 		assertEquivalent(t, fmt.Sprintf("apply/shard%d", shard), want, got)
+	}
+}
+
+// TestPrecompiledMatchersEquivalence runs the templates mode with a
+// shared precompiled matcher set — the serve daemon's hot-profile cache
+// path — concurrently, and checks every run is byte-identical to the
+// per-run-compiled form. Also covers the length-mismatch rejection.
+func TestPrecompiledMatchersEquivalence(t *testing.T) {
+	d := datagen.InterleavedTypes(2, 150, 11)
+	disc, err := core.Extract(d.Data, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tpls []*template.Node
+	for _, s := range disc.Structures {
+		tpls = append(tpls, s.Template)
+	}
+	want, err := Run(bytes.NewReader(d.Data), Config{ShardSize: 8 << 10, Workers: 2, Templates: tpls})
+	if err != nil {
+		t.Fatal(err)
+	}
+	matchers := make([]*parser.Matcher, len(tpls))
+	for i, tpl := range tpls {
+		matchers[i] = parser.NewMatcher(tpl)
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, 4)
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			got, err := Run(bytes.NewReader(d.Data), Config{
+				ShardSize: 8 << 10,
+				Workers:   2,
+				Templates: tpls,
+				Matchers:  matchers,
+			})
+			if err != nil {
+				errs[g] = err
+				return
+			}
+			assertEquivalent(t, fmt.Sprintf("precompiled/run%d", g), want, got)
+		}(g)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := Run(bytes.NewReader(d.Data), Config{Templates: tpls, Matchers: matchers[:1]}); err == nil {
+		t.Fatal("matcher/template length mismatch accepted")
 	}
 }
 

@@ -78,14 +78,36 @@ func WriteNDJSON(w io.Writer, rows *Rows, flush func()) error {
 	}
 }
 
-// storeCatalog adapts the lake's segment store to the engine's Catalog.
-type storeCatalog struct {
-	s *lake.SegmentStore
+// storeLike is what the store catalog needs: the live SegmentStore or
+// a pinned StoreView both qualify.
+type storeLike interface {
+	Resolve(name string) (lake.TableInfo, error)
+	Scan(name string) (*lake.SegmentScan, error)
 }
 
-// StoreCatalog makes the record store queryable.
+// storeCatalog adapts the lake's segment store to the engine's Catalog.
+type storeCatalog struct {
+	s storeLike
+}
+
+// StoreCatalog makes the record store queryable. Each table resolves
+// against the store's manifest at access time; for a multi-table query
+// that must see one consistent store state across commits, pin a view
+// first and use ViewCatalog.
 func StoreCatalog(s *lake.SegmentStore) Catalog {
 	return storeCatalog{s: s}
+}
+
+// ViewCatalog makes a pinned store view queryable: every Resolve and
+// Scan answers from the view's one manifest snapshot, so joins never
+// mix store states. Run opens all of a plan's scans before returning,
+// so a query that planned against a view holds every byte it needs —
+// a concurrent reindex commit can no longer change (or tear) its
+// result. A lake.ErrStaleView from Run means a commit deleted a
+// superseded segment in the tiny pin-to-open window; take a fresh view
+// and re-plan.
+func ViewCatalog(v *lake.StoreView) Catalog {
+	return storeCatalog{s: v}
 }
 
 func (c storeCatalog) Resolve(name string) (TableMeta, error) {

@@ -1,0 +1,116 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+
+	"datamaran/internal/parser"
+	"datamaran/internal/template"
+)
+
+// DefaultProfileCacheSize is the hot-profile LRU capacity when the
+// config leaves it zero.
+const DefaultProfileCacheSize = 64
+
+// profileKey identifies one compiled profile: the format fingerprint
+// plus the registry generation it was compiled under. Keying on the
+// generation makes invalidation free — a reindex swap bumps the
+// generation, so stale matchers simply stop being requested and age
+// out of the LRU.
+type profileKey struct {
+	fp  string
+	gen uint64
+}
+
+// cacheEntry is one resident compiled profile.
+type cacheEntry struct {
+	key      profileKey
+	matchers []*parser.Matcher
+}
+
+// profileCache is the hot-profile LRU: fingerprint+generation →
+// compiled matchers. A parser.Matcher is immutable and safe for
+// concurrent use, so one cached set backs any number of simultaneous
+// extractions — steady-state /extract touches neither disk nor the
+// template compiler.
+type profileCache struct {
+	mu      sync.Mutex
+	cap     int
+	order   *list.List // front = most recent
+	entries map[profileKey]*list.Element
+	hits    uint64
+	misses  uint64
+}
+
+// newProfileCache builds an LRU holding up to capacity compiled
+// profiles (nil when capacity < 0: caching disabled).
+func newProfileCache(capacity int) *profileCache {
+	if capacity < 0 {
+		return nil
+	}
+	if capacity == 0 {
+		capacity = DefaultProfileCacheSize
+	}
+	return &profileCache{
+		cap:     capacity,
+		order:   list.New(),
+		entries: map[profileKey]*list.Element{},
+	}
+}
+
+// compileMatchers builds the matcher set of one template list.
+func compileMatchers(templates []*template.Node) []*parser.Matcher {
+	out := make([]*parser.Matcher, len(templates))
+	for i, tpl := range templates {
+		out[i] = parser.NewMatcher(tpl)
+	}
+	return out
+}
+
+// get returns the cached matcher set for key, or nil.
+func (c *profileCache) get(key profileKey) []*parser.Matcher {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		c.misses++
+		return nil
+	}
+	c.hits++
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).matchers
+}
+
+// put inserts a compiled set, evicting the least-recently-used entry
+// past capacity.
+func (c *profileCache) put(key profileKey, matchers []*parser.Matcher) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		c.order.MoveToFront(el)
+		el.Value.(*cacheEntry).matchers = matchers
+		return
+	}
+	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, matchers: matchers})
+	for c.order.Len() > c.cap {
+		el := c.order.Back()
+		c.order.Remove(el)
+		delete(c.entries, el.Value.(*cacheEntry).key)
+	}
+}
+
+// stats reports size, hits and misses for /v1/status.
+func (c *profileCache) stats() (size int, hits, misses uint64) {
+	if c == nil {
+		return 0, 0, 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len(), c.hits, c.misses
+}

@@ -1,0 +1,75 @@
+package serve
+
+import (
+	"context"
+	"net/http"
+	"sync/atomic"
+	"time"
+)
+
+// limiter enforces the daemon's per-request limits: a bounded
+// in-flight gauge (saturation sheds load with 429 + Retry-After
+// instead of queueing), a body size cap, and a per-request deadline
+// that also unblocks stalled reads and writes on the connection.
+// Liveness and status probes bypass the gauge so a saturated daemon
+// stays observable.
+type limiter struct {
+	maxInFlight int64
+	maxBody     int64
+	timeout     time.Duration
+	inFlight    atomic.Int64
+	shed        atomic.Uint64 // requests rejected with 429
+}
+
+// writeGrace is how far the connection write deadline trails the
+// request deadline (see wrap).
+const writeGrace = 2 * time.Second
+
+// exemptPaths lists the endpoints the in-flight gauge ignores.
+func exempt(path string) bool {
+	return path == "/healthz" || path == "/v1/status"
+}
+
+// wrap applies the limits around the daemon's mux.
+func (l *limiter) wrap(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if exempt(r.URL.Path) {
+			next.ServeHTTP(w, r)
+			return
+		}
+		if l.maxInFlight > 0 {
+			if n := l.inFlight.Add(1); n > l.maxInFlight {
+				l.inFlight.Add(-1)
+				l.shed.Add(1)
+				w.Header().Set("Retry-After", "1")
+				httpError(w, http.StatusTooManyRequests,
+					"server saturated (%d requests in flight); retry shortly", l.maxInFlight)
+				return
+			}
+			defer l.inFlight.Add(-1)
+		}
+		if l.maxBody > 0 && r.Body != nil {
+			r.Body = http.MaxBytesReader(w, r.Body, l.maxBody)
+		}
+		if l.timeout > 0 {
+			ctx, cancel := context.WithTimeout(r.Context(), l.timeout)
+			defer cancel()
+			r = r.WithContext(ctx)
+			// Also bound the connection itself: a client that stalls its
+			// upload (or stops reading a streamed response) would otherwise
+			// block the handler past the context deadline, holding an
+			// in-flight slot forever. Not every ResponseWriter supports
+			// deadlines (httptest recorders don't); the context still
+			// bounds the compute in that case.
+			rc := http.NewResponseController(w)
+			deadline := time.Now().Add(l.timeout)
+			rc.SetReadDeadline(deadline)
+			// The write deadline trails by a grace so the 504 envelope
+			// itself can still flush to a live client after the read or
+			// compute deadline fires; a client that stops reading its
+			// response is unblocked at most one grace later.
+			rc.SetWriteDeadline(deadline.Add(writeGrace))
+		}
+		next.ServeHTTP(w, r)
+	})
+}

@@ -1,0 +1,64 @@
+package serve
+
+import "sync"
+
+// formatLocks coordinates crawls without ever blocking: a scoped
+// reindex holds its format's lock, a global reindex holds the whole
+// table. Scoped crawls of different formats run concurrently; two
+// crawls of the same format — or a global crawl against anything —
+// conflict and fail fast (the HTTP surface turns that into 409, so
+// clients retry instead of queueing unbounded work).
+type formatLocks struct {
+	mu     sync.Mutex
+	global bool
+	held   map[string]bool
+}
+
+// tryLock acquires the lock for one format fingerprint, or the global
+// lock when fp is empty. It never blocks: false means a conflicting
+// crawl is running.
+func (l *formatLocks) tryLock(fp string) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.global {
+		return false
+	}
+	if fp == "" {
+		if len(l.held) > 0 {
+			return false
+		}
+		l.global = true
+		return true
+	}
+	if l.held[fp] {
+		return false
+	}
+	if l.held == nil {
+		l.held = map[string]bool{}
+	}
+	l.held[fp] = true
+	return true
+}
+
+// unlock releases what tryLock acquired.
+func (l *formatLocks) unlock(fp string) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if fp == "" {
+		l.global = false
+		return
+	}
+	delete(l.held, fp)
+}
+
+// active reports how many crawls hold locks right now (a global crawl
+// counts as one).
+func (l *formatLocks) active() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	n := len(l.held)
+	if l.global {
+		n++
+	}
+	return n
+}

@@ -1,24 +1,41 @@
 // Package serve exposes a data lake's profile registry and extraction
 // engine over HTTP — the query half of the incremental ingestion
 // subsystem (internal/follow provides the write half). A Server owns a
-// lake directory plus one shared registry/checkpoint handle; request
-// handlers stream extraction output (NDJSON or CSV) while POST /reindex
-// runs the incremental crawl on the same handles, so discovery keeps
+// lake directory plus an immutable registry/checkpoint snapshot;
+// request handlers stream extraction output (NDJSON or CSV) against
+// the snapshot they started on, while POST /reindex crawls on clones
+// and atomically swaps a new snapshot in — so discovery keeps
 // amortizing across requests the way the paper's learn-once,
-// apply-many workflow intends.
+// apply-many workflow intends, and a crawl never blocks (or tears) a
+// concurrent read.
 //
 // Endpoints (the /v1/ prefix is the canonical surface; the unversioned
 // paths predate it and remain as deprecated aliases for one release):
 //
 //	GET  /healthz                    liveness probe
+//	GET  /v1/status                  serving stats (generation, cache, in-flight)
 //	GET  /v1/formats                 registry listing (JSON)
 //	GET  /v1/formats/{fp}            one profile (JSON, loadable by the CLI's -profile)
 //	POST /v1/extract?format={fp}     extract the request body with a profile
 //	GET  /v1/lake/extract?path=...   extract a lake file (format inferred)
-//	POST /v1/reindex                 run the incremental crawl, persist, report
+//	POST /v1/reindex[?format={fp}]   run the incremental crawl (optionally scoped
+//	                                 to one format), persist, report
 //	GET  /v1/query?q=...             run a relational query over the record store
 //
 // Every failure body is the JSON envelope {"error": {"code", "message"}}.
+//
+// Concurrency model. The served state (registry + checkpoints) is a
+// copy-on-write snapshot: handlers take it once per request and the
+// snapshot is immutable, so an in-flight request finishes against the
+// exact state it started on no matter how many reindexes land
+// meanwhile. Reindexes lock per format — POST /v1/reindex?format=fp
+// crawls only fp's files and runs concurrently with scoped reindexes
+// of other formats (and with all reads); only crawls of the same
+// format, or a global crawl, conflict (409). Hot compiled profiles
+// live in an LRU keyed by fingerprint + snapshot generation, so
+// steady-state /extract touches neither disk nor the template
+// compiler. Per-request limits (body cap, deadline, bounded in-flight
+// gauge with 429 + Retry-After) keep overload failures crisp.
 //
 // Extraction and query responses are deterministic: worker counts never
 // change output, so served bytes are byte-identical to the CLI's for
@@ -37,14 +54,15 @@ import (
 	"path/filepath"
 	"strings"
 	"sync"
+	"time"
 
 	"datamaran/internal/core"
 	"datamaran/internal/follow"
 	"datamaran/internal/lake"
+	"datamaran/internal/parser"
 	"datamaran/internal/pipeline"
 	"datamaran/internal/query"
 	"datamaran/internal/relational"
-	"datamaran/internal/template"
 )
 
 // Config parameterizes a Server.
@@ -71,30 +89,61 @@ type Config struct {
 	// segments /reindex writes and /v1/query reads. Empty disables the
 	// store (and with it /v1/query).
 	StorePath string
+	// MaxBodyBytes caps a request body; a longer POST /extract body
+	// fails with 413. 0 means unlimited.
+	MaxBodyBytes int64
+	// RequestTimeout bounds each request end to end (handler compute,
+	// body reads, response writes); an overrun fails with 504. 0 means
+	// unlimited. /healthz and /v1/status are exempt.
+	RequestTimeout time.Duration
+	// MaxInFlight bounds concurrently served requests; excess load is
+	// shed with 429 + Retry-After instead of queueing. 0 means
+	// unlimited. /healthz and /v1/status are exempt, so a saturated
+	// daemon stays observable.
+	MaxInFlight int
+	// ProfileCacheSize is the hot compiled-profile LRU capacity
+	// (0 means DefaultProfileCacheSize, < 0 disables caching).
+	ProfileCacheSize int
 }
 
-// Server is the long-running daemon state: the shared registry and
-// checkpoint handles, guarded for concurrent use by request handlers
-// and the crawl.
-type Server struct {
-	cfg Config
-	// mu guards the handle pointers: a crawl runs on clones and swaps
-	// them in only on success, so an aborted /reindex (client
-	// disconnect mid-crawl) can never leave the served state partially
-	// mutated. Handlers snapshot a handle once per request; an
-	// in-flight request keeps reading its (internally consistent) old
-	// handle across a swap.
-	mu  sync.RWMutex
+// state is one immutable served snapshot: handlers take it once per
+// request, reindexes build the next one on clones and swap. gen counts
+// swaps — it versions the profile cache, so matchers compiled under an
+// old snapshot can never serve a new one.
+type state struct {
+	gen uint64
 	reg *lake.Registry
 	cps *follow.Store
+}
+
+// Server is the long-running daemon state: an immutable served
+// snapshot, the per-format crawl locks, the hot-profile cache and the
+// request limiter.
+type Server struct {
+	cfg Config
+	// mu guards only the snapshot pointer. The snapshot itself is
+	// immutable once published — a crawl builds the next one on clones
+	// and swaps, so an aborted /reindex (client disconnect mid-crawl)
+	// can never leave the served state partially mutated, and an
+	// in-flight request keeps reading its old snapshot across any
+	// number of swaps.
+	mu  sync.RWMutex
+	cur *state
 	// store is the record store handle (nil without a StorePath). It
-	// needs no guarding here: scans snapshot its manifest and commits
-	// swap it whole.
+	// needs no guarding here: scans pin a manifest snapshot and commits
+	// merge-and-swap it whole.
 	store *lake.SegmentStore
-	// reindexMu serializes crawls; persistMu serializes saves of the
-	// registry/checkpoint files.
-	reindexMu sync.Mutex
+	// locks coordinates crawls per format (see formatLocks); swapMu
+	// serializes snapshot swaps, so a scoped crawl rebases its deltas
+	// onto whatever concurrent crawls already published; persistMu
+	// serializes saves of the registry/checkpoint files.
+	locks     formatLocks
+	swapMu    sync.Mutex
 	persistMu sync.Mutex
+	// cache holds hot compiled profiles (nil when disabled).
+	cache *profileCache
+	// limits enforces the per-request bounds around every handler.
+	limits *limiter
 }
 
 // New loads the registry and checkpoint store and returns a Server.
@@ -124,32 +173,53 @@ func New(cfg Config) (*Server, error) {
 			return nil, err
 		}
 	}
-	return &Server{cfg: cfg, reg: reg, cps: cps, store: store}, nil
+	return &Server{
+		cfg:   cfg,
+		cur:   &state{gen: 1, reg: reg, cps: cps},
+		store: store,
+		cache: newProfileCache(cfg.ProfileCacheSize),
+		limits: &limiter{
+			maxInFlight: int64(cfg.MaxInFlight),
+			maxBody:     cfg.MaxBodyBytes,
+			timeout:     cfg.RequestTimeout,
+		},
+	}, nil
 }
 
-// Registry exposes the shared registry handle (for tests and embedding).
-func (s *Server) Registry() *lake.Registry { return s.registry() }
+// Registry exposes the current registry snapshot (for tests and
+// embedding).
+func (s *Server) Registry() *lake.Registry { return s.state().reg }
 
-// registry and checkpoints snapshot the current handles.
-func (s *Server) registry() *lake.Registry {
+// state takes the current served snapshot. The snapshot is immutable;
+// take it once per request and every read within the request is
+// consistent.
+func (s *Server) state() *state {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	return s.reg
+	return s.cur
 }
 
-func (s *Server) checkpoints() *follow.Store {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.cps
+// matchersFor returns the compiled matcher set of one format under one
+// snapshot, from the hot-profile LRU when resident.
+func (s *Server) matchersFor(st *state, e *lake.Entry) []*parser.Matcher {
+	key := profileKey{fp: e.Fingerprint, gen: st.gen}
+	if m := s.cache.get(key); m != nil {
+		return m
+	}
+	m := compileMatchers(e.Templates)
+	s.cache.put(key, m)
+	return m
 }
 
-// Handler returns the daemon's HTTP handler.
+// Handler returns the daemon's HTTP handler, with the per-request
+// limits applied around every endpoint.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		io.WriteString(w, "ok\n")
 	})
+	mux.HandleFunc("GET /v1/status", s.handleStatus)
 	// /v1/ is the canonical surface; the unversioned routes are
 	// deprecated aliases kept for one release.
 	for _, p := range []string{"/v1", ""} {
@@ -160,7 +230,43 @@ func (s *Server) Handler() http.Handler {
 		mux.HandleFunc("POST "+p+"/reindex", s.handleReindex)
 	}
 	mux.HandleFunc("GET /v1/query", s.handleQuery)
-	return mux
+	return s.limits.wrap(mux)
+}
+
+// statusJSON is the /v1/status body: the serving-path gauges an
+// operator (or the load bench) reads to see the daemon's health.
+type statusJSON struct {
+	Generation     uint64 `json:"generation"`
+	Formats        int    `json:"formats"`
+	InFlight       int64  `json:"inFlight"`
+	MaxInFlight    int    `json:"maxInFlight"`
+	Shed           uint64 `json:"shed"`
+	ActiveReindex  int    `json:"activeReindexes"`
+	CacheSize      int    `json:"profileCacheSize"`
+	CacheHits      uint64 `json:"profileCacheHits"`
+	CacheMisses    uint64 `json:"profileCacheMisses"`
+	MaxBodyBytes   int64  `json:"maxBodyBytes"`
+	RequestTimeout string `json:"requestTimeout"`
+}
+
+// handleStatus reports the serving gauges. Exempt from the in-flight
+// bound, so it answers even under saturation.
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	st := s.state()
+	size, hits, misses := s.cache.stats()
+	writeJSON(w, http.StatusOK, statusJSON{
+		Generation:     st.gen,
+		Formats:        st.reg.Len(),
+		InFlight:       s.limits.inFlight.Load(),
+		MaxInFlight:    s.cfg.MaxInFlight,
+		Shed:           s.limits.shed.Load(),
+		ActiveReindex:  s.locks.active(),
+		CacheSize:      size,
+		CacheHits:      hits,
+		CacheMisses:    misses,
+		MaxBodyBytes:   s.cfg.MaxBodyBytes,
+		RequestTimeout: s.cfg.RequestTimeout.String(),
+	})
 }
 
 // handleQuery runs one relational query over the record store and
@@ -190,11 +296,22 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	rows, err := query.Run(r.Context(), query.StoreCatalog(s.store), q)
+	// Plan against a pinned store view so a multi-table query sees one
+	// consistent store state across concurrent reindex commits. Run
+	// opens every scan before returning; a commit deleting a superseded
+	// segment inside that window surfaces as ErrStaleView — nothing has
+	// streamed yet, so re-pin and re-plan.
+	var rows *query.Rows
+	for attempt := 0; ; attempt++ {
+		rows, err = query.Run(r.Context(), query.ViewCatalog(s.store.View()), q)
+		if err == nil || !errors.Is(err, lake.ErrStaleView) || attempt >= 8 {
+			break
+		}
+	}
 	if err != nil {
 		// Planning failures (unknown tables, unresolved columns) are
 		// client errors; nothing has streamed yet.
-		httpError(w, queryStatus(err), "%v", err)
+		httpError(w, queryStatus(r.Context(), err), "%v", err)
 		return
 	}
 	defer rows.Close()
@@ -219,9 +336,14 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 }
 
 // queryStatus maps query execution errors onto HTTP statuses.
-func queryStatus(err error) int {
-	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
-		return 499
+func queryStatus(ctx context.Context, err error) int {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, os.ErrDeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return canceledStatus(ctx)
+	case errors.Is(err, lake.ErrStaleView):
+		return http.StatusServiceUnavailable
 	}
 	return http.StatusBadRequest
 }
@@ -241,7 +363,7 @@ func (s *Server) handleFormats(w http.ResponseWriter, r *http.Request) {
 	out := struct {
 		Formats []formatJSON `json:"formats"`
 	}{Formats: []formatJSON{}}
-	for _, fi := range s.registry().Snapshot() {
+	for _, fi := range s.state().reg.Snapshot() {
 		fj := formatJSON{Fingerprint: fi.Fingerprint, Files: fi.Files, Templates: []string{}}
 		for _, t := range fi.Templates {
 			fj.Templates = append(fj.Templates, t.String())
@@ -261,7 +383,7 @@ type profileJSON struct {
 
 // handleFormat serves one profile by fingerprint.
 func (s *Server) handleFormat(w http.ResponseWriter, r *http.Request) {
-	e := s.registry().Lookup(r.PathValue("fp"))
+	e := s.state().reg.Lookup(r.PathValue("fp"))
 	if e == nil {
 		httpError(w, http.StatusNotFound, "unknown format %s", r.PathValue("fp"))
 		return
@@ -285,12 +407,13 @@ func (s *Server) handleExtractBody(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "missing format parameter")
 		return
 	}
-	e := s.registry().Lookup(fp)
+	st := s.state()
+	e := st.reg.Lookup(fp)
 	if e == nil {
 		httpError(w, http.StatusNotFound, "unknown format %s", fp)
 		return
 	}
-	s.extract(w, r, e.Templates, r.Body)
+	s.extract(w, r, st, e, r.Body)
 }
 
 // handleExtractLake extracts one lake file. The format comes from (in
@@ -314,15 +437,17 @@ func (s *Server) handleExtractLake(w http.ResponseWriter, r *http.Request) {
 	}
 	defer f.Close()
 
-	reg := s.registry()
+	// One snapshot for the whole request: the registry lookup and the
+	// checkpoint lookup can never mix two reindex generations.
+	st := s.state()
 	var e *lake.Entry
 	if fp := r.URL.Query().Get("format"); fp != "" {
-		if e = reg.Lookup(fp); e == nil {
+		if e = st.reg.Lookup(fp); e == nil {
 			httpError(w, http.StatusNotFound, "unknown format %s", fp)
 			return
 		}
-	} else if cp := s.checkpoints().Get(rel); cp != nil && cp.Fingerprint != "" {
-		e = reg.Lookup(cp.Fingerprint)
+	} else if cp := st.cps.Get(rel); cp != nil && cp.Fingerprint != "" {
+		e = st.reg.Lookup(cp.Fingerprint)
 	}
 	if e == nil {
 		sampleBytes := s.cfg.SampleBytes
@@ -338,25 +463,27 @@ func (s *Server) handleExtractLake(w http.ResponseWriter, r *http.Request) {
 			httpError(w, http.StatusInternalServerError, "sample %s: %v", rel, err)
 			return
 		}
-		if e = lake.MatchSample(sample, reg, threshold); e == nil {
+		if e = lake.MatchSample(sample, st.reg, threshold); e == nil {
 			httpError(w, http.StatusUnprocessableEntity,
 				"no registered format claims %s (reindex first, or pass format=)", rel)
 			return
 		}
 	}
-	s.extract(w, r, e.Templates, f)
+	s.extract(w, r, st, e, f)
 }
 
 // extract streams src through the profile pipeline in the requested
-// output form. NDJSON streams record by record; CSV buffers the result
-// to build relational tables.
-func (s *Server) extract(w http.ResponseWriter, r *http.Request, templates []*template.Node, src io.Reader) {
+// output form, using the snapshot's cached compiled matchers. NDJSON
+// streams record by record; CSV buffers the result to build relational
+// tables.
+func (s *Server) extract(w http.ResponseWriter, r *http.Request, st *state, e *lake.Entry, src io.Reader) {
 	output := r.URL.Query().Get("output")
 	if output == "" {
 		output = "ndjson"
 	}
 	cfg := pipeline.Config{
-		Templates: templates,
+		Templates: e.Templates,
+		Matchers:  s.matchersFor(st, e),
 		Workers:   s.cfg.Workers,
 	}
 	switch output {
@@ -415,7 +542,7 @@ func (s *Server) extractNDJSON(w http.ResponseWriter, r *http.Request, cfg pipel
 		// mid-stream failure is cut the connection. An upfront failure
 		// (empty input) still reports cleanly.
 		if n == 0 {
-			httpError(w, statusFor(err), "extract: %v", err)
+			httpError(w, statusFor(r.Context(), err), "extract: %v", err)
 			return
 		}
 		panic(http.ErrAbortHandler)
@@ -429,7 +556,7 @@ func (s *Server) extractNDJSON(w http.ResponseWriter, r *http.Request, cfg pipel
 func (s *Server) extractCSV(w http.ResponseWriter, r *http.Request, cfg pipeline.Config, src io.Reader) {
 	res, err := pipeline.RunContext(r.Context(), src, cfg)
 	if err != nil {
-		httpError(w, statusFor(err), "extract: %v", err)
+		httpError(w, statusFor(r.Context(), err), "extract: %v", err)
 		return
 	}
 	// This mirrors the flat-record table path of datamaran.Result.Tables
@@ -479,58 +606,111 @@ func tableNames(tables []*relational.Table) string {
 	return strings.Join(names, ", ")
 }
 
-// reindexJSON is the /reindex response.
+// reindexJSON is the /reindex response. Format appears only on scoped
+// runs, so global responses keep their historical bytes.
 type reindexJSON struct {
-	Files             int `json:"files"`
-	Structured        int `json:"structured"`
-	Unstructured      int `json:"unstructured"`
-	Failed            int `json:"failed"`
-	FormatsKnown      int `json:"formatsKnown"`
-	FormatsDiscovered int `json:"formatsDiscovered"`
-	CacheHits         int `json:"cacheHits"`
-	Resumed           int `json:"resumed"`
-	Unchanged         int `json:"unchanged"`
+	Format            string `json:"format,omitempty"`
+	Files             int    `json:"files"`
+	Structured        int    `json:"structured"`
+	Unstructured      int    `json:"unstructured"`
+	Failed            int    `json:"failed"`
+	FormatsKnown      int    `json:"formatsKnown"`
+	FormatsDiscovered int    `json:"formatsDiscovered"`
+	CacheHits         int    `json:"cacheHits"`
+	Resumed           int    `json:"resumed"`
+	Unchanged         int    `json:"unchanged"`
 }
 
-// ErrBusy reports that a crawl is already running.
-var ErrBusy = errors.New("serve: a reindex is already running")
+// ErrBusy reports that a conflicting crawl is already running: the same
+// format is being reindexed, or a global crawl is (or wants to be) in
+// flight.
+var ErrBusy = errors.New("serve: a conflicting reindex is already running")
+
+// ErrUnknownFormat reports a scoped reindex of a fingerprint the
+// registry does not know.
+var ErrUnknownFormat = errors.New("serve: unknown format")
 
 // Reindex runs one incremental crawl over the lake and persists the
-// outcome. The crawl works on clones of the registry and checkpoint
-// store; only a completed crawl swaps them in, so a cancelled or
-// failed crawl leaves both the served state and the on-disk state
-// exactly as the last completed run left them. Crawls are serialized;
-// a concurrent call returns ErrBusy rather than queueing unbounded
-// work.
-func (s *Server) Reindex(ctx context.Context) (*lake.Result, error) {
-	if !s.reindexMu.TryLock() {
+// outcome. format empty crawls everything; a fingerprint restricts the
+// crawl to that format's checkpointed files — scoped crawls of
+// different formats run concurrently, and neither ever blocks a read
+// (reads serve the previous snapshot until the swap).
+//
+// The crawl works on clones of the snapshot it started from; only a
+// completed crawl publishes, so a cancelled or failed crawl leaves both
+// the served state and the on-disk state exactly as the last completed
+// run left them. A scoped crawl's commit rebases its deltas — its
+// files' checkpoints, claim-count changes, record-store segments — onto
+// whatever snapshot is current by then, so concurrent scoped crawls
+// compose instead of clobbering each other. Conflicting calls (same
+// format, or anything against a global crawl) return ErrBusy rather
+// than queueing unbounded work.
+func (s *Server) Reindex(ctx context.Context, format string) (*lake.Result, error) {
+	if !s.locks.tryLock(format) {
 		return nil, ErrBusy
 	}
-	defer s.reindexMu.Unlock()
-	reg, err := cloneRegistry(s.registry())
+	defer s.locks.unlock(format)
+
+	base := s.state()
+	var scope map[string]bool
+	if format != "" {
+		if base.reg.Lookup(format) == nil {
+			return nil, fmt.Errorf("%w: %s", ErrUnknownFormat, format)
+		}
+		// The scope is the format's current claim set: every checkpointed
+		// path the fingerprint owns. Files that rotated into a different
+		// format since their checkpoint reclassify within the scoped
+		// crawl (possibly discovering a new format); brand-new files wait
+		// for a global crawl.
+		scope = map[string]bool{}
+		for _, p := range base.cps.Paths() {
+			if cp := base.cps.Get(p); cp != nil && cp.Fingerprint == format {
+				scope[p] = true
+			}
+		}
+	}
+
+	reg, err := cloneRegistry(base.reg)
 	if err != nil {
 		return nil, err
 	}
-	cps, err := cloneStore(s.checkpoints())
+	cps, err := cloneStore(base.cps)
 	if err != nil {
 		return nil, err
 	}
-	// The record store follows the same discipline as the handles: the
+	// The record store follows the same discipline as the snapshot: the
 	// crawl stages segments in a transaction, and only a completed crawl
-	// commits them.
+	// commits them (the commit itself rebases by touched path).
 	var txn *lake.StoreTxn
 	if s.store != nil {
 		txn = s.store.Begin()
 	}
-	res, err := lake.IndexContext(ctx, s.cfg.Root, reg, lake.Config{
+	cfg := lake.Config{
 		Core:           s.cfg.Core,
 		Workers:        s.cfg.Workers,
 		SampleBytes:    s.cfg.SampleBytes,
 		MatchThreshold: s.cfg.MatchThreshold,
 		Checkpoints:    cps,
 		Segments:       txn,
-	})
+	}
+	if scope != nil {
+		cfg.Filter = func(rel string) bool { return scope[rel] }
+	}
+	res, err := lake.IndexContext(ctx, s.cfg.Root, reg, cfg)
 	if err != nil {
+		if txn != nil {
+			txn.Abort()
+		}
+		return nil, err
+	}
+
+	// Publish: rebase the crawl's outcome onto the current snapshot and
+	// swap. swapMu serializes the rebase-and-swap windows of concurrent
+	// scoped crawls, so each sees the other's published state.
+	s.swapMu.Lock()
+	next, err := s.rebase(base, reg, cps, scope)
+	if err != nil {
+		s.swapMu.Unlock()
 		if txn != nil {
 			txn.Abort()
 		}
@@ -538,16 +718,68 @@ func (s *Server) Reindex(ctx context.Context) (*lake.Result, error) {
 	}
 	if txn != nil {
 		if err := txn.Commit(); err != nil {
+			s.swapMu.Unlock()
 			return nil, err
 		}
 	}
 	s.mu.Lock()
-	s.reg, s.cps = reg, cps
+	s.cur = next
 	s.mu.Unlock()
+	s.swapMu.Unlock()
 	if err := s.Persist(); err != nil {
 		return nil, err
 	}
 	return res, nil
+}
+
+// rebase builds the next served snapshot from a finished crawl. A
+// global crawl (scope nil) excludes every other crawl by lock, so its
+// clones are the next snapshot wholesale — as they are when nothing
+// was published since the crawl began. A scoped crawl may find the
+// snapshot advanced by other formats' crawls: its deltas (checkpoints
+// of its scope paths, per-fingerprint claim changes, newly discovered
+// formats) are applied to fresh clones of the current snapshot. Scopes
+// are disjoint — each path's checkpoint names one owning fingerprint —
+// so the deltas of concurrent scoped crawls compose. Callers hold
+// swapMu.
+func (s *Server) rebase(base *state, reg *lake.Registry, cps *follow.Store, scope map[string]bool) (*state, error) {
+	cur := s.state()
+	if scope == nil || cur == base {
+		return &state{gen: cur.gen + 1, reg: reg, cps: cps}, nil
+	}
+	nreg, err := cloneRegistry(cur.reg)
+	if err != nil {
+		return nil, err
+	}
+	ncps, err := cloneStore(cur.cps)
+	if err != nil {
+		return nil, err
+	}
+	// Checkpoint deltas: the crawl was authoritative for exactly the
+	// scope paths (departed files lost their checkpoints, everything
+	// else in scope re-checkpointed).
+	for p := range scope {
+		if cp := cps.Get(p); cp != nil {
+			ncps.Put(cp)
+		} else {
+			ncps.Delete(p)
+		}
+	}
+	// Registry deltas: per-fingerprint claim-count changes, plus any
+	// format first discovered by this crawl (a scoped file rotated into
+	// a brand-new structure). Claims count disjoint file sets across
+	// scopes, so addition composes.
+	for _, fi := range reg.Snapshot() {
+		baseFiles := 0
+		if e := base.reg.Lookup(fi.Fingerprint); e != nil {
+			baseFiles = base.reg.FilesClaimed(e)
+		}
+		if delta := fi.Files - baseFiles; delta != 0 || nreg.Lookup(fi.Fingerprint) == nil {
+			nreg.Add(fi.Templates) // no-op for known fingerprints
+			nreg.Adjust(fi.Fingerprint, delta)
+		}
+	}
+	return &state{gen: cur.gen + 1, reg: nreg, cps: ncps}, nil
 }
 
 // cloneRegistry deep-copies a registry through its canonical
@@ -577,19 +809,26 @@ func cloneStore(cps *follow.Store) (*follow.Store, error) {
 	return out, nil
 }
 
-// handleReindex is Reindex over HTTP, reporting the run summary.
+// handleReindex is Reindex over HTTP, reporting the run summary. An
+// optional format={fp} parameter scopes the crawl to one format.
 func (s *Server) handleReindex(w http.ResponseWriter, r *http.Request) {
-	res, err := s.Reindex(r.Context())
+	format := r.URL.Query().Get("format")
+	res, err := s.Reindex(r.Context(), format)
 	if errors.Is(err, ErrBusy) {
 		httpError(w, http.StatusConflict, "%v", err)
 		return
 	}
+	if errors.Is(err, ErrUnknownFormat) {
+		httpError(w, http.StatusNotFound, "%v", err)
+		return
+	}
 	if err != nil {
-		httpError(w, statusFor(err), "reindex: %v", err)
+		httpError(w, statusFor(r.Context(), err), "reindex: %v", err)
 		return
 	}
 	sum := res.Summary
 	writeJSON(w, http.StatusOK, reindexJSON{
+		Format:            format,
 		Files:             sum.Files,
 		Structured:        sum.Structured,
 		Unstructured:      sum.Unstructured,
@@ -602,18 +841,19 @@ func (s *Server) handleReindex(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// Persist writes the registry and checkpoint store back to their
-// configured paths (no-ops for in-memory handles).
+// Persist writes the current snapshot's registry and checkpoint store
+// back to their configured paths (no-ops for in-memory handles).
 func (s *Server) Persist() error {
 	s.persistMu.Lock()
 	defer s.persistMu.Unlock()
+	st := s.state()
 	if s.cfg.RegistryPath != "" {
-		if err := s.registry().Save(s.cfg.RegistryPath); err != nil {
+		if err := st.reg.Save(s.cfg.RegistryPath); err != nil {
 			return err
 		}
 	}
 	if s.cfg.CheckpointPath != "" {
-		if err := s.checkpoints().Save(s.cfg.CheckpointPath); err != nil {
+		if err := st.cps.Save(s.cfg.CheckpointPath); err != nil {
 			return err
 		}
 	}
@@ -641,15 +881,35 @@ func cleanLakePath(p string) (string, bool) {
 }
 
 // statusFor maps extraction errors onto HTTP statuses.
-func statusFor(err error) int {
+func statusFor(ctx context.Context, err error) int {
+	var tooBig *http.MaxBytesError
 	switch {
 	case errors.Is(err, core.ErrEmptyInput):
 		return http.StatusBadRequest
-	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
-		return 499 // client closed request (nginx convention)
+	case errors.As(err, &tooBig):
+		return http.StatusRequestEntityTooLarge
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, os.ErrDeadlineExceeded):
+		// The per-request deadline: the context expiring mid-compute, or
+		// the connection read/write deadline firing on a stalled client.
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return canceledStatus(ctx)
 	default:
 		return http.StatusInternalServerError
 	}
+}
+
+// canceledStatus disambiguates a context cancellation. When the
+// connection read deadline cuts a stalled client, net/http cancels the
+// request context as it aborts the connection reader — racing with the
+// handler observing the i/o timeout itself — so a cancellation at or
+// past the request deadline is the deadline firing, not the client
+// hanging up.
+func canceledStatus(ctx context.Context) int {
+	if dl, ok := ctx.Deadline(); ok && !time.Now().Before(dl) {
+		return http.StatusGatewayTimeout
+	}
+	return 499 // client closed request (nginx convention)
 }
 
 // writeJSON writes v indented with a trailing newline — stable bytes
@@ -686,6 +946,14 @@ func errorCode(status int) string {
 		return "busy"
 	case http.StatusUnprocessableEntity:
 		return "unclaimed"
+	case http.StatusRequestEntityTooLarge:
+		return "too_large"
+	case http.StatusTooManyRequests:
+		return "saturated"
+	case http.StatusServiceUnavailable:
+		return "unavailable"
+	case http.StatusGatewayTimeout:
+		return "deadline_exceeded"
 	case 499:
 		return "canceled"
 	default:
