@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test test-short test-race bench lint fmt staticcheck bench-gate bench-allocs bench-serve serve-gate fuzz-smoke golden-lake golden-lake-update golden-query golden-query-update serve-smoke serve-smoke-update
+.PHONY: build test test-short test-race bench lint fmt staticcheck bench-gate bench-allocs bench-serve serve-gate bench-query query-gate fuzz-smoke golden-lake golden-lake-update golden-query golden-query-update serve-smoke serve-smoke-update
 
 build:
 	$(GO) build ./...
@@ -59,6 +59,22 @@ bench-serve:
 serve-gate:
 	$(GO) run ./cmd/experiments -bench-serve /tmp/BENCH_serve_new.json \
 		-bench-serve-baseline BENCH_serve.json
+
+# BENCH_query.json: the query-engine benchmark (fixture lake amplified
+# x200, crawled + compacted, store pinned open; QPS per query shape).
+# query-gate re-measures and fails on a >20% QPS drop in any mode, on a
+# baseline mode missing from the fresh report, or on the pushdown win —
+# selective-scan over the same query with pushdown disabled — falling
+# under 3x. The ratio floor is hardware-independent; the absolute QPS
+# comparison is not, so refresh the baseline from the CI job's
+# bench-query-report artifact (or rerun `make bench-query` on the same
+# machine) in the same PR whenever a change is intentional.
+bench-query:
+	$(GO) run ./cmd/experiments -bench-query BENCH_query.json
+
+query-gate:
+	$(GO) run ./cmd/experiments -bench-query /tmp/BENCH_query_new.json \
+		-bench-query-baseline BENCH_query.json
 
 # Allocation gate: the parser's steady-state scan benchmarks must stay at
 # 0 allocs/op (noise rejection and arena-reuse scanning never touch the

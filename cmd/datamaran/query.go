@@ -24,6 +24,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -45,16 +46,25 @@ func runQuery(args []string) {
 	server := fs.String("server", "", "base URL of a running datamaran serve daemon (e.g. http://127.0.0.1:8473)")
 	outFile := fs.String("o", "", "output file (default stdout)")
 	output := fs.String("output", "ndjson", "output form: ndjson or csv")
+	tables := fs.Bool("tables", false, "list the store's tables (name, columns, rows, segments) from the manifest — no scan — instead of running a query")
 	fs.Usage = func() {
 		fmt.Fprintln(os.Stderr, "usage: datamaran query [flags] <query>")
+		fmt.Fprintln(os.Stderr, "       datamaran query [flags] -tables")
 		fs.PrintDefaults()
 	}
 	fs.Parse(args)
-	if fs.NArg() != 1 {
+	want := 1
+	if *tables {
+		want = 0
+	}
+	if fs.NArg() != want {
 		fs.Usage()
 		os.Exit(2)
 	}
-	text := fs.Arg(0)
+	text := ""
+	if !*tables {
+		text = fs.Arg(0)
+	}
 	if *output != "ndjson" && *output != "csv" {
 		fatalf("query: unknown output %q (want ndjson or csv)", *output)
 	}
@@ -86,7 +96,13 @@ func runQuery(args []string) {
 	defer stop()
 
 	if *server != "" {
-		if err := queryServer(ctx, w, *server, text, *output); err != nil {
+		var err error
+		if *tables {
+			err = tablesServer(ctx, w, *server, *output)
+		} else {
+			err = queryServer(ctx, w, *server, text, *output)
+		}
+		if err != nil {
 			fatalf("query: %v", err)
 		}
 		return
@@ -110,6 +126,16 @@ func runQuery(args []string) {
 			}
 		}
 	}
+	if *tables {
+		stats, err := datamaran.StoreTables(store)
+		if err != nil {
+			fatalf("query: %v", err)
+		}
+		if err := writeTables(w, stats, *output); err != nil {
+			fatalf("query: %v", err)
+		}
+		return
+	}
 	rows, err := datamaran.Query(ctx, text, datamaran.QueryOptions{StorePath: store})
 	if err != nil {
 		fatalf("query: %v", err)
@@ -123,6 +149,62 @@ func runQuery(args []string) {
 	if err != nil {
 		fatalf("query: %v", err)
 	}
+}
+
+// writeTables renders the table listing. CSV is a fixed four-column
+// header plus one line per table; NDJSON is one object per table. Table
+// names are hex fingerprints, so no quoting is ever needed.
+func writeTables(w io.Writer, stats []datamaran.TableStat, output string) error {
+	if output == "csv" {
+		if _, err := fmt.Fprintln(w, "table,columns,rows,segments"); err != nil {
+			return err
+		}
+		for _, t := range stats {
+			if _, err := fmt.Fprintf(w, "%s,%d,%d,%d\n", t.Name, t.Columns, t.Rows, t.Segments); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	enc := json.NewEncoder(w)
+	for _, t := range stats {
+		if err := enc.Encode(struct {
+			Name     string `json:"name"`
+			Columns  int    `json:"columns"`
+			Rows     int    `json:"rows"`
+			Segments int    `json:"segments"`
+		}{t.Name, t.Columns, t.Rows, t.Segments}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// tablesServer lists tables from a daemon's /v1/status, which carries
+// the same manifest-held counts, then renders them exactly like the
+// local path.
+func tablesServer(ctx context.Context, w io.Writer, server, output string) error {
+	u := strings.TrimSuffix(server, "/") + "/v1/status"
+	req, err := http.NewRequestWithContext(ctx, "GET", u, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(body)))
+	}
+	var status struct {
+		Tables []datamaran.TableStat `json:"tables"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&status); err != nil {
+		return err
+	}
+	return writeTables(w, status.Tables, output)
 }
 
 // queryServer streams /v1/query from a daemon — the bytes on the wire

@@ -1,0 +1,295 @@
+// The query-engine benchmark behind -bench-query: the fixture lake
+// (testdata/lake), amplified by copying its structured files, is crawled
+// into a record store — compaction included — and the relational engine
+// is driven with the store pinned open, the way the serving daemon holds
+// it (a one-shot datamaran.Query pays a store open per call, which on
+// this fixture costs more than the scan and would swamp the engine
+// numbers). The report (BENCH_query.json) carries QPS per query shape;
+// gateQueryBench compares a fresh report against the committed baseline
+// like the extract and serve gates, plus a hardware-independent floor on
+// the pushdown win: the selective scan must stay ≥3x the same query run
+// with pushdown disabled (the pre-pushdown engine's full-decode path).
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"time"
+
+	"datamaran"
+	"datamaran/internal/lake"
+	"datamaran/internal/query"
+)
+
+// queryBenchCopies is the amplification factor: every structured
+// fixture file is written this many times, so tables reach tens of
+// thousands of rows and scan cost dominates parse/plan overhead.
+const queryBenchCopies = 200
+
+// queryRun is one timed query shape.
+type queryRun struct {
+	Mode    string  `json:"mode"`
+	Queries int     `json:"queries"`
+	RowsOut int     `json:"rows_out"`
+	Seconds float64 `json:"seconds"`
+	QPS     float64 `json:"qps"`
+}
+
+// queryReport is the BENCH_query.json schema.
+type queryReport struct {
+	TableRows  map[string]int `json:"table_rows"`
+	NumCPU     int            `json:"num_cpu"`
+	GoMaxProcs int            `json:"gomaxprocs"`
+	Note       string         `json:"note"`
+	Runs       []queryRun     `json:"runs"`
+}
+
+// queryBenchModes are the measured query shapes over the amplified
+// fixture lake. selective-scan-nopush is the reference cell: the same
+// query as selective-scan with pushdown disabled, so the pair measures
+// the pushdown win on identical bytes.
+var queryBenchModes = []struct {
+	name   string
+	query  string
+	nopush bool
+}{
+	{"selective-scan", "SELECT f1, f2 FROM 570eebfb5b600688 WHERE f2 > 99", false},
+	{"selective-scan-nopush", "SELECT f1, f2 FROM 570eebfb5b600688 WHERE f2 > 99", true},
+	{"wide-projection", "SELECT * FROM 570eebfb5b600688", false},
+	{"join", "SELECT m.f1, m.f2, h.f3, h.f5 FROM 570eebfb5b600688 AS m, 3065c6f04a84699c AS h WHERE m.f3 = h.f1 AND m.f2 > 99", false},
+	{"top-k", "SELECT f1, f2, f3 FROM 570eebfb5b600688 ORDER BY f2 DESC, f1 LIMIT 10", false},
+}
+
+// buildQueryBenchStore amplifies testdata/lake into root and crawls it
+// into a record store (the crawl compacts, so the store is the shape a
+// long-lived daemon serves). Returns the store path.
+func buildQueryBenchStore(root string) (string, error) {
+	src := "testdata/lake"
+	err := filepath.WalkDir(src, func(path string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			return err
+		}
+		rel, err := filepath.Rel(src, path)
+		if err != nil {
+			return err
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		dst := filepath.Join(root, rel)
+		if err := os.MkdirAll(filepath.Dir(dst), 0o755); err != nil {
+			return err
+		}
+		if err := os.WriteFile(dst, data, 0o644); err != nil {
+			return err
+		}
+		ext := filepath.Ext(rel)
+		base := rel[:len(rel)-len(ext)]
+		for i := 1; i < queryBenchCopies; i++ {
+			if err := os.WriteFile(filepath.Join(root, fmt.Sprintf("%s.copy%d%s", base, i, ext)), data, 0o644); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return "", err
+	}
+	store := filepath.Join(root, ".store")
+	if _, err := datamaran.IndexDir(root, datamaran.IndexOptions{StorePath: store}); err != nil {
+		return "", err
+	}
+	return store, nil
+}
+
+// runBenchQuery builds the amplified store and measures each query
+// shape for secs seconds.
+func runBenchQuery(path string, secs float64) error {
+	root, err := os.MkdirTemp("", "datamaran-bench-query-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(root)
+	store, err := buildQueryBenchStore(root)
+	if err != nil {
+		return err
+	}
+	st, err := lake.OpenSegmentStore(store)
+	if err != nil {
+		return err
+	}
+
+	rep := queryReport{
+		TableRows:  map[string]int{},
+		NumCPU:     runtime.NumCPU(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Note: fmt.Sprintf("testdata/lake amplified x%d, crawled + compacted, store pinned open "+
+			"across queries as the serving daemon holds it. "+
+			"selective-scan-nopush disables pushdown on the same query — the pair's ratio "+
+			"is the pushdown win and is gated at >=%.1fx.", queryBenchCopies, queryGateMinPushRatio),
+	}
+	tables, err := datamaran.StoreTables(store)
+	if err != nil {
+		return err
+	}
+	for _, t := range tables {
+		rep.TableRows[t.Name] = t.Rows
+	}
+
+	for _, mode := range queryBenchModes {
+		run, err := measureQuery(st, mode.name, mode.query, mode.nopush, secs)
+		if err != nil {
+			return err
+		}
+		rep.Runs = append(rep.Runs, run)
+		fmt.Fprintf(os.Stderr, "%-22s %6.1f qps (%d queries, %d rows out)\n",
+			run.Mode, run.QPS, run.Queries, run.RowsOut)
+	}
+
+	raw, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(raw, '\n'), 0o644)
+}
+
+// measureQuery runs one query shape back-to-back for secs seconds
+// against an already-open store, the serving daemon's steady state.
+func measureQuery(st *lake.SegmentStore, mode, text string, nopush bool, secs float64) (queryRun, error) {
+	q, err := query.Parse(text)
+	if err != nil {
+		return queryRun{}, fmt.Errorf("bench-query %s: %w", mode, err)
+	}
+	cat := query.StoreCatalog(st)
+	if nopush {
+		cat = query.NoPushdown(cat)
+	}
+	runOnce := func() (int, error) {
+		rows, err := query.Run(context.Background(), cat, q)
+		if err != nil {
+			return 0, err
+		}
+		defer rows.Close()
+		n := 0
+		for {
+			if _, err := rows.Next(); err != nil {
+				if err == io.EOF {
+					return n, nil
+				}
+				return 0, err
+			}
+			n++
+		}
+	}
+	// One warm run pins the per-query row count and primes the page
+	// cache before the clock starts.
+	rowsOut, err := runOnce()
+	if err != nil {
+		return queryRun{}, fmt.Errorf("bench-query %s: %w", mode, err)
+	}
+	t0 := time.Now()
+	deadline := t0.Add(time.Duration(secs * float64(time.Second)))
+	queries := 0
+	for time.Now().Before(deadline) {
+		n, err := runOnce()
+		if err != nil {
+			return queryRun{}, fmt.Errorf("bench-query %s: %w", mode, err)
+		}
+		if n != rowsOut {
+			return queryRun{}, fmt.Errorf("bench-query %s: row count changed mid-run (%d vs %d)", mode, n, rowsOut)
+		}
+		queries++
+	}
+	elapsed := time.Since(t0).Seconds()
+	if queries == 0 {
+		return queryRun{}, fmt.Errorf("bench-query %s: no queries completed in %.1fs", mode, secs)
+	}
+	return queryRun{Mode: mode, Queries: queries, RowsOut: rowsOut,
+		Seconds: elapsed, QPS: float64(queries) / elapsed}, nil
+}
+
+// queryGateMinPushRatio is the hardware-independent floor on the
+// pushdown win: selective-scan QPS over selective-scan-nopush QPS. The
+// committed report shows well above 3x; losing the edge means the scan
+// is decoding columns (or rows) it was built to skip.
+const queryGateMinPushRatio = 3.0
+
+// gateQueryBench compares a fresh query report against the committed
+// baseline: every baseline mode must be present (a dropped mode is a
+// hard failure), QPS must hold within gateRegression, and the pushdown
+// ratio must stay above queryGateMinPushRatio. As with the other gates,
+// absolute comparisons assume the baseline's hardware class — refresh
+// BENCH_query.json from the CI artifact when a change is intentional.
+func gateQueryBench(baselinePath, candidatePath string) error {
+	baseline, err := loadQueryReport(baselinePath)
+	if err != nil {
+		return err
+	}
+	candidate, err := loadQueryReport(candidatePath)
+	if err != nil {
+		return err
+	}
+	cand := map[string]queryRun{}
+	for _, r := range candidate.Runs {
+		cand[r.Mode] = r
+	}
+	var missing []string
+	failed := false
+	for _, b := range baseline.Runs {
+		c, ok := cand[b.Mode]
+		if !ok {
+			missing = append(missing, b.Mode)
+			continue
+		}
+		ratio := c.QPS / b.QPS
+		verdict := "ok"
+		if ratio < 1-gateRegression {
+			verdict = "REGRESSED"
+			failed = true
+		}
+		fmt.Fprintf(os.Stderr, "query-gate %-22s baseline %7.1f qps, candidate %7.1f qps (%.0f%%): %s\n",
+			b.Mode, b.QPS, c.QPS, ratio*100, verdict)
+	}
+	if len(missing) > 0 {
+		sort.Strings(missing)
+		return fmt.Errorf("baseline modes %v missing from candidate %s — the benchmark no longer measures them", missing, candidatePath)
+	}
+	push, havePush := cand["selective-scan"]
+	nopush, haveNopush := cand["selective-scan-nopush"]
+	if !havePush || !haveNopush {
+		return fmt.Errorf("candidate %s lacks the selective-scan/selective-scan-nopush pair", candidatePath)
+	}
+	pushRatio := push.QPS / nopush.QPS
+	verdict := "ok"
+	if pushRatio < queryGateMinPushRatio {
+		verdict = "REGRESSED"
+		failed = true
+	}
+	fmt.Fprintf(os.Stderr, "query-gate pushdown ratio %.1fx (floor %.1fx): %s\n",
+		pushRatio, queryGateMinPushRatio, verdict)
+	if failed {
+		return fmt.Errorf("query QPS regressed >%.0f%% vs %s or pushdown ratio under %.1fx (regenerate the baseline if intentional: make bench-query)",
+			gateRegression*100, baselinePath, queryGateMinPushRatio)
+	}
+	return nil
+}
+
+// loadQueryReport reads a BENCH_query.json report.
+func loadQueryReport(path string) (*queryReport, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep queryReport
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &rep, nil
+}

@@ -36,6 +36,9 @@ func run() int {
 	benchServe := flag.String("bench-serve", "", "run the serving-path load benchmark and write the JSON report to this file")
 	benchServeSecs := flag.Float64("bench-serve-seconds", 0, "seconds per (mode, in-flight) cell for -bench-serve (0 = 2, or 0.5 with -quick)")
 	benchServeBaseline := flag.String("bench-serve-baseline", "", "with -bench-serve: compare against this baseline report and fail on a >20% QPS or p99 regression")
+	benchQuery := flag.String("bench-query", "", "run the query-engine benchmark over the amplified fixture lake and write the JSON report to this file")
+	benchQuerySecs := flag.Float64("bench-query-seconds", 0, "seconds per query shape for -bench-query (0 = 2, or 0.5 with -quick)")
+	benchQueryBaseline := flag.String("bench-query-baseline", "", "with -bench-query: compare against this baseline report and fail on a >20% QPS regression or a pushdown ratio under 3x")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the selected run (experiments or benchmark) to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile taken at the end of the run to this file")
 	flag.Parse()
@@ -105,6 +108,26 @@ func run() int {
 		if *benchServeBaseline != "" {
 			if err := gateServeBench(*benchServeBaseline, *benchServe); err != nil {
 				fmt.Fprintf(os.Stderr, "experiments: serve gate: %v\n", err)
+				return 1
+			}
+		}
+		return 0
+	}
+
+	if *benchQuery != "" {
+		if *benchQuerySecs <= 0 {
+			*benchQuerySecs = 2
+			if *quick {
+				*benchQuerySecs = 0.5
+			}
+		}
+		if err := runBenchQuery(*benchQuery, *benchQuerySecs); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			return 1
+		}
+		if *benchQueryBaseline != "" {
+			if err := gateQueryBench(*benchQueryBaseline, *benchQuery); err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: query gate: %v\n", err)
 				return 1
 			}
 		}

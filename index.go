@@ -178,9 +178,11 @@ func IndexDirContext(ctx context.Context, dir string, opts IndexOptions) (*Index
 			return nil, err
 		}
 	}
+	var store *lake.SegmentStore
 	var txn *lake.StoreTxn
 	if opts.StorePath != "" {
-		store, err := lake.OpenSegmentStore(opts.StorePath)
+		var err error
+		store, err = lake.OpenSegmentStore(opts.StorePath)
 		if err != nil {
 			return nil, err
 		}
@@ -202,6 +204,12 @@ func IndexDirContext(ctx context.Context, dir string, opts IndexOptions) (*Index
 	}
 	if txn != nil {
 		if err := txn.Commit(); err != nil {
+			return nil, err
+		}
+		// Repeated crawls accumulate one segment file per (format,
+		// run); compaction folds tables back under the bound so scan
+		// cost stays flat across runs.
+		if _, err := store.Compact(lake.DefaultCompactFiles); err != nil {
 			return nil, err
 		}
 	}

@@ -9,9 +9,11 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 
@@ -48,12 +50,27 @@ import (
 // writes.
 const manifestVersion = 1
 
-// segMagic opens every segment file.
-var segMagic = []byte("dmseg1\n")
+// segMagicV1 opens every v1 segment file: blocks of
+// uvarint-length-prefixed cells, terminated by EOF, no statistics.
+var segMagicV1 = []byte("dmseg1\n")
+
+// segMagicV2 opens every v2 segment file. v2 blocks carry per-column
+// byte lengths after the row count, so a scan skips columns it does not
+// read without decoding a single cell, and the file ends with a stats
+// footer (per-block per-column zone maps plus per-column distinct
+// estimates) found via a fixed-size length trailer at the end of the
+// file. New segments always write v2; v1 stays readable.
+var segMagicV2 = []byte("dmseg2\n")
 
 // segBlockRows caps the rows per segment block: the unit of buffering
 // for both the writer and the streaming reader.
 const segBlockRows = 1024
+
+// segDistinctCap bounds the per-column distinct-value tracking while a
+// segment is written: counts are exact up to the cap, and a column that
+// reaches it reports the cap itself ("at least this many") — plenty of
+// resolution for join-order selectivity, bounded memory for the writer.
+const segDistinctCap = 4096
 
 // TableInfo describes one queryable table of the record store.
 type TableInfo struct {
@@ -73,6 +90,10 @@ type TableInfo struct {
 	Rows int
 	// Segments counts the contributing source files.
 	Segments int
+	// Distincts are per-column distinct-count estimates, the max across
+	// segments (exact per segment up to segDistinctCap). 0 means
+	// unknown — v1-era segments carry no stats.
+	Distincts []int
 }
 
 // tableName renders the query name of a (fingerprint, type) pair.
@@ -103,6 +124,15 @@ type manSeg struct {
 	Provisional int `json:"provisional,omitempty"`
 	// Kinds are the column kinds observed over this segment's values.
 	Kinds []semtype.Kind `json:"kinds"`
+	// Distincts are per-column distinct estimates observed when the
+	// segment's rows were written (capped at segDistinctCap); nil for
+	// segments written before the stats footer existed.
+	Distincts []int `json:"distincts,omitempty"`
+	// RowOff is this span's starting row inside File. Zero for a
+	// dedicated per-path segment file; a compacted table shares one
+	// file across paths, each path's rows a block-aligned span starting
+	// at RowOff.
+	RowOff int `json:"rowOff,omitempty"`
 }
 
 // manTable is one table of the manifest.
@@ -133,6 +163,7 @@ func (m *manifest) clone() *manifest {
 		for j, s := range t.Segments {
 			cs := s
 			cs.Kinds = append([]semtype.Kind(nil), s.Kinds...)
+			cs.Distincts = append([]int(nil), s.Distincts...)
 			ct.Segments[j] = cs
 		}
 		out.Tables[i] = ct
@@ -229,6 +260,16 @@ func info(t *manTable) TableInfo {
 	}
 	for i, seg := range t.Segments {
 		ti.Rows += seg.Rows
+		if len(seg.Distincts) > 0 {
+			if ti.Distincts == nil {
+				ti.Distincts = make([]int, len(t.Columns))
+			}
+			for c := 0; c < len(ti.Distincts) && c < len(seg.Distincts); c++ {
+				if seg.Distincts[c] > ti.Distincts[c] {
+					ti.Distincts[c] = seg.Distincts[c]
+				}
+			}
+		}
 		if i == 0 {
 			ti.Kinds = append([]semtype.Kind(nil), seg.Kinds...)
 			continue
@@ -310,20 +351,128 @@ func storeTableNames(man *manifest) string {
 	return strings.Join(names, ", ")
 }
 
+// ScanPred is one pushed single-column predicate: column Op literal,
+// with the query comparison set (= != < <= > >=). Numeric mirrors the
+// executor's comparison rule: when true (the column's kind is numeric),
+// an ordering comparison is numeric whenever both sides parse as
+// floats and lexicographic otherwise — exactly internal/query's
+// compareVals, so a pushed scan selects the same rows the executor
+// would have selected above it.
+type ScanPred struct {
+	Col     int
+	Op      string
+	Lit     string
+	Numeric bool
+}
+
+// ScanOptions narrows a scan. Columns lists the column indexes the
+// caller will actually read (nil means all); Preds are conjunctive row
+// filters evaluated inside the scan, against raw cell bytes, before
+// any row materializes. Rows still come back at full table width —
+// columns outside the pushed set are empty strings, never decoded.
+type ScanOptions struct {
+	Columns []int
+	Preds   []ScanPred
+}
+
+// scanPred is the compiled per-scan form of a ScanPred: the literal's
+// float value is parsed once, not per cell.
+type scanPred struct {
+	op       string
+	lit      string
+	numeric  bool
+	litF     float64
+	litIsNum bool
+}
+
+// scanPlan is the normalized form of ScanOptions for one table width.
+type scanPlan struct {
+	width   int
+	need    []bool // materialize into output rows
+	read    []bool // need, or carries a predicate
+	preds   [][]scanPred
+	hasPred bool
+}
+
+func newScanPlan(ncols int, opts ScanOptions) (*scanPlan, error) {
+	p := &scanPlan{width: ncols, need: make([]bool, ncols), read: make([]bool, ncols)}
+	if opts.Columns == nil {
+		for c := range p.need {
+			p.need[c] = true
+		}
+	} else {
+		for _, c := range opts.Columns {
+			if c < 0 || c >= ncols {
+				return nil, fmt.Errorf("lake: scan column %d out of range (table has %d)", c, ncols)
+			}
+			p.need[c] = true
+		}
+	}
+	copy(p.read, p.need)
+	p.preds = make([][]scanPred, ncols)
+	for _, sp := range opts.Preds {
+		if sp.Col < 0 || sp.Col >= ncols {
+			return nil, fmt.Errorf("lake: scan predicate column %d out of range (table has %d)", sp.Col, ncols)
+		}
+		switch sp.Op {
+		case "=", "!=", "<", "<=", ">", ">=":
+		default:
+			return nil, fmt.Errorf("lake: unsupported scan predicate op %q", sp.Op)
+		}
+		cp := scanPred{op: sp.Op, lit: sp.Lit, numeric: sp.Numeric}
+		if f, err := strconv.ParseFloat(sp.Lit, 64); err == nil {
+			cp.litF, cp.litIsNum = f, true
+		}
+		p.preds[sp.Col] = append(p.preds[sp.Col], cp)
+		p.read[sp.Col] = true
+		p.hasPred = true
+	}
+	return p, nil
+}
+
 // SegmentScan streams one table's rows across its segments in sorted
-// path order. Memory is bounded by one block (segBlockRows rows) plus
-// one open descriptor per segment: Scan opens every segment eagerly,
-// so the scan owns its bytes for its whole lifetime — a concurrent
-// commit that unlinks a superseded segment file cannot pull data out
-// from under a reader that already resolved it.
+// path order, applying any pushed projection and predicates inside the
+// block decode. Memory is bounded by one block (segBlockRows rows)
+// plus one open descriptor per distinct segment file: Scan opens every
+// file eagerly, so the scan owns its bytes for its whole lifetime — a
+// concurrent commit that unlinks a superseded segment file cannot pull
+// data out from under a reader that already resolved it.
 type SegmentScan struct {
 	columns []string
 	segs    []manSeg
-	files   []*os.File
-	segIdx  int
-	r       *bufio.Reader
-	block   [][]string
-	blockAt int
+	// files pins one descriptor per distinct segment file (a compacted
+	// table stores many paths' spans in one shared file); lastUse maps
+	// each file to the last span index reading it, so descriptors
+	// release as soon as no later span needs them.
+	files   map[string]*os.File
+	lastUse map[string]int
+	readers map[string]*segReader
+	plan    *scanPlan
+
+	segIdx   int
+	cur      *segReader
+	rowsLeft int
+	block    [][]string
+	blockAt  int
+
+	sel    []bool
+	outIdx []int
+}
+
+// segReader is the streaming state over one segment file. Several
+// spans of a compacted table share a file, so the reader persists
+// across the spans that reference it, tracking its absolute row
+// position and block index (the footer's zone maps are block-indexed).
+type segReader struct {
+	file     string
+	r        *bufio.Reader
+	version  int
+	ncols    int
+	rowPos   int
+	blockIdx int
+	foot     *segFooter // v2 + pushed predicates only
+	colBytes []uint64   // scratch: v2 block header
+	bufs     [][]byte   // scratch: raw per-column cell bytes
 }
 
 // scanOpenRetries bounds how many times Scan re-resolves a table whose
@@ -340,9 +489,15 @@ const scanOpenRetries = 8
 // narrow window between reading the manifest and opening the files,
 // Scan retries against the fresh manifest.
 func (s *SegmentStore) Scan(name string) (*SegmentScan, error) {
+	return s.ScanWith(name, ScanOptions{})
+}
+
+// ScanWith opens a scan with pushed projection and predicates; see
+// Scan for the pinning contract.
+func (s *SegmentStore) ScanWith(name string, opts ScanOptions) (*SegmentScan, error) {
 	var lastErr error
 	for attempt := 0; attempt < scanOpenRetries; attempt++ {
-		sc, err := openScan(s.dir, s.snapshot(), name)
+		sc, err := openScan(s.dir, s.snapshot(), name, opts)
 		if err != nil && errors.Is(err, os.ErrNotExist) {
 			lastErr = err
 			continue
@@ -352,11 +507,11 @@ func (s *SegmentStore) Scan(name string) (*SegmentScan, error) {
 	return nil, fmt.Errorf("lake: table %q: segments kept vanishing across %d manifest snapshots: %w", name, scanOpenRetries, lastErr)
 }
 
-// openScan resolves name in man and opens every segment file. An
-// os.ErrNotExist from a vanished segment propagates to the caller,
+// openScan resolves name in man and opens every distinct segment file.
+// An os.ErrNotExist from a vanished segment propagates to the caller,
 // which owns the retry policy (fresh snapshot for the store, stale-view
 // error for a pinned view).
-func openScan(dir string, man *manifest, name string) (*SegmentScan, error) {
+func openScan(dir string, man *manifest, name string, opts ScanOptions) (*SegmentScan, error) {
 	ti, err := resolveIn(man, name)
 	if err != nil {
 		return nil, err
@@ -365,18 +520,29 @@ func openScan(dir string, man *manifest, name string) (*SegmentScan, error) {
 	if t == nil {
 		return nil, fmt.Errorf("lake: no table %q in store", name)
 	}
+	plan, err := newScanPlan(len(t.Columns), opts)
+	if err != nil {
+		return nil, err
+	}
 	sc := &SegmentScan{
 		columns: append([]string(nil), t.Columns...),
 		segs:    append([]manSeg(nil), t.Segments...),
-		files:   make([]*os.File, len(t.Segments)),
+		files:   map[string]*os.File{},
+		lastUse: map[string]int{},
+		readers: map[string]*segReader{},
+		plan:    plan,
 	}
 	for i, seg := range sc.segs {
+		sc.lastUse[seg.File] = i
+		if _, ok := sc.files[seg.File]; ok {
+			continue
+		}
 		f, err := os.Open(filepath.Join(dir, seg.File))
 		if err != nil {
 			sc.Close()
 			return nil, err
 		}
-		sc.files[i] = f
+		sc.files[seg.File] = f
 	}
 	return sc, nil
 }
@@ -412,7 +578,13 @@ func (v *StoreView) Resolve(name string) (TableInfo, error) { return resolveIn(v
 // Scan streams one of the view's tables. A vanished segment yields
 // ErrStaleView.
 func (v *StoreView) Scan(name string) (*SegmentScan, error) {
-	sc, err := openScan(v.dir, v.man, name)
+	return v.ScanWith(name, ScanOptions{})
+}
+
+// ScanWith streams one of the view's tables with pushed projection and
+// predicates. A vanished segment yields ErrStaleView.
+func (v *StoreView) ScanWith(name string, opts ScanOptions) (*SegmentScan, error) {
+	sc, err := openScan(v.dir, v.man, name, opts)
 	if err != nil && errors.Is(err, os.ErrNotExist) {
 		return nil, fmt.Errorf("%w: %v", ErrStaleView, err)
 	}
@@ -422,8 +594,10 @@ func (v *StoreView) Scan(name string) (*SegmentScan, error) {
 // Columns returns the scan's column names.
 func (sc *SegmentScan) Columns() []string { return sc.columns }
 
-// Next returns the next row, or io.EOF after the last. The returned
-// slice is owned by the caller (rows are materialized per block).
+// Next returns the next row passing the pushed predicates, or io.EOF
+// after the last. Rows are full table width; columns outside the
+// pushed set are empty strings. The returned slice is owned by the
+// caller (rows are materialized per block).
 func (sc *SegmentScan) Next() ([]string, error) {
 	for {
 		if sc.blockAt < len(sc.block) {
@@ -431,87 +605,423 @@ func (sc *SegmentScan) Next() ([]string, error) {
 			sc.blockAt++
 			return row, nil
 		}
-		if sc.r == nil {
+		if sc.rowsLeft == 0 {
+			// The current span is done: release its file unless a later
+			// span continues in it, then position for the next span.
+			if sc.cur != nil {
+				if sc.lastUse[sc.cur.file] == sc.segIdx-1 {
+					sc.files[sc.cur.file].Close()
+					delete(sc.files, sc.cur.file)
+					delete(sc.readers, sc.cur.file)
+				}
+				sc.cur = nil
+			}
 			if sc.segIdx >= len(sc.segs) {
 				return nil, io.EOF
 			}
-			sc.r = bufio.NewReader(sc.files[sc.segIdx])
-			magic := make([]byte, len(segMagic))
-			if _, err := io.ReadFull(sc.r, magic); err != nil || !bytes.Equal(magic, segMagic) {
-				return nil, fmt.Errorf("lake: segment %s: bad magic", sc.segs[sc.segIdx].File)
-			}
-		}
-		block, err := readBlock(sc.r, len(sc.columns))
-		if err == io.EOF {
-			sc.files[sc.segIdx].Close()
-			sc.files[sc.segIdx] = nil
-			sc.r = nil
+			seg := sc.segs[sc.segIdx]
 			sc.segIdx++
+			sr, err := sc.reader(seg.File)
+			if err != nil {
+				return nil, fmt.Errorf("lake: segment %s: %w", seg.File, err)
+			}
+			sc.cur = sr
+			if err := sr.skipTo(seg.RowOff); err != nil {
+				return nil, fmt.Errorf("lake: segment %s: %w", seg.File, err)
+			}
+			sc.rowsLeft = seg.Rows
 			continue
 		}
+		rows, consumed, err := sc.readBlock()
 		if err != nil {
-			return nil, fmt.Errorf("lake: segment %s: %w", sc.segs[sc.segIdx].File, err)
+			return nil, fmt.Errorf("lake: segment %s: %w", sc.cur.file, err)
 		}
-		sc.block, sc.blockAt = block, 0
+		sc.rowsLeft -= consumed
+		sc.block, sc.blockAt = rows, 0
 	}
+}
+
+// reader returns (creating if needed) the streaming reader over one
+// segment file, validating the magic and, when predicates are pushed
+// against a v2 segment, loading the zone-map footer.
+func (sc *SegmentScan) reader(file string) (*segReader, error) {
+	if sr, ok := sc.readers[file]; ok {
+		return sr, nil
+	}
+	f := sc.files[file]
+	sr := &segReader{file: file, r: bufio.NewReader(f), ncols: len(sc.columns)}
+	magic := make([]byte, len(segMagicV1))
+	if _, err := io.ReadFull(sr.r, magic); err != nil {
+		return nil, errors.New("bad magic")
+	}
+	switch {
+	case bytes.Equal(magic, segMagicV1):
+		sr.version = 1
+	case bytes.Equal(magic, segMagicV2):
+		sr.version = 2
+	default:
+		return nil, errors.New("bad magic")
+	}
+	if sc.plan.hasPred && sr.version >= 2 {
+		foot, err := readFooter(f)
+		if err != nil {
+			return nil, fmt.Errorf("stats footer: %w", err)
+		}
+		sr.foot = foot
+	}
+	sr.bufs = make([][]byte, sr.ncols)
+	sc.readers[file] = sr
+	return sr, nil
+}
+
+// skipTo advances the reader to absolute row rowOff — the start of the
+// next span — by skipping whole blocks. Spans are block-aligned (the
+// compactor flushes at every path boundary), so landing inside a block
+// means the file and manifest disagree.
+func (sr *segReader) skipTo(rowOff int) error {
+	for sr.rowPos < rowOff {
+		nrows, err := sr.readBlockRows()
+		if err != nil {
+			return err
+		}
+		if nrows == 0 {
+			return fmt.Errorf("ends at row %d, span starts at %d", sr.rowPos, rowOff)
+		}
+		if err := sr.skipBlockData(nrows); err != nil {
+			return err
+		}
+		sr.rowPos += nrows
+		sr.blockIdx++
+	}
+	if sr.rowPos != rowOff {
+		return fmt.Errorf("span at row %d is not block-aligned (reader at row %d)", rowOff, sr.rowPos)
+	}
+	return nil
+}
+
+// readBlockRows reads a block's row-count header; 0 is the v2
+// end-of-blocks sentinel (the stats footer follows).
+func (sr *segReader) readBlockRows() (int, error) {
+	nrows, err := binary.ReadUvarint(sr.r)
+	if err != nil {
+		return 0, unexpectedEOF(err)
+	}
+	if nrows == 0 && sr.version < 2 {
+		return 0, errors.New("bad block row count 0")
+	}
+	if nrows > segBlockRows {
+		return 0, fmt.Errorf("bad block row count %d", nrows)
+	}
+	return int(nrows), nil
+}
+
+// readColBytes reads a v2 block's per-column byte-length header.
+func (sr *segReader) readColBytes() error {
+	if sr.colBytes == nil {
+		sr.colBytes = make([]uint64, sr.ncols)
+	}
+	for c := 0; c < sr.ncols; c++ {
+		n, err := binary.ReadUvarint(sr.r)
+		if err != nil {
+			return unexpectedEOF(err)
+		}
+		if n > 1<<31 {
+			return fmt.Errorf("bad column byte length %d", n)
+		}
+		sr.colBytes[c] = n
+	}
+	return nil
+}
+
+// skipBlockData discards a block's payload (the row-count header is
+// already consumed): byte-counted for v2, cell walk for v1.
+func (sr *segReader) skipBlockData(nrows int) error {
+	if sr.version >= 2 {
+		if err := sr.readColBytes(); err != nil {
+			return err
+		}
+		total := 0
+		for _, n := range sr.colBytes {
+			total += int(n)
+		}
+		_, err := sr.r.Discard(total)
+		return unexpectedEOF(err)
+	}
+	for c := 0; c < sr.ncols; c++ {
+		if err := sr.skipCells(nrows); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// skipCells discards nrows length-prefixed cells.
+func (sr *segReader) skipCells(nrows int) error {
+	for i := 0; i < nrows; i++ {
+		n, err := binary.ReadUvarint(sr.r)
+		if err != nil {
+			return unexpectedEOF(err)
+		}
+		if n > 1<<30 {
+			return fmt.Errorf("bad cell length %d", n)
+		}
+		if _, err := sr.r.Discard(int(n)); err != nil {
+			return unexpectedEOF(err)
+		}
+	}
+	return nil
+}
+
+// readColumn reads one column's raw cell bytes (uvarint-length-prefixed
+// values) into the column's scratch buffer. v2 knows the byte count up
+// front; v1 re-encodes cell by cell into the same shape, so the
+// filter/materialize walkers see one format.
+func (sr *segReader) readColumn(c, nrows int) ([]byte, error) {
+	buf := sr.bufs[c][:0]
+	if sr.version >= 2 {
+		n := int(sr.colBytes[c])
+		if cap(buf) < n {
+			buf = make([]byte, 0, n)
+		}
+		buf = buf[:n]
+		if _, err := io.ReadFull(sr.r, buf); err != nil {
+			return nil, unexpectedEOF(err)
+		}
+		sr.bufs[c] = buf
+		return buf, nil
+	}
+	var tmp [binary.MaxVarintLen64]byte
+	for i := 0; i < nrows; i++ {
+		n, err := binary.ReadUvarint(sr.r)
+		if err != nil {
+			return nil, unexpectedEOF(err)
+		}
+		if n > 1<<30 {
+			return nil, fmt.Errorf("bad cell length %d", n)
+		}
+		w := binary.PutUvarint(tmp[:], n)
+		buf = append(buf, tmp[:w]...)
+		start := len(buf)
+		if need := start + int(n); need > cap(buf) {
+			grown := make([]byte, start, 2*cap(buf)+need)
+			copy(grown, buf)
+			buf = grown
+		}
+		buf = buf[:start+int(n)]
+		if _, err := io.ReadFull(sr.r, buf[start:]); err != nil {
+			return nil, unexpectedEOF(err)
+		}
+	}
+	sr.bufs[c] = buf
+	return buf, nil
+}
+
+// readBlock reads the current span's next block, applying the pushed
+// predicates and projection: a block whose zone map cannot match skips
+// on its byte lengths alone, predicate columns decode first and an
+// empty selection discards the rest of the block undecoded, and only
+// surviving rows materialize (at full table width; unrequested columns
+// stay ""). Returns the selected rows plus the input rows consumed.
+func (sc *SegmentScan) readBlock() ([][]string, int, error) {
+	sr, plan := sc.cur, sc.plan
+	nrows, err := sr.readBlockRows()
+	if err != nil {
+		return nil, 0, err
+	}
+	if nrows == 0 || nrows > sc.rowsLeft {
+		return nil, 0, fmt.Errorf("block of %d rows overruns span (%d rows expected)", nrows, sc.rowsLeft)
+	}
+	blockIdx := sr.blockIdx
+	sr.blockIdx++
+	sr.rowPos += nrows
+	if sr.version >= 2 {
+		if err := sr.readColBytes(); err != nil {
+			return nil, 0, err
+		}
+	}
+	if sr.foot != nil && blockIdx < len(sr.foot.blocks) && zonePruned(&sr.foot.blocks[blockIdx], plan) {
+		total := 0
+		for _, n := range sr.colBytes {
+			total += int(n)
+		}
+		if _, err := sr.r.Discard(total); err != nil {
+			return nil, 0, unexpectedEOF(err)
+		}
+		return nil, nrows, nil
+	}
+	if cap(sc.sel) < nrows {
+		sc.sel = make([]bool, nrows)
+		sc.outIdx = make([]int, nrows)
+	}
+	sel := sc.sel[:nrows]
+	for i := range sel {
+		sel[i] = true
+	}
+	selCount := nrows
+	for c := 0; c < sr.ncols; c++ {
+		if !plan.read[c] || selCount == 0 {
+			if sr.version >= 2 {
+				if _, err := sr.r.Discard(int(sr.colBytes[c])); err != nil {
+					return nil, 0, unexpectedEOF(err)
+				}
+			} else if err := sr.skipCells(nrows); err != nil {
+				return nil, 0, err
+			}
+			continue
+		}
+		buf, err := sr.readColumn(c, nrows)
+		if err != nil {
+			return nil, 0, err
+		}
+		if preds := plan.preds[c]; len(preds) > 0 {
+			selCount, err = filterColumn(buf, nrows, preds, sel, selCount)
+			if err != nil {
+				return nil, 0, err
+			}
+		}
+	}
+	if selCount == 0 {
+		return nil, nrows, nil
+	}
+	rows := make([][]string, selCount)
+	cells := make([]string, selCount*plan.width)
+	j := 0
+	for i := 0; i < nrows; i++ {
+		if !sel[i] {
+			sc.outIdx[i] = -1
+			continue
+		}
+		sc.outIdx[i] = j
+		rows[j] = cells[j*plan.width : (j+1)*plan.width : (j+1)*plan.width]
+		j++
+	}
+	for c := 0; c < plan.width; c++ {
+		if !plan.need[c] {
+			continue
+		}
+		err := eachCell(sr.bufs[c], nrows, func(i int, cell []byte) {
+			if sel[i] {
+				rows[sc.outIdx[i]][c] = string(cell)
+			}
+		})
+		if err != nil {
+			return nil, 0, err
+		}
+	}
+	return rows, nrows, nil
+}
+
+// eachCell walks a raw column buffer (uvarint-length-prefixed cells),
+// calling fn with each cell's bytes.
+func eachCell(buf []byte, nrows int, fn func(i int, cell []byte)) error {
+	off := 0
+	for i := 0; i < nrows; i++ {
+		n, w := binary.Uvarint(buf[off:])
+		if w <= 0 || off+w+int(n) > len(buf) {
+			return errors.New("corrupt column cells")
+		}
+		fn(i, buf[off+w:off+w+int(n)])
+		off += w + int(n)
+	}
+	if off != len(buf) {
+		return fmt.Errorf("column has %d trailing bytes", len(buf)-off)
+	}
+	return nil
+}
+
+// filterColumn evaluates one column's predicates over its raw cells,
+// clearing selection bits for rows that fail.
+func filterColumn(buf []byte, nrows int, preds []scanPred, sel []bool, selCount int) (int, error) {
+	err := eachCell(buf, nrows, func(i int, cell []byte) {
+		if !sel[i] {
+			return
+		}
+		for j := range preds {
+			if !predMatch(cell, &preds[j]) {
+				sel[i] = false
+				selCount--
+				return
+			}
+		}
+	})
+	return selCount, err
+}
+
+// predMatch evaluates one predicate against a raw cell, mirroring the
+// executor's compareVals: equality is exact bytes; ordering is numeric
+// only when the column kind is numeric and both sides parse as floats,
+// lexicographic otherwise.
+func predMatch(cell []byte, p *scanPred) bool {
+	switch p.op {
+	case "=":
+		return string(cell) == p.lit
+	case "!=":
+		return string(cell) != p.lit
+	}
+	if p.numeric && p.litIsNum {
+		if f, err := strconv.ParseFloat(string(cell), 64); err == nil {
+			c := 0
+			switch {
+			case f < p.litF:
+				c = -1
+			case f > p.litF:
+				c = 1
+			}
+			return cmpHolds(c, p.op)
+		}
+	}
+	return cmpHolds(compareBytesStr(cell, p.lit), p.op)
+}
+
+func cmpHolds(c int, op string) bool {
+	switch op {
+	case "<":
+		return c < 0
+	case "<=":
+		return c <= 0
+	case ">":
+		return c > 0
+	case ">=":
+		return c >= 0
+	}
+	return false
+}
+
+// compareBytesStr is strings.Compare without materializing the cell.
+func compareBytesStr(b []byte, s string) int {
+	n := len(b)
+	if len(s) < n {
+		n = len(s)
+	}
+	for i := 0; i < n; i++ {
+		if b[i] != s[i] {
+			if b[i] < s[i] {
+				return -1
+			}
+			return 1
+		}
+	}
+	switch {
+	case len(b) < len(s):
+		return -1
+	case len(b) > len(s):
+		return 1
+	}
+	return 0
 }
 
 // Close releases the scan's open segment files.
 func (sc *SegmentScan) Close() error {
 	var first error
-	for i, f := range sc.files {
-		if f == nil {
-			continue
-		}
+	for name, f := range sc.files {
 		if err := f.Close(); err != nil && first == nil {
 			first = err
 		}
-		sc.files[i] = nil
+		delete(sc.files, name)
 	}
-	sc.r = nil
+	sc.readers = map[string]*segReader{}
+	sc.cur = nil
 	return first
-}
-
-// readBlock reads one column-major block: uvarint row count, then per
-// column, per row, a uvarint-length-prefixed value. io.EOF (clean) at
-// end of file.
-func readBlock(r *bufio.Reader, ncols int) ([][]string, error) {
-	nrows, err := binary.ReadUvarint(r)
-	if err == io.EOF {
-		return nil, io.EOF
-	}
-	if err != nil {
-		return nil, err
-	}
-	if nrows == 0 || nrows > segBlockRows {
-		return nil, fmt.Errorf("bad block row count %d", nrows)
-	}
-	rows := make([][]string, nrows)
-	cells := make([]string, int(nrows)*ncols)
-	for i := range rows {
-		rows[i] = cells[i*ncols : (i+1)*ncols : (i+1)*ncols]
-	}
-	var buf []byte
-	for c := 0; c < ncols; c++ {
-		for i := 0; i < int(nrows); i++ {
-			n, err := binary.ReadUvarint(r)
-			if err != nil {
-				return nil, unexpectedEOF(err)
-			}
-			if n > 1<<30 {
-				return nil, fmt.Errorf("bad cell length %d", n)
-			}
-			if int(n) > cap(buf) {
-				buf = make([]byte, n)
-			}
-			b := buf[:n]
-			if _, err := io.ReadFull(r, b); err != nil {
-				return nil, unexpectedEOF(err)
-			}
-			rows[i][c] = string(b)
-		}
-	}
-	return rows, nil
 }
 
 func unexpectedEOF(err error) error {
@@ -521,21 +1031,265 @@ func unexpectedEOF(err error) error {
 	return err
 }
 
-// segWriter streams denormalized rows into column-major blocks,
+// colZone is one column's zone map over one block: lexicographic
+// min/max always, numeric min/max only when every cell in the block
+// parses as a (non-NaN) float — a mixed block compares some rows
+// lexicographically, which numeric bounds cannot speak for.
+type colZone struct {
+	allNumeric     bool
+	lexMin, lexMax string
+	numMin, numMax float64
+}
+
+// footBlock is one block's footer entry: its row count plus one zone
+// per column.
+type footBlock struct {
+	rows int
+	cols []colZone
+}
+
+// segFooter is a v2 segment's decoded stats footer.
+type segFooter struct {
+	blocks    []footBlock
+	distincts []int
+}
+
+// zonePruned reports whether a block's zone maps prove that no row can
+// pass the pushed predicates.
+func zonePruned(fb *footBlock, plan *scanPlan) bool {
+	for c, preds := range plan.preds {
+		if len(preds) == 0 || c >= len(fb.cols) {
+			continue
+		}
+		for j := range preds {
+			if zoneExcludes(&fb.cols[c], &preds[j]) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// zoneExcludes mirrors predMatch block-wide: equality prunes on the
+// lexicographic bounds; an ordering predicate on a numeric column
+// prunes numerically only when the whole block parses (allNumeric),
+// because a mixed block falls back to per-row lexicographic comparison
+// that min/max in either order cannot bound; every other ordering
+// comparison is lexicographic for every row, so the lex bounds decide.
+func zoneExcludes(z *colZone, p *scanPred) bool {
+	switch p.op {
+	case "=":
+		return p.lit < z.lexMin || p.lit > z.lexMax
+	case "!=":
+		return z.lexMin == z.lexMax && z.lexMin == p.lit
+	}
+	if p.numeric && p.litIsNum {
+		if !z.allNumeric {
+			return false
+		}
+		switch p.op {
+		case "<":
+			return z.numMin >= p.litF
+		case "<=":
+			return z.numMin > p.litF
+		case ">":
+			return z.numMax <= p.litF
+		case ">=":
+			return z.numMax < p.litF
+		}
+		return false
+	}
+	switch p.op {
+	case "<":
+		return z.lexMin >= p.lit
+	case "<=":
+		return z.lexMin > p.lit
+	case ">":
+		return z.lexMax <= p.lit
+	case ">=":
+		return z.lexMax < p.lit
+	}
+	return false
+}
+
+// encodeFooter renders the stats footer: uvarint block and column
+// counts, then per block its row count and per column a flags byte,
+// length-prefixed lexicographic min/max (full values, raw bytes — the
+// footer is binary precisely so that non-UTF-8 cells round-trip), and,
+// for allNumeric columns, little-endian float64 numeric bounds; then
+// the per-column distinct estimates.
+func encodeFooter(blocks []footBlock, distincts []int) []byte {
+	var b []byte
+	var tmp [binary.MaxVarintLen64]byte
+	putU := func(v uint64) {
+		n := binary.PutUvarint(tmp[:], v)
+		b = append(b, tmp[:n]...)
+	}
+	putS := func(s string) {
+		putU(uint64(len(s)))
+		b = append(b, s...)
+	}
+	putF := func(f float64) {
+		var fb [8]byte
+		binary.LittleEndian.PutUint64(fb[:], math.Float64bits(f))
+		b = append(b, fb[:]...)
+	}
+	putU(uint64(len(blocks)))
+	putU(uint64(len(distincts)))
+	for _, fb := range blocks {
+		putU(uint64(fb.rows))
+		for _, z := range fb.cols {
+			var flags byte
+			if z.allNumeric {
+				flags |= 1
+			}
+			b = append(b, flags)
+			putS(z.lexMin)
+			putS(z.lexMax)
+			if z.allNumeric {
+				putF(z.numMin)
+				putF(z.numMax)
+			}
+		}
+	}
+	for _, d := range distincts {
+		putU(uint64(d))
+	}
+	return b
+}
+
+// readFooter locates and decodes a v2 segment's stats footer via the
+// 8-byte length trailer at the end of the file; ReadAt leaves the
+// streaming reader's position untouched.
+func readFooter(f *os.File) (*segFooter, error) {
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	size := st.Size()
+	if size < int64(len(segMagicV2))+9 {
+		return nil, errors.New("file too short")
+	}
+	var tr [8]byte
+	if _, err := f.ReadAt(tr[:], size-8); err != nil {
+		return nil, err
+	}
+	flen := int64(binary.LittleEndian.Uint64(tr[:]))
+	if flen < 0 || flen > size-8-int64(len(segMagicV2)) {
+		return nil, fmt.Errorf("bad footer length %d", flen)
+	}
+	blob := make([]byte, flen)
+	if _, err := f.ReadAt(blob, size-8-flen); err != nil {
+		return nil, err
+	}
+	return decodeFooter(blob)
+}
+
+func decodeFooter(blob []byte) (*segFooter, error) {
+	r := bytes.NewReader(blob)
+	readS := func() (string, error) {
+		n, err := binary.ReadUvarint(r)
+		if err != nil {
+			return "", unexpectedEOF(err)
+		}
+		if int64(n) > int64(r.Len()) {
+			return "", fmt.Errorf("bad footer string length %d", n)
+		}
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return "", unexpectedEOF(err)
+		}
+		return string(buf), nil
+	}
+	readF := func() (float64, error) {
+		var fb [8]byte
+		if _, err := io.ReadFull(r, fb[:]); err != nil {
+			return 0, unexpectedEOF(err)
+		}
+		return math.Float64frombits(binary.LittleEndian.Uint64(fb[:])), nil
+	}
+	nblocks, err := binary.ReadUvarint(r)
+	if err != nil {
+		return nil, unexpectedEOF(err)
+	}
+	ncols, err := binary.ReadUvarint(r)
+	if err != nil {
+		return nil, unexpectedEOF(err)
+	}
+	if nblocks > 1<<24 || ncols > 1<<20 {
+		return nil, fmt.Errorf("implausible footer shape (%d blocks, %d columns)", nblocks, ncols)
+	}
+	foot := &segFooter{blocks: make([]footBlock, nblocks)}
+	for bi := range foot.blocks {
+		rows, err := binary.ReadUvarint(r)
+		if err != nil {
+			return nil, unexpectedEOF(err)
+		}
+		fb := footBlock{rows: int(rows), cols: make([]colZone, ncols)}
+		for c := range fb.cols {
+			flags, err := r.ReadByte()
+			if err != nil {
+				return nil, unexpectedEOF(err)
+			}
+			z := colZone{allNumeric: flags&1 != 0}
+			if z.lexMin, err = readS(); err != nil {
+				return nil, err
+			}
+			if z.lexMax, err = readS(); err != nil {
+				return nil, err
+			}
+			if z.allNumeric {
+				if z.numMin, err = readF(); err != nil {
+					return nil, err
+				}
+				if z.numMax, err = readF(); err != nil {
+					return nil, err
+				}
+			}
+			fb.cols[c] = z
+		}
+		foot.blocks[bi] = fb
+	}
+	foot.distincts = make([]int, ncols)
+	for c := range foot.distincts {
+		d, err := binary.ReadUvarint(r)
+		if err != nil {
+			return nil, unexpectedEOF(err)
+		}
+		foot.distincts[c] = int(d)
+	}
+	if r.Len() != 0 {
+		return nil, fmt.Errorf("footer has %d trailing bytes", r.Len())
+	}
+	return foot, nil
+}
+
+// segWriter streams denormalized rows into v2 column-major blocks,
 // folding semtype classification over each block as it flushes — the
 // derived kinds depend only on the row sequence, not on how callers
 // batch their writes, so an incremental append that replays the kept
-// rows re-derives exactly the kinds a from-scratch write would.
+// rows re-derives exactly the kinds a from-scratch write would. It
+// also collects the per-block zone maps and per-column distinct
+// estimates that finish writes into the stats footer.
 type segWriter struct {
-	w     *bufio.Writer
-	ncols int
-	cols  [][]string
-	kinds []semtype.Kind
-	rows  int
+	w        *bufio.Writer
+	ncols    int
+	cols     [][]string
+	colBuf   [][]byte
+	kinds    []semtype.Kind
+	rows     int
+	blocks   []footBlock
+	distinct []map[string]struct{}
 }
 
 func newSegWriter(w *bufio.Writer, ncols int) *segWriter {
-	return &segWriter{w: w, ncols: ncols, cols: make([][]string, ncols)}
+	return &segWriter{
+		w:        w,
+		ncols:    ncols,
+		cols:     make([][]string, ncols),
+		colBuf:   make([][]byte, ncols),
+		distinct: make([]map[string]struct{}, ncols),
+	}
 }
 
 func (sw *segWriter) putUvarint(v uint64) error {
@@ -557,6 +1311,38 @@ func (sw *segWriter) add(row []string) error {
 	return nil
 }
 
+// blockZones computes the zone maps of one buffered block.
+func blockZones(cols [][]string) footBlock {
+	fb := footBlock{rows: len(cols[0]), cols: make([]colZone, len(cols))}
+	for c, vals := range cols {
+		z := colZone{allNumeric: true}
+		for i, v := range vals {
+			if i == 0 || v < z.lexMin {
+				z.lexMin = v
+			}
+			if i == 0 || v > z.lexMax {
+				z.lexMax = v
+			}
+			if !z.allNumeric {
+				continue
+			}
+			f, err := strconv.ParseFloat(v, 64)
+			if err != nil || math.IsNaN(f) {
+				z.allNumeric = false
+				continue
+			}
+			if i == 0 || f < z.numMin {
+				z.numMin = f
+			}
+			if i == 0 || f > z.numMax {
+				z.numMax = f
+			}
+		}
+		fb.cols[c] = z
+	}
+	return fb
+}
+
 func (sw *segWriter) flushBlock() error {
 	n := 0
 	if sw.ncols > 0 {
@@ -566,31 +1352,78 @@ func (sw *segWriter) flushBlock() error {
 		return nil
 	}
 	sw.kinds = foldKinds(sw.kinds, sw.cols)
+	sw.blocks = append(sw.blocks, blockZones(sw.cols))
+	for c, vals := range sw.cols {
+		m := sw.distinct[c]
+		if m == nil {
+			m = make(map[string]struct{})
+			sw.distinct[c] = m
+		}
+		for _, v := range vals {
+			if len(m) >= segDistinctCap {
+				break
+			}
+			m[v] = struct{}{}
+		}
+	}
 	if err := sw.putUvarint(uint64(n)); err != nil {
 		return err
 	}
+	// Encode each column's cells up front so the block header can carry
+	// their byte lengths — what lets a reader skip a column unread.
+	var tmp [binary.MaxVarintLen64]byte
 	for c := 0; c < sw.ncols; c++ {
+		buf := sw.colBuf[c][:0]
 		for _, v := range sw.cols[c] {
-			if err := sw.putUvarint(uint64(len(v))); err != nil {
-				return err
-			}
-			if _, err := sw.w.WriteString(v); err != nil {
-				return err
-			}
+			w := binary.PutUvarint(tmp[:], uint64(len(v)))
+			buf = append(buf, tmp[:w]...)
+			buf = append(buf, v...)
+		}
+		sw.colBuf[c] = buf
+		if err := sw.putUvarint(uint64(len(buf))); err != nil {
+			return err
+		}
+	}
+	for c := 0; c < sw.ncols; c++ {
+		if _, err := sw.w.Write(sw.colBuf[c]); err != nil {
+			return err
 		}
 		sw.cols[c] = sw.cols[c][:0]
 	}
 	return nil
 }
 
-// finish flushes the residual block and returns the folded kinds plus
-// the total row count.
-func (sw *segWriter) finish() ([]semtype.Kind, int, error) {
+// distincts snapshots the per-column distinct estimates.
+func (sw *segWriter) distincts() []int {
+	out := make([]int, sw.ncols)
+	for c, m := range sw.distinct {
+		out[c] = len(m)
+	}
+	return out
+}
+
+// finish flushes the residual block, writes the end-of-blocks sentinel
+// plus the stats footer and its length trailer, and returns the folded
+// kinds, the total row count and the distinct estimates.
+func (sw *segWriter) finish() ([]semtype.Kind, int, []int, error) {
 	if err := sw.flushBlock(); err != nil {
-		return nil, 0, err
+		return nil, 0, nil, err
+	}
+	dist := sw.distincts()
+	if err := sw.putUvarint(0); err != nil {
+		return nil, 0, nil, err
+	}
+	foot := encodeFooter(sw.blocks, dist)
+	if _, err := sw.w.Write(foot); err != nil {
+		return nil, 0, nil, err
+	}
+	var tr [8]byte
+	binary.LittleEndian.PutUint64(tr[:], uint64(len(foot)))
+	if _, err := sw.w.Write(tr[:]); err != nil {
+		return nil, 0, nil, err
 	}
 	if err := sw.w.Flush(); err != nil {
-		return nil, 0, err
+		return nil, 0, nil, err
 	}
 	kinds := sw.kinds
 	if kinds == nil {
@@ -599,7 +1432,7 @@ func (sw *segWriter) finish() ([]semtype.Kind, int, error) {
 			kinds[i] = semtype.KindString
 		}
 	}
-	return kinds, sw.rows, nil
+	return kinds, sw.rows, dist, nil
 }
 
 // addRecords feeds recs' rows of one record type through the writer.
@@ -717,11 +1550,12 @@ func (t *StoreTxn) Rewrite(relPath, fp string, templates []*template.Node, recs 
 			return err
 		}
 		var kinds []semtype.Kind
+		var dist []int
 		rows := 0
-		if _, err = tmp.Write(segMagic); err == nil {
+		if _, err = tmp.Write(segMagicV2); err == nil {
 			sw := newSegWriter(bufio.NewWriter(tmp), st.NumFields())
 			if err = addRecords(sw, st, recs, typeID); err == nil {
-				kinds, rows, err = sw.finish()
+				kinds, rows, dist, err = sw.finish()
 			}
 		}
 		if cerr := tmp.Close(); err == nil {
@@ -747,7 +1581,7 @@ func (t *StoreTxn) Rewrite(relPath, fp string, templates []*template.Node, recs 
 			tbl = &t.man.Tables[len(t.man.Tables)-1]
 		}
 		tbl.Segments = append(tbl.Segments, manSeg{
-			Path: relPath, File: name, Rev: rev, Rows: rows, Provisional: prov[typeID], Kinds: kinds,
+			Path: relPath, File: name, Rev: rev, Rows: rows, Provisional: prov[typeID], Kinds: kinds, Distincts: dist,
 		})
 		t.touched[relPath] = true
 		t.mu.Unlock()
@@ -793,6 +1627,7 @@ func (t *StoreTxn) Append(relPath, fp string, templates []*template.Node, recs [
 			return fmt.Errorf("lake: append to %s type %d: no base segment for %s", fp, typeID, relPath)
 		}
 		keep := seg.Rows - seg.Provisional
+		skip := seg.RowOff
 		oldName := seg.File
 		src, isStaged := t.staged[oldName]
 		t.mu.Unlock()
@@ -804,6 +1639,7 @@ func (t *StoreTxn) Append(relPath, fp string, templates []*template.Node, recs [
 			return err
 		}
 		var kinds []semtype.Kind
+		var dist []int
 		rows := 0
 		err = func() error {
 			in, err := os.Open(src)
@@ -811,17 +1647,17 @@ func (t *StoreTxn) Append(relPath, fp string, templates []*template.Node, recs [
 				return err
 			}
 			defer in.Close()
-			if _, err := tmp.Write(segMagic); err != nil {
+			if _, err := tmp.Write(segMagicV2); err != nil {
 				return err
 			}
 			sw := newSegWriter(bufio.NewWriter(tmp), st.NumFields())
-			if err := copyRows(sw, in, st.NumFields(), keep); err != nil {
+			if err := copyRows(sw, in, st.NumFields(), skip, keep); err != nil {
 				return err
 			}
 			if err := addRecords(sw, st, recs, typeID); err != nil {
 				return err
 			}
-			kinds, rows, err = sw.finish()
+			kinds, rows, dist, err = sw.finish()
 			return err
 		}()
 		if cerr := tmp.Close(); err == nil {
@@ -852,22 +1688,34 @@ func (t *StoreTxn) Append(relPath, fp string, templates []*template.Node, recs [
 		seg.Rows = rows
 		seg.Provisional = prov[typeID]
 		seg.Kinds = kinds
+		seg.Distincts = dist
+		seg.RowOff = 0
 		t.touched[relPath] = true
 		t.mu.Unlock()
 	}
 	return nil
 }
 
-// copyRows replays up to limit rows of a segment file into the writer.
-func copyRows(sw *segWriter, in *os.File, ncols, limit int) error {
+// copyRows replays limit rows of a segment file (either format
+// version) into the writer, skipping the first skip rows — the span
+// offset of a source inside a compacted shared file.
+func copyRows(sw *segWriter, in *os.File, ncols, skip, limit int) error {
 	r := bufio.NewReader(in)
-	magic := make([]byte, len(segMagic))
-	if _, err := io.ReadFull(r, magic); err != nil || !bytes.Equal(magic, segMagic) {
+	magic := make([]byte, len(segMagicV1))
+	if _, err := io.ReadFull(r, magic); err != nil {
+		return fmt.Errorf("bad segment magic in %s", in.Name())
+	}
+	var v2 bool
+	switch {
+	case bytes.Equal(magic, segMagicV1):
+	case bytes.Equal(magic, segMagicV2):
+		v2 = true
+	default:
 		return fmt.Errorf("bad segment magic in %s", in.Name())
 	}
 	copied := 0
 	for copied < limit {
-		block, err := readBlock(r, ncols)
+		block, err := readBlockAny(r, ncols, v2)
 		if err == io.EOF {
 			return fmt.Errorf("segment %s: %d rows, expected at least %d", in.Name(), copied, limit)
 		}
@@ -875,6 +1723,10 @@ func copyRows(sw *segWriter, in *os.File, ncols, limit int) error {
 			return err
 		}
 		for _, row := range block {
+			if skip > 0 {
+				skip--
+				continue
+			}
 			if copied >= limit {
 				break
 			}
@@ -885,6 +1737,62 @@ func copyRows(sw *segWriter, in *os.File, ncols, limit int) error {
 		}
 	}
 	return nil
+}
+
+// readBlockAny fully decodes one block of either segment version:
+// uvarint row count, the v2 per-column byte lengths if present, then
+// per column, per row, a uvarint-length-prefixed value. io.EOF (clean)
+// at end of file — for v2, at the end-of-blocks sentinel.
+func readBlockAny(r *bufio.Reader, ncols int, v2 bool) ([][]string, error) {
+	nrows, err := binary.ReadUvarint(r)
+	if err == io.EOF {
+		return nil, io.EOF
+	}
+	if err != nil {
+		return nil, err
+	}
+	if nrows == 0 {
+		if v2 {
+			return nil, io.EOF
+		}
+		return nil, errors.New("bad block row count 0")
+	}
+	if nrows > segBlockRows {
+		return nil, fmt.Errorf("bad block row count %d", nrows)
+	}
+	if v2 {
+		for c := 0; c < ncols; c++ {
+			if _, err := binary.ReadUvarint(r); err != nil {
+				return nil, unexpectedEOF(err)
+			}
+		}
+	}
+	rows := make([][]string, nrows)
+	cells := make([]string, int(nrows)*ncols)
+	for i := range rows {
+		rows[i] = cells[i*ncols : (i+1)*ncols : (i+1)*ncols]
+	}
+	var buf []byte
+	for c := 0; c < ncols; c++ {
+		for i := 0; i < int(nrows); i++ {
+			n, err := binary.ReadUvarint(r)
+			if err != nil {
+				return nil, unexpectedEOF(err)
+			}
+			if n > 1<<30 {
+				return nil, fmt.Errorf("bad cell length %d", n)
+			}
+			if int(n) > cap(buf) {
+				buf = make([]byte, n)
+			}
+			b := buf[:n]
+			if _, err := io.ReadFull(r, b); err != nil {
+				return nil, unexpectedEOF(err)
+			}
+			rows[i][c] = string(b)
+		}
+	}
+	return rows, nil
 }
 
 // Covers reports whether the transaction's view holds a segment of
@@ -989,10 +1897,28 @@ func (t *StoreTxn) Commit() error {
 	if err != nil {
 		return err
 	}
+	// A doomed file can still back spans of the published manifest: a
+	// compacted file is shared by several paths, and this transaction
+	// dooms it when it rewrites or drops just one of them. Keep any
+	// file the published manifest still references.
+	live := referencedFiles(merged)
 	for name := range t.doomed {
-		os.Remove(filepath.Join(t.s.dir, name))
+		if !live[name] {
+			os.Remove(filepath.Join(t.s.dir, name))
+		}
 	}
 	return nil
+}
+
+// referencedFiles collects every segment filename a manifest points at.
+func referencedFiles(man *manifest) map[string]bool {
+	out := map[string]bool{}
+	for i := range man.Tables {
+		for _, seg := range man.Tables[i].Segments {
+			out[seg.File] = true
+		}
+	}
+	return out
 }
 
 // mergeManifest rebases a transaction's outcome onto the store's
@@ -1033,6 +1959,153 @@ func mergeManifest(cur, txn *manifest, touched map[string]bool) *manifest {
 	}
 	out.normalize()
 	return out
+}
+
+// DefaultCompactFiles is the per-table segment-file bound the crawl
+// passes to Compact: a table spread over more files than this is
+// rewritten into one shared file.
+const DefaultCompactFiles = 2
+
+// compactFileName names a table's compacted shared segment file. gen
+// rises past every revision the table has published (and the spans it
+// writes carry Rev=gen), so repeated compactions and interleaved
+// appends never reuse a live filename.
+func compactFileName(fp string, typeID, gen int) string {
+	sum := sha256.Sum256([]byte("compact\x00" + fp))
+	return fmt.Sprintf("%x.t%d.c%d.seg", sum[:12], typeID, gen)
+}
+
+// Compact rewrites every table whose rows are spread across more than
+// maxFiles segment files into one fresh shared v2 file per table: the
+// paths' spans are copied in sorted path order, the block buffer
+// flushing at each path boundary so every span stays block-aligned
+// (zone maps never mix paths), and each span keeps its original row
+// count, provisional tail, kinds and distinct estimates under a new
+// (File, Rev, RowOff). Logical table contents are untouched — only the
+// file layout changes — so Compact is an optimization the crawl runs
+// after committing: it publishes via compare-and-swap against the
+// manifest it read and simply skips (returning 0) if a concurrent
+// commit got there first; the next crawl retries. Superseded segment
+// files are deleted once the new manifest is published. Returns the
+// number of tables rewritten.
+func (s *SegmentStore) Compact(maxFiles int) (int, error) {
+	if maxFiles < 1 {
+		maxFiles = 1
+	}
+	base := s.snapshot()
+	var targets []int
+	for i := range base.Tables {
+		files := map[string]bool{}
+		for _, seg := range base.Tables[i].Segments {
+			files[seg.File] = true
+		}
+		if len(files) > maxFiles {
+			targets = append(targets, i)
+		}
+	}
+	if len(targets) == 0 {
+		return 0, nil
+	}
+	next := base.clone()
+	type stagedFile struct{ tmp, final string }
+	var staged []stagedFile
+	cleanup := func() {
+		for _, sf := range staged {
+			os.Remove(sf.tmp)
+		}
+	}
+	for _, ti := range targets {
+		tbl := &next.Tables[ti]
+		gen := 0
+		for _, seg := range tbl.Segments {
+			if seg.Rev >= gen {
+				gen = seg.Rev + 1
+			}
+		}
+		final := compactFileName(tbl.Fingerprint, tbl.Type, gen)
+		tmp, err := os.CreateTemp(s.dir, ".stage-*")
+		if err != nil {
+			cleanup()
+			return 0, err
+		}
+		err = func() error {
+			if _, err := tmp.Write(segMagicV2); err != nil {
+				return err
+			}
+			sw := newSegWriter(bufio.NewWriter(tmp), len(tbl.Columns))
+			rowOff := 0
+			for si := range tbl.Segments {
+				seg := &tbl.Segments[si]
+				in, err := os.Open(filepath.Join(s.dir, seg.File))
+				if err != nil {
+					return err
+				}
+				err = copyRows(sw, in, len(tbl.Columns), seg.RowOff, seg.Rows)
+				in.Close()
+				if err != nil {
+					return err
+				}
+				if err := sw.flushBlock(); err != nil {
+					return err
+				}
+				seg.File, seg.Rev, seg.RowOff = final, gen, rowOff
+				rowOff += seg.Rows
+			}
+			_, rows, _, err := sw.finish()
+			if err != nil {
+				return err
+			}
+			if rows != rowOff {
+				return fmt.Errorf("lake: compaction wrote %d rows, manifest names %d", rows, rowOff)
+			}
+			return nil
+		}()
+		if cerr := tmp.Close(); err == nil {
+			err = cerr
+		}
+		if err == nil {
+			err = os.Chmod(tmp.Name(), 0o644)
+		}
+		if err != nil {
+			os.Remove(tmp.Name())
+			cleanup()
+			return 0, err
+		}
+		staged = append(staged, stagedFile{tmp: tmp.Name(), final: final})
+	}
+	next.normalize()
+	s.mu.Lock()
+	if s.man != base {
+		// A commit published while we were rewriting; our inputs are
+		// stale. Drop the work — the next crawl re-triggers compaction.
+		s.mu.Unlock()
+		cleanup()
+		return 0, nil
+	}
+	for i, sf := range staged {
+		if err := os.Rename(sf.tmp, filepath.Join(s.dir, sf.final)); err != nil {
+			s.mu.Unlock()
+			for _, rest := range staged[i:] {
+				os.Remove(rest.tmp)
+			}
+			return 0, err
+		}
+	}
+	err := saveManifest(s.dir, next)
+	if err == nil {
+		s.man = next
+	}
+	s.mu.Unlock()
+	if err != nil {
+		return 0, err
+	}
+	live := referencedFiles(next)
+	for name := range referencedFiles(base) {
+		if !live[name] {
+			os.Remove(filepath.Join(s.dir, name))
+		}
+	}
+	return len(targets), nil
 }
 
 // Abort discards the transaction's staged files; the store is

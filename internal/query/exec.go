@@ -1,6 +1,7 @@
 package query
 
 import (
+	"container/heap"
 	"context"
 	"fmt"
 	"io"
@@ -48,13 +49,13 @@ func (r *Rows) Next() ([]string, error) { return r.it.Next() }
 // Close releases the underlying scans.
 func (r *Rows) Close() error { return r.it.Close() }
 
-// plannedTable is one FROM table with its selectivity score.
+// plannedTable is one FROM table with its selectivity signals.
 type plannedTable struct {
 	item   FromItem
 	meta   TableMeta
 	offset int // block start in the wide row
 	// eqLit and otherLit count the table's literal predicates — the
-	// visible-selectivity signal the greedy planner orders by.
+	// tie-breaking signal when cardinality estimates collide.
 	eqLit, otherLit int
 }
 
@@ -75,10 +76,12 @@ type compiledPred struct {
 
 type planner struct {
 	cat    Catalog
+	push   PushCatalog // non-nil when cat supports scan pushdown
 	q      *Query
 	tables []plannedTable
 	width  int
 	preds  []compiledPred
+	need   [][]bool // per table, per column: referenced by the query
 }
 
 // Run plans q against the catalog and opens its result stream. The
@@ -113,6 +116,12 @@ func Run(ctx context.Context, cat Catalog, q *Query) (*Rows, error) {
 			} else {
 				pl.tables[cp.lTab].otherLit++
 			}
+		}
+	}
+	if push, ok := cat.(PushCatalog); ok {
+		pl.push = push
+		if err := pl.computeNeeded(); err != nil {
+			return nil, err
 		}
 	}
 
@@ -195,16 +204,107 @@ func (pl *planner) resolveRef(ref ColRef) (int, int, error) {
 	return found, foundCol, nil
 }
 
-// greedyOrder picks the join order: start at the table with the most
-// equality-literal predicates (then other literal predicates, then FROM
-// order), and repeatedly extend along join-connected tables, preferring
-// more connections and better own scores. Disconnected tables join last
-// as cross products.
+// computeNeeded marks, per table, every column the query references —
+// select outputs, grouping keys, predicate sides, join keys (ORDER BY
+// names output columns, so it adds nothing). Unmarked columns are
+// never decoded by a pushed scan.
+func (pl *planner) computeNeeded() error {
+	pl.need = make([][]bool, len(pl.tables))
+	for i := range pl.tables {
+		pl.need[i] = make([]bool, len(pl.tables[i].meta.Columns))
+	}
+	q := pl.q
+	if q.Star {
+		for i := range pl.need {
+			for c := range pl.need[i] {
+				pl.need[i][c] = true
+			}
+		}
+	}
+	mark := func(ref ColRef) error {
+		ti, ci, err := pl.resolveRef(ref)
+		if err != nil {
+			return err
+		}
+		pl.need[ti][ci] = true
+		return nil
+	}
+	for _, e := range q.Select {
+		if e.Star { // count(*)
+			continue
+		}
+		if err := mark(e.Col); err != nil {
+			return err
+		}
+	}
+	for _, ref := range q.GroupBy {
+		if err := mark(ref); err != nil {
+			return err
+		}
+	}
+	for i := range pl.preds {
+		cp := &pl.preds[i]
+		pl.need[cp.lTab][cp.lOff-pl.tables[cp.lTab].offset] = true
+		if cp.rTab >= 0 {
+			pl.need[cp.rTab][cp.rOff-pl.tables[cp.rTab].offset] = true
+		}
+	}
+	return nil
+}
+
+// defaultEqSelectivity applies to an equality literal when the store
+// recorded no distinct estimate for the column.
+const defaultEqSelectivity = 0.1
+
+// card estimates a table's post-filter cardinality: the stored row
+// count times each literal predicate's selectivity — 1/distinct for an
+// equality when the catalog carries a distinct estimate, a coarse
+// default otherwise, 1/3 for range comparisons, and near-1 for !=.
+func (pl *planner) card(ti int) float64 {
+	t := &pl.tables[ti]
+	card := float64(t.meta.Rows)
+	if card < 1 {
+		card = 1
+	}
+	for i := range pl.preds {
+		cp := &pl.preds[i]
+		if !cp.isLit || cp.lTab != ti {
+			continue
+		}
+		sel := 0.9 // !=
+		switch cp.op {
+		case "=":
+			sel = defaultEqSelectivity
+			if ci := cp.lOff - t.offset; ci < len(t.meta.Distincts) && t.meta.Distincts[ci] > 0 {
+				sel = 1 / float64(t.meta.Distincts[ci])
+			}
+		case "<", "<=", ">", ">=":
+			sel = 1.0 / 3
+		}
+		card *= sel
+	}
+	return card
+}
+
+// greedyOrder picks the join order by estimated cardinality: start at
+// the table with the smallest post-filter estimate (stored row counts
+// times predicate selectivities; literal-predicate counts and FROM
+// order break ties, so plans stay deterministic when statistics are
+// absent or equal), and repeatedly extend along join-connected tables,
+// preferring more connections and then smaller estimates. Disconnected
+// tables join last as cross products.
 func (pl *planner) greedyOrder() []int {
 	n := len(pl.tables)
 	order := make([]int, 0, n)
 	used := make([]bool, n)
-	better := func(a, b int) bool { // a strictly more selective than b
+	cards := make([]float64, n)
+	for i := range cards {
+		cards[i] = pl.card(i)
+	}
+	better := func(a, b int) bool { // a strictly cheaper than b
+		if cards[a] != cards[b] {
+			return cards[a] < cards[b]
+		}
 		ta, tb := &pl.tables[a], &pl.tables[b]
 		if ta.eqLit != tb.eqLit {
 			return ta.eqLit > tb.eqLit
@@ -337,17 +437,43 @@ func (pl *planner) buildJoinTree(ctx context.Context, order []int) (iter, error)
 }
 
 // scan opens one table's scan, widened to the plan's row layout, with
-// cancellation checks.
+// cancellation checks. Against a pushdown-capable catalog it hands the
+// scan the query's needed columns for the table plus its single-table
+// literal predicates, marking those predicates applied so no filter
+// re-evaluates them above the scan.
 func (pl *planner) scan(ctx context.Context, ti int) (iter, error) {
-	rows, err := pl.cat.Scan(pl.tables[ti].meta.Name)
+	t := &pl.tables[ti]
+	var rows RowIter
+	var err error
+	if pl.push != nil {
+		push := ScanPushdown{Columns: make([]int, 0, len(t.meta.Columns))}
+		for c, ok := range pl.need[ti] {
+			if ok {
+				push.Columns = append(push.Columns, c)
+			}
+		}
+		for i := range pl.preds {
+			cp := &pl.preds[i]
+			if cp.applied || !cp.isLit || cp.lTab != ti {
+				continue
+			}
+			push.Preds = append(push.Preds, PushPred{
+				Col: cp.lOff - t.offset, Op: cp.op, Lit: cp.lit, Numeric: cp.numeric,
+			})
+			cp.applied = true
+		}
+		rows, err = pl.push.ScanPushed(t.meta.Name, push)
+	} else {
+		rows, err = pl.cat.Scan(t.meta.Name)
+	}
 	if err != nil {
 		return nil, err
 	}
 	return &scanIter{
 		ctx:    ctx,
 		rows:   rows,
-		offset: pl.tables[ti].offset,
-		ncols:  len(pl.tables[ti].meta.Columns),
+		offset: t.offset,
+		ncols:  len(t.meta.Columns),
 		width:  pl.width,
 	}, nil
 }
@@ -466,18 +592,23 @@ func (pl *planner) buildHead(it iter) (*Rows, error) {
 	}
 
 	if len(q.OrderBy) > 0 {
-		s := &sortIter{src: it}
+		var keys []sortKey
 		for _, key := range q.OrderBy {
 			col, err := findOutputCol(columns, key.Expr)
 			if err != nil {
 				it.Close()
 				return nil, err
 			}
-			s.keys = append(s.keys, sortKey{col: col, desc: key.Desc, numeric: kinds[col].Numeric()})
+			keys = append(keys, sortKey{col: col, desc: key.Desc, numeric: kinds[col].Numeric()})
 		}
-		it = s
-	}
-	if q.Limit >= 0 {
+		if q.Limit >= 0 {
+			// ORDER BY + LIMIT: a bounded heap holds the best k rows
+			// instead of materializing and sorting the whole input.
+			it = &topKIter{src: it, h: topKHeap{keys: keys}, k: q.Limit}
+		} else {
+			it = &sortIter{src: it, keys: keys}
+		}
+	} else if q.Limit >= 0 {
 		it = &limitIter{src: it, left: q.Limit}
 	}
 	return &Rows{columns: columns, kinds: kinds, it: it}, nil
@@ -982,6 +1113,104 @@ func (s *sortIter) Next() ([]string, error) {
 }
 
 func (s *sortIter) Close() error { return s.src.Close() }
+
+// topKRow is one heap entry: the row plus its input sequence number,
+// the final ordering key that reproduces a stable sort's tie handling.
+type topKRow struct {
+	row []string
+	seq int
+}
+
+// topKHeap is a max-heap under (sort keys, input sequence): the root
+// is the worst retained row, the one a better arrival evicts.
+type topKHeap struct {
+	rows []topKRow
+	keys []sortKey
+}
+
+func (h *topKHeap) Len() int { return len(h.rows) }
+
+// after reports a ordering strictly after b.
+func (h *topKHeap) after(a, b topKRow) bool {
+	for _, k := range h.keys {
+		c := compareVals(a.row[k.col], b.row[k.col], k.numeric)
+		if k.desc {
+			c = -c
+		}
+		if c != 0 {
+			return c > 0
+		}
+	}
+	return a.seq > b.seq
+}
+
+func (h *topKHeap) Less(a, b int) bool { return h.after(h.rows[a], h.rows[b]) }
+func (h *topKHeap) Swap(a, b int)      { h.rows[a], h.rows[b] = h.rows[b], h.rows[a] }
+func (h *topKHeap) Push(x any)         { h.rows = append(h.rows, x.(topKRow)) }
+func (h *topKHeap) Pop() any {
+	last := h.rows[len(h.rows)-1]
+	h.rows = h.rows[:len(h.rows)-1]
+	return last
+}
+
+// topKIter keeps the k first rows of the sorted output using a bounded
+// heap — ORDER BY + LIMIT without materializing the input. The input
+// sequence number is the last ordering key, so the emitted rows are
+// exactly a stable full sort's first k.
+type topKIter struct {
+	src   iter
+	h     topKHeap
+	k     int
+	built bool
+	rows  [][]string
+	pos   int
+}
+
+func (t *topKIter) run() error {
+	t.built = true
+	seq := 0
+	for {
+		row, err := t.src.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		if t.k <= 0 {
+			continue
+		}
+		tr := topKRow{row: row, seq: seq}
+		seq++
+		if len(t.h.rows) < t.k {
+			heap.Push(&t.h, tr)
+		} else if t.h.after(t.h.rows[0], tr) {
+			t.h.rows[0] = tr
+			heap.Fix(&t.h, 0)
+		}
+	}
+	t.rows = make([][]string, len(t.h.rows))
+	for i := len(t.rows) - 1; i >= 0; i-- {
+		t.rows[i] = heap.Pop(&t.h).(topKRow).row
+	}
+	return nil
+}
+
+func (t *topKIter) Next() ([]string, error) {
+	if !t.built {
+		if err := t.run(); err != nil {
+			return nil, err
+		}
+	}
+	if t.pos >= len(t.rows) {
+		return nil, io.EOF
+	}
+	row := t.rows[t.pos]
+	t.pos++
+	return row, nil
+}
+
+func (t *topKIter) Close() error { return t.src.Close() }
 
 // limitIter stops after n rows.
 type limitIter struct {

@@ -1,9 +1,12 @@
 // Package query is a streaming relational query engine over the lake's
-// columnar record store: selection, projection, equi-join and
-// group-by/aggregation as composable pull-based iterators, with greedy
-// join ordering driven by pattern-visible selectivity (no cardinality
-// statistics — equality-literal predicates first, natural-join paths
-// through shared columns, early termination on empty intermediates).
+// columnar record store: selection, projection, equi-join, group-by
+// and top-k as composable pull-based iterators, with cost-based greedy
+// join ordering (stored row counts × predicate selectivities from
+// per-column distinct estimates, natural-join paths through shared
+// columns, early termination on empty intermediates). Against a
+// pushdown-capable catalog (see PushCatalog) the planner pushes each
+// table's needed columns and single-table literal predicates into the
+// scan itself.
 //
 // Queries are written in a minimal SELECT-like text form:
 //
@@ -581,6 +584,10 @@ type TableMeta struct {
 	Kinds []semtype.Kind
 	// Rows is the table's total row count (a visibility hint only).
 	Rows int
+	// Distincts are per-column distinct-count estimates the planner's
+	// cost model uses for equality-literal selectivity; nil or 0 means
+	// unknown (a default selectivity applies).
+	Distincts []int
 }
 
 // RowIter streams rows; Next returns io.EOF after the last row.
@@ -598,3 +605,46 @@ type Catalog interface {
 	// Scan opens a row stream over the resolved table name.
 	Scan(name string) (RowIter, error)
 }
+
+// PushPred is one single-table literal predicate the planner pushes
+// into a scan: column index Op literal, with the executor's comparison
+// semantics (Numeric mirrors compareVals — ordering is numeric only
+// when the column kind is numeric and both sides parse).
+type PushPred struct {
+	Col     int
+	Op      string
+	Lit     string
+	Numeric bool
+}
+
+// ScanPushdown narrows a pushed scan. Columns lists the column indexes
+// the executor will read (nil means all; rows still come back at full
+// table width, with unrequested columns empty); Preds filter rows
+// inside the scan, before they materialize.
+type ScanPushdown struct {
+	Columns []int
+	Preds   []PushPred
+}
+
+// PushCatalog is the optional pushdown-capable catalog: a catalog that
+// also implements ScanPushed receives each table's needed-column set
+// and single-table literal predicates inside the scan (the record
+// store decodes only the pushed columns and skips blocks via zone
+// maps). The planner type-asserts; plain Catalogs keep the
+// filter-above-scan path, byte-identical results either way.
+type PushCatalog interface {
+	Catalog
+	// ScanPushed opens a row stream with the pushdown applied: only
+	// rows passing every pushed predicate, at full table width.
+	ScanPushed(name string, push ScanPushdown) (RowIter, error)
+}
+
+// noPushdown embeds only the Catalog interface, so the planner's
+// PushCatalog assertion fails even when the wrapped catalog supports
+// pushdown.
+type noPushdown struct{ Catalog }
+
+// NoPushdown strips a catalog's pushdown capability: every scan
+// decodes full rows and predicates run above the scan — the reference
+// path the pushdown benchmarks and property tests compare against.
+func NoPushdown(cat Catalog) Catalog { return noPushdown{cat} }

@@ -83,6 +83,7 @@ func WriteNDJSON(w io.Writer, rows *Rows, flush func()) error {
 type storeLike interface {
 	Resolve(name string) (lake.TableInfo, error)
 	Scan(name string) (*lake.SegmentScan, error)
+	ScanWith(name string, opts lake.ScanOptions) (*lake.SegmentScan, error)
 }
 
 // storeCatalog adapts the lake's segment store to the engine's Catalog.
@@ -115,9 +116,20 @@ func (c storeCatalog) Resolve(name string) (TableMeta, error) {
 	if err != nil {
 		return TableMeta{}, err
 	}
-	return TableMeta{Name: ti.Name, Columns: ti.Columns, Kinds: ti.Kinds, Rows: ti.Rows}, nil
+	return TableMeta{Name: ti.Name, Columns: ti.Columns, Kinds: ti.Kinds, Rows: ti.Rows, Distincts: ti.Distincts}, nil
 }
 
 func (c storeCatalog) Scan(name string) (RowIter, error) {
 	return c.s.Scan(name)
+}
+
+// ScanPushed implements PushCatalog: the planner's projection and
+// predicates translate onto the segment scan, which decodes only the
+// pushed columns and skips blocks via zone maps.
+func (c storeCatalog) ScanPushed(name string, push ScanPushdown) (RowIter, error) {
+	opts := lake.ScanOptions{Columns: push.Columns}
+	for _, p := range push.Preds {
+		opts.Preds = append(opts.Preds, lake.ScanPred{Col: p.Col, Op: p.Op, Lit: p.Lit, Numeric: p.Numeric})
+	}
+	return c.s.ScanWith(name, opts)
 }

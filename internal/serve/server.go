@@ -247,6 +247,18 @@ type statusJSON struct {
 	CacheMisses    uint64 `json:"profileCacheMisses"`
 	MaxBodyBytes   int64  `json:"maxBodyBytes"`
 	RequestTimeout string `json:"requestTimeout"`
+	// Tables lists the record store's tables with their manifest-held
+	// sizes (absent without a store). The counts come straight from the
+	// manifest — reporting them never scans a segment.
+	Tables []statusTable `json:"tables,omitempty"`
+}
+
+// statusTable is one record-store table in /v1/status.
+type statusTable struct {
+	Name     string `json:"name"`
+	Columns  int    `json:"columns"`
+	Rows     int    `json:"rows"`
+	Segments int    `json:"segments"`
 }
 
 // handleStatus reports the serving gauges. Exempt from the in-flight
@@ -254,6 +266,12 @@ type statusJSON struct {
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	st := s.state()
 	size, hits, misses := s.cache.stats()
+	var tables []statusTable
+	if s.store != nil {
+		for _, ti := range s.store.Tables() {
+			tables = append(tables, statusTable{Name: ti.Name, Columns: len(ti.Columns), Rows: ti.Rows, Segments: ti.Segments})
+		}
+	}
 	writeJSON(w, http.StatusOK, statusJSON{
 		Generation:     st.gen,
 		Formats:        st.reg.Len(),
@@ -266,6 +284,7 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 		CacheMisses:    misses,
 		MaxBodyBytes:   s.cfg.MaxBodyBytes,
 		RequestTimeout: s.cfg.RequestTimeout.String(),
+		Tables:         tables,
 	})
 }
 
@@ -726,6 +745,15 @@ func (s *Server) Reindex(ctx context.Context, format string) (*lake.Result, erro
 	s.cur = next
 	s.mu.Unlock()
 	s.swapMu.Unlock()
+	if s.store != nil {
+		// Compaction after publish keeps per-table segment-file counts
+		// bounded across repeated reindexes. A commit racing the
+		// compaction makes it a harmless no-op (it CASes the manifest),
+		// never a conflict.
+		if _, err := s.store.Compact(lake.DefaultCompactFiles); err != nil {
+			return nil, err
+		}
+	}
 	if err := s.Persist(); err != nil {
 		return nil, err
 	}

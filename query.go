@@ -15,6 +15,43 @@ type QueryOptions struct {
 	// segments written by IndexDir (IndexOptions.StorePath) or by
 	// `datamaran serve -store`. Required.
 	StorePath string
+	// DisablePushdown runs the query without predicate/projection
+	// pushdown (every column decoded, every predicate evaluated above
+	// the scan, no zone-map block skipping) — the pre-pushdown
+	// reference path. Results are identical either way; benchmarks use
+	// it to measure the pushdown win.
+	DisablePushdown bool
+}
+
+// TableStat summarizes one record-store table straight from the
+// manifest — no segment is opened or scanned.
+type TableStat struct {
+	// Name is the table's query name: the format fingerprint, with a
+	// "_<k>" suffix for record types beyond the first.
+	Name string
+	// Columns is the table width (the denormalized f0..fN schema).
+	Columns int
+	// Rows is the total row count across segments.
+	Rows int
+	// Segments counts the contributing source files.
+	Segments int
+}
+
+// StoreTables lists a record store's tables with their manifest-held
+// sizes, in the manifest's (fingerprint, type) order. The counts come
+// from the manifest alone, so this is cheap regardless of store size —
+// it is what `datamaran query -tables` and the daemon's /v1/status
+// report.
+func StoreTables(storePath string) ([]TableStat, error) {
+	store, err := lake.OpenSegmentStore(storePath)
+	if err != nil {
+		return nil, err
+	}
+	var out []TableStat
+	for _, ti := range store.Tables() {
+		out = append(out, TableStat{Name: ti.Name, Columns: len(ti.Columns), Rows: ti.Rows, Segments: ti.Segments})
+	}
+	return out, nil
 }
 
 // QueryRows streams one query's results. Rows arrive as the underlying
@@ -78,7 +115,11 @@ func Query(ctx context.Context, text string, opts QueryOptions) (*QueryRows, err
 	if err != nil {
 		return nil, err
 	}
-	rows, err := query.Run(ctx, query.StoreCatalog(store), q)
+	cat := query.StoreCatalog(store)
+	if opts.DisablePushdown {
+		cat = query.NoPushdown(cat)
+	}
+	rows, err := query.Run(ctx, cat, q)
 	if err != nil {
 		return nil, err
 	}

@@ -21,6 +21,8 @@ var goldenQueries = map[string]string{
 	"join.csv":          "SELECT m.f1, m.f2, h.f3, h.f5 FROM 570eebfb5b600688 AS m, 3065c6f04a84699c AS h WHERE m.f3 = h.f1 AND m.f2 > 99 ORDER BY m.f2 DESC, m.f1",
 	"groupby.csv":       "SELECT f3, count(*), avg(f2) FROM 570eebfb5b600688 GROUP BY f3 ORDER BY f3",
 	"joingroup.ndjson":  "SELECT h.f5, count(*) FROM 570eebfb5b600688 AS m, 3065c6f04a84699c AS h WHERE m.f3 = h.f1 GROUP BY h.f5 ORDER BY h.f5",
+	"topk.csv":          "SELECT f1, f2, f3 FROM 570eebfb5b600688 ORDER BY f2 DESC, f1 LIMIT 5",
+	"range.ndjson":      "SELECT f1, f2 FROM 570eebfb5b600688 WHERE f2 > 90 AND f2 <= 99",
 }
 
 // TestQueryGoldens: the in-process engine (the public Query entry
@@ -40,22 +42,30 @@ func TestQueryGoldens(t *testing.T) {
 		if err != nil {
 			t.Fatalf("missing golden (run scripts/golden_query.sh -update): %v", err)
 		}
-		rows, err := Query(context.Background(), text, QueryOptions{StorePath: storePath})
-		if err != nil {
-			t.Fatalf("%s: %v", file, err)
-		}
-		var got bytes.Buffer
-		if strings.HasSuffix(file, ".csv") {
-			err = rows.WriteCSV(&got)
-		} else {
-			err = rows.WriteNDJSON(&got)
-		}
-		rows.Close()
-		if err != nil {
-			t.Fatalf("%s: %v", file, err)
-		}
-		if !bytes.Equal(got.Bytes(), want) {
-			t.Errorf("%s: engine output differs from golden\ngot:\n%s\nwant:\n%s", file, &got, want)
+		// Both with pushdown (the default) and without: DisablePushdown
+		// routes through the pre-pushdown full-decode path, and the two
+		// must be byte-identical on every golden.
+		for _, nopush := range []bool{false, true} {
+			rows, err := Query(context.Background(), text, QueryOptions{
+				StorePath:       storePath,
+				DisablePushdown: nopush,
+			})
+			if err != nil {
+				t.Fatalf("%s: %v", file, err)
+			}
+			var got bytes.Buffer
+			if strings.HasSuffix(file, ".csv") {
+				err = rows.WriteCSV(&got)
+			} else {
+				err = rows.WriteNDJSON(&got)
+			}
+			rows.Close()
+			if err != nil {
+				t.Fatalf("%s: %v", file, err)
+			}
+			if !bytes.Equal(got.Bytes(), want) {
+				t.Errorf("%s (nopush=%v): engine output differs from golden\ngot:\n%s\nwant:\n%s", file, nopush, &got, want)
+			}
 		}
 	}
 }

@@ -1,7 +1,8 @@
 #!/bin/sh
 # Golden-query check for the lake query engine: build the record store
 # fresh from the checked-in fixture lake (testdata/lake), run the query
-# suite (selection, projection, a two-format equi-join, group-by) with
+# suite (selection, projection, a two-format equi-join, group-by,
+# ORDER BY+LIMIT top-k, range-WHERE) with
 # `datamaran query`, and diff every result against the committed
 # goldens — at two worker counts, since neither the store bytes nor any
 # query result may depend on crawl parallelism. The same goldens are
@@ -23,6 +24,8 @@ selection.csv|SELECT f1, f2, f3 FROM 570eebfb5b600688 WHERE f2 > 99
 projection.ndjson|SELECT f1, f6 FROM 94d88dc2a33387cc WHERE f5 = '500' LIMIT 15
 join.csv|SELECT m.f1, m.f2, h.f3, h.f5 FROM 570eebfb5b600688 AS m, 3065c6f04a84699c AS h WHERE m.f3 = h.f1 AND m.f2 > 99 ORDER BY m.f2 DESC, m.f1
 groupby.csv|SELECT f3, count(*), avg(f2) FROM 570eebfb5b600688 GROUP BY f3 ORDER BY f3
+topk.csv|SELECT f1, f2, f3 FROM 570eebfb5b600688 ORDER BY f2 DESC, f1 LIMIT 5
+range.ndjson|SELECT f1, f2 FROM 570eebfb5b600688 WHERE f2 > 90 AND f2 <= 99
 joingroup.ndjson|SELECT h.f5, count(*) FROM 570eebfb5b600688 AS m, 3065c6f04a84699c AS h WHERE m.f3 = h.f1 GROUP BY h.f5 ORDER BY h.f5
 EOF
 }

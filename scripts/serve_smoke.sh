@@ -10,6 +10,8 @@
 #   POST /v1/reindex (all unchanged)   == testdata/lake_golden/serve/reindex.json
 #   POST /v1/reindex?format={fp}       scoped crawl: tagged summary, 404 unknown
 #   GET /v1/query (group-by, csv)      == testdata/lake_golden/query/groupby.csv
+#   GET /v1/query (top-k, csv)         == testdata/lake_golden/query/topk.csv
+#   GET /v1/status                     lists the store's tables
 #   a failing route                    == the {"error":{code,message}} envelope
 #
 # A second daemon with tight limits then proves the production bounds
@@ -86,6 +88,16 @@ curl -fsS --get --data-urlencode \
     "q=SELECT f3, count(*), avg(f2) FROM 570eebfb5b600688 GROUP BY f3 ORDER BY f3" \
     --data-urlencode "output=csv" "$url/v1/query" > "$tmp/query_groupby.csv" \
     || fail "query failed"
+# Top-k (ORDER BY + LIMIT) runs the bounded-heap path; the served bytes
+# must still match the committed golden.
+curl -fsS --get --data-urlencode \
+    "q=SELECT f1, f2, f3 FROM 570eebfb5b600688 ORDER BY f2 DESC, f1 LIMIT 5" \
+    --data-urlencode "output=csv" "$url/v1/query" > "$tmp/query_topk.csv" \
+    || fail "top-k query failed"
+# /v1/status reports the store's tables (manifest counts, no scan).
+curl -fsS "$url/v1/status" > "$tmp/status_tables.json" || fail "status failed"
+grep -q '"name": "570eebfb5b600688"' "$tmp/status_tables.json" \
+    || fail "status does not list store tables: $(cat "$tmp/status_tables.json")"
 # The second crawl sees nothing new: every file must report unchanged.
 curl -fsS -X POST "$url/v1/reindex" > "$tmp/reindex.json" || fail "reindex failed"
 # A scoped crawl touches one format and tags its summary; a fingerprint
@@ -113,6 +125,7 @@ diff -u "$golden/reindex.json" "$tmp/reindex.json"
 diff -u testdata/lake_golden/csv/web__requests-1.log.type0.csv "$tmp/lake_extract.csv"
 diff -u testdata/lake_golden/csv/jobs__job-1.log.type0.csv "$tmp/body_extract.csv"
 diff -u testdata/lake_golden/query/groupby.csv "$tmp/query_groupby.csv"
+diff -u testdata/lake_golden/query/topk.csv "$tmp/query_topk.csv"
 grep -q '"error"' "$tmp/error.json" && grep -q '"code":"bad_request"' "$tmp/error.json" \
     || fail "error envelope missing: $(cat "$tmp/error.json")"
 
