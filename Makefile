@@ -23,7 +23,7 @@ test-short:
 # allocation and scheduling behavior) and the query engine (its
 # join-order property suite must hold under the race runtime too).
 test-race:
-	$(GO) test -race -short ./internal/parser ./internal/pipeline ./internal/textio ./internal/lake ./internal/follow ./internal/serve ./internal/query ./internal/generation ./internal/template .
+	$(GO) test -race -short ./internal/parser ./internal/pipeline ./internal/textio ./internal/lake ./internal/follow ./internal/serve ./internal/query ./internal/obsv ./internal/generation ./internal/template .
 
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$' .
@@ -54,11 +54,13 @@ bench-gate:
 # bench-serve-report artifact (or rerun `make bench-serve` on the same
 # machine) in the same PR whenever a change is intentional.
 bench-serve:
-	$(GO) run ./cmd/experiments -bench-serve BENCH_serve.json
+	$(GO) run ./cmd/experiments -bench-serve BENCH_serve.json \
+		-cpuprofile BENCH_serve.cpu.pprof
 
 serve-gate:
 	$(GO) run ./cmd/experiments -bench-serve /tmp/BENCH_serve_new.json \
-		-bench-serve-baseline BENCH_serve.json
+		-bench-serve-baseline BENCH_serve.json \
+		-cpuprofile /tmp/BENCH_serve_new.cpu.pprof
 
 # BENCH_query.json: the query-engine benchmark (fixture lake amplified
 # x200, crawled + compacted, store pinned open; QPS per query shape).

@@ -47,6 +47,7 @@ func runQuery(args []string) {
 	outFile := fs.String("o", "", "output file (default stdout)")
 	output := fs.String("output", "ndjson", "output form: ndjson or csv")
 	tables := fs.Bool("tables", false, "list the store's tables (name, columns, rows, segments) from the manifest — no scan — instead of running a query")
+	explain := fs.String("explain", "", "instead of results, emit the query plan: \"plan\" (no execution, deterministic) or \"analyze\" (executes; adds per-operator rows, timings and blocks decoded/pruned)")
 	fs.Usage = func() {
 		fmt.Fprintln(os.Stderr, "usage: datamaran query [flags] <query>")
 		fmt.Fprintln(os.Stderr, "       datamaran query [flags] -tables")
@@ -67,6 +68,11 @@ func runQuery(args []string) {
 	}
 	if *output != "ndjson" && *output != "csv" {
 		fatalf("query: unknown output %q (want ndjson or csv)", *output)
+	}
+	switch *explain {
+	case "", "plan", "analyze":
+	default:
+		fatalf("query: unknown explain mode %q (want plan or analyze)", *explain)
 	}
 	sources := 0
 	for _, s := range []string{*lakeDir, *storeDir, *server} {
@@ -100,7 +106,7 @@ func runQuery(args []string) {
 		if *tables {
 			err = tablesServer(ctx, w, *server, *output)
 		} else {
-			err = queryServer(ctx, w, *server, text, *output)
+			err = queryServer(ctx, w, *server, text, *output, *explain)
 		}
 		if err != nil {
 			fatalf("query: %v", err)
@@ -136,7 +142,7 @@ func runQuery(args []string) {
 		}
 		return
 	}
-	rows, err := datamaran.Query(ctx, text, datamaran.QueryOptions{StorePath: store})
+	rows, err := datamaran.Query(ctx, text, datamaran.QueryOptions{StorePath: store, Explain: *explain})
 	if err != nil {
 		fatalf("query: %v", err)
 	}
@@ -210,8 +216,11 @@ func tablesServer(ctx context.Context, w io.Writer, server, output string) error
 // queryServer streams /v1/query from a daemon — the bytes on the wire
 // are already the canonical writer output, so they pass through
 // untouched.
-func queryServer(ctx context.Context, w io.Writer, server, text, output string) error {
+func queryServer(ctx context.Context, w io.Writer, server, text, output, explain string) error {
 	u := strings.TrimSuffix(server, "/") + "/v1/query?q=" + url.QueryEscape(text) + "&output=" + url.QueryEscape(output)
+	if explain != "" {
+		u += "&explain=" + url.QueryEscape(explain)
+	}
 	req, err := http.NewRequestWithContext(ctx, "GET", u, nil)
 	if err != nil {
 		return err

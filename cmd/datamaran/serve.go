@@ -20,6 +20,8 @@
 //	                                  scoped to one format; scoped crawls of
 //	                                  different formats run concurrently)
 //	GET  /v1/query?q=...              relational query over the record store
+//	                                  (&explain=plan|analyze for the plan)
+//	GET  /metrics                     Prometheus text metrics
 //
 // Registry, checkpoints and the record store default to
 // <dir>/.datamaran/ — a hidden directory the crawler skips, so the
@@ -31,8 +33,10 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -56,6 +60,8 @@ func runServe(args []string) {
 	requestTimeout := fs.Duration("request-timeout", 0, "per-request deadline (0 = unlimited; overruns get 504)")
 	maxInFlight := fs.Int("max-inflight", 0, "in-flight request bound (0 = unlimited; excess load gets 429 + Retry-After)")
 	profileCache := fs.Int("profile-cache", 0, "hot compiled-profile LRU capacity (0 = default, negative disables)")
+	logFormat := fs.String("log-format", "text", "structured log form on stderr: text or json")
+	pprofAddr := fs.String("pprof", "", "also serve net/http/pprof on this address (e.g. 127.0.0.1:6060); separate listener, never exposed on -addr")
 	fs.Usage = func() {
 		fmt.Fprintln(os.Stderr, "usage: datamaran serve [flags] <dir>")
 		fs.PrintDefaults()
@@ -66,6 +72,19 @@ func runServe(args []string) {
 		os.Exit(2)
 	}
 	dir := fs.Arg(0)
+
+	// All diagnostics are structured slog events on stderr; stdout stays
+	// reserved for the machine-read "listening on" line.
+	var handler slog.Handler
+	switch *logFormat {
+	case "text":
+		handler = slog.NewTextHandler(os.Stderr, nil)
+	case "json":
+		handler = slog.NewJSONHandler(os.Stderr, nil)
+	default:
+		fatalf("serve: unknown log format %q (want text or json)", *logFormat)
+	}
+	logger := slog.New(handler)
 
 	if *registry == "" || *checkpoints == "" || *store == "" {
 		state := filepath.Join(dir, ".datamaran")
@@ -94,6 +113,7 @@ func runServe(args []string) {
 		RequestTimeout:   *requestTimeout,
 		MaxInFlight:      *maxInFlight,
 		ProfileCacheSize: *profileCache,
+		Logger:           logger,
 	})
 	if err != nil {
 		fatalf("serve: %v", err)
@@ -109,8 +129,34 @@ func runServe(args []string) {
 			fatalf("serve: initial reindex: %v", err)
 		}
 		s := res.Summary
-		fmt.Fprintf(os.Stderr, "indexed %d file(s) in %v (formats=%d resumed=%d unchanged=%d)\n",
-			s.Files, time.Since(t0).Round(time.Millisecond), s.FormatsKnown, s.Resumed, s.Unchanged)
+		logger.Info("initial reindex",
+			"files", s.Files,
+			"formats", s.FormatsKnown,
+			"resumed", s.Resumed,
+			"unchanged", s.Unchanged,
+			"duration", time.Since(t0).Round(time.Millisecond).String())
+	}
+
+	// The profiling listener is separate from the API listener on
+	// purpose: pprof exposes stacks and heap contents, so it binds only
+	// where explicitly asked and never rides along on -addr.
+	if *pprofAddr != "" {
+		pln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			fatalf("serve: pprof: %v", err)
+		}
+		pmux := http.NewServeMux()
+		pmux.HandleFunc("/debug/pprof/", pprof.Index)
+		pmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		logger.Info("pprof listening", "addr", pln.Addr().String())
+		go func() {
+			if err := http.Serve(pln, pmux); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Error("pprof server", "err", err.Error())
+			}
+		}()
 	}
 
 	ln, err := net.Listen("tcp", *addr)

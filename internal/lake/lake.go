@@ -5,15 +5,18 @@ import (
 	"context"
 	"io"
 	"io/fs"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"runtime"
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"datamaran/internal/core"
 	"datamaran/internal/follow"
+	"datamaran/internal/obsv"
 	"datamaran/internal/pipeline"
 	"datamaran/internal/template"
 )
@@ -62,6 +65,14 @@ type Config struct {
 	// pruning applies only to accepted paths. This is the scoped-crawl
 	// hook of the serve daemon's per-format reindex.
 	Filter func(rel string) bool
+	// Metrics, when non-nil, receives the crawl's per-stage timings
+	// (walk/classify/extract histograms) and file/record/byte counters,
+	// labeled by status, incremental action and format fingerprint —
+	// all bounded label sets. Nil records nothing.
+	Metrics *obsv.Registry
+	// Logger, when non-nil, receives one structured log/slog event per
+	// crawl with the stage timings and the run summary.
+	Logger *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -204,10 +215,12 @@ func Index(root string, reg *Registry, cfg Config) (*Result, error) {
 // abort a long crawl within one shard of the cancel.
 func IndexContext(ctx context.Context, root string, reg *Registry, cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults()
+	walkStart := time.Now()
 	paths, walkFails, err := crawl(root)
 	if err != nil {
 		return nil, err
 	}
+	walkDur := time.Since(walkStart)
 
 	// A scoped crawl sees only the files its filter accepts; everything
 	// else is invisible — untouched checkpoints, untouched segments,
@@ -232,6 +245,7 @@ func IndexContext(ctx context.Context, root string, reg *Registry, cfg Config) (
 	// Phase 1 — sequential classify/discover on bounded samples.
 	// Checkpointed files that still pass the identity heuristics skip
 	// this entirely: their claim is the checkpointed fingerprint.
+	classifyStart := time.Now()
 	files := make([]FileResult, len(paths))
 	entries := make([]*Entry, len(paths))
 	resumes := make([]*follow.Checkpoint, len(paths))
@@ -299,14 +313,17 @@ func IndexContext(ctx context.Context, root string, reg *Registry, cfg Config) (
 		resumes = append(resumes, nil)
 	}
 	sortByPath(files, entries, resumes)
+	classifyDur := time.Since(classifyStart)
 
 	// Phase 2 — parallel full-file extraction of every claimed file.
 	// Each file is independent and its in-file pipeline runs with
 	// Workers=1, so scheduling cannot reorder or change anything.
+	extractStart := time.Now()
 	extractAll(ctx, root, files, entries, resumes, cfg)
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	extractDur := time.Since(extractStart)
 
 	// A file that classified in phase 1 but failed extraction in phase
 	// 2 (rotated away, truncated mid-read) holds no format claim:
@@ -349,7 +366,48 @@ func IndexContext(ctx context.Context, root string, reg *Registry, cfg Config) (
 
 	res := &Result{Files: files, NewFormats: newFPs}
 	res.Summary = summarize(files, reg, len(newFPs))
+	recordCrawl(cfg, res, walkDur, classifyDur, extractDur)
 	return res, nil
+}
+
+// recordCrawl folds one finished crawl into the metrics registry and
+// the structured log. Stage timings land in one histogram family
+// labeled by stage; file counts are labeled by terminal status, and
+// record/byte counters by format fingerprint (a bounded set — the
+// lake's known formats). Both sinks are optional and independent.
+func recordCrawl(cfg Config, res *Result, walk, classify, extract time.Duration) {
+	if cfg.Metrics != nil {
+		m := cfg.Metrics
+		m.Histogram("datamaran_crawl_stage_seconds", obsv.DefBuckets, "stage", "walk").Observe(walk.Seconds())
+		m.Histogram("datamaran_crawl_stage_seconds", obsv.DefBuckets, "stage", "classify").Observe(classify.Seconds())
+		m.Histogram("datamaran_crawl_stage_seconds", obsv.DefBuckets, "stage", "extract").Observe(extract.Seconds())
+		for _, f := range res.Files {
+			m.Counter("datamaran_crawl_files_total", "status", f.Status.String()).Inc()
+			if f.Fingerprint == "" {
+				continue
+			}
+			m.Counter("datamaran_crawl_bytes_total", "format", f.Fingerprint).Add(uint64(f.Size))
+			if f.Res != nil {
+				m.Counter("datamaran_crawl_records_total", "format", f.Fingerprint).Add(uint64(len(f.Res.Records)))
+			}
+		}
+	}
+	if cfg.Logger != nil {
+		s := res.Summary
+		cfg.Logger.Info("crawl",
+			"files", s.Files,
+			"structured", s.Structured,
+			"unstructured", s.Unstructured,
+			"failed", s.Failed,
+			"formats", s.FormatsKnown,
+			"discovered", s.FormatsDiscovered,
+			"cacheHits", s.CacheHits,
+			"resumed", s.Resumed,
+			"unchanged", s.Unchanged,
+			"walk", walk.Round(time.Millisecond).String(),
+			"classify", classify.Round(time.Millisecond).String(),
+			"extract", extract.Round(time.Millisecond).String())
+	}
 }
 
 // observeUnstructured checkpoints a file that classified unstructured,

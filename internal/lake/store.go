@@ -457,6 +457,20 @@ type SegmentScan struct {
 
 	sel    []bool
 	outIdx []int
+
+	// Scan-lifetime observability counters (single-goroutine; read via
+	// BlockStats after — or during — the scan).
+	blocksDecoded int
+	blocksPruned  int
+	rowsScanned   int
+}
+
+// BlockStats reports how many blocks this scan decoded versus skipped
+// outright on their zone maps, plus the rows consumed (pruned blocks
+// included — their rows are accounted, just never decoded). The
+// counters survive Close, so callers can drain, close, then report.
+func (sc *SegmentScan) BlockStats() (decoded, pruned, rows int) {
+	return sc.blocksDecoded, sc.blocksPruned, sc.rowsScanned
 }
 
 // segReader is the streaming state over one segment file. Several
@@ -839,7 +853,9 @@ func (sc *SegmentScan) readBlock() ([][]string, int, error) {
 			return nil, 0, err
 		}
 	}
+	sc.rowsScanned += nrows
 	if sr.foot != nil && blockIdx < len(sr.foot.blocks) && zonePruned(&sr.foot.blocks[blockIdx], plan) {
+		sc.blocksPruned++
 		total := 0
 		for _, n := range sr.colBytes {
 			total += int(n)
@@ -849,6 +865,7 @@ func (sc *SegmentScan) readBlock() ([][]string, int, error) {
 		}
 		return nil, nrows, nil
 	}
+	sc.blocksDecoded++
 	if cap(sc.sel) < nrows {
 		sc.sel = make([]bool, nrows)
 		sc.outIdx = make([]int, nrows)

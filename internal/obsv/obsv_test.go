@@ -1,0 +1,220 @@
+package obsv
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestHistogramBuckets: observations land in the right fixed buckets
+// (upper bounds inclusive, the Prometheus convention) and the +Inf
+// bucket catches overflow.
+func TestHistogramBuckets(t *testing.T) {
+	h := newHistogram([]float64{1, 5, 10})
+	for _, v := range []float64{0.5, 1, 1.0001, 5, 7, 10, 11, 1000} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	want := []uint64{2, 2, 2, 2} // (-inf,1], (1,5], (5,10], (10,+inf)
+	if len(s.Counts) != len(want) {
+		t.Fatalf("bucket count = %d, want %d", len(s.Counts), len(want))
+	}
+	for i, w := range want {
+		if s.Counts[i] != w {
+			t.Errorf("bucket %d = %d, want %d", i, s.Counts[i], w)
+		}
+	}
+	if s.Count != 8 {
+		t.Errorf("count = %d, want 8", s.Count)
+	}
+	wantSum := 0.5 + 1 + 1.0001 + 5 + 7 + 10 + 11 + 1000
+	if math.Abs(s.Sum-wantSum) > 1e-9 {
+		t.Errorf("sum = %g, want %g", s.Sum, wantSum)
+	}
+}
+
+// TestHistogramQuantile: linear interpolation within a bucket, the
+// +Inf bucket clamping to the largest finite bound, and NaN on empty.
+func TestHistogramQuantile(t *testing.T) {
+	h := newHistogram([]float64{10, 20, 30})
+	// 10 observations uniform in (0,10], 10 in (10,20].
+	for i := 0; i < 10; i++ {
+		h.Observe(5)
+		h.Observe(15)
+	}
+	s := h.Snapshot()
+	// Median rank = 10 → exactly fills the first bucket → 10.0.
+	if got := s.Quantile(0.5); math.Abs(got-10) > 1e-9 {
+		t.Errorf("q50 = %g, want 10", got)
+	}
+	// 75th: rank 15, 5 into the second bucket of 10 → 10 + 0.5*10 = 15.
+	if got := s.Quantile(0.75); math.Abs(got-15) > 1e-9 {
+		t.Errorf("q75 = %g, want 15", got)
+	}
+	// Everything below the first bound interpolates from zero.
+	if got := s.Quantile(0.25); math.Abs(got-5) > 1e-9 {
+		t.Errorf("q25 = %g, want 5", got)
+	}
+
+	h2 := newHistogram([]float64{1, 2})
+	h2.Observe(100) // +Inf bucket
+	if got := h2.Snapshot().Quantile(0.99); got != 2 {
+		t.Errorf("overflow quantile = %g, want clamp to 2", got)
+	}
+
+	empty := newHistogram(DefBuckets).Snapshot()
+	if got := empty.Quantile(0.5); !math.IsNaN(got) {
+		t.Errorf("empty quantile = %g, want NaN", got)
+	}
+}
+
+// TestCounterConcurrent: parallel increments are not lost (run under
+// -race by make test-race).
+func TestCounterConcurrent(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_total")
+	g := r.Gauge("test_inflight")
+	h := r.Histogram("test_seconds", DefBuckets)
+	const goroutines, per = 8, 10000
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < per; j++ {
+				c.Inc()
+				g.Add(1)
+				g.Add(-1)
+				h.Observe(0.003)
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != goroutines*per {
+		t.Errorf("counter = %d, want %d", c.Value(), goroutines*per)
+	}
+	if g.Value() != 0 {
+		t.Errorf("gauge = %d, want 0", g.Value())
+	}
+	if s := h.Snapshot(); s.Count != goroutines*per {
+		t.Errorf("histogram count = %d, want %d", s.Count, goroutines*per)
+	}
+}
+
+// TestRegistryHandlesAreStable: re-registering the same name+labels
+// returns the same metric, label order does not matter, and families
+// cannot change kind.
+func TestRegistryHandlesAreStable(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("reqs_total", "route", "/x", "class", "2xx")
+	b := r.Counter("reqs_total", "class", "2xx", "route", "/x")
+	if a != b {
+		t.Fatal("same name+labels returned distinct counters")
+	}
+	a.Inc()
+	if b.Value() != 1 {
+		t.Fatal("handle aliasing broken")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("cross-kind re-registration did not panic")
+		}
+	}()
+	r.Gauge("reqs_total")
+}
+
+// TestWritePrometheus: deterministic rendering — sorted families,
+// sorted label signatures, histogram expansion with cumulative
+// buckets and +Inf terminal, escaped label values.
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b_total", "route", "/v1/query").Add(3)
+	r.Counter("b_total", "route", "/healthz").Add(1)
+	r.Gauge("a_inflight").Set(2)
+	h := r.Histogram("c_seconds", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := `# TYPE a_inflight gauge
+a_inflight 2
+# TYPE b_total counter
+b_total{route="/healthz"} 1
+b_total{route="/v1/query"} 3
+# TYPE c_seconds histogram
+c_seconds_bucket{le="0.1"} 1
+c_seconds_bucket{le="1"} 2
+c_seconds_bucket{le="+Inf"} 3
+c_seconds_sum 5.55
+c_seconds_count 3
+`
+	if sb.String() != want {
+		t.Errorf("render mismatch\ngot:\n%s\nwant:\n%s", sb.String(), want)
+	}
+
+	// Render twice: identical bytes (determinism under map iteration).
+	var sb2 strings.Builder
+	if err := r.WritePrometheus(&sb2); err != nil {
+		t.Fatal(err)
+	}
+	if sb.String() != sb2.String() {
+		t.Error("two renders of the same registry differ")
+	}
+}
+
+// TestLabelEscaping: quotes, backslashes and newlines in label values
+// are escaped per the text format.
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("esc_total", "k", "a\"b\\c\nd").Inc()
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := "esc_total{k=\"a\\\"b\\\\c\\nd\"} 1\n"
+	if !strings.Contains(sb.String(), want) {
+		t.Errorf("escaping wrong:\n%s", sb.String())
+	}
+}
+
+// TestNilRegistry: a nil registry hands out working detached metrics,
+// so instrumented code paths never nil-check.
+func TestNilRegistry(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x_total")
+	c.Inc()
+	if c.Value() != 1 {
+		t.Error("detached counter broken")
+	}
+	r.Gauge("x").Set(5)
+	r.Histogram("x_seconds", DefBuckets).Observe(1)
+	if r.Snapshot() != nil {
+		t.Error("nil registry snapshot should be nil")
+	}
+	sp := StartSpan(nil)
+	if sp.End() < 0 {
+		t.Error("span over nil histogram broken")
+	}
+}
+
+// TestSpan: End records seconds into the histogram exactly once.
+func TestSpan(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("stage_seconds", DefBuckets, "stage", "classify")
+	sp := StartSpan(h)
+	if d := sp.End(); d < 0 {
+		t.Fatalf("negative duration %v", d)
+	}
+	if s := h.Snapshot(); s.Count != 1 {
+		t.Errorf("span recorded %d observations, want 1", s.Count)
+	}
+	var zero Span
+	if zero.End() != 0 {
+		t.Error("zero span should report 0")
+	}
+}

@@ -1,0 +1,88 @@
+// Prometheus text exposition (format version 0.0.4) for a Registry
+// snapshot. The output is deterministic — families sorted by name,
+// series by label signature — so tests can pin it byte-for-byte.
+package obsv
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// ContentType is the HTTP Content-Type for WritePrometheus output.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WritePrometheus renders every registered series in the Prometheus
+// text format. Histograms expand to _bucket (cumulative, with an
+// le="+Inf" terminal), _sum and _count series.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	var lastFamily string
+	for _, m := range r.Snapshot() {
+		if m.Name != lastFamily {
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", m.Name, m.Kind); err != nil {
+				return err
+			}
+			lastFamily = m.Name
+		}
+		switch m.Kind {
+		case "counter", "gauge":
+			if _, err := fmt.Fprintf(w, "%s%s %s\n", m.Name, m.Labels, formatValue(m.Value)); err != nil {
+				return err
+			}
+		case "histogram":
+			if err := writeHistogram(w, m); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writeHistogram(w io.Writer, m Metric) error {
+	h := m.Hist
+	cum := uint64(0)
+	for i, c := range h.Counts {
+		cum += c
+		le := "+Inf"
+		if i < len(h.Bounds) {
+			le = formatValue(h.Bounds[i])
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", m.Name, withLabel(m.Labels, "le", le), cum); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", m.Name, m.Labels, formatValue(h.Sum)); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", m.Name, m.Labels, h.Count)
+	return err
+}
+
+// withLabel appends one more label pair to an already-rendered
+// signature (used for the histogram le label, which sorts after the
+// series' own labels by appending — Prometheus does not require sorted
+// label order, only consistent order, and this is deterministic).
+func withLabel(sig, k, v string) string {
+	pair := k + `="` + escapeLabel(v) + `"`
+	if sig == "" {
+		return "{" + pair + "}"
+	}
+	return strings.TrimSuffix(sig, "}") + "," + pair + "}"
+}
+
+// formatValue renders a float the way Prometheus clients expect:
+// integers without a trailing .0, everything else in shortest form.
+func formatValue(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	if math.IsInf(v, -1) {
+		return "-Inf"
+	}
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -34,6 +34,7 @@ type Rows struct {
 	columns []string
 	kinds   []semtype.Kind
 	it      iter
+	scans   []*scanIter // base-table scans, for Stats()
 }
 
 // Columns returns the output column names (the SELECT list as
@@ -81,7 +82,9 @@ type planner struct {
 	tables []plannedTable
 	width  int
 	preds  []compiledPred
-	need   [][]bool // per table, per column: referenced by the query
+	need   [][]bool    // per table, per column: referenced by the query
+	mode   ExplainMode // ExplainAnalyze wraps operators with recorders
+	scans  []*scanIter // every base-table scan opened by this plan
 }
 
 // Run plans q against the catalog and opens its result stream. The
@@ -89,48 +92,7 @@ type planner struct {
 // row-at-a-time (hash-join build sides, group-by and order-by
 // materialize only what they must) — and ctx cancels it mid-stream.
 func Run(ctx context.Context, cat Catalog, q *Query) (*Rows, error) {
-	if len(q.From) == 0 {
-		return nil, fmt.Errorf("query: no FROM tables")
-	}
-	pl := &planner{cat: cat, q: q}
-	for _, item := range q.From {
-		meta, err := cat.Resolve(item.Table)
-		if err != nil {
-			return nil, err
-		}
-		pl.tables = append(pl.tables, plannedTable{item: item, meta: meta, offset: pl.width})
-		pl.width += len(meta.Columns)
-	}
-	for _, p := range q.Where {
-		cp, err := pl.compilePred(p)
-		if err != nil {
-			return nil, err
-		}
-		pl.preds = append(pl.preds, cp)
-	}
-	for i := range pl.preds {
-		cp := &pl.preds[i]
-		if cp.isLit {
-			if cp.op == "=" {
-				pl.tables[cp.lTab].eqLit++
-			} else {
-				pl.tables[cp.lTab].otherLit++
-			}
-		}
-	}
-	if push, ok := cat.(PushCatalog); ok {
-		pl.push = push
-		if err := pl.computeNeeded(); err != nil {
-			return nil, err
-		}
-	}
-
-	order := pl.greedyOrder()
-	it, err := pl.buildJoinTree(ctx, order)
-	if err != nil {
-		return nil, err
-	}
-	return pl.buildHead(it)
+	return RunWith(ctx, cat, q, Options{})
 }
 
 // compilePred resolves one predicate's references.
@@ -350,8 +312,9 @@ func (pl *planner) greedyOrder() []int {
 
 // buildJoinTree assembles scans and hash joins along the chosen order,
 // applying each predicate at the earliest point all its tables are
-// present.
-func (pl *planner) buildJoinTree(ctx context.Context, order []int) (iter, error) {
+// present. The returned PlanNode mirrors the iterator tree for
+// EXPLAIN.
+func (pl *planner) buildJoinTree(ctx context.Context, order []int) (iter, *PlanNode, error) {
 	joined := make([]bool, len(pl.tables))
 	covered := func(cp *compiledPred) bool {
 		return joined[cp.lTab] && (cp.rTab < 0 || joined[cp.rTab])
@@ -368,13 +331,13 @@ func (pl *planner) buildJoinTree(ctx context.Context, order []int) (iter, error)
 	}
 
 	joined[order[0]] = true
-	var cur iter
-	cur, err := pl.scan(ctx, order[0])
+	cur, node, err := pl.scan(ctx, order[0])
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if preds := takePreds(); len(preds) > 0 {
-		cur = &filterIter{src: cur, preds: preds}
+		node = &PlanNode{op: "filter", detail: predsDetail(preds), children: []*PlanNode{node}}
+		cur = pl.attach(&filterIter{src: cur, preds: preds}, node)
 	}
 	for _, next := range order[1:] {
 		// Equality predicates connecting next to the joined set become
@@ -392,10 +355,10 @@ func (pl *planner) buildJoinTree(ctx context.Context, order []int) (iter, error)
 			}
 		}
 		joined[next] = true
-		build, err := pl.scan(ctx, next)
+		build, bnode, err := pl.scan(ctx, next)
 		if err != nil {
 			cur.Close()
-			return nil, err
+			return nil, nil, err
 		}
 		// Single-table predicates on the build side filter before the
 		// hash table is built.
@@ -409,7 +372,8 @@ func (pl *planner) buildJoinTree(ctx context.Context, order []int) (iter, error)
 			}
 		}
 		if len(buildPreds) > 0 {
-			build = &filterIter{src: build, preds: buildPreds}
+			bnode = &PlanNode{op: "filter", detail: predsDetail(buildPreds), children: []*PlanNode{bnode}}
+			build = pl.attach(&filterIter{src: build, preds: buildPreds}, bnode)
 		}
 		var probeOffs, buildOffs []int
 		for _, k := range keys {
@@ -421,19 +385,26 @@ func (pl *planner) buildJoinTree(ctx context.Context, order []int) (iter, error)
 				probeOffs = append(probeOffs, k.lOff)
 			}
 		}
-		cur = &hashJoinIter{
+		jnode := &PlanNode{op: "cross join", children: []*PlanNode{node, bnode}}
+		if len(keys) > 0 {
+			jnode.op = "hash join"
+			jnode.detail = "on " + predsDetail(keys)
+		}
+		cur = pl.attach(&hashJoinIter{
 			probe:      cur,
 			build:      build,
 			probeOffs:  probeOffs,
 			buildOffs:  buildOffs,
 			buildBlock: [2]int{pl.tables[next].offset, pl.tables[next].offset + len(pl.tables[next].meta.Columns)},
 			width:      pl.width,
-		}
+		}, jnode)
+		node = jnode
 		if len(residual) > 0 {
-			cur = &filterIter{src: cur, preds: residual}
+			node = &PlanNode{op: "filter", detail: predsDetail(residual), children: []*PlanNode{node}}
+			cur = pl.attach(&filterIter{src: cur, preds: residual}, node)
 		}
 	}
-	return cur, nil
+	return cur, node, nil
 }
 
 // scan opens one table's scan, widened to the plan's row layout, with
@@ -441,17 +412,25 @@ func (pl *planner) buildJoinTree(ctx context.Context, order []int) (iter, error)
 // scan the query's needed columns for the table plus its single-table
 // literal predicates, marking those predicates applied so no filter
 // re-evaluates them above the scan.
-func (pl *planner) scan(ctx context.Context, ti int) (iter, error) {
+func (pl *planner) scan(ctx context.Context, ti int) (iter, *PlanNode, error) {
 	t := &pl.tables[ti]
+	detail := "table=" + t.meta.Name
+	if t.item.Alias != t.meta.Name {
+		detail += " alias=" + t.item.Alias
+	}
 	var rows RowIter
 	var err error
 	if pl.push != nil {
 		push := ScanPushdown{Columns: make([]int, 0, len(t.meta.Columns))}
+		var cols []string
 		for c, ok := range pl.need[ti] {
 			if ok {
 				push.Columns = append(push.Columns, c)
+				cols = append(cols, t.meta.Columns[c])
 			}
 		}
+		detail += " columns=" + strings.Join(cols, ",")
+		var pushed []*compiledPred
 		for i := range pl.preds {
 			cp := &pl.preds[i]
 			if cp.applied || !cp.isLit || cp.lTab != ti {
@@ -461,25 +440,34 @@ func (pl *planner) scan(ctx context.Context, ti int) (iter, error) {
 				Col: cp.lOff - t.offset, Op: cp.op, Lit: cp.lit, Numeric: cp.numeric,
 			})
 			cp.applied = true
+			pushed = append(pushed, cp)
+		}
+		if len(pushed) > 0 {
+			detail += " push=(" + predsDetail(pushed) + ")"
 		}
 		rows, err = pl.push.ScanPushed(t.meta.Name, push)
 	} else {
+		detail += " columns=*"
 		rows, err = pl.cat.Scan(t.meta.Name)
 	}
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	return &scanIter{
+	si := &scanIter{
 		ctx:    ctx,
 		rows:   rows,
 		offset: t.offset,
 		ncols:  len(t.meta.Columns),
 		width:  pl.width,
-	}, nil
+	}
+	pl.scans = append(pl.scans, si)
+	node := &PlanNode{op: "scan", detail: detail, scan: si}
+	return pl.attach(si, node), node, nil
 }
 
-// buildHead attaches projection/aggregation, ordering and limit.
-func (pl *planner) buildHead(it iter) (*Rows, error) {
+// buildHead attaches projection/aggregation, ordering and limit,
+// extending the plan tree above child.
+func (pl *planner) buildHead(it iter, node *PlanNode) (*Rows, *PlanNode, error) {
 	q := pl.q
 	hasAgg := false
 	for _, e := range q.Select {
@@ -496,7 +484,7 @@ func (pl *planner) buildHead(it iter) (*Rows, error) {
 			ti, ci, err := pl.resolveRef(ref)
 			if err != nil {
 				it.Close()
-				return nil, err
+				return nil, nil, err
 			}
 			g.groupOffs = append(g.groupOffs, pl.tables[ti].offset+ci)
 			g.groupKinds = append(g.groupKinds, pl.tables[ti].meta.Kinds[ci])
@@ -508,7 +496,7 @@ func (pl *planner) buildHead(it iter) (*Rows, error) {
 				ti, ci, err := pl.resolveRef(e.Col)
 				if err != nil {
 					it.Close()
-					return nil, err
+					return nil, nil, err
 				}
 				off := pl.tables[ti].offset + ci
 				slot := -1
@@ -519,7 +507,7 @@ func (pl *planner) buildHead(it iter) (*Rows, error) {
 				}
 				if slot < 0 {
 					it.Close()
-					return nil, fmt.Errorf("query: column %s must appear in GROUP BY", e.Col)
+					return nil, nil, fmt.Errorf("query: column %s must appear in GROUP BY", e.Col)
 				}
 				g.outs = append(g.outs, groupOut{slot: slot})
 				kinds = append(kinds, pl.tables[ti].meta.Kinds[ci])
@@ -531,7 +519,7 @@ func (pl *planner) buildHead(it iter) (*Rows, error) {
 				ti, ci, err := pl.resolveRef(e.Col)
 				if err != nil {
 					it.Close()
-					return nil, err
+					return nil, nil, err
 				}
 				spec.off = pl.tables[ti].offset + ci
 				colKind := pl.tables[ti].meta.Kinds[ci]
@@ -544,13 +532,13 @@ func (pl *planner) buildHead(it iter) (*Rows, error) {
 					kind = colKind
 					if !colKind.Numeric() {
 						it.Close()
-						return nil, fmt.Errorf("query: sum(%s) needs a numeric column (kind %s)", e.Col, colKind)
+						return nil, nil, fmt.Errorf("query: sum(%s) needs a numeric column (kind %s)", e.Col, colKind)
 					}
 				case "avg":
 					kind = semtype.KindFloat
 					if !colKind.Numeric() {
 						it.Close()
-						return nil, fmt.Errorf("query: avg(%s) needs a numeric column (kind %s)", e.Col, colKind)
+						return nil, nil, fmt.Errorf("query: avg(%s) needs a numeric column (kind %s)", e.Col, colKind)
 					}
 				case "min", "max":
 					kind = colKind
@@ -560,7 +548,8 @@ func (pl *planner) buildHead(it iter) (*Rows, error) {
 			g.aggSpecs = append(g.aggSpecs, spec)
 			kinds = append(kinds, kind)
 		}
-		it = g
+		node = &PlanNode{op: "group", detail: groupDetail(q), children: []*PlanNode{node}}
+		it = pl.attach(g, node)
 	} else {
 		var offs []int
 		if q.Star {
@@ -581,14 +570,15 @@ func (pl *planner) buildHead(it iter) (*Rows, error) {
 				ti, ci, err := pl.resolveRef(e.Col)
 				if err != nil {
 					it.Close()
-					return nil, err
+					return nil, nil, err
 				}
 				columns = append(columns, e.String())
 				kinds = append(kinds, pl.tables[ti].meta.Kinds[ci])
 				offs = append(offs, pl.tables[ti].offset+ci)
 			}
 		}
-		it = &projectIter{src: it, offs: offs}
+		node = &PlanNode{op: "project", detail: strings.Join(columns, ", "), children: []*PlanNode{node}}
+		it = pl.attach(&projectIter{src: it, offs: offs}, node)
 	}
 
 	if len(q.OrderBy) > 0 {
@@ -597,21 +587,47 @@ func (pl *planner) buildHead(it iter) (*Rows, error) {
 			col, err := findOutputCol(columns, key.Expr)
 			if err != nil {
 				it.Close()
-				return nil, err
+				return nil, nil, err
 			}
 			keys = append(keys, sortKey{col: col, desc: key.Desc, numeric: kinds[col].Numeric()})
 		}
 		if q.Limit >= 0 {
 			// ORDER BY + LIMIT: a bounded heap holds the best k rows
 			// instead of materializing and sorting the whole input.
-			it = &topKIter{src: it, h: topKHeap{keys: keys}, k: q.Limit}
+			node = &PlanNode{op: "top-k", detail: fmt.Sprintf("by %s limit %d", orderDetail(q), q.Limit), children: []*PlanNode{node}}
+			it = pl.attach(&topKIter{src: it, h: topKHeap{keys: keys}, k: q.Limit}, node)
 		} else {
-			it = &sortIter{src: it, keys: keys}
+			node = &PlanNode{op: "sort", detail: "by " + orderDetail(q), children: []*PlanNode{node}}
+			it = pl.attach(&sortIter{src: it, keys: keys}, node)
 		}
 	} else if q.Limit >= 0 {
-		it = &limitIter{src: it, left: q.Limit}
+		node = &PlanNode{op: "limit", detail: strconv.Itoa(q.Limit), children: []*PlanNode{node}}
+		it = pl.attach(&limitIter{src: it, left: q.Limit}, node)
 	}
-	return &Rows{columns: columns, kinds: kinds, it: it}, nil
+	return &Rows{columns: columns, kinds: kinds, it: it}, node, nil
+}
+
+// groupDetail renders the group node: grouping keys as written plus
+// the aggregate expressions from the SELECT list.
+func groupDetail(q *Query) string {
+	var refs []string
+	for _, r := range q.GroupBy {
+		refs = append(refs, r.String())
+	}
+	var aggs []string
+	for _, e := range q.Select {
+		if e.Agg != "" {
+			aggs = append(aggs, e.String())
+		}
+	}
+	switch {
+	case len(refs) > 0 && len(aggs) > 0:
+		return "by " + strings.Join(refs, ", ") + " aggregate " + strings.Join(aggs, ", ")
+	case len(refs) > 0:
+		return "by " + strings.Join(refs, ", ")
+	default:
+		return "aggregate " + strings.Join(aggs, ", ")
+	}
 }
 
 // findOutputCol matches an ORDER BY expression to an output column: the
@@ -692,12 +708,13 @@ func (cp *compiledPred) eval(row []string) bool {
 // scanIter adapts a catalog RowIter into the wide-row layout, checking
 // cancellation between rows.
 type scanIter struct {
-	ctx    context.Context
-	rows   RowIter
-	offset int
-	ncols  int
-	width  int
-	n      int
+	ctx      context.Context
+	rows     RowIter
+	offset   int
+	ncols    int
+	width    int
+	n        int
+	produced int // rows successfully returned, for Rows.Stats
 }
 
 func (s *scanIter) Next() ([]string, error) {
@@ -710,6 +727,7 @@ func (s *scanIter) Next() ([]string, error) {
 	if err != nil {
 		return nil, err
 	}
+	s.produced++
 	wide := make([]string, s.width)
 	copy(wide[s.offset:s.offset+s.ncols], row)
 	return wide, nil

@@ -1,0 +1,298 @@
+package query
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"datamaran/internal/semtype"
+)
+
+// EXPLAIN / EXPLAIN ANALYZE. The planner builds a PlanNode tree in
+// lockstep with the iterator tree; under ExplainPlan the iterators are
+// closed unread and the rendered tree streams back as ordinary result
+// rows (a single "plan" column, one row per line), so all three query
+// surfaces — the Go API, the CLI and /v1/query — emit byte-identical,
+// golden-pinnable plans through the existing CSV/NDJSON writers. Under
+// ExplainAnalyze every operator is wrapped with a row/wall-time
+// recorder, the query drains fully, and the same tree renders with
+// per-operator rows, wall time and — for scans — blocks decoded vs
+// zone-map-pruned. Timings appear only in analyze output, never in a
+// plan-only explain and never in normal results.
+
+// ExplainMode selects normal execution, plan-only explain, or full
+// explain-analyze.
+type ExplainMode int
+
+const (
+	// ExplainNone executes the query and streams its rows.
+	ExplainNone ExplainMode = iota
+	// ExplainPlan returns the plan tree without executing (scans open
+	// and close, but no rows are read). Output is deterministic.
+	ExplainPlan
+	// ExplainAnalyze executes the query to completion and returns the
+	// plan tree annotated with per-operator rows, timings and scan
+	// block counters. Output contains wall times and is not golden.
+	ExplainAnalyze
+)
+
+// ParseExplainMode maps the user-facing spelling ("", "plan",
+// "analyze") to an ExplainMode.
+func ParseExplainMode(s string) (ExplainMode, error) {
+	switch s {
+	case "", "none":
+		return ExplainNone, nil
+	case "plan":
+		return ExplainPlan, nil
+	case "analyze":
+		return ExplainAnalyze, nil
+	}
+	return ExplainNone, fmt.Errorf("query: unknown explain mode %q (want plan or analyze)", s)
+}
+
+// Options tunes Run beyond the query text.
+type Options struct {
+	Explain ExplainMode
+}
+
+// PlanNode is one operator in the rendered plan tree.
+type PlanNode struct {
+	op       string
+	detail   string
+	children []*PlanNode
+
+	// analyze-time stats, filled by statIter wrappers
+	rows int
+	wall time.Duration
+	scan *scanIter // scan nodes only: source of block counters
+}
+
+// blockStatser is implemented by scan backends that can report block
+// decode/prune counters (the lake's SegmentScan).
+type blockStatser interface {
+	BlockStats() (decoded, pruned, rows int)
+}
+
+// label renders one plan line (without indentation).
+func (n *PlanNode) label(analyze bool) string {
+	s := n.op
+	if n.detail != "" {
+		s += " " + n.detail
+	}
+	if analyze {
+		s += fmt.Sprintf(" rows=%d", n.rows)
+		if n.scan != nil {
+			if bs, ok := n.scan.rows.(blockStatser); ok {
+				d, p, _ := bs.BlockStats()
+				s += fmt.Sprintf(" blocks=%d pruned=%d", d, p)
+			}
+		}
+		s += " time=" + fmtDur(n.wall)
+	}
+	return s
+}
+
+// renderPlan flattens the tree depth-first, two spaces per level.
+func renderPlan(root *PlanNode, analyze bool) []string {
+	var lines []string
+	var walk func(n *PlanNode, depth int)
+	walk = func(n *PlanNode, depth int) {
+		lines = append(lines, strings.Repeat("  ", depth)+n.label(analyze))
+		for _, c := range n.children {
+			walk(c, depth+1)
+		}
+	}
+	walk(root, 0)
+	return lines
+}
+
+// fmtDur renders analyze wall times at microsecond precision.
+func fmtDur(d time.Duration) string {
+	return d.Round(time.Microsecond).String()
+}
+
+// statIter wraps an operator under ExplainAnalyze, accumulating rows
+// produced and inclusive wall time into its plan node.
+type statIter struct {
+	src  iter
+	node *PlanNode
+}
+
+func (s *statIter) Next() ([]string, error) {
+	t0 := time.Now()
+	row, err := s.src.Next()
+	s.node.wall += time.Since(t0)
+	if err == nil {
+		s.node.rows++
+	}
+	return row, err
+}
+
+func (s *statIter) Close() error { return s.src.Close() }
+
+// attach wraps it with a stat recorder when analyzing; otherwise the
+// iterator passes through untouched (zero overhead on the normal
+// path).
+func (pl *planner) attach(it iter, n *PlanNode) iter {
+	if pl.mode == ExplainAnalyze {
+		return &statIter{src: it, node: n}
+	}
+	return it
+}
+
+// predsDetail renders predicates as written, joined with AND.
+func predsDetail(preds []*compiledPred) string {
+	parts := make([]string, len(preds))
+	for i, cp := range preds {
+		parts[i] = cp.src.String()
+	}
+	return strings.Join(parts, " AND ")
+}
+
+// orderDetail renders the ORDER BY keys.
+func orderDetail(q *Query) string {
+	parts := make([]string, len(q.OrderBy))
+	for i, k := range q.OrderBy {
+		parts[i] = k.Expr.String()
+		if k.Desc {
+			parts[i] += " desc"
+		}
+	}
+	return strings.Join(parts, ", ")
+}
+
+// sliceIter streams pre-rendered single-column rows (plan output).
+type sliceIter struct {
+	rows []string
+	pos  int
+}
+
+func (s *sliceIter) Next() ([]string, error) {
+	if s.pos >= len(s.rows) {
+		return nil, io.EOF
+	}
+	row := []string{s.rows[s.pos]}
+	s.pos++
+	return row, nil
+}
+
+func (s *sliceIter) Close() error { return nil }
+
+// planRows packages rendered plan lines as a result stream with a
+// single "plan" column, so explain output flows through the same
+// CSV/NDJSON writers as data.
+func planRows(lines []string) *Rows {
+	return &Rows{
+		columns: []string{"plan"},
+		kinds:   []semtype.Kind{semtype.KindString},
+		it:      &sliceIter{rows: lines},
+	}
+}
+
+// ExecStats aggregates a finished (or in-flight) query's scan-side
+// work: rows pulled out of base tables and — against a zone-mapped
+// store — blocks decoded vs pruned. Cheap to collect (plain per-scan
+// counters), so callers can record it on every query.
+type ExecStats struct {
+	RowsScanned   int
+	BlocksDecoded int
+	BlocksPruned  int
+}
+
+// Stats sums the scan counters across the query's base-table scans.
+// Valid any time; typically read after draining, before Close.
+func (r *Rows) Stats() ExecStats {
+	var st ExecStats
+	for _, s := range r.scans {
+		st.RowsScanned += s.produced
+		if bs, ok := s.rows.(blockStatser); ok {
+			d, p, _ := bs.BlockStats()
+			st.BlocksDecoded += d
+			st.BlocksPruned += p
+		}
+	}
+	return st
+}
+
+// RunWith is Run with options: explain modes reuse the identical
+// planning path (join order, predicate placement, pushdown marking),
+// so the plan shown is exactly the plan run.
+func RunWith(ctx context.Context, cat Catalog, q *Query, opts Options) (*Rows, error) {
+	if len(q.From) == 0 {
+		return nil, fmt.Errorf("query: no FROM tables")
+	}
+	pl := &planner{cat: cat, q: q, mode: opts.Explain}
+	for _, item := range q.From {
+		meta, err := cat.Resolve(item.Table)
+		if err != nil {
+			return nil, err
+		}
+		pl.tables = append(pl.tables, plannedTable{item: item, meta: meta, offset: pl.width})
+		pl.width += len(meta.Columns)
+	}
+	for _, p := range q.Where {
+		cp, err := pl.compilePred(p)
+		if err != nil {
+			return nil, err
+		}
+		pl.preds = append(pl.preds, cp)
+	}
+	for i := range pl.preds {
+		cp := &pl.preds[i]
+		if cp.isLit {
+			if cp.op == "=" {
+				pl.tables[cp.lTab].eqLit++
+			} else {
+				pl.tables[cp.lTab].otherLit++
+			}
+		}
+	}
+	if push, ok := cat.(PushCatalog); ok {
+		pl.push = push
+		if err := pl.computeNeeded(); err != nil {
+			return nil, err
+		}
+	}
+
+	order := pl.greedyOrder()
+	it, node, err := pl.buildJoinTree(ctx, order)
+	if err != nil {
+		return nil, err
+	}
+	rows, root, err := pl.buildHead(it, node)
+	if err != nil {
+		return nil, err
+	}
+	rows.scans = pl.scans
+
+	switch opts.Explain {
+	case ExplainPlan:
+		rows.Close()
+		return planRows(renderPlan(root, false)), nil
+	case ExplainAnalyze:
+		t0 := time.Now()
+		n := 0
+		for {
+			if _, err := rows.Next(); err != nil {
+				if err == io.EOF {
+					break
+				}
+				rows.Close()
+				return nil, err
+			}
+			n++
+		}
+		total := time.Since(t0)
+		lines := renderPlan(root, true)
+		lines = append(lines, fmt.Sprintf("total: rows=%d time=%s", n, fmtDur(total)))
+		rows.Close()
+		out := planRows(lines)
+		// The scan counters survive Close, so the plan stream still
+		// reports the drained execution's Stats.
+		out.scans = pl.scans
+		return out, nil
+	}
+	return rows, nil
+}

@@ -5,6 +5,8 @@ import (
 	"net/http"
 	"sync/atomic"
 	"time"
+
+	"datamaran/internal/obsv"
 )
 
 // limiter enforces the daemon's per-request limits: a bounded
@@ -19,15 +21,20 @@ type limiter struct {
 	timeout     time.Duration
 	inFlight    atomic.Int64
 	shed        atomic.Uint64 // requests rejected with 429
+	// shedCtr mirrors shed into the metrics registry (nil when the
+	// limiter is built bare, outside New).
+	shedCtr *obsv.Counter
 }
 
 // writeGrace is how far the connection write deadline trails the
 // request deadline (see wrap).
 const writeGrace = 2 * time.Second
 
-// exemptPaths lists the endpoints the in-flight gauge ignores.
+// exemptPaths lists the endpoints the in-flight gauge ignores, so a
+// saturated daemon stays observable: liveness, status and the metrics
+// scrape.
 func exempt(path string) bool {
-	return path == "/healthz" || path == "/v1/status"
+	return path == "/healthz" || path == "/v1/status" || path == "/metrics"
 }
 
 // wrap applies the limits around the daemon's mux.
@@ -41,6 +48,9 @@ func (l *limiter) wrap(next http.Handler) http.Handler {
 			if n := l.inFlight.Add(1); n > l.maxInFlight {
 				l.inFlight.Add(-1)
 				l.shed.Add(1)
+				if l.shedCtr != nil {
+					l.shedCtr.Inc()
+				}
 				w.Header().Set("Retry-After", "1")
 				httpError(w, http.StatusTooManyRequests,
 					"server saturated (%d requests in flight); retry shortly", l.maxInFlight)

@@ -1,0 +1,177 @@
+// Serving-path observability: the per-route HTTP middleware, the
+// /metrics exposition handler, and the query/reindex counters the
+// handlers feed. All metrics live in one obsv.Registry (shared with
+// the lake crawl via lake.Config.Metrics), so a single scrape shows
+// request latencies next to crawl stage timings and query pruning.
+//
+// Label discipline: route labels are the registered mux patterns,
+// status labels are collapsed to classes (2xx/4xx/...), crawl labels
+// are stages and registry fingerprints — all bounded sets. Never label
+// by file path, query text or any other request-controlled value; the
+// cardinality guard test pins the families and label keys.
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"runtime/debug"
+	"sync"
+	"time"
+
+	"datamaran/internal/obsv"
+	"datamaran/internal/query"
+)
+
+// serveMetrics bundles the registry and the pre-registered handles the
+// serving path records into. Handles are created once (at New / at
+// Handler build), so request hot paths never look up a metric.
+type serveMetrics struct {
+	reg      *obsv.Registry
+	inFlight *obsv.Gauge
+	shed     *obsv.Counter
+
+	// query-engine counters, recorded per served /v1/query
+	queries       *obsv.Counter
+	rowsScanned   *obsv.Counter
+	blocksDecoded *obsv.Counter
+	blocksPruned  *obsv.Counter
+
+	// reindex counters; the histogram is labeled by scope kind
+	// ("all" or "format"), never by fingerprint
+	reindexes     *obsv.Counter
+	reindexGlobal *obsv.Histogram
+	reindexScoped *obsv.Histogram
+}
+
+// newServeMetrics pre-registers the serving-path families on reg (a
+// fresh private registry when nil), so /metrics reports them — at
+// zero — before the first query or crawl.
+func newServeMetrics(reg *obsv.Registry) *serveMetrics {
+	if reg == nil {
+		reg = obsv.NewRegistry()
+	}
+	return &serveMetrics{
+		reg:           reg,
+		inFlight:      reg.Gauge("datamaran_http_in_flight"),
+		shed:          reg.Counter("datamaran_http_shed_total"),
+		queries:       reg.Counter("datamaran_queries_total"),
+		rowsScanned:   reg.Counter("datamaran_query_rows_scanned_total"),
+		blocksDecoded: reg.Counter("datamaran_query_blocks_decoded_total"),
+		blocksPruned:  reg.Counter("datamaran_query_blocks_pruned_total"),
+		reindexes:     reg.Counter("datamaran_reindex_total"),
+		reindexGlobal: reg.Histogram("datamaran_reindex_seconds", obsv.DefBuckets, "scope", "all"),
+		reindexScoped: reg.Histogram("datamaran_reindex_seconds", obsv.DefBuckets, "scope", "format"),
+	}
+}
+
+// recordQuery folds one finished query's scan-side stats into the
+// registry (called on every served query — the counters are plain
+// per-scan ints, so always-on costs nothing).
+func (m *serveMetrics) recordQuery(st query.ExecStats) {
+	m.queries.Inc()
+	m.rowsScanned.Add(uint64(st.RowsScanned))
+	m.blocksDecoded.Add(uint64(st.BlocksDecoded))
+	m.blocksPruned.Add(uint64(st.BlocksPruned))
+}
+
+// statusRecorder captures the response status for the middleware while
+// staying flushable (the query and extract handlers stream) and
+// unwrappable (the limiter's ResponseController needs the underlying
+// connection for its deadlines).
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	if r.status == 0 {
+		r.status = code
+	}
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Write(b []byte) (int, error) {
+	if r.status == 0 {
+		r.status = http.StatusOK
+	}
+	return r.ResponseWriter.Write(b)
+}
+
+func (r *statusRecorder) Flush() {
+	if f, ok := r.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// Unwrap lets http.ResponseController reach the real connection.
+func (r *statusRecorder) Unwrap() http.ResponseWriter { return r.ResponseWriter }
+
+// instrument wraps one route's handler with request counting, an
+// in-flight gauge, a latency histogram and structured access logging.
+// The route label is the registered pattern (bounded cardinality —
+// never the raw URL). Recording runs in a defer, so a streaming abort
+// (panic(http.ErrAbortHandler)) still counts before unwinding.
+func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
+	hist := s.obs.reg.Histogram("datamaran_http_request_seconds", obsv.DefBuckets, "route", route)
+	// Pre-register the classes this server can emit, so scrapes show
+	// zeroes rather than absent families.
+	classes := map[int]*obsv.Counter{}
+	for _, c := range []int{2, 4, 5} {
+		classes[c] = s.obs.reg.Counter("datamaran_http_requests_total",
+			"route", route, "class", fmt.Sprintf("%dxx", c))
+	}
+	return func(w http.ResponseWriter, r *http.Request) {
+		t0 := time.Now()
+		s.obs.inFlight.Add(1)
+		rec := &statusRecorder{ResponseWriter: w}
+		defer func() {
+			s.obs.inFlight.Add(-1)
+			d := time.Since(t0)
+			hist.Observe(d.Seconds())
+			status := rec.status
+			if status == 0 {
+				// Nothing written: a streaming abort cut the connection.
+				status = http.StatusInternalServerError
+			}
+			ctr, ok := classes[status/100]
+			if !ok {
+				ctr = s.obs.reg.Counter("datamaran_http_requests_total",
+					"route", route, "class", fmt.Sprintf("%dxx", status/100))
+			}
+			ctr.Inc()
+			if s.logger != nil {
+				s.logger.Info("request",
+					"method", r.Method,
+					"path", r.URL.Path,
+					"route", route,
+					"status", status,
+					"duration", d.Round(time.Microsecond).String(),
+					"remote", r.RemoteAddr)
+			}
+		}()
+		h(rec, r)
+	}
+}
+
+// handleMetrics serves the registry in the Prometheus text format.
+// Exempt from the request limits, like /healthz and /v1/status.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", obsv.ContentType)
+	s.obs.reg.WritePrometheus(w)
+}
+
+// buildInfo reports the binary's module version and VCS revision from
+// the embedded build metadata, computed once.
+var buildInfo = sync.OnceValues(func() (version, revision string) {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "", ""
+	}
+	version = bi.Main.Version
+	for _, kv := range bi.Settings {
+		if kv.Key == "vcs.revision" {
+			revision = kv.Value
+		}
+	}
+	return version, revision
+})

@@ -48,6 +48,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"os"
 	"path"
@@ -59,6 +60,7 @@ import (
 	"datamaran/internal/core"
 	"datamaran/internal/follow"
 	"datamaran/internal/lake"
+	"datamaran/internal/obsv"
 	"datamaran/internal/parser"
 	"datamaran/internal/pipeline"
 	"datamaran/internal/query"
@@ -104,6 +106,13 @@ type Config struct {
 	// ProfileCacheSize is the hot compiled-profile LRU capacity
 	// (0 means DefaultProfileCacheSize, < 0 disables caching).
 	ProfileCacheSize int
+	// Metrics is the observability registry backing GET /metrics; the
+	// crawl and query paths record into it too. Nil gets the server a
+	// fresh private registry (metrics still served, just not shared).
+	Metrics *obsv.Registry
+	// Logger receives structured access-log and crawl events via
+	// log/slog. Nil disables logging (metrics still record).
+	Logger *slog.Logger
 }
 
 // state is one immutable served snapshot: handlers take it once per
@@ -144,6 +153,12 @@ type Server struct {
 	cache *profileCache
 	// limits enforces the per-request bounds around every handler.
 	limits *limiter
+	// obs is the metrics registry plus the serving-path handles; logger
+	// is the structured event sink (nil disables logging); started
+	// anchors /v1/status uptime.
+	obs     *serveMetrics
+	logger  *slog.Logger
+	started time.Time
 }
 
 // New loads the registry and checkpoint store and returns a Server.
@@ -173,6 +188,7 @@ func New(cfg Config) (*Server, error) {
 			return nil, err
 		}
 	}
+	obs := newServeMetrics(cfg.Metrics)
 	return &Server{
 		cfg:   cfg,
 		cur:   &state{gen: 1, reg: reg, cps: cps},
@@ -182,7 +198,11 @@ func New(cfg Config) (*Server, error) {
 			maxInFlight: int64(cfg.MaxInFlight),
 			maxBody:     cfg.MaxBodyBytes,
 			timeout:     cfg.RequestTimeout,
+			shedCtr:     obs.shed,
 		},
+		obs:     obs,
+		logger:  cfg.Logger,
+		started: time.Now(),
 	}, nil
 }
 
@@ -211,25 +231,27 @@ func (s *Server) matchersFor(st *state, e *lake.Entry) []*parser.Matcher {
 	return m
 }
 
-// Handler returns the daemon's HTTP handler, with the per-request
-// limits applied around every endpoint.
+// Handler returns the daemon's HTTP handler: every endpoint wrapped
+// with the metrics/access-log middleware (route-labeled, bounded
+// cardinality), then the per-request limits around the whole mux.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("GET /healthz", s.instrument("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		io.WriteString(w, "ok\n")
-	})
-	mux.HandleFunc("GET /v1/status", s.handleStatus)
+	}))
+	mux.HandleFunc("GET /v1/status", s.instrument("/v1/status", s.handleStatus))
+	mux.HandleFunc("GET /metrics", s.instrument("/metrics", s.handleMetrics))
 	// /v1/ is the canonical surface; the unversioned routes are
 	// deprecated aliases kept for one release.
 	for _, p := range []string{"/v1", ""} {
-		mux.HandleFunc("GET "+p+"/formats", s.handleFormats)
-		mux.HandleFunc("GET "+p+"/formats/{fp}", s.handleFormat)
-		mux.HandleFunc("POST "+p+"/extract", s.handleExtractBody)
-		mux.HandleFunc("GET "+p+"/lake/extract", s.handleExtractLake)
-		mux.HandleFunc("POST "+p+"/reindex", s.handleReindex)
+		mux.HandleFunc("GET "+p+"/formats", s.instrument(p+"/formats", s.handleFormats))
+		mux.HandleFunc("GET "+p+"/formats/{fp}", s.instrument(p+"/formats/{fp}", s.handleFormat))
+		mux.HandleFunc("POST "+p+"/extract", s.instrument(p+"/extract", s.handleExtractBody))
+		mux.HandleFunc("GET "+p+"/lake/extract", s.instrument(p+"/lake/extract", s.handleExtractLake))
+		mux.HandleFunc("POST "+p+"/reindex", s.instrument(p+"/reindex", s.handleReindex))
 	}
-	mux.HandleFunc("GET /v1/query", s.handleQuery)
+	mux.HandleFunc("GET /v1/query", s.instrument("/v1/query", s.handleQuery))
 	return s.limits.wrap(mux)
 }
 
@@ -247,6 +269,15 @@ type statusJSON struct {
 	CacheMisses    uint64 `json:"profileCacheMisses"`
 	MaxBodyBytes   int64  `json:"maxBodyBytes"`
 	RequestTimeout string `json:"requestTimeout"`
+	// StartedAt/UptimeSeconds date the process; Version and Revision
+	// come from the binary's embedded build info (absent when the
+	// build carries none, e.g. test binaries). Reindexes counts
+	// completed crawls since start, from the metrics registry.
+	StartedAt     string  `json:"startedAt"`
+	UptimeSeconds float64 `json:"uptimeSeconds"`
+	Version       string  `json:"version,omitempty"`
+	Revision      string  `json:"revision,omitempty"`
+	Reindexes     uint64  `json:"reindexes"`
 	// Tables lists the record store's tables with their manifest-held
 	// sizes (absent without a store). The counts come straight from the
 	// manifest — reporting them never scans a segment.
@@ -272,6 +303,7 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 			tables = append(tables, statusTable{Name: ti.Name, Columns: len(ti.Columns), Rows: ti.Rows, Segments: ti.Segments})
 		}
 	}
+	version, revision := buildInfo()
 	writeJSON(w, http.StatusOK, statusJSON{
 		Generation:     st.gen,
 		Formats:        st.reg.Len(),
@@ -284,6 +316,11 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 		CacheMisses:    misses,
 		MaxBodyBytes:   s.cfg.MaxBodyBytes,
 		RequestTimeout: s.cfg.RequestTimeout.String(),
+		StartedAt:      s.started.UTC().Format(time.RFC3339),
+		UptimeSeconds:  time.Since(s.started).Seconds(),
+		Version:        version,
+		Revision:       revision,
+		Reindexes:      s.obs.reindexes.Value(),
 		Tables:         tables,
 	})
 }
@@ -310,6 +347,11 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "unknown output %q (want ndjson or csv)", output)
 		return
 	}
+	explain, err := query.ParseExplainMode(r.URL.Query().Get("explain"))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
 	q, err := query.Parse(text)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "%v", err)
@@ -322,7 +364,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	// streamed yet, so re-pin and re-plan.
 	var rows *query.Rows
 	for attempt := 0; ; attempt++ {
-		rows, err = query.Run(r.Context(), query.ViewCatalog(s.store.View()), q)
+		rows, err = query.RunWith(r.Context(), query.ViewCatalog(s.store.View()), q, query.Options{Explain: explain})
 		if err == nil || !errors.Is(err, lake.ErrStaleView) || attempt >= 8 {
 			break
 		}
@@ -334,6 +376,10 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer rows.Close()
+	// Fold the scan counters into /metrics once the stream finishes
+	// (explain-analyze drained inside RunWith, so its stats are already
+	// on the Rows; plan-only explains report zero scan work).
+	defer func() { s.obs.recordQuery(rows.Stats()) }()
 	flusher, _ := w.(http.Flusher)
 	flush := func() {
 		if flusher != nil {
@@ -669,6 +715,11 @@ func (s *Server) Reindex(ctx context.Context, format string) (*lake.Result, erro
 		return nil, ErrBusy
 	}
 	defer s.locks.unlock(format)
+	hist := s.obs.reindexGlobal
+	if format != "" {
+		hist = s.obs.reindexScoped
+	}
+	span := obsv.StartSpan(hist)
 
 	base := s.state()
 	var scope map[string]bool
@@ -711,6 +762,8 @@ func (s *Server) Reindex(ctx context.Context, format string) (*lake.Result, erro
 		MatchThreshold: s.cfg.MatchThreshold,
 		Checkpoints:    cps,
 		Segments:       txn,
+		Metrics:        s.obs.reg,
+		Logger:         s.logger,
 	}
 	if scope != nil {
 		cfg.Filter = func(rel string) bool { return scope[rel] }
@@ -756,6 +809,24 @@ func (s *Server) Reindex(ctx context.Context, format string) (*lake.Result, erro
 	}
 	if err := s.Persist(); err != nil {
 		return nil, err
+	}
+	s.obs.reindexes.Inc()
+	elapsed := span.End()
+	if s.logger != nil {
+		scope := format
+		if scope == "" {
+			scope = "all"
+		}
+		s.logger.Info("reindex",
+			"scope", scope,
+			"files", res.Summary.Files,
+			"structured", res.Summary.Structured,
+			"failed", res.Summary.Failed,
+			"formats", res.Summary.FormatsKnown,
+			"discovered", res.Summary.FormatsDiscovered,
+			"resumed", res.Summary.Resumed,
+			"unchanged", res.Summary.Unchanged,
+			"duration", elapsed.Round(time.Millisecond).String())
 	}
 	return res, nil
 }

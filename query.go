@@ -21,6 +21,14 @@ type QueryOptions struct {
 	// reference path. Results are identical either way; benchmarks use
 	// it to measure the pushdown win.
 	DisablePushdown bool
+	// Explain selects an explain mode instead of result rows: "plan"
+	// returns the plan tree without executing (deterministic), and
+	// "analyze" executes the query and annotates the tree with
+	// per-operator rows, wall times, and scan blocks decoded vs
+	// zone-map-pruned. Either way the output is a single-column "plan"
+	// row stream, byte-identical across the Go API, the CLI and
+	// /v1/query. Empty ("" or "none") runs the query normally.
+	Explain string
 }
 
 // TableStat summarizes one record-store table straight from the
@@ -107,6 +115,10 @@ func (r *QueryRows) WriteNDJSON(w io.Writer) error { return query.WriteNDJSON(w,
 // joins ordered greedily by visible selectivity, and ctx cancels the
 // run between rows.
 func Query(ctx context.Context, text string, opts QueryOptions) (*QueryRows, error) {
+	explain, err := query.ParseExplainMode(opts.Explain)
+	if err != nil {
+		return nil, err
+	}
 	q, err := query.Parse(text)
 	if err != nil {
 		return nil, err
@@ -119,7 +131,7 @@ func Query(ctx context.Context, text string, opts QueryOptions) (*QueryRows, err
 	if opts.DisablePushdown {
 		cat = query.NoPushdown(cat)
 	}
-	rows, err := query.Run(ctx, cat, q)
+	rows, err := query.RunWith(ctx, cat, q, query.Options{Explain: explain})
 	if err != nil {
 		return nil, err
 	}

@@ -4,8 +4,11 @@ import (
 	"bytes"
 	"context"
 	"errors"
+	"fmt"
 	"os"
 	"path/filepath"
+	"regexp"
+	"strconv"
 	"strings"
 	"testing"
 )
@@ -67,6 +70,120 @@ func TestQueryGoldens(t *testing.T) {
 				t.Errorf("%s (nopush=%v): engine output differs from golden\ngot:\n%s\nwant:\n%s", file, nopush, &got, want)
 			}
 		}
+	}
+}
+
+// goldenExplains pins the EXPLAIN plans of the join, group-by and
+// top-k golden queries. Plan-only explain is deterministic (no
+// timings), so the rendered trees are committed goldens like the query
+// results — and scripts/golden_query.sh re-checks the same files
+// through the CLI's -explain plan. Pushdown-only: disabling pushdown
+// legitimately changes the plan (that is the point of the flag).
+var goldenExplains = map[string]string{
+	"explain_join.csv":    goldenQueries["join.csv"],
+	"explain_groupby.csv": goldenQueries["groupby.csv"],
+	"explain_topk.csv":    goldenQueries["topk.csv"],
+}
+
+// TestQueryExplainGoldens: the public Query entry point with
+// Explain: "plan" reproduces the committed plan goldens.
+func TestQueryExplainGoldens(t *testing.T) {
+	state := t.TempDir()
+	storePath := filepath.Join(state, "store")
+	if _, err := IndexDir(fixtureLake, IndexOptions{
+		RegistryPath: filepath.Join(state, "registry.json"),
+		StorePath:    storePath,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for file, text := range goldenExplains {
+		want, err := os.ReadFile(filepath.Join("testdata/lake_golden/query", file))
+		if err != nil {
+			t.Fatalf("missing golden (run scripts/golden_query.sh -update): %v", err)
+		}
+		rows, err := Query(context.Background(), text, QueryOptions{
+			StorePath: storePath,
+			Explain:   "plan",
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", file, err)
+		}
+		var got bytes.Buffer
+		err = rows.WriteCSV(&got)
+		rows.Close()
+		if err != nil {
+			t.Fatalf("%s: %v", file, err)
+		}
+		if !bytes.Equal(got.Bytes(), want) {
+			t.Errorf("%s: explain plan differs from golden\ngot:\n%s\nwant:\n%s", file, &got, want)
+		}
+	}
+}
+
+// TestExplainAnalyzeReportsPruning: over a lake extended with a file
+// whose f2 values all exceed the golden range query's upper bound, the
+// zone maps prune that file's full blocks without decoding them, and
+// EXPLAIN ANALYZE reports the pruning on the scan line. The extra rows
+// are invisible to the predicate, so the non-explain output still
+// matches the committed golden byte-for-byte.
+func TestExplainAnalyzeReportsPruning(t *testing.T) {
+	lakeDir := t.TempDir()
+	if err := os.CopyFS(lakeDir, os.DirFS(fixtureLake)); err != nil {
+		t.Fatal(err)
+	}
+	// 3000 rows, f2 monotonically 200.00 and up: with 1024-row blocks
+	// at least two full blocks whose numeric minimum exceeds 99.
+	var mono bytes.Buffer
+	for i := 0; i < 3000; i++ {
+		fmt.Fprintf(&mono, "metric|cpu%d|%d.00|db01|\n", i%8, 200+i)
+	}
+	if err := os.WriteFile(filepath.Join(lakeDir, "metrics", "metrics-mono.log"), mono.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	state := t.TempDir()
+	storePath := filepath.Join(state, "store")
+	if _, err := IndexDir(lakeDir, IndexOptions{
+		RegistryPath: filepath.Join(state, "registry.json"),
+		StorePath:    storePath,
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	text := goldenQueries["range.ndjson"]
+	rows, err := Query(context.Background(), text, QueryOptions{StorePath: storePath, Explain: "analyze"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var analyze bytes.Buffer
+	err = rows.WriteCSV(&analyze)
+	rows.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := regexp.MustCompile(`pruned=(\d+)`).FindStringSubmatch(analyze.String())
+	if m == nil {
+		t.Fatalf("no pruned= counter in analyze output:\n%s", &analyze)
+	}
+	if pruned, _ := strconv.Atoi(m[1]); pruned < 2 {
+		t.Errorf("pruned=%d, want >= 2 (two full out-of-range blocks):\n%s", pruned, &analyze)
+	}
+
+	want, err := os.ReadFile("testdata/lake_golden/query/range.ndjson")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err = Query(context.Background(), text, QueryOptions{StorePath: storePath})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got bytes.Buffer
+	err = rows.WriteNDJSON(&got)
+	rows.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Bytes(), want) {
+		t.Errorf("pruned query result differs from golden\ngot:\n%s\nwant:\n%s", &got, want)
 	}
 }
 

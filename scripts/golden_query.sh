@@ -30,6 +30,18 @@ joingroup.ndjson|SELECT h.f5, count(*) FROM 570eebfb5b600688 AS m, 3065c6f04a846
 EOF
 }
 
+# The EXPLAIN-plan suite: the same join, group-by and top-k queries
+# rendered as plan trees via -explain plan. Plan-only output carries no
+# timings, so it pins byte-for-byte like the results. Keep in sync with
+# goldenExplains in query_golden_test.go.
+explain_suite() {
+    cat <<'EOF'
+explain_join.csv|SELECT m.f1, m.f2, h.f3, h.f5 FROM 570eebfb5b600688 AS m, 3065c6f04a84699c AS h WHERE m.f3 = h.f1 AND m.f2 > 99 ORDER BY m.f2 DESC, m.f1
+explain_groupby.csv|SELECT f3, count(*), avg(f2) FROM 570eebfb5b600688 GROUP BY f3 ORDER BY f3
+explain_topk.csv|SELECT f1, f2, f3 FROM 570eebfb5b600688 ORDER BY f2 DESC, f1 LIMIT 5
+EOF
+}
+
 run_suite() {
     workers=$1 out=$2
     mkdir -p "$out"
@@ -39,13 +51,17 @@ run_suite() {
         "$tmp/datamaran" query -store "$out/store" -output "${file##*.}" \
             -o "$out/${file}" "$q"
     done
+    explain_suite | while IFS='|' read -r file q; do
+        "$tmp/datamaran" query -store "$out/store" -output csv -explain plan \
+            -o "$out/${file}" "$q"
+    done
 }
 
 if [ "${1:-}" = "-update" ]; then
     run_suite 1 "$tmp/w1"
     rm -rf "$golden"
     mkdir -p "$golden"
-    suite | while IFS='|' read -r file q; do
+    { suite; explain_suite; } | while IFS='|' read -r file q; do
         cp "$tmp/w1/$file" "$golden/$file"
     done
     echo "golden query results regenerated under $golden"
@@ -54,7 +70,7 @@ fi
 
 for w in 1 8; do
     run_suite "$w" "$tmp/w$w"
-    suite | while IFS='|' read -r file q; do
+    { suite; explain_suite; } | while IFS='|' read -r file q; do
         diff -u "$golden/$file" "$tmp/w$w/$file"
     done
 done

@@ -11,6 +11,9 @@
 #   POST /v1/reindex?format={fp}       scoped crawl: tagged summary, 404 unknown
 #   GET /v1/query (group-by, csv)      == testdata/lake_golden/query/groupby.csv
 #   GET /v1/query (top-k, csv)         == testdata/lake_golden/query/topk.csv
+#   GET /v1/query?explain=plan         == testdata/lake_golden/query/explain_topk.csv
+#   GET /v1/query?explain=analyze      per-operator stats + total line
+#   GET /metrics                       Prometheus families, non-zero counters
 #   GET /v1/status                     lists the store's tables
 #   a failing route                    == the {"error":{code,message}} envelope
 #
@@ -94,6 +97,36 @@ curl -fsS --get --data-urlencode \
     "q=SELECT f1, f2, f3 FROM 570eebfb5b600688 ORDER BY f2 DESC, f1 LIMIT 5" \
     --data-urlencode "output=csv" "$url/v1/query" > "$tmp/query_topk.csv" \
     || fail "top-k query failed"
+# EXPLAIN over HTTP: plan-only output is deterministic and must match
+# the committed golden (the same bytes the CLI's -explain plan emits);
+# analyze executes and reports per-operator rows plus a total line.
+curl -fsS --get --data-urlencode \
+    "q=SELECT f1, f2, f3 FROM 570eebfb5b600688 ORDER BY f2 DESC, f1 LIMIT 5" \
+    --data-urlencode "output=csv" --data-urlencode "explain=plan" \
+    "$url/v1/query" > "$tmp/explain_topk.csv" || fail "explain=plan query failed"
+curl -fsS --get --data-urlencode \
+    "q=SELECT f1, f2 FROM 570eebfb5b600688 WHERE f2 > 90 AND f2 <= 99" \
+    --data-urlencode "output=csv" --data-urlencode "explain=analyze" \
+    "$url/v1/query" > "$tmp/explain_analyze.csv" || fail "explain=analyze query failed"
+grep -q 'total: rows=' "$tmp/explain_analyze.csv" \
+    || fail "explain=analyze missing the total line: $(cat "$tmp/explain_analyze.csv")"
+grep -q 'pruned=' "$tmp/explain_analyze.csv" \
+    || fail "explain=analyze missing scan block counters: $(cat "$tmp/explain_analyze.csv")"
+# /metrics serves the Prometheus text form with the request, query and
+# crawl families populated — a family absent or an empty scrape fails.
+curl -fsS "$url/metrics" > "$tmp/metrics.txt" || fail "GET /metrics failed"
+[ -s "$tmp/metrics.txt" ] || fail "/metrics scrape is empty"
+for family in datamaran_http_requests_total datamaran_http_request_seconds \
+    datamaran_queries_total datamaran_query_blocks_decoded_total \
+    datamaran_reindex_total datamaran_crawl_stage_seconds \
+    datamaran_crawl_files_total; do
+    grep -q "^# TYPE $family " "$tmp/metrics.txt" \
+        || fail "/metrics missing family $family"
+done
+grep -q '^datamaran_reindex_total [1-9]' "$tmp/metrics.txt" \
+    || fail "/metrics reindex counter still zero after the startup crawl"
+grep -q '^datamaran_queries_total [1-9]' "$tmp/metrics.txt" \
+    || fail "/metrics query counter still zero after served queries"
 # /v1/status reports the store's tables (manifest counts, no scan).
 curl -fsS "$url/v1/status" > "$tmp/status_tables.json" || fail "status failed"
 grep -q '"name": "570eebfb5b600688"' "$tmp/status_tables.json" \
@@ -126,6 +159,7 @@ diff -u testdata/lake_golden/csv/web__requests-1.log.type0.csv "$tmp/lake_extrac
 diff -u testdata/lake_golden/csv/jobs__job-1.log.type0.csv "$tmp/body_extract.csv"
 diff -u testdata/lake_golden/query/groupby.csv "$tmp/query_groupby.csv"
 diff -u testdata/lake_golden/query/topk.csv "$tmp/query_topk.csv"
+diff -u testdata/lake_golden/query/explain_topk.csv "$tmp/explain_topk.csv"
 grep -q '"error"' "$tmp/error.json" && grep -q '"code":"bad_request"' "$tmp/error.json" \
     || fail "error envelope missing: $(cat "$tmp/error.json")"
 
@@ -175,4 +209,4 @@ grep -q '"code":"deadline_exceeded"' "$tmp/held.out" \
     || fail "stalled request did not fail with deadline_exceeded: $(cat "$tmp/held.out")"
 curl -fsS "$url2/v1/formats" > /dev/null || fail "slot not freed after the deadline fired"
 
-echo "serve smoke passed: /v1 routes, the deprecated alias, /v1/query, scoped reindex, the error envelope, 429-on-saturation and deadline-exceeded all behave"
+echo "serve smoke passed: /v1 routes, the deprecated alias, /v1/query (+explain), /metrics, scoped reindex, the error envelope, 429-on-saturation and deadline-exceeded all behave"
