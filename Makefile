@@ -39,11 +39,13 @@ bench:
 # `make bench-extract` on the same machine) in the same PR whenever a
 # change is intentional.
 bench-extract:
-	$(GO) run ./cmd/experiments -bench-extract BENCH_extract.json -bench-mb 16
+	$(GO) run ./cmd/experiments -bench-extract BENCH_extract.json -bench-mb 16 \
+		-cpuprofile BENCH_extract.cpu.pprof
 
 bench-gate:
 	$(GO) run ./cmd/experiments -bench-extract /tmp/BENCH_extract_new.json -bench-mb 16 \
-		-bench-baseline BENCH_extract.json
+		-bench-baseline BENCH_extract.json \
+		-cpuprofile /tmp/BENCH_extract_new.cpu.pprof
 
 # BENCH_serve.json: the serving-path load benchmark (daemon over
 # loopback HTTP; extract + query QPS and latency percentiles at 1/4/16
@@ -78,9 +80,10 @@ query-gate:
 	$(GO) run ./cmd/experiments -bench-query /tmp/BENCH_query_new.json \
 		-bench-query-baseline BENCH_query.json
 
-# Allocation gate: the parser's steady-state scan benchmarks must stay at
-# 0 allocs/op (noise rejection and arena-reuse scanning never touch the
-# heap — see scripts/bench_allocs.sh).
+# Allocation gate: the parser's steady-state scan benchmarks and the
+# generation engine's warm genST benchmark must stay at 0 allocs/op
+# (noise rejection, arena-reuse scanning and transition-table window
+# accumulation never touch the heap — see scripts/bench_allocs.sh).
 bench-allocs:
 	sh scripts/bench_allocs.sh
 

@@ -16,10 +16,13 @@ import (
 	"strings"
 
 	"datamaran"
+	"datamaran/internal/lake/laketest"
 )
 
 // buildLake writes a small lake: three formats spread over nine files
-// plus one unstructured notes file.
+// plus one unstructured notes file. The formats come from the shared
+// laketest corpus; one rng per file index feeds all three formats, so
+// the bytes are a pure function of the file index.
 func buildLake(root string) error {
 	verbs := []string{"GET", "PUT", "POST"}
 	states := []string{"DONE", "FAILED"}
@@ -34,13 +37,9 @@ func buildLake(root string) error {
 		rng := rand.New(rand.NewSource(int64(f)))
 		var jobs, reqs, metrics strings.Builder
 		for i := 0; i < 80; i++ {
-			fmt.Fprintf(&jobs, "JOB <%d>\n  queue= q%d;\n  state= %s;\n",
-				rng.Intn(100000), rng.Intn(5), states[rng.Intn(2)])
-			fmt.Fprintf(&reqs, "%s /api/v%d/item/%d %d\n",
-				verbs[rng.Intn(3)], 1+rng.Intn(2), rng.Intn(10000),
-				[]int{200, 404, 500}[rng.Intn(3)])
-			fmt.Fprintf(&metrics, "metric|cpu%d|%d.%02d|\n",
-				rng.Intn(8), rng.Intn(100), rng.Intn(100))
+			laketest.AppendJob(&jobs, rng, 100000, 5, states)
+			laketest.AppendRequest(&reqs, rng, verbs, 10000, []int{200, 404, 500})
+			laketest.AppendMetric(&metrics, rng)
 		}
 		if err := write(fmt.Sprintf("scheduler/jobs-%d.log", f), jobs.String()); err != nil {
 			return err
@@ -52,13 +51,9 @@ func buildLake(root string) error {
 			return err
 		}
 	}
-	return write("NOTES.txt", `These logs were collected from the staging cluster.
-Rotate anything older than thirty days; ask Dana first!
-(The telemetry tier moved to pull-based scraping in March.)
-scheduler/ holds the job dumps -- multi-line, one stanza per job
-edge/ is the request tier; status codes are plain integers
-TODO: fold the db01 host metrics into their own directory?
-`)
+	return write("NOTES.txt", laketest.Prose("telemetry",
+		"scheduler/ holds the job dumps -- multi-line, one stanza per job",
+		"edge/ is the request tier; status codes are plain integers"))
 }
 
 func main() {

@@ -160,15 +160,23 @@ func Present(candidates Set, data []byte) Set {
 }
 
 // Subsets enumerates every subset of set (2^c of them, the exhaustive
-// search of §9.1) and calls fn for each, starting with the full set and
-// ending with the empty set in an arbitrary but deterministic order. If fn
+// search of §9.1) and calls fn for each, starting with the full set, in a
+// deterministic order where consecutive subsets differ by exactly one
+// character (a reflected Gray code over the complement mask). The
+// one-character adjacency is what lets the generation engine re-tokenize
+// only a single character's postings between consecutive exhaustive
+// trials, the same incremental path the greedy search rides. If fn
 // returns false the enumeration stops early.
 func Subsets(set Set, fn func(Set) bool) {
 	members := set.Bytes()
 	n := len(members)
-	// Iterate masks from full to empty so higher-coverage charsets
-	// (typically the larger ones) are seen first.
-	for mask := (1 << n) - 1; mask >= 0; mask-- {
+	full := 1<<n - 1
+	for k := 0; k <= full; k++ {
+		// gray(k) and gray(k+1) differ in one bit; complementing
+		// against the full mask starts the walk at the full set so
+		// higher-coverage charsets (typically the larger ones) are
+		// seen first.
+		mask := full ^ (k ^ k>>1)
 		var s Set
 		for i := 0; i < n; i++ {
 			if mask&(1<<i) != 0 {

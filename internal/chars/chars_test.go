@@ -159,6 +159,35 @@ func TestSubsetsFirstIsFull(t *testing.T) {
 	}
 }
 
+// TestSubsetsGrayAdjacency pins the Gray-code contract the generation
+// engine's incremental exhaustive search rides: consecutive subsets
+// differ by exactly one character, for every charset width up to the
+// exhaustive cap's neighborhood.
+func TestSubsetsGrayAdjacency(t *testing.T) {
+	for _, members := range []string{"", ",", ",.", ",.:", " ,:;=|", ",.:;=|[]{}"} {
+		set := NewSet(members)
+		var prev Set
+		first := true
+		n := 0
+		Subsets(set, func(s Set) bool {
+			if !first {
+				diff := s.Minus(prev).Union(prev.Minus(s))
+				if diff.Len() != 1 {
+					t.Fatalf("members %q: consecutive subsets %v -> %v differ by %d chars, want 1",
+						members, prev, s, diff.Len())
+				}
+			}
+			first = false
+			prev = s
+			n++
+			return true
+		})
+		if want := 1 << set.Len(); n != want {
+			t.Fatalf("members %q: enumerated %d subsets, want %d", members, n, want)
+		}
+	}
+}
+
 func TestSubsetsEarlyStop(t *testing.T) {
 	set := NewSet(",.:")
 	n := 0

@@ -18,13 +18,23 @@
 //     the generator's lifetime, so a greedy trial that re-derives a shape
 //     seen under a previous charset pays a map hit.
 //   - A window of lines is identified by its shape sequence, interned
-//     incrementally as (previous window id, added shape id) pairs; the
-//     reduction of each distinct window identity to a minimal structure
-//     template is memoized across all charset trials.
+//     incrementally as (previous window id, added shape id) extensions.
+//     Extensions resolve through per-shape successor arrays (transition
+//     tables): succ[shape][prev+1] is a flat indexed load, no hashing in
+//     the 10·n window loop. The reduction of each distinct window
+//     identity to a minimal structure template is memoized across all
+//     charset trials.
+//   - Window-id chains are cached per start line and reused as long as
+//     no line in the span changed shape since the chain was resolved —
+//     a trial that re-tokenizes k lines re-resolves at most k·L window
+//     starts; every other window rides a cached flat load.
 //   - Tokenization is incremental: a line whose intersection with the
-//     trial charset is unchanged keeps its shape id, and the greedy
-//     search re-tokenizes only the postings of the one character it adds
-//     (chars.LineIndex).
+//     trial charset is unchanged keeps its shape id, and both searches
+//     re-tokenize only the postings of the characters that changed —
+//     the greedy search adds one character per trial, and the
+//     exhaustive search enumerates subsets in Gray-code order
+//     (chars.Subsets) so consecutive masks also differ by exactly one
+//     character.
 //   - Per-trial accumulators (bins, kept candidates) are flat slices
 //     reused across genST calls, pre-sized by the first trial, so the
 //     steady state allocates nothing.
@@ -176,10 +186,21 @@ const shapeFieldMark = 0x01
 // winExt names a window of lines by extension: the window [i, j) is the
 // window [i, j-1) (its id) plus the shape of line j-1. Chains of
 // extensions intern whole shape sequences without materializing them.
+// The hot path resolves extensions through the per-shape transition
+// tables; winExt keys only the rare overflow spill (see insertTrans).
 type winExt struct {
 	prev  int32 // window id of the s-1 prefix (-1 for s=1)
 	shape int32 // shape id of the added line
 }
+
+// succEntryBudget caps the total int32 entries across all dense
+// transition-table rows (16 MiB). Log-like data — few shapes, few window
+// identities — stays far under it; a pathological high-entropy input
+// whose rows would grow quadratically spills to the succOver map
+// instead, trading the indexed load back for a hash probe rather than
+// letting memory blow up. Purely a storage decision: lookups consult
+// the row first and the spill second, so output is identical.
+const succEntryBudget = 1 << 22
 
 // binAcc accumulates one coverage bin for the current charset trial.
 // Coverage counts greedily non-overlapping windows only (windows arrive
@@ -227,17 +248,47 @@ type generator struct {
 	lineFB    []int
 	tokBuf    []uint16
 
-	// Window-identity chain and the per-identity reduced template
-	// (winTpl, -1 = not a valid record template), memoized across all
-	// charset trials.
-	winIDs map[winExt]int32
-	winTpl []int32
-	winBuf []uint16
-	red    template.FlatReducer
+	// Window-identity transition tables: succ[shape] is a successor row
+	// indexed by prev+1 (row 0 is the root, prev = -1) holding the
+	// window id of the (prev, shape) extension, -1 when not yet
+	// interned. Rows grow geometrically per shape, bounded in total by
+	// succBudget; insertions past the budget spill to succOver. winTpl
+	// maps a window id to its reduced template id (-1 = not a valid
+	// record template), memoized across all charset trials.
+	succ       [][]int32
+	succLen    int // total dense entries allocated across rows
+	succBudget int
+	succOver   map[winExt]int32
+	winTpl     []int32
+	winBuf     []uint16
+	red        template.FlatReducer
+
+	// Per-start window-id chain cache: widCache[i*L : i*L+spanLen[i]]
+	// is the id chain of windows starting at line i, valid while no
+	// line in [i, i+L) changed shape since it was resolved
+	// (startStale). spanLen[i] counts the spans the byte cap admits —
+	// it depends only on line offsets, so it is computed once.
+	spanLen    []int32
+	widCache   []int32
+	startStale []bool
 
 	// Interned reduced templates (tplIDs owns the canonical keys).
 	tplIDs map[string]int32
 	tpls   []*template.Node
+
+	// Derived-shape state for the exhaustive search (initDerived /
+	// toggleChar): after the first full-charset trial tokenizes every
+	// line byte-level, later trials never touch line bytes again — a
+	// line's shape under any subset charset is derived from its
+	// full-charset shape by turning dropped literals into field runs
+	// (memoized per (full shape, surviving-char mask)), and its field
+	// bytes follow arithmetically from the per-line character counts.
+	members   []byte           // capped present members, ascending
+	memberBit [256]int8        // byte → index in members, -1 otherwise
+	lineFull  []int32          // shape id under the full capped charset
+	lineMask  []uint16         // current local literal mask (bits local to the line's full shape)
+	lineCnt   []int32          // lineCnt[i*K+m]: occurrences of members[m] in line i
+	fsInfo    []*fullShapeInfo // per shape id; non-nil only for full-charset shapes
 
 	// Per-trial accumulators, reused across genST calls (binOf is reset
 	// to -1 for the touched templates at the end of each trial; bins and
@@ -258,23 +309,37 @@ func newGenerator(lines *textio.Lines, cfg Config) *generator {
 	cfg = cfg.withDefaults()
 	n := lines.N()
 	g := &generator{
-		lines:     lines,
-		data:      lines.Data(),
-		n:         n,
-		cfg:       cfg,
-		threshold: int(cfg.Alpha * float64(len(lines.Data()))),
-		shapeIDs:  make(map[string]int32, 64),
-		shapeOff:  make([]int32, 1, 65),
-		lineIdx:   chars.BuildLineIndex(n, lines.Line, cfg.Candidates),
-		tokSet:    make([]chars.Set, n),
-		lineShape: make([]int32, n),
-		lineFB:    make([]int, n),
-		winIDs:    make(map[winExt]int32, 2*n),
-		tplIDs:    make(map[string]int32, 64),
+		lines:      lines,
+		data:       lines.Data(),
+		n:          n,
+		cfg:        cfg,
+		threshold:  int(cfg.Alpha * float64(len(lines.Data()))),
+		shapeIDs:   make(map[string]int32, 64),
+		shapeOff:   make([]int32, 1, 65),
+		lineIdx:    chars.BuildLineIndex(n, lines.Line, cfg.Candidates),
+		tokSet:     make([]chars.Set, n),
+		lineShape:  make([]int32, n),
+		lineFB:     make([]int, n),
+		succBudget: succEntryBudget,
+		tplIDs:     make(map[string]int32, 64),
+		spanLen:    make([]int32, n),
+		widCache:   make([]int32, n*cfg.MaxSpan),
+		startStale: make([]bool, n),
 	}
 	g.present = chars.Present(cfg.Candidates, g.data)
 	for i := range g.lineShape {
 		g.lineShape[i] = -1 // not yet tokenized under any charset
+	}
+	for i := 0; i < n; i++ {
+		g.startStale[i] = true
+		m := int32(0)
+		for s := 1; s <= cfg.MaxSpan && i+s <= n; s++ {
+			if lines.Start(i+s)-lines.Start(i) > cfg.MaxRecordBytes {
+				break
+			}
+			m++
+		}
+		g.spanLen[i] = m
 	}
 	return g
 }
@@ -290,16 +355,194 @@ func (g *generator) search() {
 	}
 }
 
+// maxDerivedChars bounds the charset width the derived-shape exhaustive
+// path handles (local masks are uint16, and per-shape memo rows are 2^k
+// entries for a shape with k literal characters). capCharset keeps
+// exhaustive charsets at MaxExhaustive (default 10) members, so the
+// fallback below only triggers on configs that would enumerate 2^17+
+// subsets anyway.
+const maxDerivedChars = 16
+
 // exhaustiveSearch enumerates all subsets of the present candidates
 // (restricted to the MaxExhaustive most frequent characters when there are
-// too many). Consecutive subsets usually differ in few characters, so the
-// per-line intersection memo in shapeLine skips most re-tokenization.
+// too many). chars.Subsets walks the masks in Gray-code order, so
+// consecutive trials differ by exactly one character: after the first
+// trial tokenizes every line under the full set, each later trial only
+// toggles that character's postings — deriving each affected line's new
+// shape from its full-charset shape without touching the line's bytes
+// (every other line's charset intersection, and so its shape, is
+// provably unchanged).
 func (g *generator) exhaustiveSearch() {
 	present := capCharset(g.lines, g.cfg, g.present)
+	derived := present.Len() <= maxDerivedChars && g.n > 0
+	first := true
+	var prev chars.Set
 	chars.Subsets(present, func(s chars.Set) bool {
-		g.genST(s)
+		if first {
+			first = false
+			g.genST(s)
+			if derived {
+				g.initDerived(present)
+			}
+		} else {
+			diff := s.Minus(prev).Union(prev.Minus(s))
+			for _, c := range diff.Bytes() {
+				if derived {
+					g.toggleChar(c, s.Contains(c))
+				} else {
+					for _, li := range g.lineIdx.Lines(c) {
+						g.shapeLine(int(li), s)
+					}
+				}
+			}
+			g.accumulate(s)
+		}
+		prev = s
 		return true
 	})
+}
+
+// fullShapeInfo is the derived-shape memo of one full-charset shape:
+// which member characters appear as literals (localBit, assigning each a
+// bit local to this shape) and the interned shape id of every literal
+// subset already derived (row, indexed by local mask; the all-ones mask
+// is the full shape itself).
+type fullShapeInfo struct {
+	localBit [maxDerivedChars]int8
+	row      []int32
+}
+
+// initDerived prepares the derived-shape state after the first
+// exhaustive trial: per-line member-character counts (one pass over the
+// data — the last time any line's bytes are read), the full-charset
+// shape and all-literals mask of every line, and the per-shape memo rows.
+func (g *generator) initDerived(present chars.Set) {
+	g.members = present.Bytes()
+	k := len(g.members)
+	for i := range g.memberBit {
+		g.memberBit[i] = -1
+	}
+	for m, c := range g.members {
+		g.memberBit[c] = int8(m)
+	}
+	g.lineFull = append([]int32(nil), g.lineShape...)
+	g.lineMask = make([]uint16, g.n)
+	g.lineCnt = make([]int32, g.n*k)
+	g.fsInfo = make([]*fullShapeInfo, len(g.shapeOff)-1)
+	for i := 0; i < g.n; i++ {
+		if k > 0 {
+			cnt := g.lineCnt[i*k : i*k+k]
+			for _, b := range g.lines.Line(i) {
+				if m := g.memberBit[b]; m >= 0 {
+					cnt[m]++
+				}
+			}
+		}
+		info := g.fullInfo(g.lineShape[i])
+		g.lineMask[i] = uint16(len(info.row) - 1)
+	}
+}
+
+// fullInfo returns (building on first use) the derived-shape memo of a
+// full-charset shape id.
+func (g *generator) fullInfo(id int32) *fullShapeInfo {
+	if info := g.fsInfo[id]; info != nil {
+		return info
+	}
+	info := &fullShapeInfo{}
+	var inShape [maxDerivedChars]bool
+	for _, tok := range g.toks[g.shapeOff[id]:g.shapeOff[id+1]] {
+		if tok < 256 && tok != '\n' {
+			if m := g.memberBit[byte(tok)]; m >= 0 {
+				inShape[m] = true
+			}
+		}
+	}
+	bits := 0
+	for m := range info.localBit {
+		info.localBit[m] = -1
+		if inShape[m] {
+			info.localBit[m] = int8(bits)
+			bits++
+		}
+	}
+	info.row = make([]int32, 1<<bits)
+	for j := range info.row {
+		info.row[j] = -1
+	}
+	info.row[len(info.row)-1] = id
+	g.fsInfo[id] = info
+	return info
+}
+
+// toggleChar updates every line containing c for a trial charset that
+// added or removed exactly c: the line's field bytes move by its count
+// of c (a dropped formatting character's occurrences become field
+// bytes), and its shape follows from the memo row of its full-charset
+// shape — deriving and interning the subset shape once per (full shape,
+// mask), not per line per trial.
+func (g *generator) toggleChar(c byte, added bool) {
+	m := int(g.memberBit[c])
+	k := len(g.members)
+	for _, li := range g.lineIdx.Lines(c) {
+		i := int(li)
+		full := g.lineFull[i]
+		info := g.fsInfo[full]
+		lb := info.localBit[m]
+		if lb < 0 {
+			// c is in the line's bytes, so under the full charset it
+			// must be one of the shape's literals.
+			panic("generation: posted character missing from full shape")
+		}
+		cnt := int(g.lineCnt[i*k+m])
+		mask := g.lineMask[i]
+		if added {
+			mask |= 1 << uint(lb)
+			g.lineFB[i] -= cnt
+		} else {
+			mask &^= 1 << uint(lb)
+			g.lineFB[i] += cnt
+		}
+		g.lineMask[i] = mask
+		id := info.row[mask]
+		if id < 0 {
+			id = g.deriveShape(full, info, mask)
+			info.row[mask] = id
+		}
+		if g.lineShape[i] != id {
+			g.lineShape[i] = id
+			g.markStale(i)
+		}
+	}
+}
+
+// deriveShape builds the shape of a full-charset shape restricted to the
+// literal characters in mask: dropped literals become field runs, merged
+// with any adjacent field runs — exactly the tokenization the byte-level
+// path would produce under the smaller charset, without reading any line
+// bytes. The result is interned like any other shape.
+func (g *generator) deriveShape(full int32, info *fullShapeInfo, mask uint16) int32 {
+	buf := g.tokBuf[:0]
+	prevField := false
+	for _, tok := range g.toks[g.shapeOff[full]:g.shapeOff[full+1]] {
+		lit := false
+		if tok != template.TokField {
+			if b := byte(tok); b == '\n' {
+				lit = true
+			} else if lb := info.localBit[g.memberBit[b]]; mask&(1<<uint(lb)) != 0 {
+				lit = true
+			}
+		}
+		if lit {
+			buf = append(buf, tok)
+			prevField = false
+		} else if !prevField {
+			buf = append(buf, template.TokField)
+			prevField = true
+		}
+	}
+	g.tokBuf = buf
+	return g.internShape(buf)
 }
 
 // greedySearch implements Algorithm 1's GreedySearch: starting from the
@@ -337,7 +580,10 @@ func (g *generator) greedySearch() {
 			}
 			for _, li := range posted {
 				g.tokSet[li] = baseSet[li]
-				g.lineShape[li] = baseShape[li]
+				if g.lineShape[li] != baseShape[li] {
+					g.lineShape[li] = baseShape[li]
+					g.markStale(int(li))
+				}
 				g.lineFB[li] = baseFB[li]
 			}
 		}
@@ -357,7 +603,11 @@ func (g *generator) greedySearch() {
 }
 
 // capCharset restricts an oversized charset to the most frequent
-// MaxExhaustive characters in the data.
+// MaxExhaustive characters in the data. Equal frequencies tie-break on
+// byte value: the comparator must be a total order, or which character
+// survives the cut would depend on sort.Slice's (unstable, Go-release-
+// dependent) internals — and since the reference engine shares this
+// helper, the oracle suite could never catch that drift.
 func capCharset(lines *textio.Lines, cfg Config, present chars.Set) chars.Set {
 	if present.Len() <= cfg.MaxExhaustive {
 		return present
@@ -369,7 +619,12 @@ func capCharset(lines *textio.Lines, cfg Config, present chars.Set) chars.Set {
 		}
 	}
 	members := present.Bytes()
-	sort.Slice(members, func(i, j int) bool { return freq[members[i]] > freq[members[j]] })
+	sort.Slice(members, func(i, j int) bool {
+		if freq[members[i]] != freq[members[j]] {
+			return freq[members[i]] > freq[members[j]]
+		}
+		return members[i] < members[j]
+	})
 	var capped chars.Set
 	for _, b := range members[:cfg.MaxExhaustive] {
 		capped.Add(b)
@@ -390,8 +645,22 @@ func (g *generator) shapeLine(i int, rtset chars.Set) {
 	g.tokSet[i] = inter
 	var fb int
 	g.tokBuf, fb = template.AppendFlatTokens(g.tokBuf[:0], g.lines.Line(i), inter)
+	id := g.internShape(g.tokBuf)
+	if g.lineShape[i] != id {
+		g.lineShape[i] = id
+		g.markStale(i)
+	}
+	g.lineFB[i] = fb
+}
+
+// internShape interns a flat token sequence, returning its shape id
+// (allocating the id, its arena block, and its transition row on first
+// sight). Shared by the byte-level tokenizer (shapeLine) and the
+// derived-shape path (deriveShape), so both produce the same ids for the
+// same token sequence.
+func (g *generator) internShape(toks []uint16) int32 {
 	key := g.keyBuf[:0]
-	for _, tok := range g.tokBuf {
+	for _, tok := range toks {
 		if tok == template.TokField {
 			key = append(key, shapeFieldMark)
 		} else {
@@ -403,11 +672,24 @@ func (g *generator) shapeLine(i int, rtset chars.Set) {
 	if !ok {
 		id = int32(len(g.shapeOff) - 1)
 		g.shapeIDs[string(key)] = id
-		g.toks = append(g.toks, g.tokBuf...)
+		g.toks = append(g.toks, toks...)
 		g.shapeOff = append(g.shapeOff, int32(len(g.toks)))
+		g.succ = append(g.succ, nil) // transition row, grown on demand
 	}
-	g.lineShape[i] = id
-	g.lineFB[i] = fb
+	return id
+}
+
+// markStale invalidates the cached window-id chains of every start
+// whose span covers line i — they must be re-resolved through the
+// transition tables on the next accumulate.
+func (g *generator) markStale(i int) {
+	lo := i - g.cfg.MaxSpan + 1
+	if lo < 0 {
+		lo = 0
+	}
+	for k := lo; k <= i; k++ {
+		g.startStale[k] = true
+	}
 }
 
 // genST is Algorithm 1's GenST for one RT-CharSet value: tokenize every
@@ -424,8 +706,11 @@ func (g *generator) genST(rtset chars.Set) []Candidate {
 // per reduced template. It returns the candidates from this charset that
 // meet the coverage threshold. Expensive work — reducing a window to its
 // minimal template — happens once per distinct window identity across ALL
-// trials; the 10·n loop below touches only integer-keyed maps and flat
-// slices.
+// trials; window identities resolve through flat per-shape transition
+// tables, and whole id chains are reused from the per-start cache when no
+// line in the span changed shape since the previous trial, so the 10·n
+// loop below is indexed loads and flat slices — no hashing at all on the
+// steady path.
 func (g *generator) accumulate(rtset chars.Set) []Candidate {
 	g.charsetsTried++
 	if len(g.data) == 0 {
@@ -433,26 +718,32 @@ func (g *generator) accumulate(rtset chars.Set) []Candidate {
 	}
 	n := g.n
 	maxSpan := g.cfg.MaxSpan
-	maxBytes := g.cfg.MaxRecordBytes
 	for i := 0; i < n; i++ {
-		prev := int32(-1)
+		m := int(g.spanLen[i])
+		if m == 0 {
+			continue
+		}
+		chain := g.widCache[i*maxSpan : i*maxSpan+m]
+		if g.startStale[i] {
+			prev := int32(-1)
+			for s := 1; s <= m; s++ {
+				shape := g.lineShape[i+s-1]
+				wid := g.lookupTrans(prev, shape)
+				if wid < 0 {
+					wid = int32(len(g.winTpl))
+					g.insertTrans(prev, shape, wid)
+					g.winTpl = append(g.winTpl, g.resolveWindow(i, i+s))
+				}
+				chain[s-1] = wid
+				prev = wid
+			}
+			g.startStale[i] = false
+		}
 		fb := 0
-		for s := 1; s <= maxSpan && i+s <= n; s++ {
+		for s := 1; s <= m; s++ {
 			j := i + s
 			fb += g.lineFB[j-1]
-			blockLen := g.lines.Start(j) - g.lines.Start(i)
-			if blockLen > maxBytes {
-				break
-			}
-			ext := winExt{prev: prev, shape: g.lineShape[j-1]}
-			wid, ok := g.winIDs[ext]
-			if !ok {
-				wid = int32(len(g.winTpl))
-				g.winIDs[ext] = wid
-				g.winTpl = append(g.winTpl, g.resolveWindow(i, j))
-			}
-			prev = wid
-			ti := g.winTpl[wid]
+			ti := g.winTpl[chain[s-1]]
 			if ti < 0 {
 				continue
 			}
@@ -464,7 +755,7 @@ func (g *generator) accumulate(rtset chars.Set) []Candidate {
 			}
 			b := &g.bins[bi]
 			if i >= b.lastEnd {
-				b.cov += blockLen
+				b.cov += g.lines.Start(j) - g.lines.Start(i)
 				b.fb += fb
 				b.lastEnd = j
 			}
@@ -495,6 +786,64 @@ func (g *generator) accumulate(rtset chars.Set) []Candidate {
 	g.bins = g.bins[:0]
 	g.kept = kept
 	return kept
+}
+
+// lookupTrans resolves the (prev, shape) window extension to its window
+// id, or -1 when the extension has not been interned yet. The dense row
+// is authoritative for ids it holds; a -1 slot falls through to the
+// overflow spill, which may have received the insert when the row was
+// shorter (rows only grow, and fresh growth is filled with -1).
+func (g *generator) lookupTrans(prev, shape int32) int32 {
+	row := g.succ[shape]
+	if idx := int(prev) + 1; idx < len(row) {
+		if wid := row[idx]; wid >= 0 {
+			return wid
+		}
+	}
+	if g.succOver != nil {
+		if wid, ok := g.succOver[winExt{prev: prev, shape: shape}]; ok {
+			return wid
+		}
+	}
+	return -1
+}
+
+// insertTrans records the (prev, shape) → wid extension, growing shape's
+// dense row geometrically while the total stays under succBudget and
+// spilling to the overflow map beyond it.
+func (g *generator) insertTrans(prev, shape, wid int32) {
+	idx := int(prev) + 1
+	row := g.succ[shape]
+	if idx >= len(row) {
+		need := idx + 1
+		newLen := 2 * len(row)
+		if newLen < need {
+			newLen = need
+		}
+		if newLen < 8 {
+			newLen = 8
+		}
+		if g.succLen+newLen-len(row) > g.succBudget {
+			if g.succLen+need-len(row) <= g.succBudget {
+				newLen = need // no headroom for geometric growth, exact fit
+			} else {
+				if g.succOver == nil {
+					g.succOver = make(map[winExt]int32)
+				}
+				g.succOver[winExt{prev: prev, shape: shape}] = wid
+				return
+			}
+		}
+		grown := make([]int32, newLen)
+		copy(grown, row)
+		for k := len(row); k < newLen; k++ {
+			grown[k] = -1
+		}
+		g.succLen += newLen - len(row)
+		g.succ[shape] = grown
+		row = grown
+	}
+	row[idx] = wid
 }
 
 // resolveWindow reduces the window of lines [i, j) to its minimal

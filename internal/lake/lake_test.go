@@ -3,18 +3,25 @@ package lake
 import (
 	"encoding/json"
 	"fmt"
-	"math/rand"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 
 	"datamaran/internal/core"
+	"datamaran/internal/lake/laketest"
 )
+
+// noiseProse is the lake's unstructured notes file (store_test also
+// rewrites a structured file with it to test structure loss).
+var noiseProse = laketest.Prose("metrics",
+	"jobs/ holds the scheduler dumps -- multi-line, one stanza per job",
+	"web/ is the edge tier; latency units are milliseconds")
 
 // buildLake writes a small heterogeneous lake: three formats spread
 // over eight files, one prose file, one empty file, and hidden entries
-// that the crawl must skip.
+// that the crawl must skip. The file contents come from the shared
+// laketest corpus.
 func buildLake(t *testing.T) string {
 	t.Helper()
 	root := t.TempDir()
@@ -31,40 +38,18 @@ func buildLake(t *testing.T) string {
 	states := []string{"DONE", "FAILED", "RUNNING"}
 	verbs := []string{"GET", "PUT", "POST"}
 	for f := 1; f <= 3; f++ {
-		rng := rand.New(rand.NewSource(int64(10 + f)))
-		var b strings.Builder
-		for i := 0; i < 60; i++ {
-			fmt.Fprintf(&b, "JOB <%d>\n  queue= q%d;\n  state= %s;\n",
-				rng.Intn(90000), rng.Intn(6), states[rng.Intn(3)])
-		}
-		write(fmt.Sprintf("a/jobs-%d.log", f), b.String())
+		write(fmt.Sprintf("a/jobs-%d.log", f),
+			laketest.JobsLog(int64(10+f), 60, 90000, 6, states))
 	}
 	for f := 1; f <= 3; f++ {
-		rng := rand.New(rand.NewSource(int64(20 + f)))
-		var b strings.Builder
-		for i := 0; i < 150; i++ {
-			fmt.Fprintf(&b, "%s /api/v%d/item/%d %d\n",
-				verbs[rng.Intn(3)], 1+rng.Intn(2), rng.Intn(10000),
-				[]int{200, 404, 500}[rng.Intn(3)])
-		}
-		write(fmt.Sprintf("b/req-%d.log", f), b.String())
+		write(fmt.Sprintf("b/req-%d.log", f),
+			laketest.RequestsLog(int64(20+f), 150, verbs, 10000, []int{200, 404, 500}))
 	}
 	for f := 1; f <= 2; f++ {
-		rng := rand.New(rand.NewSource(int64(30 + f)))
-		var b strings.Builder
-		for i := 0; i < 140; i++ {
-			fmt.Fprintf(&b, "metric|cpu%d|%d.%02d|\n",
-				rng.Intn(8), rng.Intn(100), rng.Intn(100))
-		}
-		write(fmt.Sprintf("c/metrics-%d.log", f), b.String())
+		write(fmt.Sprintf("c/metrics-%d.log", f),
+			laketest.MetricsLog(int64(30+f), 140))
 	}
-	write("noise.txt", `These logs were collected from the staging cluster.
-Rotate anything older than thirty days; ask Dana first!
-(The metrics tier moved to pull-based scraping in March.)
-jobs/ holds the scheduler dumps -- multi-line, one stanza per job
-web/ is the edge tier; latency units are milliseconds
-TODO: fold the db01 host metrics into their own directory?
-`)
+	write("noise.txt", noiseProse)
 	write("empty.log", "")
 	write(".hidden/skip.log", "GET /api/v1/item/1 200\n")
 	write(".hiddenfile", "metric|cpu0|1.00|\n")

@@ -1,0 +1,85 @@
+// Package laketest is the single source of the fixture-lake corpus: the
+// three synthetic log formats (multi-line job stanzas, one-line HTTP
+// request records, pipe-delimited metrics) and the prose notes file used
+// by the lake, serve and example fixtures. The format strings used to be
+// copy-pasted per package, so an edit in one place silently skewed the
+// corpora apart; every builder of a jobs/requests/metrics lake goes
+// through here now.
+//
+// The package is deliberately testing-free so examples can import it,
+// and deterministic: each builder draws from the caller's *rand.Rand (or
+// a seed) in a fixed call order, so a (seed, parameters) pair names one
+// exact byte sequence.
+package laketest
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// AppendJob appends one multi-line job stanza ("JOB <id>" plus indented
+// queue/state lines, ';'-terminated — the multi-line format of the
+// fixture lake).
+func AppendJob(b *strings.Builder, rng *rand.Rand, jobMod, queueMod int, states []string) {
+	fmt.Fprintf(b, "JOB <%d>\n  queue= q%d;\n  state= %s;\n",
+		rng.Intn(jobMod), rng.Intn(queueMod), states[rng.Intn(len(states))])
+}
+
+// AppendRequest appends one HTTP-access-style request line
+// ("VERB /api/vN/item/N CODE").
+func AppendRequest(b *strings.Builder, rng *rand.Rand, verbs []string, itemMod int, codes []int) {
+	fmt.Fprintf(b, "%s /api/v%d/item/%d %d\n",
+		verbs[rng.Intn(len(verbs))], 1+rng.Intn(2), rng.Intn(itemMod),
+		codes[rng.Intn(len(codes))])
+}
+
+// AppendMetric appends one pipe-delimited gauge reading
+// ("metric|cpuN|N.NN|").
+func AppendMetric(b *strings.Builder, rng *rand.Rand) {
+	fmt.Fprintf(b, "metric|cpu%d|%d.%02d|\n",
+		rng.Intn(8), rng.Intn(100), rng.Intn(100))
+}
+
+// JobsLog builds a whole job-stanza file from its own seeded stream.
+func JobsLog(seed int64, n, jobMod, queueMod int, states []string) string {
+	rng := rand.New(rand.NewSource(seed))
+	var b strings.Builder
+	for i := 0; i < n; i++ {
+		AppendJob(&b, rng, jobMod, queueMod, states)
+	}
+	return b.String()
+}
+
+// RequestsLog builds a whole request-line file from its own seeded stream.
+func RequestsLog(seed int64, n int, verbs []string, itemMod int, codes []int) string {
+	rng := rand.New(rand.NewSource(seed))
+	var b strings.Builder
+	for i := 0; i < n; i++ {
+		AppendRequest(&b, rng, verbs, itemMod, codes)
+	}
+	return b.String()
+}
+
+// MetricsLog builds a whole metrics file from its own seeded stream.
+func MetricsLog(seed int64, n int) string {
+	rng := rand.New(rand.NewSource(seed))
+	var b strings.Builder
+	for i := 0; i < n; i++ {
+		AppendMetric(&b, rng)
+	}
+	return b.String()
+}
+
+// Prose is the unstructured notes file every fixture lake carries (the
+// crawl must classify it as unstructured, not force a template onto it).
+// tier names which tier "moved to pull-based scraping"; dir1 and dir2
+// are the two directory-description lines, which vary per fixture.
+func Prose(tier, dir1, dir2 string) string {
+	return "These logs were collected from the staging cluster.\n" +
+		"Rotate anything older than thirty days; ask Dana first!\n" +
+		"(The " + tier + " tier moved to pull-based scraping in March.)\n" +
+		dir1 + "\n" +
+		dir2 + "\n" +
+		"TODO: fold the db01 host metrics into their own directory?\n"
+}

@@ -1,0 +1,53 @@
+package laketest
+
+import (
+	"strings"
+	"testing"
+)
+
+// The builders are shared by the lake, store, serve and example
+// fixtures precisely so the corpus cannot skew per package; these pins
+// freeze the literal byte forms so an accidental format-string edit
+// fails here instead of surfacing as a mysterious digest change in a
+// downstream suite.
+
+func TestJobsLogPinned(t *testing.T) {
+	got := JobsLog(11, 1, 90000, 6, []string{"DONE", "FAILED", "RUNNING"})
+	want := "JOB <66360>\n  queue= q5;\n  state= RUNNING;\n"
+	if got != want {
+		t.Fatalf("JobsLog = %q, want %q", got, want)
+	}
+}
+
+func TestRequestsLogPinned(t *testing.T) {
+	got := RequestsLog(21, 1, []string{"GET", "PUT", "POST"}, 10000, []int{200, 404, 500})
+	want := "POST /api/v2/item/5555 500\n"
+	if got != want {
+		t.Fatalf("RequestsLog = %q, want %q", got, want)
+	}
+}
+
+func TestMetricsLogPinned(t *testing.T) {
+	got := MetricsLog(31, 1)
+	if !strings.HasPrefix(got, "metric|cpu") || strings.Count(got, "|") != 3 {
+		t.Fatalf("MetricsLog = %q, want metric|cpuN|N.NN| form", got)
+	}
+}
+
+func TestProsePinned(t *testing.T) {
+	got := Prose("metrics", "d1", "d2")
+	want := "These logs were collected from the staging cluster.\n" +
+		"Rotate anything older than thirty days; ask Dana first!\n" +
+		"(The metrics tier moved to pull-based scraping in March.)\n" +
+		"d1\nd2\n" +
+		"TODO: fold the db01 host metrics into their own directory?\n"
+	if got != want {
+		t.Fatalf("Prose = %q, want %q", got, want)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	if JobsLog(7, 20, 90000, 6, []string{"A", "B"}) != JobsLog(7, 20, 90000, 6, []string{"A", "B"}) {
+		t.Fatal("JobsLog is not deterministic for a fixed seed")
+	}
+}

@@ -300,14 +300,7 @@ func TestSegmentStoreUnstructuredFileDropped(t *testing.T) {
 	if !hasSeg("c/metrics-1.log") {
 		t.Fatal("metrics-1 has no segment after first crawl")
 	}
-	prose := `These logs were collected from the staging cluster.
-Rotate anything older than thirty days; ask Dana first!
-(The metrics tier moved to pull-based scraping in March.)
-jobs/ holds the scheduler dumps -- multi-line, one stanza per job
-web/ is the edge tier; latency units are milliseconds
-TODO: fold the db01 host metrics into their own directory?
-`
-	if err := os.WriteFile(filepath.Join(root, "c", "metrics-1.log"), []byte(prose), 0o644); err != nil {
+	if err := os.WriteFile(filepath.Join(root, "c", "metrics-1.log"), []byte(noiseProse), 0o644); err != nil {
 		t.Fatal(err)
 	}
 	crawlWithStore(t, root, reg, cps, s)

@@ -211,7 +211,17 @@ func renderLabels(kv []string) string {
 	for i := 0; i < len(kv); i += 2 {
 		pairs = append(pairs, pair{kv[i], kv[i+1]})
 	}
-	sort.Slice(pairs, func(i, j int) bool { return pairs[i].k < pairs[j].k })
+	// The comparator must be a total order: with duplicate keys (legal —
+	// the rendered signature just repeats the key), sorting on the key
+	// alone would let sort.Slice's unstable internals pick the value
+	// order, and the same counter could split across two signatures
+	// between Go releases.
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].k != pairs[j].k {
+			return pairs[i].k < pairs[j].k
+		}
+		return pairs[i].v < pairs[j].v
+	})
 	var b strings.Builder
 	b.WriteByte('{')
 	for i, p := range pairs {

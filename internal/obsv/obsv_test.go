@@ -182,6 +182,27 @@ func TestLabelEscaping(t *testing.T) {
 	}
 }
 
+// TestRenderLabelsTotalOrder: the label-pair comparator is a total
+// order, so duplicate keys render in one deterministic signature no
+// matter how the caller ordered the pairs — not in whatever order
+// sort.Slice's unstable internals happen to leave them.
+func TestRenderLabelsTotalOrder(t *testing.T) {
+	want := `{k="a",k="b",k="c",z="1"}`
+	perms := [][]string{
+		{"k", "a", "k", "b", "k", "c", "z", "1"},
+		{"k", "c", "k", "b", "z", "1", "k", "a"},
+		{"z", "1", "k", "b", "k", "a", "k", "c"},
+	}
+	for _, kv := range perms {
+		if got := renderLabels(kv); got != want {
+			t.Errorf("renderLabels(%q) = %s, want %s", kv, got, want)
+		}
+	}
+	if got := renderLabels(nil); got != "" {
+		t.Errorf("renderLabels(nil) = %q, want empty", got)
+	}
+}
+
 // TestNilRegistry: a nil registry hands out working detached metrics,
 // so instrumented code paths never nil-check.
 func TestNilRegistry(t *testing.T) {

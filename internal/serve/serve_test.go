@@ -5,7 +5,6 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
-	"math/rand"
 	"net/http"
 	"net/http/httptest"
 	"net/url"
@@ -16,6 +15,7 @@ import (
 
 	"datamaran"
 	"datamaran/internal/lake"
+	"datamaran/internal/lake/laketest"
 	"datamaran/internal/query"
 )
 
@@ -34,30 +34,15 @@ func buildLake(t *testing.T) string {
 		}
 	}
 	for f := 1; f <= 2; f++ {
-		rng := rand.New(rand.NewSource(int64(f)))
-		var b strings.Builder
-		for i := 0; i < 150; i++ {
-			fmt.Fprintf(&b, "metric|cpu%d|%d.%02d|\n", rng.Intn(8), rng.Intn(100), rng.Intn(100))
-		}
-		write(fmt.Sprintf("metrics/m-%d.log", f), b.String())
+		write(fmt.Sprintf("metrics/m-%d.log", f), laketest.MetricsLog(int64(f), 150))
 	}
 	for f := 1; f <= 2; f++ {
-		rng := rand.New(rand.NewSource(int64(10 + f)))
-		var b strings.Builder
-		for i := 0; i < 150; i++ {
-			fmt.Fprintf(&b, "%s /api/v%d/item/%d %d\n",
-				[]string{"GET", "PUT"}[rng.Intn(2)], 1+rng.Intn(2), rng.Intn(9999),
-				[]int{200, 404}[rng.Intn(2)])
-		}
-		write(fmt.Sprintf("web/r-%d.log", f), b.String())
+		write(fmt.Sprintf("web/r-%d.log", f),
+			laketest.RequestsLog(int64(10+f), 150, []string{"GET", "PUT"}, 9999, []int{200, 404}))
 	}
-	write("znotes.txt", `These logs were collected from the staging cluster.
-Rotate anything older than thirty days; ask Dana first!
-(The metrics tier moved to pull-based scraping in March.)
-metrics/ holds the gauge dumps, one reading per line
-web/ is the edge tier; latency units are milliseconds
-TODO: fold the db01 host metrics into their own directory?
-`)
+	write("znotes.txt", laketest.Prose("metrics",
+		"metrics/ holds the gauge dumps, one reading per line",
+		"web/ is the edge tier; latency units are milliseconds"))
 	return root
 }
 

@@ -1,16 +1,24 @@
 #!/bin/sh
-# Allocation gate over the parser hot path: runs the steady-state scan
+# Allocation gate over the steady-state hot paths: runs the pinned
 # benchmarks with -benchmem and fails when their allocs/op exceed the
-# pinned ceilings. The two-phase matcher's contract is that noise-line
-# rejection and arena-reuse scanning never touch the heap — a regression
-# here silently re-introduces the per-candidate allocation costs the
-# evaluation engine was rebuilt to remove.
+# ceilings. The two-phase matcher's contract is that noise-line
+# rejection and arena-reuse scanning never touch the heap, and the
+# generation engine's contract is that a warm genST trial — pure
+# transition-table and chain-cache traversal — never does either; a
+# regression here silently re-introduces the per-candidate allocation
+# costs the evaluation and generation engines were rebuilt to remove.
 #
 # Usage: sh scripts/bench_allocs.sh
-set -e
+set -eu
+# dash (the usual /bin/sh) has no pipefail; enable it where the shell
+# supports it so a failing producer can't vanish behind a pipe.
+(set -o pipefail) 2>/dev/null && set -o pipefail || true
 
 out=$(go test -run '^$' -bench 'BenchmarkScanNoiseReject|BenchmarkScanArenaReuse' \
 	-benchmem -benchtime 100x ./internal/parser)
+out="$out
+$(go test -run '^$' -bench 'BenchmarkGenSTSteadyState' \
+	-benchmem -benchtime 100x ./internal/generation)"
 echo "$out"
 
 fail=0
@@ -34,5 +42,6 @@ check() {
 
 check ScanNoiseReject 0
 check ScanArenaReuse 0
+check GenSTSteadyState 0
 
 exit $fail

@@ -10,6 +10,9 @@
 # (served /v1/query), so all three surfaces stay byte-identical. Run
 # with -update to regenerate after an intentional change.
 set -eu
+# dash (the usual /bin/sh) has no pipefail; enable it where the shell
+# supports it so a failing producer can't vanish behind a pipe.
+(set -o pipefail) 2>/dev/null && set -o pipefail || true
 cd "$(dirname "$0")/.."
 golden=testdata/lake_golden/query
 tmp=$(mktemp -d)

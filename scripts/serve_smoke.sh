@@ -25,6 +25,9 @@
 # change (the CSV goldens belong to scripts/golden_lake.sh, the query
 # goldens to scripts/golden_query.sh).
 set -eu
+# dash (the usual /bin/sh) has no pipefail; enable it where the shell
+# supports it so a failing producer can't vanish behind a pipe.
+(set -o pipefail) 2>/dev/null && set -o pipefail || true
 cd "$(dirname "$0")/.."
 command -v curl >/dev/null 2>&1 || { echo "serve-smoke: curl is required" >&2; exit 1; }
 
